@@ -1,0 +1,122 @@
+// google-benchmark micro-benchmarks: the engine/scheduler hot paths whose
+// throughput determines how large a Monte-Carlo campaign the library can
+// sustain (capacity inversion, EDF feasibility, full simulation runs per
+// scheduler, exact offline solving).
+#include <benchmark/benchmark.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "offline/exact.hpp"
+#include "offline/feasibility.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+sjs::cap::CapacityProfile make_profile(std::size_t segments) {
+  sjs::Rng rng(1);
+  std::vector<double> times{0.0};
+  std::vector<double> rates{rng.uniform(1.0, 35.0)};
+  for (std::size_t i = 1; i < segments; ++i) {
+    times.push_back(times.back() + rng.exponential_mean(1.0));
+    rates.push_back(rng.uniform(1.0, 35.0));
+  }
+  return {std::move(times), std::move(rates)};
+}
+
+void BM_CapacityInvert(benchmark::State& state) {
+  auto profile = make_profile(static_cast<std::size_t>(state.range(0)));
+  sjs::Rng rng(2);
+  const double span = profile.breakpoints().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        profile.invert(rng.uniform(0.0, span), rng.exponential_mean(5.0)));
+  }
+}
+BENCHMARK(BM_CapacityInvert)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CapacityWork(benchmark::State& state) {
+  auto profile = make_profile(static_cast<std::size_t>(state.range(0)));
+  sjs::Rng rng(3);
+  const double span = profile.breakpoints().back();
+  for (auto _ : state) {
+    const double a = rng.uniform(0.0, span);
+    benchmark::DoNotOptimize(profile.work(a, a + rng.exponential_mean(3.0)));
+  }
+}
+BENCHMARK(BM_CapacityWork)->Arg(8)->Arg(512);
+
+void BM_EdfFeasibility(benchmark::State& state) {
+  sjs::Rng rng(4);
+  auto profile = make_profile(32);
+  auto jobs = sjs::gen::generate_small_random_jobs(
+      static_cast<std::size_t>(state.range(0)), 20.0, 7.0, 1.0, 2.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sjs::offline::edf_feasible(jobs, profile));
+  }
+}
+BENCHMARK(BM_EdfFeasibility)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // One complete paper-setup run per iteration for the selected scheduler.
+  const int scheduler_index = static_cast<int>(state.range(0));
+  sjs::gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = static_cast<double>(state.range(1));
+  sjs::Rng rng(5);
+  const sjs::Instance instance = sjs::gen::generate_paper_instance(setup, rng);
+  auto factories = sjs::sched::extended_lineup({10.5});
+  const auto& factory = factories[static_cast<std::size_t>(scheduler_index)];
+  state.SetLabel(factory.name);
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto scheduler = factory.make();
+    sjs::sim::Engine engine(instance, *scheduler);
+    auto result = engine.run_to_completion();
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.completed_value);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+// Args: {scheduler index in extended_lineup({10.5}), expected jobs}.
+// 0=Dover(10.5), 1=V-Dover, 2=EDF, 3=EDF-AC, 4=LLF, 5=FIFO, 6=HVF, 7=HVDF,
+// 8=SRPT (labels are set from the factory names at runtime).
+BENCHMARK(BM_FullSimulation)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({3, 1000})
+    ->Args({4, 1000})
+    ->Args({5, 1000})
+    ->Args({6, 1000})
+    ->Args({7, 1000})
+    ->Args({8, 1000});
+
+void BM_ExactOffline(benchmark::State& state) {
+  sjs::Rng rng(6);
+  auto profile = make_profile(16);
+  auto jobs = sjs::gen::generate_small_random_jobs(
+      static_cast<std::size_t>(state.range(0)), 10.0, 7.0, 1.0, 2.0, rng);
+  sjs::Instance instance(jobs, profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sjs::offline::exact_offline_value(instance));
+  }
+}
+BENCHMARK(BM_ExactOffline)->Arg(8)->Arg(12);
+
+void BM_PaperInstanceGeneration(benchmark::State& state) {
+  sjs::gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = 2000.0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    sjs::Rng rng(7, run++);
+    benchmark::DoNotOptimize(sjs::gen::generate_paper_instance(setup, rng));
+  }
+}
+BENCHMARK(BM_PaperInstanceGeneration);
+
+}  // namespace

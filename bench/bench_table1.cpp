@@ -1,0 +1,108 @@
+// Reproduces **Table I** of the paper: percentage of generated value captured
+// by Dover(ĉ) for ĉ ∈ {1, 10.5, 24.5, 35} and by V-Dover, with the relative
+// gain over the best Dover column, for λ ∈ {4, 5, 6, 7, 8, 10, 12}.
+//
+// Paper setup (Sec. IV): Poisson(λ) arrivals, Exp(1) workloads, value density
+// U[1, 7], zero conservative laxity at release, H = 2000/λ, capacity CTMC
+// {1, 35} with mean sojourn H/4, 800 Monte-Carlo runs — the engine is fast
+// enough that the paper's full scale is the default (~30 s on one core).
+//
+//   ./bench_table1 [--runs=N] [--seed=S] [--lambda=4,5,...] [--csv=path]
+//                  [--extended] (adds EDF/LLF/FIFO/HVF/HVDF columns)
+#include <cstdio>
+
+#include <numeric>
+#include <sstream>
+
+#include "mc/monte_carlo.hpp"
+#include "mc/table.hpp"
+#include "sched/factory.hpp"
+#include "stats/bootstrap.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  sjs::CliFlags flags;
+  flags.add_int("runs", 800, "Monte-Carlo runs per lambda (paper: 800)");
+  flags.add_int("seed", 42, "master RNG seed");
+  flags.add_int("threads", 0, "worker threads (0 = hardware)");
+  flags.add_double_list("lambda", {4, 5, 6, 7, 8, 10, 12},
+                        "arrival rates to sweep (paper Table I)");
+  flags.add_double_list("chat", {1.0, 10.5, 24.5, 35.0},
+                        "Dover capacity estimates ĉ");
+  flags.add_double("jobs", 2000.0, "expected jobs per run (paper: 2000)");
+  flags.add_string("csv", "table1.csv", "output CSV path (empty to skip)");
+  flags.add_bool("extended", false, "append EDF/LLF/FIFO/HVF/HVDF columns");
+  flags.add_bool("ci", false, "print 95% confidence half-widths");
+  if (!flags.parse(argc, argv)) {
+    if (!flags.error().empty()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const auto& c_hats = flags.get_double_list("chat");
+  auto factories = flags.get_bool("extended")
+                       ? sjs::sched::extended_lineup(c_hats)
+                       : sjs::sched::paper_lineup(c_hats);
+  const int vdover_index = static_cast<int>(c_hats.size());
+
+  sjs::mc::Table table;
+  for (const auto& f : factories) table.scheduler_names.push_back(f.name);
+  table.vdover_index = vdover_index;
+
+  std::printf("=== Table I: captured value %% (paper Sec. IV setup) ===\n");
+  std::printf("runs/lambda=%lld  expected jobs/run=%.0f  seed=%lld\n\n",
+              static_cast<long long>(flags.get_int("runs")),
+              flags.get_double("jobs"),
+              static_cast<long long>(flags.get_int("seed")));
+
+  std::ostringstream gain_cis;
+  for (double lambda : flags.get_double_list("lambda")) {
+    sjs::mc::McConfig config;
+    config.setup.lambda = lambda;
+    config.setup.expected_jobs = flags.get_double("jobs");
+    config.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    config.threads = static_cast<std::size_t>(flags.get_int("threads"));
+    auto outcome = sjs::mc::run_monte_carlo(config, factories);
+    auto row = sjs::mc::make_row(lambda, outcome, vdover_index);
+    if (flags.get_bool("ci") && row.best_dover_index >= 0) {
+      // Paired bootstrap (common random numbers pair the runs) for the
+      // relative-gain statistic, which has no clean closed-form interval.
+      const auto& dover_fractions =
+          outcome.per_scheduler[static_cast<std::size_t>(row.best_dover_index)]
+              .value_fractions;
+      const auto& vdover_fractions =
+          outcome.per_scheduler[static_cast<std::size_t>(vdover_index)]
+              .value_fractions;
+      auto gain = [](const std::vector<double>& dover,
+                     const std::vector<double>& vdover) {
+        const double md = std::accumulate(dover.begin(), dover.end(), 0.0);
+        const double mv = std::accumulate(vdover.begin(), vdover.end(), 0.0);
+        return 100.0 * (mv / md - 1.0);
+      };
+      auto interval =
+          sjs::paired_bootstrap_ci(dover_fractions, vdover_fractions, gain);
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "lambda %5.1f: gain %6.2f%%, 95%% CI [%6.2f, %6.2f]\n",
+                    lambda, interval.point, interval.lo, interval.hi);
+      gain_cis << line;
+    }
+    table.rows.push_back(row);
+    std::fprintf(stderr, "lambda %.1f done\n", lambda);
+  }
+
+  std::printf("%s\n", table.render(flags.get_bool("ci")).c_str());
+  if (flags.get_bool("ci")) {
+    std::printf("paired-bootstrap gain intervals (vs best Dover):\n%s\n",
+                gain_cis.str().c_str());
+  }
+  const auto& csv = flags.get_string("csv");
+  if (!csv.empty()) {
+    table.save_csv(csv);
+    std::printf("rows written to %s\n", csv.c_str());
+  }
+  return 0;
+}

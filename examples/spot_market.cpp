@@ -1,0 +1,97 @@
+// Spot-market scenario (the paper's motivating application, Sec. I): a cloud
+// provider sells leftover capacity to deadline-constrained spot jobs. Primary
+// load follows a diurnal sinusoid, so the residual capacity for spot work
+// peaks at night. We compare the revenue (= value of spot jobs finished by
+// their SLA deadlines) captured by V-Dover, the best Dover configuration,
+// and the naive baselines, over several simulated days.
+//
+//   ./spot_market [--days=4] [--seed=1] [--lambda=8]
+#include <cmath>
+#include <cstdio>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sjs;
+
+  CliFlags flags;
+  flags.add_int("days", 4, "simulated days");
+  flags.add_int("seed", 1, "RNG seed");
+  flags.add_double("lambda", 8.0, "spot job arrival rate (jobs per hour)");
+  if (!flags.parse(argc, argv)) {
+    if (!flags.error().empty()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const double hours = 24.0 * static_cast<double>(flags.get_int("days"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  // Residual capacity: diurnal sinusoid between 2 and 30 "instance units",
+  // peaking at 02:00 (primaries quiet at night).
+  cap::SinusoidParams cp;
+  cp.mid = 16.0;
+  cp.amp = 14.0;
+  cp.period = 24.0;
+  cp.phase = M_PI;  // trough at midday
+  cp.c_lo = 2.0;
+  cp.c_hi = 30.0;
+  cp.samples_per_period = 48;
+  auto capacity = cap::sample_sinusoid(cp, hours + 24.0);
+
+  // Spot jobs: Poisson arrivals, exponential sizes (instance-hours), bids
+  // (value densities) uniform in [1, 7] $/instance-hour, SLA window sized to
+  // the worst-case rate (zero conservative laxity — the paper's hard case).
+  gen::JobGenParams jp;
+  jp.lambda = flags.get_double("lambda");
+  jp.horizon = hours;
+  jp.workload_mean = 6.0;  // instance-hours
+  jp.density_lo = 1.0;
+  jp.density_hi = 7.0;
+  jp.slack_factor = 1.0;
+  jp.c_lo = cp.c_lo;
+  auto jobs = gen::generate_jobs(jp, rng);
+  Instance instance(jobs, capacity, cp.c_lo, cp.c_hi);
+
+  std::printf("=== Spot market: %d day(s), %zu spot jobs, max revenue $%.0f "
+              "===\n\n",
+              static_cast<int>(flags.get_int("days")), instance.size(),
+              instance.total_value());
+  std::printf("residual capacity (hourly): %s\n\n",
+              render_sparkline(
+                  StepFunction(capacity.breakpoints(), capacity.rates())
+                      .resample(0.0, hours, 48))
+                  .c_str());
+
+  std::printf("%14s | %10s | %8s | %9s | %11s | %10s\n", "scheduler",
+              "revenue $", "% of max", "finished", "preemptions",
+              "mean resp");
+  double vdover_revenue = 0.0, best_other = 0.0;
+  for (const auto& factory :
+       sched::extended_lineup({cp.c_lo, (cp.c_lo + cp.c_hi) / 2, cp.c_hi})) {
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    auto result = engine.run_to_completion();
+    std::printf("%14s | %10.0f | %7.2f%% | %9llu | %11llu | %9.2fh\n",
+                factory.name.c_str(), result.completed_value,
+                result.value_fraction() * 100.0,
+                static_cast<unsigned long long>(result.completed_count),
+                static_cast<unsigned long long>(result.preemptions),
+                result.mean_response_time());
+    if (factory.name == "V-Dover") {
+      vdover_revenue = result.completed_value;
+    } else {
+      best_other = std::max(best_other, result.completed_value);
+    }
+  }
+  std::printf("\nV-Dover vs best alternative: %+.2f%%\n",
+              100.0 * (vdover_revenue / best_other - 1.0));
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full pipeline: configure, build, test, regenerate every paper experiment.
+# Outputs land next to this repo root (table1.csv, fig1_*.csv, logs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for bench in build/bench/*; do
+    echo "==================== ${bench} ===================="
+    "${bench}"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

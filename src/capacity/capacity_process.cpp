@@ -1,0 +1,130 @@
+#include "capacity/capacity_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace sjs::cap {
+
+CapacityProfile sample_two_state_markov(const TwoStateMarkovParams& params,
+                                        double horizon, Rng& rng) {
+  SJS_CHECK(params.c_lo > 0.0 && params.c_hi >= params.c_lo);
+  SJS_CHECK(params.mean_sojourn_lo > 0.0 && params.mean_sojourn_hi > 0.0);
+  SJS_CHECK(horizon > 0.0);
+  std::vector<double> times;
+  std::vector<double> rates;
+  bool high = rng.bernoulli(params.p_start_hi);
+  double t = 0.0;
+  while (t < horizon) {
+    times.push_back(t);
+    rates.push_back(high ? params.c_hi : params.c_lo);
+    t += rng.exponential_mean(high ? params.mean_sojourn_hi
+                                   : params.mean_sojourn_lo);
+    high = !high;
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+CapacityProfile sample_markov_chain(const MarkovChainParams& params,
+                                    double horizon, Rng& rng) {
+  const std::size_t n = params.rates.size();
+  SJS_CHECK_MSG(n > 0, "CTMC needs at least one state");
+  SJS_CHECK(params.mean_sojourn.size() == n);
+  SJS_CHECK(params.transition.size() == n);
+  SJS_CHECK(params.start_state < n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SJS_CHECK(params.rates[i] > 0.0);
+    SJS_CHECK(params.mean_sojourn[i] > 0.0);
+    SJS_CHECK(params.transition[i].size() == n);
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      SJS_CHECK(params.transition[i][j] >= 0.0);
+      row += params.transition[i][j];
+    }
+    SJS_CHECK_MSG(n == 1 || std::abs(row - 1.0) < 1e-9,
+                  "transition row " << i << " sums to " << row);
+    SJS_CHECK_MSG(params.transition[i][i] == 0.0,
+                  "jump chain must not self-loop (state " << i << ")");
+  }
+
+  std::vector<double> times;
+  std::vector<double> rates;
+  std::size_t state = params.start_state;
+  double t = 0.0;
+  while (t < horizon) {
+    times.push_back(t);
+    rates.push_back(params.rates[state]);
+    t += rng.exponential_mean(params.mean_sojourn[state]);
+    if (n == 1) break;  // single state: constant profile
+    // Sample the next state from the jump chain.
+    double u = rng.uniform01();
+    std::size_t next = n - 1;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += params.transition[state][j];
+      if (u < acc) {
+        next = j;
+        break;
+      }
+    }
+    state = next;
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+CapacityProfile sample_random_walk(const RandomWalkParams& params,
+                                   double horizon, Rng& rng) {
+  SJS_CHECK(params.c_lo > 0.0 && params.c_hi >= params.c_lo);
+  SJS_CHECK(params.step > 1.0);
+  SJS_CHECK(params.mean_epoch > 0.0);
+  double rate = std::clamp(params.start, params.c_lo, params.c_hi);
+  std::vector<double> times;
+  std::vector<double> rates;
+  double t = 0.0;
+  while (t < horizon) {
+    times.push_back(t);
+    rates.push_back(rate);
+    t += rng.exponential_mean(params.mean_epoch);
+    rate = rng.bernoulli(0.5) ? rate * params.step : rate / params.step;
+    rate = std::clamp(rate, params.c_lo, params.c_hi);
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+CapacityProfile sample_sinusoid(const SinusoidParams& params, double horizon) {
+  SJS_CHECK(params.period > 0.0);
+  SJS_CHECK(params.samples_per_period >= 2);
+  SJS_CHECK(params.c_lo > 0.0 && params.c_hi >= params.c_lo);
+  const double dt = params.period / static_cast<double>(params.samples_per_period);
+  std::vector<double> times;
+  std::vector<double> rates;
+  for (double t = 0.0; t < horizon; t += dt) {
+    const double midpoint = t + dt / 2.0;
+    double r = params.mid +
+               params.amp * std::sin(2.0 * M_PI * midpoint / params.period +
+                                     params.phase);
+    times.push_back(t);
+    rates.push_back(std::clamp(r, params.c_lo, params.c_hi));
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+CapacityProfile square_wave(double c_lo, double c_hi, double low_duration,
+                            double high_duration, double horizon) {
+  SJS_CHECK(c_lo > 0.0 && c_hi >= c_lo);
+  SJS_CHECK(low_duration > 0.0 && high_duration > 0.0);
+  std::vector<double> times;
+  std::vector<double> rates;
+  double t = 0.0;
+  bool low = true;
+  while (t < horizon) {
+    times.push_back(t);
+    rates.push_back(low ? c_lo : c_hi);
+    t += low ? low_duration : high_duration;
+    low = !low;
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+}  // namespace sjs::cap

@@ -1,0 +1,81 @@
+// Generators of capacity sample paths.
+//
+// The paper's simulation (Sec. IV) drives capacity with a two-state
+// continuous-time Markov chain (states {c_lo, c_hi} = {1, 35}, exponential
+// sojourns with mean H/4). We implement that process plus generalisations
+// used by the ablation benches: N-state CTMCs, bounded random walks, and
+// sampled sinusoids. Each generator produces a piecewise-constant
+// CapacityProfile covering [0, horizon] (the profile itself extends the last
+// rate to infinity, which covers deadlines that overhang the horizon).
+#pragma once
+
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::cap {
+
+/// The paper's two-state CTMC: alternates between c_lo and c_hi with
+/// exponentially distributed sojourn times.
+struct TwoStateMarkovParams {
+  double c_lo = 1.0;
+  double c_hi = 35.0;
+  double mean_sojourn_lo = 1.0;  ///< mean time spent at c_lo per visit
+  double mean_sojourn_hi = 1.0;  ///< mean time spent at c_hi per visit
+  /// Probability the path starts in the high state (paper unspecified; 0.5).
+  double p_start_hi = 0.5;
+};
+
+CapacityProfile sample_two_state_markov(const TwoStateMarkovParams& params,
+                                        double horizon, Rng& rng);
+
+/// General N-state CTMC: `rates[i]` is the capacity in state i,
+/// `mean_sojourn[i]` the mean exponential sojourn, and `transition[i][j]` the
+/// jump-chain probability of moving to state j when leaving state i
+/// (transition[i][i] must be 0; rows sum to 1).
+struct MarkovChainParams {
+  std::vector<double> rates;
+  std::vector<double> mean_sojourn;
+  std::vector<std::vector<double>> transition;
+  std::size_t start_state = 0;
+};
+
+CapacityProfile sample_markov_chain(const MarkovChainParams& params,
+                                    double horizon, Rng& rng);
+
+/// Bounded multiplicative random walk: at exponential epochs the rate is
+/// multiplied/divided by `step` (clamped to [c_lo, c_hi]). Models slowly
+/// drifting residual capacity.
+struct RandomWalkParams {
+  double c_lo = 1.0;
+  double c_hi = 35.0;
+  double start = 4.0;
+  double step = 1.5;          ///< multiplicative step per epoch, > 1
+  double mean_epoch = 1.0;    ///< mean time between steps
+};
+
+CapacityProfile sample_random_walk(const RandomWalkParams& params,
+                                   double horizon, Rng& rng);
+
+/// Deterministic diurnal pattern: c(t) = mid + amp·sin(2πt/period + phase),
+/// sampled onto `samples_per_period` piecewise-constant segments. The sampled
+/// value is clamped to [c_lo, c_hi]; c_lo must satisfy mid - amp >= c_lo > 0.
+struct SinusoidParams {
+  double mid = 18.0;
+  double amp = 17.0;
+  double period = 100.0;
+  double phase = 0.0;
+  std::size_t samples_per_period = 64;
+  double c_lo = 1.0;
+  double c_hi = 35.0;
+};
+
+CapacityProfile sample_sinusoid(const SinusoidParams& params, double horizon);
+
+/// Square wave alternating between c_lo (for `low_duration`) and c_hi (for
+/// `high_duration`), starting low. Deterministic; handy in unit tests.
+CapacityProfile square_wave(double c_lo, double c_hi, double low_duration,
+                            double high_duration, double horizon);
+
+}  // namespace sjs::cap

@@ -1,0 +1,77 @@
+#include "capacity/capacity_profile.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sjs::cap {
+
+CapacityProfile::CapacityProfile(double constant_rate)
+    : CapacityProfile(std::vector<double>{0.0},
+                      std::vector<double>{constant_rate}) {}
+
+CapacityProfile::CapacityProfile(std::vector<double> times,
+                                 std::vector<double> rates)
+    : times_(std::move(times)), rates_(std::move(rates)) {
+  SJS_CHECK_MSG(!times_.empty(), "profile needs at least one segment");
+  SJS_CHECK_MSG(times_.size() == rates_.size(), "times/rates size mismatch");
+  SJS_CHECK_MSG(times_[0] == 0.0, "profile must start at t=0");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    SJS_CHECK_MSG(times_[i] > times_[i - 1],
+                  "breakpoints must be strictly increasing");
+  }
+  min_rate_ = rates_[0];
+  max_rate_ = rates_[0];
+  for (double r : rates_) {
+    SJS_CHECK_MSG(r > 0.0, "capacity rates must be positive (c_lo > 0)");
+    min_rate_ = std::min(min_rate_, r);
+    max_rate_ = std::max(max_rate_, r);
+  }
+  cum_.resize(times_.size());
+  cum_[0] = 0.0;
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    cum_[i] = cum_[i - 1] + rates_[i - 1] * (times_[i] - times_[i - 1]);
+  }
+}
+
+std::size_t CapacityProfile::segment_index(double t) const {
+  SJS_CHECK_MSG(t >= 0.0, "time must be non-negative, got " << t);
+  // upper_bound returns the first breakpoint strictly greater than t.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double CapacityProfile::rate(double t) const {
+  return rates_[segment_index(t)];
+}
+
+double CapacityProfile::cumulative(double t) const {
+  const std::size_t i = segment_index(t);
+  return cum_[i] + rates_[i] * (t - times_[i]);
+}
+
+double CapacityProfile::work(double t1, double t2) const {
+  SJS_CHECK_MSG(t2 >= t1, "work() interval reversed: [" << t1 << ", " << t2
+                                                        << "]");
+  return cumulative(t2) - cumulative(t1);
+}
+
+double CapacityProfile::invert(double t, double w) const {
+  SJS_CHECK_MSG(w >= 0.0, "workload must be non-negative");
+  if (w == 0.0) return t;
+  const double target = cumulative(t) + w;
+  // Find the segment in which the cumulative work reaches `target`.
+  // cum_[i] is the cumulative work at the *start* of segment i; the last
+  // segment extends to infinity, so the target is always reachable.
+  auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+  const std::size_t i = static_cast<std::size_t>(it - cum_.begin()) - 1;
+  return times_[i] + (target - cum_[i]) / rates_[i];
+}
+
+double CapacityProfile::next_change(double t) const {
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.end()) return kInfinity;
+  return *it;
+}
+
+}  // namespace sjs::cap

@@ -1,0 +1,76 @@
+// CapacityProfile — the time-varying processor capacity c(t) of the paper.
+//
+// The paper models capacity as any integrable function bounded inside
+// [c_lo, c_hi] (its class C(c_lo, c_hi), Sec. II-A). We represent sample paths
+// as right-continuous piecewise-constant functions; every stochastic process
+// we simulate (CTMC, random walk) produces such paths exactly, and smooth
+// profiles (sinusoids) are represented by fine sampling. Piecewise-constant
+// paths make the three operations the simulator needs *exact*:
+//
+//   rate(t)          — instantaneous capacity,
+//   work(t1, t2)     — ∫ c(τ)dτ, the workload completable on [t1, t2],
+//   invert(t, w)     — the earliest t' with work(t, t') = w, i.e. the exact
+//                      completion instant of a job dispatched at t with
+//                      remaining workload w.
+//
+// All queries after the last breakpoint use the final rate (the profile
+// extends to +infinity), so jobs released near the simulation horizon still
+// have well-defined completion times.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace sjs::cap {
+
+class CapacityProfile {
+ public:
+  /// Constant capacity c on [0, inf).
+  explicit CapacityProfile(double constant_rate);
+
+  /// Piecewise-constant: rate(t) = rates[i] on [times[i], times[i+1]) and
+  /// rates.back() on [times.back(), inf). Requires times[0] == 0, strictly
+  /// increasing times, and every rate > 0 (the paper's c_lo > 0; a zero rate
+  /// would make invert() undefined).
+  CapacityProfile(std::vector<double> times, std::vector<double> rates);
+
+  /// Instantaneous capacity at time t >= 0.
+  double rate(double t) const;
+
+  /// ∫_{t1}^{t2} c(τ)dτ for 0 <= t1 <= t2. Exact.
+  double work(double t1, double t2) const;
+
+  /// Cumulative work W(t) = ∫_0^t c(τ)dτ.
+  double cumulative(double t) const;
+
+  /// Earliest t' >= t with work(t, t') == w (w >= 0). Exact inverse.
+  double invert(double t, double w) const;
+
+  /// First breakpoint strictly after t, or +inf when the profile is constant
+  /// from t onward. Used by the engine to raise capacity-change interrupts.
+  double next_change(double t) const;
+
+  /// Minimum/maximum rate over the whole profile (the band [c_lo, c_hi]).
+  double min_rate() const { return min_rate_; }
+  double max_rate() const { return max_rate_; }
+  /// δ = c_hi / c_lo, the paper's capacity-variation measure.
+  double delta() const { return max_rate_ / min_rate_; }
+
+  std::size_t segments() const { return times_.size(); }
+  const std::vector<double>& breakpoints() const { return times_; }
+  const std::vector<double>& rates() const { return rates_; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  /// Index of the segment containing t (largest i with times_[i] <= t).
+  std::size_t segment_index(double t) const;
+
+  std::vector<double> times_;   // times_[0] == 0, strictly increasing
+  std::vector<double> rates_;   // same length, all > 0
+  std::vector<double> cum_;     // cum_[i] = ∫_0^{times_[i]} c
+  double min_rate_;
+  double max_rate_;
+};
+
+}  // namespace sjs::cap

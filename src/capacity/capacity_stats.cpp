@@ -1,0 +1,125 @@
+#include "capacity/capacity_stats.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sjs::cap {
+
+namespace {
+
+/// Invokes visit(segment_start, segment_end, rate) for every maximal
+/// constant-rate piece of the profile inside [t0, t1].
+template <typename Visitor>
+void for_each_segment(const CapacityProfile& profile, double t0, double t1,
+                      Visitor&& visit) {
+  SJS_CHECK_MSG(t1 >= t0, "reversed interval");
+  double cursor = t0;
+  while (cursor < t1) {
+    const double next = std::min(t1, profile.next_change(cursor));
+    visit(cursor, next, profile.rate(cursor));
+    cursor = next;
+  }
+}
+
+}  // namespace
+
+double mean_rate(const CapacityProfile& profile, double t0, double t1) {
+  SJS_CHECK_MSG(t1 > t0, "mean over an empty interval");
+  return profile.work(t0, t1) / (t1 - t0);
+}
+
+double duty_cycle(const CapacityProfile& profile, double threshold, double t0,
+                  double t1) {
+  SJS_CHECK_MSG(t1 > t0, "duty cycle over an empty interval");
+  double above = 0.0;
+  for_each_segment(profile, t0, t1, [&](double s, double e, double rate) {
+    if (rate >= threshold) above += e - s;
+  });
+  return above / (t1 - t0);
+}
+
+std::map<double, double> time_at_rate(const CapacityProfile& profile,
+                                      double t0, double t1) {
+  std::map<double, double> shares;
+  for_each_segment(profile, t0, t1, [&](double s, double e, double rate) {
+    shares[rate] += e - s;
+  });
+  return shares;
+}
+
+ObservedBand observed_band(const CapacityProfile& profile, double t0,
+                           double t1) {
+  ObservedBand band;
+  bool first = true;
+  for_each_segment(profile, t0, t1, [&](double, double, double rate) {
+    if (first) {
+      band.lo = band.hi = rate;
+      first = false;
+    } else {
+      band.lo = std::min(band.lo, rate);
+      band.hi = std::max(band.hi, rate);
+    }
+  });
+  SJS_CHECK_MSG(!first, "empty interval has no observed band");
+  return band;
+}
+
+std::vector<double> segment_durations(const CapacityProfile& profile,
+                                      double t0, double t1) {
+  std::vector<double> durations;
+  for_each_segment(profile, t0, t1, [&](double s, double e, double) {
+    durations.push_back(e - s);
+  });
+  return durations;
+}
+
+FittedTwoStateMarkov fit_two_state_markov(const CapacityProfile& profile,
+                                          double t0, double t1) {
+  const ObservedBand band = observed_band(profile, t0, t1);
+  FittedTwoStateMarkov fit;
+  if (band.hi == band.lo) {
+    fit.c_lo = fit.c_hi = band.lo;
+    fit.mean_sojourn_lo = t1 - t0;
+    fit.low_visits = 1;
+    return fit;
+  }
+  const double split = (band.lo + band.hi) / 2.0;
+
+  // Time-weighted mean rate per side; a "visit" is a maximal run of
+  // consecutive segments on one side of the split.
+  double low_time = 0.0, high_time = 0.0;
+  double low_weighted = 0.0, high_weighted = 0.0;
+  bool have_run = false;
+  bool run_is_high = false;
+  for_each_segment(profile, t0, t1, [&](double s, double e, double rate) {
+    const bool high = rate >= split;
+    const double span = e - s;
+    if (high) {
+      high_time += span;
+      high_weighted += rate * span;
+    } else {
+      low_time += span;
+      low_weighted += rate * span;
+    }
+    if (!have_run || high != run_is_high) {
+      if (high) {
+        ++fit.high_visits;
+      } else {
+        ++fit.low_visits;
+      }
+      have_run = true;
+      run_is_high = high;
+    }
+  });
+
+  fit.c_lo = low_time > 0.0 ? low_weighted / low_time : band.lo;
+  fit.c_hi = high_time > 0.0 ? high_weighted / high_time : band.hi;
+  fit.mean_sojourn_lo =
+      fit.low_visits ? low_time / static_cast<double>(fit.low_visits) : 0.0;
+  fit.mean_sojourn_hi =
+      fit.high_visits ? high_time / static_cast<double>(fit.high_visits) : 0.0;
+  return fit;
+}
+
+}  // namespace sjs::cap

@@ -1,0 +1,63 @@
+// Descriptive statistics of capacity sample paths.
+//
+// Used to characterise generated or imported residual-capacity traces before
+// running experiments on them: a trace's *effective* utilisation, duty cycle
+// above a threshold, and per-level time shares determine which regime of the
+// paper's analysis applies (δ near 1 ⇒ Dover-like; large δ with long
+// high-capacity excursions ⇒ the supplement queue pays off).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+
+namespace sjs::cap {
+
+/// Time-average rate over [t0, t1]: (1/(t1−t0)) ∫ c.
+double mean_rate(const CapacityProfile& profile, double t0, double t1);
+
+/// Fraction of [t0, t1] during which rate(t) >= threshold.
+double duty_cycle(const CapacityProfile& profile, double threshold, double t0,
+                  double t1);
+
+/// Total time spent at each distinct rate level within [t0, t1].
+std::map<double, double> time_at_rate(const CapacityProfile& profile,
+                                      double t0, double t1);
+
+/// Observed band over [t0, t1] (may be narrower than the declared band when
+/// the sample path never visits an extreme state).
+struct ObservedBand {
+  double lo = 0.0;
+  double hi = 0.0;
+  double delta() const { return hi / lo; }
+};
+ObservedBand observed_band(const CapacityProfile& profile, double t0,
+                           double t1);
+
+/// Durations of the profile's constant segments intersected with [t0, t1]
+/// (the sojourn-time sample for CTMC parameter recovery).
+std::vector<double> segment_durations(const CapacityProfile& profile,
+                                      double t0, double t1);
+
+/// Two-state CTMC parameters recovered from a sample path: rates are split
+/// at the midpoint of the observed band into a "low" and a "high" level
+/// (each estimated as the time-weighted mean rate of its side) and the mean
+/// sojourns come from the maximal runs spent on each side. This is the
+/// moment estimator a user applies to an imported residual-capacity trace
+/// before generating synthetic workloads with TwoStateMarkovParams.
+struct FittedTwoStateMarkov {
+  double c_lo = 0.0;
+  double c_hi = 0.0;
+  double mean_sojourn_lo = 0.0;  ///< 0 when the path never visits that side
+  double mean_sojourn_hi = 0.0;
+  std::size_t low_visits = 0;    ///< number of maximal low-side runs
+  std::size_t high_visits = 0;
+};
+
+/// Fits over [t0, t1]. Degenerate (constant) paths return c_lo == c_hi with
+/// a single visit on the low side.
+FittedTwoStateMarkov fit_two_state_markov(const CapacityProfile& profile,
+                                          double t0, double t1);
+
+}  // namespace sjs::cap

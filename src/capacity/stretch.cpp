@@ -1,0 +1,24 @@
+#include "capacity/stretch.hpp"
+
+#include "util/logging.hpp"
+
+namespace sjs::cap {
+
+StretchTransform::StretchTransform(const CapacityProfile& profile,
+                                   double reference_rate)
+    : profile_(profile), reference_rate_(reference_rate) {
+  SJS_CHECK_MSG(reference_rate > 0.0, "reference rate must be positive");
+}
+
+double StretchTransform::forward(double t) const {
+  return profile_.cumulative(t) / reference_rate_;
+}
+
+double StretchTransform::inverse(double t_stretched) const {
+  SJS_CHECK(t_stretched >= 0.0);
+  // T(t) = W(t)/c_ref, so T^{-1}(t') is the time at which cumulative work
+  // reaches c_ref * t' — exactly CapacityProfile::invert from time 0.
+  return profile_.invert(0.0, reference_rate_ * t_stretched);
+}
+
+}  // namespace sjs::cap

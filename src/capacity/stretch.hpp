@@ -1,0 +1,52 @@
+// The paper's offline reduction (Sec. III-A): the time-scale stretch
+// transformation.
+//
+//   T(t; c_lo) = (1 / c_lo) ∫_0^t c(τ) dτ
+//
+// maps the varying-capacity axis onto a "stretched" axis where the processor
+// runs at constant rate c_lo. The transformation preserves the workload
+// completable between any two epochs:
+//
+//   ∫_{s}^{t} c(τ)dτ = ∫_{T(s)}^{T(t)} c_lo dτ',
+//
+// so a job set is schedulable under c(t) iff the stretched job set (release
+// T(r), deadline T(d), same workload and value) is schedulable at constant
+// rate c_lo — a value-preserving bijection between offline schedules.
+//
+// Because c(t) >= c_lo > 0, T is a strictly increasing bijection of [0, inf)
+// onto itself and the inverse is well defined.
+#pragma once
+
+#include "capacity/capacity_profile.hpp"
+
+namespace sjs::cap {
+
+class StretchTransform {
+ public:
+  /// Stretches relative to `reference_rate`; the paper uses c_lo (the band
+  /// minimum). Any positive reference yields a valid bijection.
+  StretchTransform(const CapacityProfile& profile, double reference_rate);
+
+  /// Stretches relative to profile.min_rate(), the paper's choice.
+  explicit StretchTransform(const CapacityProfile& profile)
+      : StretchTransform(profile, profile.min_rate()) {}
+
+  /// T(t): original time -> stretched time.
+  double forward(double t) const;
+
+  /// T^{-1}(t'): stretched time -> original time.
+  double inverse(double t_stretched) const;
+
+  double reference_rate() const { return reference_rate_; }
+
+  /// The transformed capacity profile: constant reference_rate on [0, inf).
+  CapacityProfile stretched_profile() const {
+    return CapacityProfile(reference_rate_);
+  }
+
+ private:
+  const CapacityProfile& profile_;
+  double reference_rate_;
+};
+
+}  // namespace sjs::cap

@@ -1,0 +1,20 @@
+// Capacity trace persistence: save/load piecewise-constant capacity profiles
+// as two-column CSV (time, rate). This is the substitution point for real
+// datacenter residual-capacity traces — a user with production telemetry
+// exports it in this format and the whole library runs against it unchanged.
+#pragma once
+
+#include <string>
+
+#include "capacity/capacity_profile.hpp"
+
+namespace sjs::cap {
+
+/// Writes the profile breakpoints as CSV with a "time,rate" header.
+void save_trace(const CapacityProfile& profile, const std::string& path);
+
+/// Reads a CSV trace (header optional). Throws std::runtime_error on
+/// malformed input (non-numeric fields, unsorted times, non-positive rates).
+CapacityProfile load_trace(const std::string& path);
+
+}  // namespace sjs::cap

@@ -1,0 +1,126 @@
+#include "cloud/dispatch.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::cloud {
+
+std::string to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kRandom:
+      return "random";
+    case DispatchPolicy::kLeastBacklog:
+      return "least-backlog";
+    case DispatchPolicy::kBestRate:
+      return "best-rate";
+    case DispatchPolicy::kPowerOfTwo:
+      return "power-of-two";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> dispatch_jobs(
+    const std::vector<Job>& jobs,
+    const std::vector<cap::CapacityProfile>& servers,
+    const CloudConfig& config) {
+  SJS_CHECK_MSG(!servers.empty(), "cloud needs at least one server");
+  SJS_CHECK(config.c_lo > 0.0);
+
+  // Jobs must be visited in release order for the online state to be causal.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].release < jobs[b].release;
+                   });
+
+  std::vector<std::size_t> assignment(jobs.size(), 0);
+  std::vector<double> backlog(servers.size(), 0.0);
+  double last_time = 0.0;
+  std::size_t cursor = 0;  // round-robin state
+  Rng rng(config.rng_seed);
+
+  for (std::size_t idx : order) {
+    const Job& job = jobs[idx];
+    // Drain the conservative backlogs to the current release instant.
+    const double elapsed = job.release - last_time;
+    for (double& b : backlog) b = std::max(0.0, b - config.c_lo * elapsed);
+    last_time = job.release;
+
+    std::size_t chosen = 0;
+    switch (config.policy) {
+      case DispatchPolicy::kRoundRobin:
+        chosen = cursor;
+        cursor = (cursor + 1) % servers.size();
+        break;
+      case DispatchPolicy::kRandom:
+        chosen = static_cast<std::size_t>(rng.below(servers.size()));
+        break;
+      case DispatchPolicy::kLeastBacklog: {
+        chosen = 0;
+        for (std::size_t s = 1; s < servers.size(); ++s) {
+          if (backlog[s] < backlog[chosen]) chosen = s;
+        }
+        break;
+      }
+      case DispatchPolicy::kPowerOfTwo: {
+        const auto a = static_cast<std::size_t>(rng.below(servers.size()));
+        auto b = static_cast<std::size_t>(rng.below(servers.size()));
+        if (servers.size() > 1) {
+          while (b == a) b = static_cast<std::size_t>(rng.below(servers.size()));
+        }
+        chosen = backlog[a] <= backlog[b] ? a : b;
+        break;
+      }
+      case DispatchPolicy::kBestRate: {
+        // The instantaneous rate at the release instant is observable online.
+        chosen = 0;
+        double best = servers[0].rate(job.release);
+        for (std::size_t s = 1; s < servers.size(); ++s) {
+          const double r = servers[s].rate(job.release);
+          if (r > best) {
+            best = r;
+            chosen = s;
+          }
+        }
+        break;
+      }
+    }
+    assignment[idx] = chosen;
+    backlog[chosen] += job.workload;
+  }
+  return assignment;
+}
+
+CloudResult run_cloud(const std::vector<Job>& jobs,
+                      const std::vector<cap::CapacityProfile>& servers,
+                      const CloudConfig& config,
+                      const sched::NamedFactory& factory) {
+  const auto assignment = dispatch_jobs(jobs, servers, config);
+
+  CloudResult result;
+  result.per_server.reserve(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    std::vector<Job> subset;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (assignment[i] == s) subset.push_back(jobs[i]);
+    }
+    Instance instance(std::move(subset), servers[s], config.c_lo,
+                      config.c_hi);
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    auto server_result = engine.run_to_completion();
+    result.completed_value += server_result.completed_value;
+    result.generated_value += server_result.generated_value;
+    result.completed_count += server_result.completed_count;
+    result.expired_count += server_result.expired_count;
+    result.per_server.push_back(std::move(server_result));
+  }
+  return result;
+}
+
+}  // namespace sjs::cloud

@@ -1,0 +1,75 @@
+#include "cloud/global_sched.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sjs::cloud {
+
+double GlobalKeyScheduler::priority(const MultiEngine& engine,
+                                    JobId job) const {
+  const Job& j = engine.job(job);
+  // Lower is better; negate density so higher density sorts first.
+  return key_ == GlobalKey::kDeadline ? j.deadline : -j.value_density();
+}
+
+void GlobalKeyScheduler::reschedule(MultiEngine& engine) {
+  const std::size_t k = engine.server_count();
+
+  // The top-K live jobs by priority.
+  std::vector<JobId> chosen;
+  chosen.reserve(k);
+  for (const auto& [prio, job] : live_) {
+    if (chosen.size() == k) break;
+    chosen.push_back(job);
+  }
+
+  // Assign in priority order: each winner takes the fastest still-available
+  // server, *staying put when its current server ties the maximum* (no
+  // gratuitous migration among equal machines). run_on handles everything:
+  // placing a queued job, preempting a lower-priority incumbent, and
+  // migrating a running winner onto a faster machine.
+  std::vector<bool> available(k, true);
+  for (JobId job : chosen) {
+    std::size_t best = kNoServer;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (!available[s]) continue;
+      if (best == kNoServer ||
+          engine.server_rate(s) > engine.server_rate(best)) {
+        best = s;
+      }
+    }
+    const std::size_t current = engine.server_of(job);
+    std::size_t target = best;
+    if (current != kNoServer && available[current] &&
+        engine.server_rate(current) >= engine.server_rate(best)) {
+      target = current;
+    }
+    available[target] = false;
+    if (current != target) engine.run_on(target, job);
+  }
+  // Any remaining server still executing a non-winner goes idle.
+  for (std::size_t s = 0; s < k; ++s) {
+    if (available[s] && engine.running_on(s) != kNoJob) {
+      engine.idle(s);
+    }
+  }
+}
+
+void GlobalKeyScheduler::on_release(MultiEngine& engine, JobId job) {
+  live_.emplace(priority(engine, job), job);
+  reschedule(engine);
+}
+
+void GlobalKeyScheduler::on_complete(MultiEngine& engine, JobId job,
+                                     std::size_t /*server*/) {
+  live_.erase({priority(engine, job), job});
+  reschedule(engine);
+}
+
+void GlobalKeyScheduler::on_expire(MultiEngine& engine, JobId job,
+                                   std::size_t /*server*/) {
+  live_.erase({priority(engine, job), job});
+  reschedule(engine);
+}
+
+}  // namespace sjs::cloud

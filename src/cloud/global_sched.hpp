@@ -1,0 +1,45 @@
+// Global (migrating) schedulers for the multi-server engine: at every
+// interrupt, the K highest-priority live jobs run, one per server — the
+// multiprocessor analogues of EDF ("global EDF") and highest-value-density.
+//
+// Placement policy: a chosen job already executing stays put (no gratuitous
+// migration); newly chosen jobs are matched to freed servers in priority
+// order, fastest-current-rate server first — with heterogeneous capacity the
+// most urgent job gets the fastest machine.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "cloud/multi_engine.hpp"
+
+namespace sjs::cloud {
+
+enum class GlobalKey {
+  kDeadline,      ///< global EDF
+  kValueDensity,  ///< global HVDF (highest v/p first)
+};
+
+class GlobalKeyScheduler : public GlobalScheduler {
+ public:
+  explicit GlobalKeyScheduler(GlobalKey key) : key_(key) {}
+
+  void on_release(MultiEngine& engine, JobId job) override;
+  void on_complete(MultiEngine& engine, JobId job,
+                   std::size_t server) override;
+  void on_expire(MultiEngine& engine, JobId job, std::size_t server) override;
+  std::string name() const override {
+    return key_ == GlobalKey::kDeadline ? "Global-EDF" : "Global-HVDF";
+  }
+
+ private:
+  double priority(const MultiEngine& engine, JobId job) const;
+  /// Recomputes the top-K assignment (stable for already-placed winners).
+  void reschedule(MultiEngine& engine);
+
+  GlobalKey key_;
+  /// Live jobs ordered by (priority, id) — lower is better.
+  std::set<std::pair<double, JobId>> live_;
+};
+
+}  // namespace sjs::cloud

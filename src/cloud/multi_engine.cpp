@@ -1,0 +1,221 @@
+#include "cloud/multi_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace sjs::cloud {
+
+namespace {
+double deadline_eps(double deadline) {
+  return 1e-9 * std::max(1.0, std::abs(deadline));
+}
+}  // namespace
+
+MultiEngine::MultiEngine(const std::vector<Job>& jobs,
+                         std::vector<cap::CapacityProfile> servers,
+                         GlobalScheduler& scheduler)
+    : jobs_(&jobs), servers_(std::move(servers)), scheduler_(&scheduler) {
+  SJS_CHECK_MSG(!servers_.empty(), "need at least one server");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SJS_CHECK_MSG(jobs[i].id == static_cast<JobId>(i),
+                  "jobs must be in Instance canonical form (id == position)");
+    SJS_CHECK_MSG(i == 0 || jobs[i].release >= jobs[i - 1].release,
+                  "jobs must be release-sorted");
+  }
+  running_.assign(servers_.size(), kNoJob);
+  epochs_.assign(servers_.size(), 0);
+  placement_.assign(jobs.size(), kNoServer);
+  remaining_.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    remaining_[i] = jobs[i].workload;
+  }
+  outcomes_.assign(jobs.size(), sim::JobOutcome::kPending);
+  released_.assign(jobs.size(), false);
+}
+
+void MultiEngine::push_event(double time, EventType type, JobId jid,
+                             std::size_t server, std::uint64_t epoch) {
+  queue_.push(Event{time, type, next_seq_++, jid, server, epoch});
+}
+
+double MultiEngine::server_rate(std::size_t server) const {
+  SJS_CHECK(server < servers_.size());
+  return servers_[server].rate(now_);
+}
+
+double MultiEngine::remaining(JobId id) const {
+  SJS_CHECK_MSG(is_released(id), "remaining() on unreleased job " << id);
+  return remaining_[static_cast<std::size_t>(id)];
+}
+
+bool MultiEngine::is_released(JobId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < released_.size() &&
+         released_[static_cast<std::size_t>(id)];
+}
+
+bool MultiEngine::is_live(JobId id) const {
+  return is_released(id) &&
+         outcomes_[static_cast<std::size_t>(id)] == sim::JobOutcome::kPending;
+}
+
+std::size_t MultiEngine::server_of(JobId id) const {
+  SJS_CHECK(id >= 0 && static_cast<std::size_t>(id) < placement_.size());
+  return placement_[static_cast<std::size_t>(id)];
+}
+
+JobId MultiEngine::running_on(std::size_t server) const {
+  SJS_CHECK(server < servers_.size());
+  return running_[server];
+}
+
+void MultiEngine::advance_all(double t) {
+  SJS_CHECK_MSG(t >= last_advance_ - 1e-12, "time moved backwards");
+  t = std::max(t, last_advance_);
+  if (t > last_advance_) {
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      const JobId jid = running_[s];
+      if (jid == kNoJob) continue;
+      const double executed = servers_[s].work(last_advance_, t);
+      auto& rem = remaining_[static_cast<std::size_t>(jid)];
+      rem = std::max(0.0, rem - executed);
+      result_.busy_time_per_server[s] += t - last_advance_;
+    }
+  }
+  last_advance_ = t;
+}
+
+void MultiEngine::halt_server(std::size_t server) {
+  const JobId jid = running_[server];
+  if (jid != kNoJob) {
+    placement_[static_cast<std::size_t>(jid)] = kNoServer;
+    running_[server] = kNoJob;
+  }
+  ++epochs_[server];
+}
+
+void MultiEngine::schedule_completion(std::size_t server) {
+  const JobId jid = running_[server];
+  if (jid == kNoJob) return;
+  const Job& j = job(jid);
+  const double completion =
+      servers_[server].invert(now_, remaining_[static_cast<std::size_t>(jid)]);
+  if (completion <= j.deadline + deadline_eps(j.deadline)) {
+    push_event(std::min(completion, j.deadline), EventType::kCompletion, jid,
+               server, epochs_[server]);
+  }
+}
+
+void MultiEngine::run_on(std::size_t server, JobId id) {
+  SJS_CHECK_MSG(in_callback_, "run_on() outside a scheduler callback");
+  SJS_CHECK(server < servers_.size());
+  SJS_CHECK_MSG(is_live(id), "run_on() with non-live job " << id);
+  advance_all(now_);
+  if (running_[server] == id) return;
+
+  // Migration: stop it wherever it currently runs.
+  const std::size_t current = placement_[static_cast<std::size_t>(id)];
+  if (current != kNoServer) {
+    halt_server(current);
+    ++result_.migrations;
+  }
+  // Preempt the incumbent on the target server.
+  if (running_[server] != kNoJob) {
+    if (remaining_[static_cast<std::size_t>(running_[server])] > 0.0) {
+      ++result_.preemptions;
+    }
+    halt_server(server);
+  } else {
+    ++epochs_[server];
+  }
+  running_[server] = id;
+  placement_[static_cast<std::size_t>(id)] = server;
+  ++result_.dispatches;
+  schedule_completion(server);
+}
+
+void MultiEngine::idle(std::size_t server) {
+  SJS_CHECK_MSG(in_callback_, "idle() outside a scheduler callback");
+  SJS_CHECK(server < servers_.size());
+  advance_all(now_);
+  if (running_[server] != kNoJob &&
+      remaining_[static_cast<std::size_t>(running_[server])] > 0.0) {
+    ++result_.preemptions;
+  }
+  halt_server(server);
+}
+
+void MultiEngine::stop(JobId id) {
+  SJS_CHECK_MSG(in_callback_, "stop() outside a scheduler callback");
+  const std::size_t server = placement_[static_cast<std::size_t>(id)];
+  if (server != kNoServer) idle(server);
+}
+
+MultiSimResult MultiEngine::run_to_completion() {
+  result_ = MultiSimResult{};
+  result_.scheduler_name = scheduler_->name();
+  result_.busy_time_per_server.assign(servers_.size(), 0.0);
+  for (const Job& j : *jobs_) {
+    result_.generated_value += j.value;
+    push_event(j.release, EventType::kRelease, j.id, kNoServer, 0);
+    push_event(j.deadline, EventType::kExpiry, j.id, kNoServer, 0);
+  }
+
+  in_callback_ = true;
+  scheduler_->on_start(*this);
+  in_callback_ = false;
+
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, event.time);
+    advance_all(now_);
+    in_callback_ = true;
+    switch (event.type) {
+      case EventType::kCompletion: {
+        if (event.server == kNoServer ||
+            event.epoch != epochs_[event.server] ||
+            running_[event.server] != event.job) {
+          break;  // stale
+        }
+        const auto idx = static_cast<std::size_t>(event.job);
+        SJS_CHECK_MSG(remaining_[idx] <
+                          1e-6 * std::max(1.0, job(event.job).workload),
+                      "completion with work left");
+        remaining_[idx] = 0.0;
+        outcomes_[idx] = sim::JobOutcome::kCompleted;
+        halt_server(event.server);
+        result_.completed_value += job(event.job).value;
+        ++result_.completed_count;
+        scheduler_->on_complete(*this, event.job, event.server);
+        break;
+      }
+      case EventType::kExpiry: {
+        const auto idx = static_cast<std::size_t>(event.job);
+        if (outcomes_[idx] != sim::JobOutcome::kPending) break;
+        outcomes_[idx] = sim::JobOutcome::kExpired;
+        ++result_.expired_count;
+        const std::size_t server = placement_[idx];
+        if (server != kNoServer) halt_server(server);
+        scheduler_->on_expire(*this, event.job, server);
+        break;
+      }
+      case EventType::kRelease: {
+        released_[static_cast<std::size_t>(event.job)] = true;
+        scheduler_->on_release(*this, event.job);
+        break;
+      }
+    }
+    in_callback_ = false;
+  }
+
+  result_.outcomes = outcomes_;
+  result_.executed_work.resize(jobs_->size());
+  for (std::size_t i = 0; i < jobs_->size(); ++i) {
+    result_.executed_work[i] = (*jobs_)[i].workload - remaining_[i];
+  }
+  return result_;
+}
+
+}  // namespace sjs::cloud

@@ -1,0 +1,151 @@
+// Coupled multi-server engine with migration — the full "cloud-wise"
+// extension (paper Sec. I), beyond the dispatch-only model in dispatch.hpp.
+//
+// K servers, each with its own piecewise-constant capacity path, execute one
+// shared secondary-job stream under a *global* scheduler that may place,
+// preempt, and migrate any live job onto any server at any interrupt. A
+// migrated job resumes from its point of preemption (preemption and
+// migration are free, consistent with the single-server model's free
+// preemption; real VM-migration costs can be modelled by the workload).
+// A job occupies at most one server at a time (no intra-job parallelism —
+// these are VMs).
+//
+// The engine mirrors sim::Engine's guarantees: exact completion instants per
+// server via cumulative-work inversion, deterministic event ordering
+// (Completion < Expiry < Release, FIFO within class), lazy invalidation via
+// per-server dispatch epochs, and online information hiding.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/job.hpp"
+#include "sim/result.hpp"
+
+namespace sjs::cloud {
+
+inline constexpr std::size_t kNoServer = static_cast<std::size_t>(-1);
+
+class MultiEngine;
+
+/// Global scheduler interface: sees every server, may run any live job on
+/// any server inside a callback.
+class GlobalScheduler {
+ public:
+  virtual ~GlobalScheduler() = default;
+  virtual void on_start(MultiEngine& /*engine*/) {}
+  virtual void on_release(MultiEngine& engine, JobId job) = 0;
+  virtual void on_complete(MultiEngine& engine, JobId job,
+                           std::size_t server) = 0;
+  /// `server` is kNoServer when the job expired while not running.
+  virtual void on_expire(MultiEngine& engine, JobId job,
+                         std::size_t server) = 0;
+  virtual std::string name() const = 0;
+};
+
+struct MultiSimResult {
+  std::string scheduler_name;
+  double completed_value = 0.0;
+  double generated_value = 0.0;
+  std::uint64_t completed_count = 0;
+  std::uint64_t expired_count = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;  ///< dispatches onto a different server
+  std::vector<sim::JobOutcome> outcomes;
+  std::vector<double> executed_work;
+  std::vector<double> busy_time_per_server;
+
+  double value_fraction() const {
+    return generated_value > 0.0 ? completed_value / generated_value : 0.0;
+  }
+};
+
+class MultiEngine {
+ public:
+  /// Jobs must be release-sorted with ids equal to their positions (the
+  /// Instance canonical form); servers must be non-empty. Neither the jobs
+  /// nor the scheduler are owned.
+  MultiEngine(const std::vector<Job>& jobs,
+              std::vector<cap::CapacityProfile> servers,
+              GlobalScheduler& scheduler);
+
+  MultiSimResult run_to_completion();
+
+  // --- query surface (online-observable) ---
+  double now() const { return now_; }
+  std::size_t server_count() const { return servers_.size(); }
+  double server_rate(std::size_t server) const;
+  const Job& job(JobId id) const { return (*jobs_)[static_cast<std::size_t>(id)]; }
+  std::size_t job_count() const { return jobs_->size(); }
+  double remaining(JobId id) const;
+  bool is_live(JobId id) const;
+  bool is_released(JobId id) const;
+  /// Server currently executing `id`, or kNoServer.
+  std::size_t server_of(JobId id) const;
+  /// Job running on `server`, or kNoJob.
+  JobId running_on(std::size_t server) const;
+
+  // --- commands (valid inside callbacks only) ---
+  /// Places `id` on `server`, preempting whatever runs there. If `id` is
+  /// running elsewhere it is migrated (stopped there first). No-op if it
+  /// already runs on `server`.
+  void run_on(std::size_t server, JobId id);
+  /// Idles `server`.
+  void idle(std::size_t server);
+  /// Stops `id` wherever it runs (no-op if queued).
+  void stop(JobId id);
+
+ private:
+  enum class EventType : std::uint8_t {
+    kCompletion = 0,
+    kExpiry = 1,
+    kRelease = 2,
+  };
+
+  struct Event {
+    double time;
+    EventType type;
+    std::uint64_t seq;
+    JobId job;
+    std::size_t server = kNoServer;
+    std::uint64_t epoch = 0;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (type != other.type) return type > other.type;
+      return seq > other.seq;
+    }
+  };
+
+  void push_event(double time, EventType type, JobId job, std::size_t server,
+                  std::uint64_t epoch);
+  /// Accounts execution on every busy server up to time t.
+  void advance_all(double t);
+  /// Bookkeeping stop of the job on `server` (no callback).
+  void halt_server(std::size_t server);
+  void schedule_completion(std::size_t server);
+
+  const std::vector<Job>* jobs_;
+  std::vector<cap::CapacityProfile> servers_;
+  GlobalScheduler* scheduler_;
+
+  double now_ = 0.0;
+  double last_advance_ = 0.0;
+  std::vector<JobId> running_;          // per server
+  std::vector<std::uint64_t> epochs_;   // per server
+  std::vector<std::size_t> placement_;  // per job: server or kNoServer
+  std::vector<double> remaining_;
+  std::vector<sim::JobOutcome> outcomes_;
+  std::vector<bool> released_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool in_callback_ = false;
+  MultiSimResult result_;
+};
+
+}  // namespace sjs::cloud

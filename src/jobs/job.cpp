@@ -1,0 +1,26 @@
+#include "jobs/job.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sjs {
+
+bool Job::valid() const {
+  return std::isfinite(release) && std::isfinite(workload) &&
+         std::isfinite(deadline) && std::isfinite(value) && release >= 0.0 &&
+         workload > 0.0 && deadline > release && value >= 0.0;
+}
+
+std::string Job::to_string() const {
+  std::ostringstream os;
+  os << "Job{id=" << id << ", r=" << release << ", p=" << workload
+     << ", d=" << deadline << ", v=" << value << "}";
+  return os.str();
+}
+
+bool operator==(const Job& a, const Job& b) {
+  return a.id == b.id && a.release == b.release && a.workload == b.workload &&
+         a.deadline == b.deadline && a.value == b.value;
+}
+
+}  // namespace sjs

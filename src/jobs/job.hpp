@@ -1,0 +1,51 @@
+// Job model (paper Sec. II-A): each secondary job T_i carries a release time
+// r_i, a workload p_i (capacity-seconds), a firm deadline d_i, and a value v_i
+// collected only when the job completes by d_i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sjs {
+
+using JobId = std::int32_t;
+inline constexpr JobId kNoJob = -1;
+
+struct Job {
+  JobId id = kNoJob;
+  double release = 0.0;   ///< r_i
+  double workload = 0.0;  ///< p_i, in units of capacity × time
+  double deadline = 0.0;  ///< d_i (absolute, firm)
+  double value = 0.0;     ///< v_i
+
+  /// v_i / p_i, the paper's value density (Definition 3).
+  double value_density() const { return value / workload; }
+
+  /// Relative deadline d_i - r_i.
+  double window() const { return deadline - release; }
+
+  /// Individual admissibility (Definition 4): the job can always complete on
+  /// its own regardless of capacity variation, i.e. d - r >= p / c_lo.
+  /// A relative tolerance absorbs round-off: the paper's own simulation sets
+  /// d = r + p/c_lo exactly, which floating point reproduces only to an ulp.
+  bool individually_admissible(double c_lo) const {
+    const double needed = workload / c_lo;
+    return window() >= needed * (1.0 - 1e-12) - 1e-12;
+  }
+
+  /// Laxity under a constant capacity estimate c_est with remaining workload
+  /// p_rem at time t (Definition 5 when c_est = c_lo: conservative laxity).
+  double laxity(double t, double p_rem, double c_est) const {
+    return deadline - t - p_rem / c_est;
+  }
+
+  /// Basic validity: finite, positive workload, deadline after release,
+  /// non-negative value.
+  bool valid() const;
+
+  std::string to_string() const;
+};
+
+bool operator==(const Job& a, const Job& b);
+
+}  // namespace sjs

@@ -1,0 +1,171 @@
+#include "jobs/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace sjs::gen {
+
+namespace {
+
+double draw_workload(WorkloadDist dist, double mean, Rng& rng) {
+  switch (dist) {
+    case WorkloadDist::kExponential:
+      return rng.exponential_mean(mean);
+    case WorkloadDist::kDeterministic:
+      return mean;
+    case WorkloadDist::kBoundedPareto:
+      return rng.bounded_pareto(1.5, mean / 10.0, mean * 20.0);
+    case WorkloadDist::kUniform:
+      return rng.uniform(mean / 2.0, 1.5 * mean);
+  }
+  SJS_CHECK_MSG(false, "unknown workload distribution");
+  return mean;
+}
+
+}  // namespace
+
+std::vector<Job> generate_jobs(const JobGenParams& params, Rng& rng) {
+  SJS_CHECK(params.lambda > 0.0);
+  SJS_CHECK(params.horizon > 0.0);
+  SJS_CHECK(params.workload_mean > 0.0);
+  SJS_CHECK(params.density_lo > 0.0 && params.density_hi >= params.density_lo);
+  SJS_CHECK(params.slack_factor > 0.0);
+  SJS_CHECK(params.c_lo > 0.0);
+
+  std::vector<Job> jobs;
+  double t = rng.exponential_rate(params.lambda);
+  while (t < params.horizon) {
+    Job j;
+    j.release = t;
+    j.workload = draw_workload(params.workload_dist, params.workload_mean, rng);
+    const double density = rng.uniform(params.density_lo, params.density_hi);
+    j.value = density * j.workload;
+    j.deadline =
+        t + params.slack_factor * j.workload / params.c_lo;
+    jobs.push_back(j);
+    t += rng.exponential_rate(params.lambda);
+  }
+  return jobs;
+}
+
+std::vector<Job> generate_mmpp_jobs(const JobGenParams& shape,
+                                    const MmppParams& mmpp, Rng& rng) {
+  SJS_CHECK(mmpp.lambda_low > 0.0 && mmpp.lambda_high > 0.0);
+  SJS_CHECK(mmpp.mean_sojourn_low > 0.0 && mmpp.mean_sojourn_high > 0.0);
+  SJS_CHECK(shape.horizon > 0.0);
+
+  std::vector<Job> jobs;
+  bool high = rng.bernoulli(mmpp.p_start_high);
+  double t = 0.0;
+  double phase_end =
+      rng.exponential_mean(high ? mmpp.mean_sojourn_high
+                                : mmpp.mean_sojourn_low);
+  while (t < shape.horizon) {
+    const double rate = high ? mmpp.lambda_high : mmpp.lambda_low;
+    const double gap = rng.exponential_rate(rate);
+    if (t + gap >= phase_end) {
+      // Phase switch before the next arrival: by the exponential's
+      // memorylessness we may simply restart the inter-arrival clock in the
+      // new phase.
+      t = phase_end;
+      high = !high;
+      phase_end = t + rng.exponential_mean(high ? mmpp.mean_sojourn_high
+                                                : mmpp.mean_sojourn_low);
+      continue;
+    }
+    t += gap;
+    if (t >= shape.horizon) break;
+    Job j;
+    j.release = t;
+    j.workload = draw_workload(shape.workload_dist, shape.workload_mean, rng);
+    j.value = rng.uniform(shape.density_lo, shape.density_hi) * j.workload;
+    j.deadline = t + shape.slack_factor * j.workload / shape.c_lo;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+Instance generate_paper_instance(const PaperSetup& setup, Rng& rng) {
+  SJS_CHECK(setup.k >= 1.0);
+  JobGenParams jp;
+  jp.lambda = setup.lambda;
+  jp.horizon = setup.horizon();
+  jp.workload_mean = setup.mu;
+  jp.workload_dist = WorkloadDist::kExponential;
+  jp.density_lo = 1.0;
+  jp.density_hi = setup.k;
+  jp.slack_factor = setup.slack_factor;
+  jp.c_lo = setup.c_lo;
+  auto jobs = generate_jobs(jp, rng);
+
+  // Capacity must cover the latest deadline (deadlines overhang the release
+  // horizon by up to p/c_lo), so extend the sampled path accordingly.
+  double cover = jp.horizon;
+  for (const Job& j : jobs) cover = std::max(cover, j.deadline);
+
+  cap::TwoStateMarkovParams cp;
+  cp.c_lo = setup.c_lo;
+  cp.c_hi = setup.c_hi;
+  cp.mean_sojourn_lo = setup.horizon() * setup.sojourn_fraction;
+  cp.mean_sojourn_hi = setup.horizon() * setup.sojourn_fraction;
+  auto profile = cap::sample_two_state_markov(cp, cover, rng);
+
+  // Declare the *band* explicitly: a short sample path may never visit one of
+  // the states, but the algorithms must still be parameterised by the band.
+  return Instance(std::move(jobs), std::move(profile), setup.c_lo, setup.c_hi);
+}
+
+std::vector<Job> generate_underloaded_jobs(const cap::CapacityProfile& profile,
+                                           double horizon, std::size_t count,
+                                           double utilization, Rng& rng) {
+  SJS_CHECK(horizon > 0.0);
+  SJS_CHECK(count > 0);
+  SJS_CHECK(utilization > 0.0 && utilization <= 1.0);
+
+  // Slice [0, horizon) into `count` disjoint windows; inside window i create
+  // a job whose workload is `utilization` of the work the actual capacity
+  // path can deliver there. Executing each job inside its own window is a
+  // feasible schedule, so the instance is underloaded by construction.
+  std::vector<Job> jobs;
+  const double slot = horizon / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double w_start = static_cast<double>(i) * slot;
+    const double w_end = w_start + slot;
+    // Jitter the release inside the first half of the window.
+    const double release = w_start + rng.uniform01() * slot * 0.25;
+    const double deadline = w_end;
+    const double available = profile.work(release, deadline);
+    Job j;
+    j.release = release;
+    j.deadline = deadline;
+    j.workload = std::max(1e-9, available * utilization);
+    j.value = j.workload * rng.uniform(1.0, 7.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+std::vector<Job> generate_small_random_jobs(std::size_t count, double horizon,
+                                            double k, double c_lo,
+                                            double slack_max, Rng& rng) {
+  SJS_CHECK(count > 0);
+  SJS_CHECK(horizon > 0.0);
+  SJS_CHECK(k >= 1.0);
+  SJS_CHECK(c_lo > 0.0);
+  SJS_CHECK(slack_max >= 1.0);
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    Job j;
+    j.release = rng.uniform(0.0, horizon);
+    j.workload = rng.exponential_mean(1.0);
+    j.value = j.workload * rng.uniform(1.0, k);
+    const double min_window = j.workload / c_lo;
+    j.deadline = j.release + rng.uniform(min_window, slack_max * min_window);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace sjs::gen

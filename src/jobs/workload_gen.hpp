@@ -1,0 +1,93 @@
+// Workload generators, including the paper's exact Sec. IV setup.
+//
+// Paper setup: Poisson(λ) releases, Exp(μ=1) workloads, value density
+// ~ U[1, k] with k = 7 (v = density × p), relative deadline = p / c_lo so
+// every job has *zero conservative laxity* at release (and is exactly at the
+// boundary of individual admissibility). Horizon H = 2000/λ, i.e. 2000
+// expected jobs. Capacity: two-state CTMC {1, 35}, mean sojourn H/4.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/instance.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::gen {
+
+/// Distribution selector for workloads.
+enum class WorkloadDist {
+  kExponential,    ///< Exp(mean) — the paper's choice
+  kDeterministic,  ///< constant = mean
+  kBoundedPareto,  ///< heavy-tailed, shape 1.5, [mean/10, mean*20]
+  kUniform,        ///< U[mean/2, 3·mean/2]
+};
+
+struct JobGenParams {
+  double lambda = 6.0;        ///< Poisson arrival rate
+  double horizon = 2000.0 / 6.0;  ///< job releases occur in [0, horizon)
+  double workload_mean = 1.0;
+  WorkloadDist workload_dist = WorkloadDist::kExponential;
+  double density_lo = 1.0;    ///< value density ~ U[density_lo, density_hi]
+  double density_hi = 7.0;    ///< so importance ratio k = hi/lo
+  /// Relative deadline = slack_factor × p / c_lo. 1.0 reproduces the paper's
+  /// zero-conservative-laxity setup; > 1 gives slack; < 1 makes jobs
+  /// individually inadmissible.
+  double slack_factor = 1.0;
+  double c_lo = 1.0;          ///< used to size relative deadlines
+};
+
+/// Generates the job list only (no capacity).
+std::vector<Job> generate_jobs(const JobGenParams& params, Rng& rng);
+
+/// Markov-modulated Poisson arrivals: the arrival rate alternates between
+/// `lambda_low` and `lambda_high` with exponential sojourns — the bursty
+/// traffic real spot markets see. Job shapes (workload, density, deadline)
+/// come from `shape`; its `lambda` field is ignored.
+struct MmppParams {
+  double lambda_low = 2.0;
+  double lambda_high = 12.0;
+  double mean_sojourn_low = 10.0;
+  double mean_sojourn_high = 10.0;
+  double p_start_high = 0.5;
+};
+
+std::vector<Job> generate_mmpp_jobs(const JobGenParams& shape,
+                                    const MmppParams& mmpp, Rng& rng);
+
+/// Full Sec. IV experiment parameters: jobs + two-state CTMC capacity.
+struct PaperSetup {
+  double lambda = 6.0;
+  double mu = 1.0;          ///< workload mean
+  double k = 7.0;           ///< importance ratio bound (density ~ U[1, k])
+  double c_lo = 1.0;
+  double c_hi = 35.0;
+  double expected_jobs = 2000.0;  ///< horizon H = expected_jobs / lambda
+  double sojourn_fraction = 0.25; ///< mean sojourn = H * sojourn_fraction
+  double slack_factor = 1.0;
+
+  double horizon() const { return expected_jobs / lambda; }
+};
+
+/// Draws one complete instance of the paper's simulation (jobs + capacity
+/// path). Capacity is sampled to cover the maximum deadline, not just the
+/// release horizon.
+Instance generate_paper_instance(const PaperSetup& setup, Rng& rng);
+
+/// Generates an *underloaded* instance on the given capacity profile: jobs
+/// are carved out of disjoint execution windows of the actual path, so the
+/// whole set is schedulable (EDF must then capture 100%; Theorem 2).
+/// `utilization` in (0, 1] controls how much of each window becomes workload.
+std::vector<Job> generate_underloaded_jobs(const cap::CapacityProfile& profile,
+                                           double horizon, std::size_t count,
+                                           double utilization, Rng& rng);
+
+/// Small random instances for exact-offline comparisons: `count` jobs with
+/// uniform releases on [0, horizon), Exp(1) workloads, density U[1, k],
+/// relative deadlines uniform in [p/c_lo, slack_max · p/c_lo].
+std::vector<Job> generate_small_random_jobs(std::size_t count, double horizon,
+                                            double k, double c_lo,
+                                            double slack_max, Rng& rng);
+
+}  // namespace sjs::gen

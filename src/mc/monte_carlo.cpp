@@ -1,0 +1,85 @@
+#include "mc/monte_carlo.hpp"
+
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::mc {
+
+sim::SimResult simulate_one(const gen::PaperSetup& setup, std::uint64_t seed,
+                            std::uint64_t run, const sched::NamedFactory& f) {
+  Rng rng(seed, run);
+  const Instance instance = gen::generate_paper_instance(setup, rng);
+  auto scheduler = f.make();
+  sim::Engine engine(instance, *scheduler);
+  return engine.run_to_completion();
+}
+
+void save_runs_csv(const McOutcome& outcome, const std::string& path) {
+  CsvWriter writer(path);
+  std::vector<std::string> header{"run"};
+  for (const auto& agg : outcome.per_scheduler) header.push_back(agg.name);
+  writer.write_row(header);
+  for (std::size_t run = 0; run < outcome.config.runs; ++run) {
+    std::vector<double> row{static_cast<double>(run)};
+    for (const auto& agg : outcome.per_scheduler) {
+      row.push_back(agg.value_fractions[run]);
+    }
+    writer.write_row_numeric(row);
+  }
+}
+
+McOutcome run_monte_carlo(const McConfig& config,
+                          const std::vector<sched::NamedFactory>& factories) {
+  SJS_CHECK(config.runs > 0);
+  SJS_CHECK(!factories.empty());
+
+  McOutcome outcome;
+  outcome.config = config;
+  outcome.per_scheduler.resize(factories.size());
+  for (std::size_t s = 0; s < factories.size(); ++s) {
+    auto& agg = outcome.per_scheduler[s];
+    agg.name = factories[s].name;
+    agg.value_fractions.resize(config.runs);
+    if (config.keep_traces) agg.traces.resize(config.runs);
+  }
+
+  // One task per run: each task regenerates its instance once and plays it
+  // through every scheduler (common random numbers across schedulers).
+  std::vector<std::vector<sim::SimResult>> results(config.runs);
+  ThreadPool pool(config.threads);
+  parallel_for(pool, config.runs, [&](std::size_t run) {
+    Rng rng(config.seed, run);
+    const Instance instance = gen::generate_paper_instance(config.setup, rng);
+    auto& row = results[run];
+    row.reserve(factories.size());
+    for (const auto& factory : factories) {
+      auto scheduler = factory.make();
+      sim::Engine engine(instance, *scheduler);
+      row.push_back(engine.run_to_completion());
+    }
+  });
+
+  for (std::size_t s = 0; s < factories.size(); ++s) {
+    auto& agg = outcome.per_scheduler[s];
+    double completed = 0.0;
+    double expired = 0.0;
+    double preemptions = 0.0;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      sim::SimResult& r = results[run][s];
+      agg.value_fractions[run] = r.value_fraction();
+      completed += static_cast<double>(r.completed_count);
+      expired += static_cast<double>(r.expired_count);
+      preemptions += static_cast<double>(r.preemptions);
+      if (config.keep_traces) agg.traces[run] = std::move(r.value_trace);
+    }
+    const double n = static_cast<double>(config.runs);
+    agg.mean_completed = completed / n;
+    agg.mean_expired = expired / n;
+    agg.mean_preemptions = preemptions / n;
+    agg.fraction_summary = summarize(agg.value_fractions);
+  }
+  return outcome;
+}
+
+}  // namespace sjs::mc

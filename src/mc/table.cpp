@@ -1,0 +1,90 @@
+#include "mc/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::mc {
+
+TableRow make_row(double lambda, const McOutcome& outcome, int vdover_index) {
+  TableRow row;
+  row.lambda = lambda;
+  SJS_CHECK(vdover_index >= 0 &&
+            static_cast<std::size_t>(vdover_index) <
+                outcome.per_scheduler.size());
+  for (std::size_t s = 0; s < outcome.per_scheduler.size(); ++s) {
+    const auto& agg = outcome.per_scheduler[s];
+    const double pct = agg.fraction_summary.mean * 100.0;
+    row.percent.push_back(pct);
+    row.ci95.push_back((agg.fraction_summary.ci95_hi -
+                        agg.fraction_summary.ci95_lo) *
+                       0.5 * 100.0);
+    const bool is_dover = agg.name.rfind("Dover", 0) == 0;
+    if (is_dover &&
+        (row.best_dover_index < 0 ||
+         pct > row.percent[static_cast<std::size_t>(row.best_dover_index)])) {
+      row.best_dover_index = static_cast<int>(s);
+    }
+  }
+  row.vdover_percent = row.percent[static_cast<std::size_t>(vdover_index)];
+  if (row.best_dover_index >= 0) {
+    row.best_dover_percent =
+        row.percent[static_cast<std::size_t>(row.best_dover_index)];
+    row.gain_percent =
+        100.0 * (row.vdover_percent / row.best_dover_percent - 1.0);
+  }
+  return row;
+}
+
+std::string Table::render(bool show_ci) const {
+  std::ostringstream os;
+  char buf[64];
+  os << "lambda";
+  for (const auto& name : scheduler_names) {
+    std::snprintf(buf, sizeof(buf), " | %14s", name.c_str());
+    os << buf;
+  }
+  os << " |  gain%\n";
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%6.1f", row.lambda);
+    os << buf;
+    for (std::size_t s = 0; s < row.percent.size(); ++s) {
+      const bool best =
+          static_cast<int>(s) == row.best_dover_index;
+      if (show_ci) {
+        std::snprintf(buf, sizeof(buf), " | %s%6.2f±%4.2f%s",
+                      best ? "*" : " ", row.percent[s], row.ci95[s],
+                      best ? "*" : " ");
+      } else {
+        std::snprintf(buf, sizeof(buf), " | %s%12.4f%s", best ? "*" : " ",
+                      row.percent[s], best ? "*" : " ");
+      }
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), " | %6.2f\n", row.gain_percent);
+    os << buf;
+  }
+  os << "(* marks the best Dover column per row; gain% = V-Dover vs best "
+        "Dover, as in the paper's Table I)\n";
+  return os.str();
+}
+
+void Table::save_csv(const std::string& path) const {
+  CsvWriter writer(path);
+  std::vector<std::string> header{"lambda"};
+  for (const auto& name : scheduler_names) header.push_back(name);
+  header.push_back("best_dover");
+  header.push_back("gain_percent");
+  writer.write_row(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> fields{format_double(row.lambda)};
+    for (double pct : row.percent) fields.push_back(format_double(pct));
+    fields.push_back(format_double(row.best_dover_percent));
+    fields.push_back(format_double(row.gain_percent));
+    writer.write_row(fields);
+  }
+}
+
+}  // namespace sjs::mc

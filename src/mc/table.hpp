@@ -1,0 +1,37 @@
+// Table-I-style reporting: for each λ, the captured-value percentage per
+// scheduler, the best Dover column, and V-Dover's relative gain — the exact
+// row layout of the paper's Table I, plus a plain-text renderer and CSV dump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/monte_carlo.hpp"
+
+namespace sjs::mc {
+
+struct TableRow {
+  double lambda = 0.0;
+  std::vector<double> percent;      ///< captured value %, per scheduler
+  std::vector<double> ci95;         ///< ± half-width, per scheduler
+  int best_dover_index = -1;        ///< argmax over the Dover columns
+  double vdover_percent = 0.0;
+  double best_dover_percent = 0.0;
+  double gain_percent = 0.0;        ///< 100·(vdover/best_dover − 1)
+};
+
+struct Table {
+  std::vector<std::string> scheduler_names;
+  int vdover_index = -1;            ///< column holding V-Dover
+  std::vector<TableRow> rows;
+
+  std::string render(bool show_ci = false) const;
+  void save_csv(const std::string& path) const;
+};
+
+/// Builds a row from one Monte-Carlo outcome. `vdover_index` marks which
+/// column is V-Dover; every other column whose name starts with "Dover"
+/// participates in the best-Dover max.
+TableRow make_row(double lambda, const McOutcome& outcome, int vdover_index);
+
+}  // namespace sjs::mc

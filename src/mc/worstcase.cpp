@@ -1,0 +1,171 @@
+#include "mc/worstcase.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "offline/exact.hpp"
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::mc {
+
+namespace {
+
+// Internal genotype: job parameters plus the square-wave capacity shape.
+struct Genome {
+  struct Gene {
+    double release;
+    double workload;
+    double density;  // in [1, k]
+    double slack;    // in [1, slack_max]
+  };
+  std::vector<Gene> genes;
+  double wave_low;
+  double wave_high;
+  double wave_phase;
+};
+
+constexpr double kMinWorkload = 0.2;
+constexpr double kMaxWorkload = 4.0;
+constexpr double kMinWave = 0.25;
+
+Genome random_genome(const WorstCaseOptions& options, Rng& rng) {
+  Genome genome;
+  genome.genes.reserve(options.jobs);
+  for (std::size_t i = 0; i < options.jobs; ++i) {
+    genome.genes.push_back(Genome::Gene{
+        rng.uniform(0.0, options.horizon),
+        rng.uniform(kMinWorkload, kMaxWorkload),
+        rng.uniform(1.0, options.k),
+        rng.uniform(1.0, options.slack_max),
+    });
+  }
+  genome.wave_low = rng.uniform(kMinWave, options.horizon / 2.0);
+  genome.wave_high = rng.uniform(kMinWave, options.horizon / 2.0);
+  genome.wave_phase = rng.uniform(0.0, options.horizon / 2.0);
+  return genome;
+}
+
+void mutate(Genome& genome, const WorstCaseOptions& options, Rng& rng) {
+  // Perturb one field of one gene (or one wave parameter) by a bounded
+  // multiplicative/additive kick; clamp back into the search box.
+  const std::size_t choices = genome.genes.size() * 4 + 3;
+  const std::size_t pick = static_cast<std::size_t>(rng.below(choices));
+  const double kick = rng.uniform(0.6, 1.4);
+  if (pick < genome.genes.size() * 4) {
+    auto& gene = genome.genes[pick / 4];
+    switch (pick % 4) {
+      case 0:
+        gene.release = std::clamp(
+            gene.release * kick + rng.uniform(-0.3, 0.3), 0.0,
+            options.horizon);
+        break;
+      case 1:
+        gene.workload =
+            std::clamp(gene.workload * kick, kMinWorkload, kMaxWorkload);
+        break;
+      case 2:
+        gene.density = std::clamp(gene.density * kick, 1.0, options.k);
+        break;
+      case 3:
+        gene.slack = std::clamp(gene.slack * kick, 1.0, options.slack_max);
+        break;
+    }
+  } else if (pick == genome.genes.size() * 4) {
+    genome.wave_low =
+        std::clamp(genome.wave_low * kick, kMinWave, options.horizon);
+  } else if (pick == genome.genes.size() * 4 + 1) {
+    genome.wave_high =
+        std::clamp(genome.wave_high * kick, kMinWave, options.horizon);
+  } else {
+    genome.wave_phase = std::clamp(
+        genome.wave_phase * kick + rng.uniform(-0.3, 0.3), 0.0,
+        options.horizon);
+  }
+}
+
+Instance express(const Genome& genome, const WorstCaseOptions& options) {
+  std::vector<Job> jobs;
+  jobs.reserve(genome.genes.size());
+  double cover = options.horizon;
+  for (const auto& gene : genome.genes) {
+    Job j;
+    j.release = gene.release;
+    j.workload = gene.workload;
+    j.value = gene.density * gene.workload;
+    j.deadline = gene.release + gene.slack * gene.workload / options.c_lo;
+    cover = std::max(cover, j.deadline);
+    jobs.push_back(j);
+  }
+  // Square wave: low until wave_phase, then alternating high/low stretches.
+  std::vector<double> times{0.0};
+  std::vector<double> rates{options.c_lo};
+  double t = std::max(genome.wave_phase, 1e-9);
+  bool high = true;
+  while (t < cover) {
+    times.push_back(t);
+    rates.push_back(high ? options.c_hi : options.c_lo);
+    t += high ? genome.wave_high : genome.wave_low;
+    high = !high;
+  }
+  return Instance(std::move(jobs),
+                  cap::CapacityProfile(std::move(times), std::move(rates)),
+                  options.c_lo, options.c_hi);
+}
+
+}  // namespace
+
+WorstCaseResult search_worst_case(const WorstCaseOptions& options,
+                                  const sched::NamedFactory& factory) {
+  SJS_CHECK(options.jobs >= 1);
+  SJS_CHECK(options.c_hi > options.c_lo && options.c_lo > 0.0);
+  SJS_CHECK(options.k >= 1.0 && options.slack_max >= 1.0);
+
+  Rng rng(options.seed);
+  WorstCaseResult best;
+  best.worst_ratio = 2.0;  // above any achievable ratio
+
+  offline::ExactOptions exact_options;
+  exact_options.max_nodes = options.opt_max_nodes;
+
+  auto evaluate = [&](const Genome& genome,
+                      WorstCaseResult& out) -> double {
+    const Instance instance = express(genome, options);
+    const auto opt = offline::exact_offline_value(instance, exact_options);
+    ++out.evaluations;
+    if (opt.value <= 0.0) return 1.0;
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    const double online = engine.run_to_completion().completed_value;
+    const double ratio = online / opt.value;
+    if (ratio < out.worst_ratio) {
+      out.worst_ratio = ratio;
+      out.offline_value = opt.value;
+      out.online_value = online;
+      out.jobs = instance.jobs();
+      out.wave_low = genome.wave_low;
+      out.wave_high = genome.wave_high;
+      out.wave_phase = genome.wave_phase;
+    }
+    return ratio;
+  };
+
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    Genome current = random_genome(options, rng);
+    double current_ratio = evaluate(current, best);
+    for (std::size_t it = 0; it < options.iterations; ++it) {
+      Genome candidate = current;
+      mutate(candidate, options, rng);
+      const double ratio = evaluate(candidate, best);
+      if (ratio < current_ratio) {  // strict descent toward worse ratios
+        current = std::move(candidate);
+        current_ratio = ratio;
+      }
+    }
+  }
+  best.worst_ratio = std::min(best.worst_ratio, 1.0);
+  return best;
+}
+
+}  // namespace sjs::mc

@@ -1,0 +1,61 @@
+// Empirical worst-case search: how tight are the competitive-ratio bounds?
+//
+// Theorem 3 brackets V-Dover between the achievable ratio
+// 1/((√k+√f(k,δ))²+1) and the 1/(1+√k)² upper bound, but says nothing about
+// where algorithms actually land. This module *searches* for bad instances:
+// randomised hill climbing over small job sets and square-wave capacity
+// paths, minimising (online value) / (exact offline optimum). The result is
+// an upper bound on the algorithm's true competitive ratio for the searched
+// input class — it shows the analytical guarantee is conservative and ranks
+// algorithms by adversarial robustness (bench_worstcase).
+//
+// Search space: n jobs with bounded parameters (release in [0, horizon],
+// workload in [0.2, 4], value density in [1, k], slack factor in
+// [1, slack_max] — individual admissibility holds by construction) and a
+// square wave inside the band [c_lo, c_hi] parameterised by (low duration,
+// high duration, phase). Mutations perturb one field; strict-descent
+// acceptance; random restarts escape local minima.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jobs/instance.hpp"
+#include "sched/factory.hpp"
+
+namespace sjs::mc {
+
+struct WorstCaseOptions {
+  std::size_t jobs = 8;
+  double horizon = 10.0;
+  double k = 7.0;            ///< value densities in [1, k]
+  double c_lo = 1.0;
+  double c_hi = 5.0;
+  double slack_max = 2.0;    ///< relative deadline in [1, slack_max]·p/c_lo
+  std::size_t restarts = 8;
+  std::size_t iterations = 250;  ///< mutations per restart
+  std::uint64_t seed = 1;
+  /// Exact-solver node budget per evaluation. When the solver truncates, the
+  /// B&B incumbent (a lower bound on OPT) is used, which can only make the
+  /// reported ratio *larger* — the search result stays a valid upper bound
+  /// on the worst case.
+  std::uint64_t opt_max_nodes = 200'000;
+};
+
+struct WorstCaseResult {
+  double worst_ratio = 1.0;   ///< min found (online / OPT)
+  double offline_value = 0.0; ///< OPT on the worst instance found
+  double online_value = 0.0;
+  std::vector<Job> jobs;      ///< the worst instance's job set
+  double wave_low = 1.0;      ///< square-wave low-state duration
+  double wave_high = 1.0;     ///< square-wave high-state duration
+  double wave_phase = 0.0;    ///< time of the first low->high switch
+  std::uint64_t evaluations = 0;
+};
+
+/// Hill-climbs toward the worst instance for `factory`. Deterministic in
+/// options.seed; every evaluated instance is individually admissible.
+WorstCaseResult search_worst_case(const WorstCaseOptions& options,
+                                  const sched::NamedFactory& factory);
+
+}  // namespace sjs::mc

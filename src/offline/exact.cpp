@@ -1,0 +1,93 @@
+#include "offline/exact.hpp"
+
+#include <algorithm>
+
+#include "offline/feasibility.hpp"
+
+namespace sjs::offline {
+
+namespace {
+
+struct SearchState {
+  const std::vector<Job>* jobs = nullptr;       // ordered by value desc
+  const cap::CapacityProfile* profile = nullptr;
+  std::vector<double> suffix_value;             // Σ value from position i on
+  std::vector<Job> kept;
+  std::vector<JobId> kept_ids;
+  double kept_value = 0.0;
+  double best_value = 0.0;
+  std::vector<JobId> best_ids;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool truncated = false;
+
+  void visit(std::size_t i) {
+    if (truncated) return;
+    if (++nodes > max_nodes) {
+      truncated = true;
+      return;
+    }
+    if (i == jobs->size()) {
+      if (kept_value > best_value) {
+        best_value = kept_value;
+        best_ids = kept_ids;
+      }
+      return;
+    }
+    // Value prune: even keeping everything left cannot beat the incumbent.
+    if (kept_value + suffix_value[i] <= best_value) return;
+
+    // Branch 1: keep job i (explored first — high-value jobs first makes the
+    // incumbent strong early, which powers the value prune).
+    const Job& j = (*jobs)[i];
+    kept.push_back(j);
+    if (edf_feasible(kept, *profile)) {
+      kept_value += j.value;
+      kept_ids.push_back(j.id);
+      visit(i + 1);
+      kept_ids.pop_back();
+      kept_value -= j.value;
+    }
+    kept.pop_back();
+
+    // Branch 2: drop job i.
+    visit(i + 1);
+  }
+};
+
+}  // namespace
+
+ExactResult exact_offline_value(const std::vector<Job>& jobs,
+                                const cap::CapacityProfile& profile,
+                                const ExactOptions& options) {
+  std::vector<Job> ordered = jobs;
+  std::sort(ordered.begin(), ordered.end(), [](const Job& a, const Job& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.id < b.id;
+  });
+
+  SearchState state;
+  state.jobs = &ordered;
+  state.profile = &profile;
+  state.max_nodes = options.max_nodes;
+  state.suffix_value.assign(ordered.size() + 1, 0.0);
+  for (std::size_t i = ordered.size(); i > 0; --i) {
+    state.suffix_value[i - 1] = state.suffix_value[i] + ordered[i - 1].value;
+  }
+  state.visit(0);
+
+  ExactResult result;
+  result.value = state.best_value;
+  result.kept = std::move(state.best_ids);
+  std::sort(result.kept.begin(), result.kept.end());
+  result.proved_optimal = !state.truncated;
+  result.nodes_visited = state.nodes;
+  return result;
+}
+
+ExactResult exact_offline_value(const Instance& instance,
+                                const ExactOptions& options) {
+  return exact_offline_value(instance.jobs(), instance.capacity(), options);
+}
+
+}  // namespace sjs::offline

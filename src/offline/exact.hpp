@@ -1,0 +1,45 @@
+// Exact optimal offline value by branch-and-bound over job subsets.
+//
+// The offline problem is NP-hard even at constant capacity (paper Sec. II-B),
+// so exact solving is for small instances: tests validate the competitive-
+// ratio claims (Theorems 2 and 3) against true optima, and the
+// bench_competitive harness reports empirical ratios.
+//
+// Search: jobs ordered by value descending; at each node either keep or drop
+// the next job, with two prunes — (a) value bound: current + remaining <=
+// best so far; (b) feasibility: a kept set must stay EDF-schedulable (the
+// oracle is exact, see feasibility.hpp). A node-budget keeps worst cases
+// bounded; the result reports whether the search completed (proved optimal)
+// or was truncated (best found is then only a lower bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+
+namespace sjs::offline {
+
+struct ExactResult {
+  double value = 0.0;             ///< best (optimal if `proved_optimal`)
+  std::vector<JobId> kept;        ///< ids of the chosen jobs
+  bool proved_optimal = false;
+  std::uint64_t nodes_visited = 0;
+};
+
+struct ExactOptions {
+  std::uint64_t max_nodes = 2'000'000;
+};
+
+/// Maximum total value completable by deadlines on the instance's capacity.
+ExactResult exact_offline_value(const Instance& instance,
+                                const ExactOptions& options = {});
+
+/// Same search on an explicit job list + profile (used by the stretch-
+/// transform solver to run on the transformed constant-capacity system).
+ExactResult exact_offline_value(const std::vector<Job>& jobs,
+                                const cap::CapacityProfile& profile,
+                                const ExactOptions& options = {});
+
+}  // namespace sjs::offline

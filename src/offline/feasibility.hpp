@@ -1,0 +1,29 @@
+// Schedulability oracle for job subsets under time-varying capacity.
+//
+// Preemptive EDF is feasibility-optimal on a constant-speed processor
+// (Dertouzos); the paper's stretch transformation (Sec. III-A) is a
+// value-preserving bijection between varying-capacity schedules and
+// constant-capacity schedules, so EDF simulated on the *actual* capacity path
+// is feasibility-optimal here too: a subset is schedulable iff EDF completes
+// every job by its deadline. This oracle is the workhorse of the exact
+// offline solver.
+//
+// The direct simulation below sweeps release/deadline epochs in order,
+// processing the earliest-deadline live job with the exact work available in
+// each inter-epoch interval — O((n + m) log n) per call where m is the number
+// of capacity breakpoints crossed.
+#pragma once
+
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/job.hpp"
+
+namespace sjs::offline {
+
+/// True iff every job in `jobs` can be completed by its deadline on
+/// `profile` (preemptive, single processor).
+bool edf_feasible(const std::vector<Job>& jobs,
+                  const cap::CapacityProfile& profile);
+
+}  // namespace sjs::offline

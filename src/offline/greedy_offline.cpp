@@ -1,0 +1,46 @@
+#include "offline/greedy_offline.hpp"
+
+#include <algorithm>
+
+#include "offline/feasibility.hpp"
+
+namespace sjs::offline {
+
+GreedyResult greedy_offline_value(const std::vector<Job>& jobs,
+                                  const cap::CapacityProfile& profile,
+                                  GreedyOrder order) {
+  std::vector<Job> ordered = jobs;
+  std::sort(ordered.begin(), ordered.end(), [&](const Job& a, const Job& b) {
+    const double ka =
+        order == GreedyOrder::kValueDesc ? a.value : a.value_density();
+    const double kb =
+        order == GreedyOrder::kValueDesc ? b.value : b.value_density();
+    if (ka != kb) return ka > kb;
+    return a.id < b.id;
+  });
+
+  GreedyResult result;
+  std::vector<Job> kept;
+  kept.reserve(ordered.size());
+  for (const Job& j : ordered) {
+    kept.push_back(j);
+    if (edf_feasible(kept, profile)) {
+      result.value += j.value;
+      result.kept.push_back(j.id);
+    } else {
+      kept.pop_back();
+    }
+  }
+  std::sort(result.kept.begin(), result.kept.end());
+  return result;
+}
+
+GreedyResult best_greedy_offline_value(const Instance& instance) {
+  auto by_value = greedy_offline_value(instance.jobs(), instance.capacity(),
+                                       GreedyOrder::kValueDesc);
+  auto by_density = greedy_offline_value(instance.jobs(), instance.capacity(),
+                                         GreedyOrder::kValueDensityDesc);
+  return by_value.value >= by_density.value ? by_value : by_density;
+}
+
+}  // namespace sjs::offline

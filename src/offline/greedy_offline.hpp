@@ -1,0 +1,34 @@
+// Polynomial offline approximations: greedy admission by value or value
+// density with exact feasibility checks. These are the practical schedulers
+// the paper's offline reduction (Sec. III-A) enables — "the approximation
+// algorithms for offline job scheduling can be readily applied" — and serve
+// as the scalable stand-in for the exact solver on large instances.
+#pragma once
+
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+
+namespace sjs::offline {
+
+enum class GreedyOrder {
+  kValueDesc,         ///< admit highest-value jobs first
+  kValueDensityDesc,  ///< admit highest v/p first
+};
+
+struct GreedyResult {
+  double value = 0.0;
+  std::vector<JobId> kept;
+};
+
+/// Scans jobs in the chosen order, keeping each job iff the kept set remains
+/// EDF-schedulable on `profile`.
+GreedyResult greedy_offline_value(const std::vector<Job>& jobs,
+                                  const cap::CapacityProfile& profile,
+                                  GreedyOrder order);
+
+/// The better of the two greedy orders on the instance.
+GreedyResult best_greedy_offline_value(const Instance& instance);
+
+}  // namespace sjs::offline

@@ -1,0 +1,135 @@
+#include "offline/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace sjs::offline {
+
+namespace {
+// Flow below this is numerical dust; Dinic terminates when no augmenting
+// path can carry more.
+constexpr double kFlowEps = 1e-12;
+}  // namespace
+
+MaxFlow::MaxFlow(std::size_t nodes) : graph_(nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t u, std::size_t v, double capacity) {
+  SJS_CHECK(u < graph_.size() && v < graph_.size());
+  SJS_CHECK(capacity >= 0.0);
+  graph_[u].push_back(Edge{v, graph_[v].size(), capacity});
+  graph_[v].push_back(Edge{u, graph_[u].size() - 1, 0.0});
+  edge_refs_.emplace_back(u, graph_[u].size() - 1);
+  original_capacity_.push_back(capacity);
+  return edge_refs_.size() - 1;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.capacity > kFlowEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::dfs(std::size_t v, std::size_t t, double limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.capacity > kFlowEps && level_[v] < level_[e.to]) {
+      const double pushed = dfs(e.to, t, std::min(limit, e.capacity));
+      if (pushed > kFlowEps) {
+        e.capacity -= pushed;
+        graph_[e.to][e.rev].capacity += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t s, std::size_t t) {
+  SJS_CHECK(s < graph_.size() && t < graph_.size() && s != t);
+  double total = 0.0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    for (;;) {
+      const double pushed =
+          dfs(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t index) const {
+  SJS_CHECK(index < edge_refs_.size());
+  const auto [u, pos] = edge_refs_[index];
+  return original_capacity_[index] - graph_[u][pos].capacity;
+}
+
+double max_schedulable_workload(const std::vector<Job>& jobs,
+                                const cap::CapacityProfile& profile) {
+  if (jobs.empty()) return 0.0;
+
+  // Epochs: every release and deadline; intervals are consecutive pairs.
+  std::vector<double> epochs;
+  epochs.reserve(jobs.size() * 2);
+  for (const Job& j : jobs) {
+    epochs.push_back(j.release);
+    epochs.push_back(j.deadline);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+
+  const std::size_t n = jobs.size();
+  const std::size_t m = epochs.size() - 1;
+  // Nodes: 0 = source, 1..n = jobs, n+1..n+m = intervals, n+m+1 = sink.
+  MaxFlow flow(n + m + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + m + 1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, jobs[i].workload);
+  }
+  for (std::size_t t = 0; t < m; ++t) {
+    flow.add_edge(n + 1 + t, sink, profile.work(epochs[t], epochs[t + 1]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < m; ++t) {
+      if (jobs[i].release <= epochs[t] && epochs[t + 1] <= jobs[i].deadline) {
+        flow.add_edge(1 + i, n + 1 + t,
+                      std::numeric_limits<double>::infinity());
+      }
+    }
+  }
+  return flow.solve(source, sink);
+}
+
+double offline_value_upper_bound(const std::vector<Job>& jobs,
+                                 const cap::CapacityProfile& profile) {
+  if (jobs.empty()) return 0.0;
+  double total_value = 0.0;
+  double max_density = 0.0;
+  for (const Job& j : jobs) {
+    total_value += j.value;
+    max_density = std::max(max_density, j.value_density());
+  }
+  return std::min(total_value,
+                  max_density * max_schedulable_workload(jobs, profile));
+}
+
+}  // namespace sjs::offline

@@ -1,0 +1,65 @@
+// Dinic max-flow on double capacities, plus the schedulable-workload bound.
+//
+// The classic flow formulation of preemptive deadline scheduling: split the
+// time axis at every release/deadline epoch; job i connects to interval
+// [s, t) iff [r_i, d_i] ⊇ [s, t); interval capacity is the work the
+// processor can deliver there, ∫ c. The max flow equals the maximum total
+// workload schedulable by their deadlines (feasibility of a fractional
+// assignment is exactly a flow), which yields a valid upper bound on the
+// offline value: OPT <= max_density × maxflow (and trivially OPT <= Σ v_i).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/job.hpp"
+
+namespace sjs::offline {
+
+/// General-purpose Dinic max-flow on a directed graph with double capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t nodes);
+
+  /// Adds a directed edge u -> v with the given capacity (and a zero-capacity
+  /// residual arc). Returns the edge index.
+  std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
+
+  /// Computes the maximum s->t flow. May be called once per instance.
+  double solve(std::size_t s, std::size_t t);
+
+  /// Flow routed through edge `index` after solve().
+  double flow_on(std::size_t index) const;
+
+  std::size_t node_count() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse edge in graph_[to]
+    double capacity;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  double dfs(std::size_t v, std::size_t t, double limit);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_refs_;
+  std::vector<double> original_capacity_;
+};
+
+/// Maximum total workload (capacity-seconds) of `jobs` that can be executed
+/// inside the jobs' own [release, deadline] windows on `profile`. Equals
+/// Σ p_i iff the set is schedulable.
+double max_schedulable_workload(const std::vector<Job>& jobs,
+                                const cap::CapacityProfile& profile);
+
+/// Upper bound on the optimal offline value:
+/// min(Σ v_i, max_i(v_i/p_i) × max_schedulable_workload).
+double offline_value_upper_bound(const std::vector<Job>& jobs,
+                                 const cap::CapacityProfile& profile);
+
+}  // namespace sjs::offline

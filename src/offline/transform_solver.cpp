@@ -1,0 +1,27 @@
+#include "offline/transform_solver.hpp"
+
+namespace sjs::offline {
+
+TransformedInstance stretch_instance(const Instance& instance) {
+  const cap::StretchTransform transform(instance.capacity(),
+                                        instance.c_lo());
+  std::vector<Job> stretched;
+  stretched.reserve(instance.size());
+  for (const Job& j : instance.jobs()) {
+    Job s = j;
+    s.release = transform.forward(j.release);
+    s.deadline = transform.forward(j.deadline);
+    stretched.push_back(s);
+  }
+  return TransformedInstance{std::move(stretched),
+                             transform.stretched_profile(),
+                             transform.reference_rate()};
+}
+
+ExactResult solve_via_stretch(const Instance& instance,
+                              const ExactOptions& options) {
+  const TransformedInstance transformed = stretch_instance(instance);
+  return exact_offline_value(transformed.jobs, transformed.capacity, options);
+}
+
+}  // namespace sjs::offline

@@ -1,0 +1,33 @@
+// The paper's Sec. III-A reduction, end to end: stretch the instance onto the
+// constant-capacity axis, solve there, and map the chosen schedule back.
+//
+// This module exists to *demonstrate* the reduction (tests verify that
+// solving the transformed system yields exactly the same optimal value as
+// solving the original directly) and to expose the transformed instance for
+// users who want to plug in constant-capacity algorithms from the classical
+// literature.
+#pragma once
+
+#include "capacity/stretch.hpp"
+#include "jobs/instance.hpp"
+#include "offline/exact.hpp"
+
+namespace sjs::offline {
+
+struct TransformedInstance {
+  std::vector<Job> jobs;           ///< stretched releases/deadlines, same p & v
+  cap::CapacityProfile capacity;   ///< constant reference rate
+  double reference_rate;
+};
+
+/// Applies the stretch transformation T(t) = (1/c_lo)∫₀ᵗ c to every job's
+/// release and deadline. Workloads and values are preserved.
+TransformedInstance stretch_instance(const Instance& instance);
+
+/// Solves the offline problem by the reduction: stretch, then exact B&B on
+/// the constant-capacity system. By the paper's bijection the value equals
+/// exact_offline_value(instance) — asserted in tests.
+ExactResult solve_via_stretch(const Instance& instance,
+                              const ExactOptions& options = {});
+
+}  // namespace sjs::offline

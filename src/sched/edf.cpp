@@ -1,0 +1,35 @@
+#include "sched/edf.hpp"
+
+namespace sjs::sched {
+
+void EdfScheduler::dispatch(sim::Engine& engine) {
+  if (ready_.empty()) return;
+  const auto [best_deadline, best] = *ready_.begin();
+  const JobId current = engine.running();
+  if (current != kNoJob &&
+      engine.job(current).deadline <= best_deadline) {
+    return;  // the running job already has the earliest deadline
+  }
+  ready_.erase(ready_.begin());
+  if (current != kNoJob) {
+    ready_.emplace(engine.job(current).deadline, current);
+  }
+  engine.run(best);
+}
+
+void EdfScheduler::on_release(sim::Engine& engine, JobId job) {
+  ready_.emplace(engine.job(job).deadline, job);
+  dispatch(engine);
+}
+
+void EdfScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch(engine);
+}
+
+void EdfScheduler::on_expire(sim::Engine& engine, JobId job,
+                             bool /*was_running*/) {
+  ready_.erase({engine.job(job).deadline, job});
+  dispatch(engine);
+}
+
+}  // namespace sjs::sched

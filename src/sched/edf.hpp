@@ -1,0 +1,34 @@
+// Preemptive earliest-deadline-first.
+//
+// Theorem 2 of the paper: EDF achieves competitive ratio 1 for *underloaded*
+// systems even under time-varying capacity (the stretch transformation maps
+// an EDF schedule of the original system to an EDF schedule of the stretched
+// constant-capacity system, where classic optimality applies). Under
+// overload EDF can perform arbitrarily badly (Locke), which is what Dover /
+// V-Dover address.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class EdfScheduler : public sim::Scheduler {
+ public:
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override { return "EDF"; }
+
+ private:
+  /// Runs the earliest-deadline ready job (preempting if needed).
+  void dispatch(sim::Engine& engine);
+
+  /// Ready jobs excluding the running one, ordered by (deadline, id).
+  std::set<std::pair<double, JobId>> ready_;
+};
+
+}  // namespace sjs::sched

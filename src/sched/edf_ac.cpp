@@ -1,0 +1,73 @@
+#include "sched/edf_ac.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sjs::sched {
+
+void EdfAcScheduler::on_start(sim::Engine& engine) {
+  if (c_est_ <= 0.0) c_est_ = engine.c_lo();
+}
+
+bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
+                                     JobId candidate) const {
+  // Gather (deadline, remaining work) of the admitted set + candidate and
+  // sweep in EDF order at constant rate c_est: feasible iff cumulative
+  // remaining work never overtakes c_est * (deadline − now). All admitted
+  // jobs are already released, so release times play no role.
+  std::vector<std::pair<double, double>> load;  // (deadline, remaining)
+  load.reserve(admitted_.size() + 2);
+  for (const auto& [deadline, job] : admitted_) {
+    load.emplace_back(deadline, engine.remaining(job));
+  }
+  if (engine.running() != kNoJob) {
+    load.emplace_back(engine.job(engine.running()).deadline,
+                      engine.remaining(engine.running()));
+  }
+  load.emplace_back(engine.job(candidate).deadline,
+                    engine.remaining(candidate));
+  std::sort(load.begin(), load.end());
+
+  const double now = engine.now();
+  double cumulative = 0.0;
+  for (const auto& [deadline, remaining] : load) {
+    cumulative += remaining;
+    if (cumulative > c_est_ * (deadline - now) + 1e-9) return false;
+  }
+  return true;
+}
+
+void EdfAcScheduler::dispatch(sim::Engine& engine) {
+  if (admitted_.empty()) return;
+  const auto [best_deadline, best] = *admitted_.begin();
+  const JobId current = engine.running();
+  if (current != kNoJob && engine.job(current).deadline <= best_deadline) {
+    return;
+  }
+  admitted_.erase(admitted_.begin());
+  if (current != kNoJob) {
+    admitted_.emplace(engine.job(current).deadline, current);
+  }
+  engine.run(best);
+}
+
+void EdfAcScheduler::on_release(sim::Engine& engine, JobId job) {
+  if (!admissible_with(engine, job)) {
+    ++rejected_;  // never scheduled; expires on its own
+    return;
+  }
+  admitted_.emplace(engine.job(job).deadline, job);
+  dispatch(engine);
+}
+
+void EdfAcScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch(engine);
+}
+
+void EdfAcScheduler::on_expire(sim::Engine& engine, JobId job,
+                               bool /*was_running*/) {
+  admitted_.erase({engine.job(job).deadline, job});
+  dispatch(engine);
+}
+
+}  // namespace sjs::sched

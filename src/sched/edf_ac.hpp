@@ -1,0 +1,49 @@
+// EDF with conservative admission control (EDF-AC).
+//
+// Classical guarantee-based scheduling: a job is admitted at release only if
+// the admitted set remains schedulable by its deadlines under the
+// *conservative* capacity estimate c_lo; admitted jobs are then EDF-scheduled
+// and never dropped. Because capacity never falls below c_lo, every admitted
+// job completes — the opposite trade-off from V-Dover, which over-commits
+// and resolves overload by value. Included as a baseline to show what
+// conservative admission leaves on the table when capacity often runs above
+// c_lo (the benches' δ = 35 regime).
+//
+// The admission test simulates EDF at rate c_lo over the admitted jobs'
+// remaining work, O(n log n) per release.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class EdfAcScheduler : public sim::Scheduler {
+ public:
+  /// c_est <= 0 selects the band minimum c_lo at start.
+  explicit EdfAcScheduler(double c_est = 0.0) : c_est_(c_est) {}
+
+  void on_start(sim::Engine& engine) override;
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override { return "EDF-AC"; }
+
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  /// True iff the admitted set plus `candidate` can all meet deadlines at
+  /// constant rate c_est from `now` (EDF simulation over remaining work).
+  bool admissible_with(const sim::Engine& engine, JobId candidate) const;
+  void dispatch(sim::Engine& engine);
+
+  double c_est_;
+  std::uint64_t rejected_ = 0;
+  /// Admitted ready jobs excluding the running one, (deadline, id).
+  std::set<std::pair<double, JobId>> admitted_;
+};
+
+}  // namespace sjs::sched

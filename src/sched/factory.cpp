@@ -1,0 +1,100 @@
+#include "sched/factory.hpp"
+
+#include "sched/edf.hpp"
+#include "sched/edf_ac.hpp"
+#include "sched/fifo.hpp"
+#include "sched/greedy.hpp"
+#include "sched/llf.hpp"
+#include "sched/np_edf.hpp"
+#include "sched/srpt.hpp"
+
+namespace sjs::sched {
+
+NamedFactory make_vdover(double k) {
+  VDoverOptions options;
+  options.k = k;
+  return make_vdover_with(options);
+}
+
+NamedFactory make_vdover_with(const VDoverOptions& options) {
+  const std::string name = VDoverScheduler(options).name();
+  return {name, [options] { return std::make_unique<VDoverScheduler>(options); }};
+}
+
+NamedFactory make_dover(double c_hat, double k) {
+  VDoverOptions options;
+  options.capacity_estimate = c_hat;
+  options.use_supplement_queue = false;
+  options.k = k;
+  return make_vdover_with(options);
+}
+
+NamedFactory make_dover_ewma(double alpha, double k) {
+  VDoverOptions options;
+  options.use_supplement_queue = false;
+  options.adaptive_estimate = true;
+  options.ewma_alpha = alpha;
+  options.k = k;
+  return make_vdover_with(options);
+}
+
+NamedFactory make_edf() {
+  return {"EDF", [] { return std::make_unique<EdfScheduler>(); }};
+}
+
+NamedFactory make_llf(double c_est, double quantum) {
+  return {"LLF", [c_est, quantum] {
+            return std::make_unique<LlfScheduler>(c_est, quantum);
+          }};
+}
+
+NamedFactory make_edf_ac(double c_est) {
+  return {"EDF-AC",
+          [c_est] { return std::make_unique<EdfAcScheduler>(c_est); }};
+}
+
+NamedFactory make_srpt() {
+  return {"SRPT", [] { return std::make_unique<SrptScheduler>(); }};
+}
+
+NamedFactory make_np_edf() {
+  return {"NP-EDF",
+          [] { return std::make_unique<NonPreemptiveEdfScheduler>(); }};
+}
+
+NamedFactory make_fifo() {
+  return {"FIFO", [] { return std::make_unique<FifoScheduler>(); }};
+}
+
+NamedFactory make_hvf() {
+  return {"HVF", [] { return std::make_unique<GreedyScheduler>(GreedyKey::kValue); }};
+}
+
+NamedFactory make_hvdf() {
+  return {"HVDF", [] {
+            return std::make_unique<GreedyScheduler>(GreedyKey::kValueDensity);
+          }};
+}
+
+std::vector<NamedFactory> paper_lineup(const std::vector<double>& c_hats,
+                                       double k) {
+  std::vector<NamedFactory> lineup;
+  for (double c_hat : c_hats) lineup.push_back(make_dover(c_hat, k));
+  lineup.push_back(make_vdover(k));
+  return lineup;
+}
+
+std::vector<NamedFactory> extended_lineup(const std::vector<double>& c_hats,
+                                          double k) {
+  auto lineup = paper_lineup(c_hats, k);
+  lineup.push_back(make_edf());
+  lineup.push_back(make_edf_ac());
+  lineup.push_back(make_llf());
+  lineup.push_back(make_fifo());
+  lineup.push_back(make_hvf());
+  lineup.push_back(make_hvdf());
+  lineup.push_back(make_srpt());
+  return lineup;
+}
+
+}  // namespace sjs::sched

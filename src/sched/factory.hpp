@@ -1,0 +1,56 @@
+// Named scheduler construction for benches and examples.
+//
+// Monte-Carlo experiments need a *fresh* scheduler per run (schedulers carry
+// queues), so the unit of configuration is a factory, not an instance.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/vdover.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
+
+struct NamedFactory {
+  std::string name;
+  SchedulerFactory make;
+};
+
+/// V-Dover with the paper's defaults (c_est = c_lo, β = β*(k, δ)).
+NamedFactory make_vdover(double k = 7.0);
+
+/// V-Dover with explicit options (ablations).
+NamedFactory make_vdover_with(const VDoverOptions& options);
+
+/// Dover with capacity estimate ĉ and threshold 1 + √k.
+NamedFactory make_dover(double c_hat, double k = 7.0);
+
+/// Dover whose estimate tracks an EWMA of the observed rate (ablation A2:
+/// the "smarter" alternative to V-Dover's conservative choice).
+NamedFactory make_dover_ewma(double alpha = 0.3, double k = 7.0);
+
+NamedFactory make_edf();
+/// EDF with conservative admission control (guarantees every admitted job).
+NamedFactory make_edf_ac(double c_est = 0.0);
+NamedFactory make_llf(double c_est = 0.0, double quantum = 0.05);
+NamedFactory make_fifo();
+NamedFactory make_hvf();
+NamedFactory make_hvdf();
+NamedFactory make_srpt();
+/// Non-preemptive EDF (the regime of the paper's citation [12]).
+NamedFactory make_np_edf();
+
+/// The paper's Table-I line-up: Dover(ĉ) for each ĉ, then V-Dover.
+std::vector<NamedFactory> paper_lineup(const std::vector<double>& c_hats,
+                                       double k = 7.0);
+
+/// Extended line-up: the paper's plus EDF/LLF/FIFO/HVF/HVDF baselines.
+std::vector<NamedFactory> extended_lineup(const std::vector<double>& c_hats,
+                                          double k = 7.0);
+
+}  // namespace sjs::sched

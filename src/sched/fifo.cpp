@@ -1,0 +1,40 @@
+#include "sched/fifo.hpp"
+
+namespace sjs::sched {
+
+void FifoScheduler::dispatch_next(sim::Engine& engine) {
+  if (engine.running() != kNoJob) return;  // non-preemptive
+  while (!queue_.empty()) {
+    const JobId next = queue_.front();
+    if (!engine.is_live(next)) {
+      // Expired while waiting (on_expire also purges; this is defensive).
+      queue_.pop_front();
+      continue;
+    }
+    queue_.pop_front();
+    engine.run(next);
+    return;
+  }
+}
+
+void FifoScheduler::on_release(sim::Engine& engine, JobId job) {
+  queue_.push_back(job);
+  dispatch_next(engine);
+}
+
+void FifoScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch_next(engine);
+}
+
+void FifoScheduler::on_expire(sim::Engine& engine, JobId job,
+                              bool /*was_running*/) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == job) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  dispatch_next(engine);
+}
+
+}  // namespace sjs::sched

@@ -1,0 +1,26 @@
+// Non-preemptive first-in-first-out baseline: jobs run to completion (or to
+// their deadline) in release order. Included to show what naive scheduling
+// loses under overload; the paper's intro motivates value-aware policies.
+#pragma once
+
+#include <deque>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class FifoScheduler : public sim::Scheduler {
+ public:
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  void dispatch_next(sim::Engine& engine);
+
+  std::deque<JobId> queue_;
+};
+
+}  // namespace sjs::sched

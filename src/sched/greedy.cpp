@@ -1,0 +1,39 @@
+#include "sched/greedy.hpp"
+
+namespace sjs::sched {
+
+double GreedyScheduler::priority(const sim::Engine& engine, JobId job) const {
+  const Job& j = engine.job(job);
+  return key_ == GreedyKey::kValue ? j.value : j.value_density();
+}
+
+void GreedyScheduler::dispatch(sim::Engine& engine) {
+  if (ready_.empty()) return;
+  const auto [best_priority, best] = *ready_.begin();
+  const JobId current = engine.running();
+  if (current != kNoJob && priority(engine, current) >= best_priority) {
+    return;
+  }
+  ready_.erase(ready_.begin());
+  if (current != kNoJob) {
+    ready_.emplace(priority(engine, current), current);
+  }
+  engine.run(best);
+}
+
+void GreedyScheduler::on_release(sim::Engine& engine, JobId job) {
+  ready_.emplace(priority(engine, job), job);
+  dispatch(engine);
+}
+
+void GreedyScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch(engine);
+}
+
+void GreedyScheduler::on_expire(sim::Engine& engine, JobId job,
+                                bool /*was_running*/) {
+  ready_.erase({priority(engine, job), job});
+  dispatch(engine);
+}
+
+}  // namespace sjs::sched

@@ -1,0 +1,40 @@
+// Preemptive static-priority greedy baselines: always run the ready job with
+// the highest value (HVF) or highest value density (HVDF). These are the
+// natural "grab the money" policies a spot-market operator might try first;
+// the benches show where they lose to deadline-aware scheduling.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+enum class GreedyKey {
+  kValue,         ///< priority = v_i
+  kValueDensity,  ///< priority = v_i / p_i
+};
+
+class GreedyScheduler : public sim::Scheduler {
+ public:
+  explicit GreedyScheduler(GreedyKey key) : key_(key) {}
+
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override {
+    return key_ == GreedyKey::kValue ? "HVF" : "HVDF";
+  }
+
+ private:
+  double priority(const sim::Engine& engine, JobId job) const;
+  void dispatch(sim::Engine& engine);
+
+  GreedyKey key_;
+  /// Ready jobs excluding the running one, highest priority first.
+  std::set<std::pair<double, JobId>, std::greater<>> ready_;
+};
+
+}  // namespace sjs::sched

@@ -1,0 +1,108 @@
+#include "sched/llf.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sjs::sched {
+
+namespace {
+// Preempt only on a strict laxity improvement; ties would otherwise cause the
+// classic LLF preemption storm.
+constexpr double kLaxityEps = 1e-9;
+}  // namespace
+
+void LlfScheduler::on_start(sim::Engine& engine) {
+  if (c_est_ <= 0.0) c_est_ = engine.c_lo();
+  SJS_CHECK_MSG(quantum_ > 0.0, "LLF quantum must be positive");
+}
+
+void LlfScheduler::arm_crossing_timer(sim::Engine& engine) {
+  engine.cancel_timer(crossing_timer_);
+  crossing_timer_ = sim::kNoTimer;
+  if (engine.running() == kNoJob || ready_.empty()) return;
+
+  const double now = engine.now();
+  const double queued_laxity = ready_.begin()->first - now;
+  const double running_laxity = engine.claxity(engine.running(), c_est_);
+  // The queued job's laxity falls at rate 1, the running job's at
+  // 1 - c/c_est <= 1, so the queued job closes the lead at speed c/c_est.
+  const double closing = engine.current_rate() / c_est_;
+  const double lead = queued_laxity - running_laxity;
+  // lead > 0: a genuine future crossing; lead <= 0: the queued job is already
+  // at/below the running job's laxity but the quantum (or the hysteresis)
+  // blocked the switch — re-check one quantum later, never "now" (that would
+  // spin at the current instant).
+  double fire_at =
+      lead > kLaxityEps ? now + lead / closing : now + quantum_;
+  fire_at = std::max(fire_at, last_switch_ + quantum_);
+  crossing_timer_ = engine.set_timer(fire_at, kNoJob, /*tag=*/1);
+}
+
+void LlfScheduler::dispatch(sim::Engine& engine) {
+  if (!ready_.empty()) {
+    const double now = engine.now();
+    const auto [best_intercept, best] = *ready_.begin();
+    const JobId current = engine.running();
+    if (current == kNoJob) {
+      ready_.erase(ready_.begin());
+      engine.run(best);
+      last_switch_ = now;
+    } else {
+      const double queued_laxity = best_intercept - now;
+      const double running_laxity = engine.claxity(current, c_est_);
+      if (queued_laxity < running_laxity - kLaxityEps &&
+          now >= last_switch_ + quantum_) {
+        ready_.erase(ready_.begin());
+        ready_.emplace(intercept(engine, current), current);
+        engine.run(best);
+        last_switch_ = now;
+      }
+    }
+  }
+  arm_crossing_timer(engine);
+}
+
+void LlfScheduler::on_release(sim::Engine& engine, JobId job) {
+  ready_.emplace(intercept(engine, job), job);
+  // A newly released job may preempt immediately regardless of the quantum
+  // (release-driven preemptions are bounded by the number of jobs).
+  const JobId current = engine.running();
+  if (current != kNoJob) {
+    const double queued_laxity = ready_.begin()->first - engine.now();
+    const double running_laxity = engine.claxity(current, c_est_);
+    if (queued_laxity < running_laxity - kLaxityEps) {
+      const auto best = ready_.begin()->second;
+      ready_.erase(ready_.begin());
+      ready_.emplace(intercept(engine, current), current);
+      engine.run(best);
+      last_switch_ = engine.now();
+    }
+    arm_crossing_timer(engine);
+  } else {
+    dispatch(engine);
+  }
+}
+
+void LlfScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch(engine);
+}
+
+void LlfScheduler::on_expire(sim::Engine& engine, JobId job,
+                             bool /*was_running*/) {
+  ready_.erase({intercept(engine, job), job});
+  dispatch(engine);
+}
+
+void LlfScheduler::on_timer(sim::Engine& engine, JobId /*job*/, int tag) {
+  if (tag == 1) {
+    crossing_timer_ = sim::kNoTimer;
+    dispatch(engine);
+  }
+}
+
+void LlfScheduler::on_capacity_change(sim::Engine& engine) {
+  arm_crossing_timer(engine);
+}
+
+}  // namespace sjs::sched

@@ -1,0 +1,64 @@
+// Conservative least-laxity-first.
+//
+// The paper notes (Sec. III-B) that exact LLF does not generalise to varying
+// capacity because true laxity needs the unknown future capacity; the natural
+// generalisation is LLF on the *conservative* laxity of Definition 5,
+// computed with a constant estimate c_est (default c_lo). We implement that
+// as an event-driven baseline.
+//
+// Dynamics: a queued job's conservative laxity falls at rate 1 while the
+// running job's falls at rate 1 - c(t)/c_est <= 0 whenever c(t) >= c_est, so
+// queued jobs overtake the running job at computable crossing instants. The
+// scheduler arms a timer at the next crossing (re-evaluated on every release,
+// completion, and capacity change). Continuous-time LLF famously thrashes
+// once laxities tie — two jobs at equal laxity preempt each other at an
+// unbounded rate — so a switching quantum enforces a minimum time between
+// laxity-driven preemptions (the standard discretisation; it bounds events
+// without changing which jobs LLF favours at the scale of job lengths).
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class LlfScheduler : public sim::Scheduler {
+ public:
+  /// c_est <= 0 selects the band minimum c_lo at start. `quantum` is the
+  /// minimum spacing of laxity-driven preemptions.
+  explicit LlfScheduler(double c_est = 0.0, double quantum = 0.05)
+      : c_est_(c_est), quantum_(quantum) {}
+
+  void on_start(sim::Engine& engine) override;
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  void on_timer(sim::Engine& engine, JobId job, int tag) override;
+  void on_capacity_change(sim::Engine& engine) override;
+  bool wants_capacity_events() const override { return true; }
+  std::string name() const override { return "LLF"; }
+
+ private:
+  /// Laxity "intercept" d - p_rem/c_est of a queued job: its laxity at time t
+  /// is intercept - t, so ordering queued jobs by intercept orders them by
+  /// laxity, and the order is invariant while they wait.
+  double intercept(const sim::Engine& engine, JobId job) const {
+    return engine.job(job).deadline - engine.remaining(job) / c_est_;
+  }
+
+  /// Runs the least-laxity ready job and re-arms the crossing timer.
+  void dispatch(sim::Engine& engine);
+  void arm_crossing_timer(sim::Engine& engine);
+
+  double c_est_;
+  double quantum_;
+  double last_switch_ = -1e300;
+  sim::TimerId crossing_timer_ = sim::kNoTimer;
+  /// Ready jobs excluding the running one, ordered by (intercept, id).
+  std::set<std::pair<double, JobId>> ready_;
+};
+
+}  // namespace sjs::sched

@@ -1,0 +1,28 @@
+#include "sched/np_edf.hpp"
+
+namespace sjs::sched {
+
+void NonPreemptiveEdfScheduler::dispatch_if_idle(sim::Engine& engine) {
+  if (engine.running() != kNoJob || ready_.empty()) return;
+  const auto [deadline, job] = *ready_.begin();
+  ready_.erase(ready_.begin());
+  engine.run(job);
+}
+
+void NonPreemptiveEdfScheduler::on_release(sim::Engine& engine, JobId job) {
+  ready_.emplace(engine.job(job).deadline, job);
+  dispatch_if_idle(engine);
+}
+
+void NonPreemptiveEdfScheduler::on_complete(sim::Engine& engine,
+                                            JobId /*job*/) {
+  dispatch_if_idle(engine);
+}
+
+void NonPreemptiveEdfScheduler::on_expire(sim::Engine& engine, JobId job,
+                                          bool /*was_running*/) {
+  ready_.erase({engine.job(job).deadline, job});
+  dispatch_if_idle(engine);
+}
+
+}  // namespace sjs::sched

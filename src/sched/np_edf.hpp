@@ -1,0 +1,35 @@
+// Non-preemptive EDF.
+//
+// The only prior work on varying-capacity deadline scheduling the paper
+// cites ([12]) assumes scheduled jobs cannot be preempted; the paper argues
+// preemption is essential in the cloud because newly released primary jobs
+// can take capacity away mid-execution. This baseline quantifies that
+// argument: earliest-deadline dispatch, but once a job starts it runs to
+// completion or failure. The preemption-value ablation
+// (bench_ablation, section F) compares it against preemptive EDF and
+// V-Dover.
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class NonPreemptiveEdfScheduler : public sim::Scheduler {
+ public:
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override { return "NP-EDF"; }
+
+ private:
+  void dispatch_if_idle(sim::Engine& engine);
+
+  /// Ready jobs, (deadline, id).
+  std::set<std::pair<double, JobId>> ready_;
+};
+
+}  // namespace sjs::sched

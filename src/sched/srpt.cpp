@@ -1,0 +1,38 @@
+#include "sched/srpt.hpp"
+
+namespace sjs::sched {
+
+void SrptScheduler::dispatch(sim::Engine& engine) {
+  if (ready_.empty()) return;
+  const auto [best_remaining, best] = *ready_.begin();
+  const JobId current = engine.running();
+  if (current != kNoJob && engine.remaining(current) <= best_remaining) {
+    return;
+  }
+  ready_.erase(ready_.begin());
+  if (current != kNoJob) {
+    ready_.emplace(engine.remaining(current), current);
+  }
+  engine.run(best);
+}
+
+void SrptScheduler::on_release(sim::Engine& engine, JobId job) {
+  ready_.emplace(engine.remaining(job), job);
+  dispatch(engine);
+}
+
+void SrptScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
+  dispatch(engine);
+}
+
+void SrptScheduler::on_expire(sim::Engine& engine, JobId job,
+                              bool was_running) {
+  if (!was_running) {
+    // The key is the remaining workload frozen at enqueue time, which for a
+    // never-executed-since-enqueue job equals its current remaining work.
+    ready_.erase({engine.remaining(job), job});
+  }
+  dispatch(engine);
+}
+
+}  // namespace sjs::sched

@@ -1,0 +1,37 @@
+// Conservative shortest-remaining-processing-time (SRPT).
+//
+// SRPT maximises the *count* of completed jobs on a single machine; with
+// values proportional to workload (the paper's v = density·p) it biases
+// toward many small jobs. Under varying capacity the true remaining
+// processing time is unknown, so remaining workload is the natural proxy
+// (SRPT ordering is invariant to a constant rate estimate). Event-driven:
+// the queue is ordered by remaining workload, frozen while jobs wait — a
+// waiting job's remaining work never changes, and the running job's only
+// shrinks, so the running job can never be overtaken by a queued one and no
+// crossing timers are needed (preemption happens only at releases).
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sched {
+
+class SrptScheduler : public sim::Scheduler {
+ public:
+  void on_release(sim::Engine& engine, JobId job) override;
+  void on_complete(sim::Engine& engine, JobId job) override;
+  void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  std::string name() const override { return "SRPT"; }
+
+ private:
+  void dispatch(sim::Engine& engine);
+
+  /// Ready jobs excluding the running one, (remaining-at-enqueue, id). The
+  /// key is stable because queued jobs do not execute.
+  std::set<std::pair<double, JobId>> ready_;
+};
+
+}  // namespace sjs::sched

@@ -1,0 +1,241 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace sjs::sim {
+
+namespace {
+// Relative tolerance for "completed by deadline" decisions. Completion
+// instants are exact inversions of the cumulative-work function, but deadlines
+// are computed independently (r + p/c_lo in the generators), so the two can
+// disagree by a few ulps. A job whose exact completion lands within this
+// tolerance of its deadline is treated as completing *at* the deadline.
+double deadline_eps(double deadline) {
+  return 1e-9 * std::max(1.0, std::abs(deadline));
+}
+}  // namespace
+
+Engine::Engine(const Instance& instance, Scheduler& scheduler)
+    : instance_(&instance), scheduler_(&scheduler) {
+  const std::size_t n = instance.size();
+  remaining_.resize(n);
+  outcomes_.assign(n, JobOutcome::kPending);
+  released_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_[i] = instance.jobs()[i].workload;
+  }
+}
+
+void Engine::push_event(double time, EventType type, JobId jid,
+                        std::uint64_t id) {
+  queue_.push(Event{time, type, next_seq_++, jid, id});
+}
+
+double Engine::remaining(JobId id) const {
+  SJS_CHECK_MSG(is_released(id), "remaining() on unreleased job " << id);
+  return remaining_[static_cast<std::size_t>(id)];
+}
+
+bool Engine::is_released(JobId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < released_.size() &&
+         released_[static_cast<std::size_t>(id)];
+}
+
+bool Engine::is_completed(JobId id) const {
+  return outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kCompleted;
+}
+
+bool Engine::is_expired(JobId id) const {
+  return outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kExpired;
+}
+
+bool Engine::is_live(JobId id) const {
+  return is_released(id) &&
+         outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kPending;
+}
+
+void Engine::advance_execution(double t) {
+  SJS_CHECK_MSG(t >= last_advance_ - 1e-12,
+                "time moved backwards: " << t << " < " << last_advance_);
+  t = std::max(t, last_advance_);
+  if (running_ != kNoJob && t > last_advance_) {
+    const double executed = instance_->capacity().work(last_advance_, t);
+    auto& rem = remaining_[static_cast<std::size_t>(running_)];
+    rem = std::max(0.0, rem - executed);
+    result_.busy_time += t - last_advance_;
+    result_.executed_total += executed;
+    if (record_schedule_) {
+      // Extend the current slice if it continues the same job, else append.
+      auto& schedule = result_.schedule;
+      if (!schedule.empty() && schedule.back().job == running_ &&
+          schedule.back().end == last_advance_) {
+        schedule.back().end = t;
+      } else {
+        schedule.push_back(ExecutionSlice{last_advance_, t, running_});
+      }
+    }
+  }
+  last_advance_ = t;
+}
+
+void Engine::halt_running() {
+  running_ = kNoJob;
+  ++dispatch_epoch_;  // invalidates any in-flight completion event
+}
+
+void Engine::run(JobId id) {
+  SJS_CHECK_MSG(in_callback_, "Engine::run() outside a scheduler callback");
+  advance_execution(now_);
+  if (id == running_) return;
+
+  if (running_ != kNoJob &&
+      remaining_[static_cast<std::size_t>(running_)] > 0.0) {
+    ++result_.preemptions;
+  }
+  halt_running();
+  if (id == kNoJob) return;
+
+  SJS_CHECK_MSG(is_live(id), "run() on non-live job " << id);
+  running_ = id;
+  ++result_.dispatches;
+
+  const Job& j = instance_->job(id);
+  const double completion =
+      instance_->capacity().invert(now_, remaining_[static_cast<std::size_t>(id)]);
+  if (completion <= j.deadline + deadline_eps(j.deadline)) {
+    // Clamp to the deadline so a completion that lands "at" the deadline
+    // sorts before the expiry event at the same timestamp.
+    push_event(std::min(completion, j.deadline), EventType::kCompletion, id,
+               dispatch_epoch_);
+  }
+  // Otherwise the job cannot finish under the true capacity path from here;
+  // the expiry event at its deadline will raise the failure interrupt (the
+  // scheduler is free to preempt it earlier).
+}
+
+TimerId Engine::set_timer(double t, JobId jid, int tag) {
+  SJS_CHECK_MSG(in_callback_, "set_timer() outside a scheduler callback");
+  SJS_CHECK_MSG(t >= now_ - 1e-12, "timer in the past: " << t << " < " << now_);
+  timers_.push_back(TimerRecord{jid, tag, false, false});
+  const TimerId id = timers_.size();  // ids are 1-based; 0 = kNoTimer
+  push_event(std::max(t, now_), EventType::kTimer, jid, id);
+  return id;
+}
+
+void Engine::cancel_timer(TimerId id) {
+  if (id == kNoTimer || id > timers_.size()) return;
+  timers_[id - 1].cancelled = true;
+}
+
+void Engine::handle_completion(const Event& event) {
+  if (event.id != dispatch_epoch_ || event.job != running_) return;  // stale
+  const auto idx = static_cast<std::size_t>(event.job);
+  // The inversion is exact; any residue is floating-point dust.
+  SJS_CHECK_MSG(remaining_[idx] < 1e-6 * std::max(1.0, instance_->job(event.job).workload),
+                "completion event with " << remaining_[idx] << " work left");
+  remaining_[idx] = 0.0;
+  outcomes_[idx] = JobOutcome::kCompleted;
+  halt_running();
+
+  const Job& j = instance_->job(event.job);
+  result_.completed_value += j.value;
+  ++result_.completed_count;
+  result_.completion_times[idx] = now_;
+  result_.value_trace.append(now_, result_.completed_value);
+
+  scheduler_->on_complete(*this, event.job);
+}
+
+void Engine::handle_expiry(const Event& event) {
+  const auto idx = static_cast<std::size_t>(event.job);
+  if (outcomes_[idx] != JobOutcome::kPending) return;  // already completed
+  outcomes_[idx] = JobOutcome::kExpired;
+  ++result_.expired_count;
+  const bool was_running = (running_ == event.job);
+  if (was_running) halt_running();
+  scheduler_->on_expire(*this, event.job, was_running);
+}
+
+void Engine::handle_release(const Event& event) {
+  released_[static_cast<std::size_t>(event.job)] = true;
+  scheduler_->on_release(*this, event.job);
+}
+
+void Engine::handle_timer(const Event& event) {
+  auto& record = timers_[event.id - 1];
+  if (record.cancelled || record.fired) return;
+  record.fired = true;
+  // Guard: timers reference queue membership that only matters for live jobs;
+  // a timer outliving its job (completed early, or expired at the same
+  // instant) must not resurrect it.
+  if (record.job != kNoJob && !is_live(record.job)) return;
+  scheduler_->on_timer(*this, record.job, record.tag);
+}
+
+SimResult Engine::run_to_completion() {
+  result_ = SimResult{};
+  result_.scheduler_name = scheduler_->name();
+  result_.generated_value = instance_->total_value();
+  result_.completion_times.assign(instance_->size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+  result_.release_times.reserve(instance_->size());
+
+  for (const Job& j : instance_->jobs()) {
+    result_.release_times.push_back(j.release);
+    push_event(j.release, EventType::kRelease, j.id, 0);
+    push_event(j.deadline, EventType::kExpiry, j.id, 0);
+  }
+  if (scheduler_->wants_capacity_events()) {
+    const double end = instance_->max_deadline();
+    for (double bp : instance_->capacity().breakpoints()) {
+      if (bp > 0.0 && bp <= end) {
+        push_event(bp, EventType::kCapacityChange, kNoJob, 0);
+      }
+    }
+  }
+
+  in_callback_ = true;
+  scheduler_->on_start(*this);
+  in_callback_ = false;
+
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, event.time);
+    advance_execution(now_);
+    ++result_.events_processed;
+
+    in_callback_ = true;
+    switch (event.type) {
+      case EventType::kCompletion:
+        handle_completion(event);
+        break;
+      case EventType::kExpiry:
+        handle_expiry(event);
+        break;
+      case EventType::kCapacityChange:
+        scheduler_->on_capacity_change(*this);
+        break;
+      case EventType::kRelease:
+        handle_release(event);
+        break;
+      case EventType::kTimer:
+        handle_timer(event);
+        break;
+    }
+    in_callback_ = false;
+  }
+
+  result_.outcomes = outcomes_;
+  result_.executed_work.resize(instance_->size());
+  for (std::size_t i = 0; i < instance_->size(); ++i) {
+    result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
+  }
+  return result_;
+}
+
+}  // namespace sjs::sim

@@ -1,0 +1,151 @@
+// Discrete-event engine for preemptive deadline scheduling on a processor
+// with time-varying capacity.
+//
+// The engine owns ground truth (the full capacity sample path, remaining
+// workloads, job outcomes) and drives a Scheduler through interrupts. Because
+// the capacity path is piecewise constant, the completion instant of the
+// running job is computed *exactly* by inverting the cumulative-work function
+// — there is no time-stepping and no accumulation of integration error.
+//
+// Event ordering at equal timestamps (see DESIGN.md §5):
+//   Completion < Expiry < CapacityChange < Release < Timer
+// so a job finishing exactly at its deadline succeeds, and a timer armed
+// "now" during a release handler fires immediately after it.
+//
+// Stale events are handled by lazy invalidation: each dispatch bumps an epoch
+// counter recorded in completion events; timers carry generation-checked ids.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+#include "sim/result.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::sim {
+
+class Engine {
+ public:
+  /// Binds the engine to an instance and a scheduler. Neither is owned; both
+  /// must outlive the engine. A Scheduler instance must not be reused across
+  /// runs (its internal queues would leak state); construct one per run.
+  Engine(const Instance& instance, Scheduler& scheduler);
+
+  /// Runs the simulation to completion (all jobs completed or expired) and
+  /// returns the result.
+  SimResult run_to_completion();
+
+  /// Enables recording of the full execution timeline into
+  /// SimResult::schedule (off by default; costs one slice append per
+  /// dispatch change). Call before run_to_completion().
+  void record_schedule(bool enabled) { record_schedule_ = enabled; }
+
+  // --- Query surface available to schedulers (online-observable only) ---
+
+  double now() const { return now_; }
+  /// Current instantaneous capacity (observable: c(τ) is known for τ <= now).
+  double current_rate() const { return instance_->capacity().rate(now_); }
+  /// The declared capacity band (known a priori to the algorithms).
+  double c_lo() const { return instance_->c_lo(); }
+  double c_hi() const { return instance_->c_hi(); }
+
+  const Job& job(JobId id) const { return instance_->job(id); }
+  std::size_t job_count() const { return instance_->size(); }
+  /// Remaining workload of a released job (exact as of `now`).
+  double remaining(JobId id) const;
+  bool is_released(JobId id) const;
+  bool is_completed(JobId id) const;
+  bool is_expired(JobId id) const;
+  /// A job is live if released, not completed, and not expired.
+  bool is_live(JobId id) const;
+  /// The job currently occupying the processor, or kNoJob.
+  JobId running() const { return running_; }
+
+  /// Conservative laxity (Definition 5) of a live job at `now`, computed with
+  /// the capacity estimate `c_est` (V-Dover passes c_lo; Dover passes ĉ).
+  double claxity(JobId id, double c_est) const {
+    return job(id).deadline - now_ - remaining(id) / c_est;
+  }
+
+  // --- Commands available to schedulers (only valid inside callbacks) ---
+
+  /// Dispatches `id` (preempting whatever is running) or idles the processor
+  /// when id == kNoJob. Dispatching the already-running job is a no-op.
+  /// The job must be live. Preemption is free and resumable (paper Sec. II-A).
+  void run(JobId id);
+
+  /// Arms a timer that raises Scheduler::on_timer(job, tag) at time `t`
+  /// (>= now; t == now fires after the current handler returns).
+  TimerId set_timer(double t, JobId job, int tag);
+
+  /// Cancels a pending timer; cancelling an already-fired or unknown timer is
+  /// a harmless no-op (schedulers cancel lazily on preemption paths).
+  void cancel_timer(TimerId id);
+
+ private:
+  enum class EventType : std::uint8_t {
+    // Declaration order IS the tie-break priority at equal timestamps.
+    kCompletion = 0,
+    kExpiry = 1,
+    kCapacityChange = 2,
+    kRelease = 3,
+    kTimer = 4,
+  };
+
+  struct Event {
+    double time;
+    EventType type;
+    std::uint64_t seq;     // FIFO tie-break within the same (time, type)
+    JobId job = kNoJob;
+    std::uint64_t id = 0;  // dispatch epoch (completion) or timer id
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (type != other.type) return type > other.type;
+      return seq > other.seq;
+    }
+  };
+
+  struct TimerRecord {
+    JobId job = kNoJob;
+    int tag = 0;
+    bool cancelled = false;
+    bool fired = false;
+  };
+
+  void push_event(double time, EventType type, JobId job, std::uint64_t id);
+  /// Brings the running job's remaining workload up to date at time `t`.
+  void advance_execution(double t);
+  /// Stops the running job (bookkeeping only; no scheduler callback).
+  void halt_running();
+  void handle_completion(const Event& event);
+  void handle_expiry(const Event& event);
+  void handle_release(const Event& event);
+  void handle_timer(const Event& event);
+
+  const Instance* instance_;
+  Scheduler* scheduler_;
+
+  double now_ = 0.0;
+  double last_advance_ = 0.0;   // execution accounted up to this time
+  JobId running_ = kNoJob;
+  std::uint64_t dispatch_epoch_ = 0;
+
+  std::vector<double> remaining_;
+  std::vector<JobOutcome> outcomes_;
+  std::vector<bool> released_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<TimerRecord> timers_;  // index = TimerId - 1
+
+  bool in_callback_ = false;
+  bool record_schedule_ = false;
+  SimResult result_;
+};
+
+}  // namespace sjs::sim

@@ -1,0 +1,61 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sjs::sim {
+
+std::string render_gantt(const Instance& instance, const SimResult& result,
+                         const GanttOptions& options) {
+  std::ostringstream os;
+  if (instance.size() == 0) return "(no jobs)\n";
+  const double end = instance.max_deadline();
+  const int width = std::max(10, options.width);
+  const double bucket = end / width;
+
+  auto column = [&](double t) {
+    return std::clamp(static_cast<int>(t / bucket), 0, width - 1);
+  };
+
+  const std::size_t rows = std::min(options.max_jobs, instance.size());
+  std::vector<std::string> grid(rows, std::string(width, ' '));
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Job& j = instance.jobs()[i];
+    for (int c = column(j.release); c <= column(j.deadline); ++c) {
+      grid[i][static_cast<std::size_t>(c)] = '.';
+    }
+  }
+  for (const auto& slice : result.schedule) {
+    if (slice.job < 0 || static_cast<std::size_t>(slice.job) >= rows) continue;
+    // Half-open slice: mark every bucket the slice overlaps.
+    const int first = column(slice.start);
+    const int last = column(std::max(slice.start, slice.end - 1e-12));
+    for (int c = first; c <= last; ++c) {
+      grid[static_cast<std::size_t>(slice.job)][static_cast<std::size_t>(c)] =
+          '#';
+    }
+  }
+
+  char buf[64];
+  for (std::size_t i = 0; i < rows; ++i) {
+    const char status =
+        result.outcomes[i] == JobOutcome::kCompleted ? 'C' : 'X';
+    std::snprintf(buf, sizeof(buf), "job %4zu %c |", i, status);
+    os << buf << grid[i] << "|\n";
+  }
+  if (instance.size() > rows) {
+    os << "(" << instance.size() - rows << " more jobs elided)\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%.1f", end);
+  os << std::string(11, ' ') << '0'
+     << std::string(
+            static_cast<std::size_t>(
+                std::max<int>(1, width - static_cast<int>(std::string(buf).size()))),
+            ' ')
+     << buf << "\n";
+  os << "(# executing, . waiting inside window; C completed, X expired)\n";
+  return os.str();
+}
+
+}  // namespace sjs::sim

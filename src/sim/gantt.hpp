@@ -1,0 +1,23 @@
+// ASCII Gantt rendering of a recorded execution timeline, for examples and
+// debugging: one row per job, one column per time bucket, '#' where the job
+// held the processor, '.' inside its [release, deadline] window.
+#pragma once
+
+#include <string>
+
+#include "jobs/instance.hpp"
+#include "sim/result.hpp"
+
+namespace sjs::sim {
+
+struct GanttOptions {
+  int width = 80;        ///< time-axis columns
+  std::size_t max_jobs = 40;  ///< rows beyond this are elided
+};
+
+/// Renders the schedule recorded in `result` (Engine::record_schedule must
+/// have been enabled) against the instance's job windows.
+std::string render_gantt(const Instance& instance, const SimResult& result,
+                         const GanttOptions& options = {});
+
+}  // namespace sjs::sim

@@ -1,0 +1,66 @@
+#include "sim/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace sjs::sim {
+
+ReferenceResult reference_edf_simulate(const Instance& instance, double dt) {
+  SJS_CHECK_MSG(dt > 0.0, "step must be positive");
+  const auto& jobs = instance.jobs();
+  const auto& capacity = instance.capacity();
+
+  ReferenceResult result;
+  result.outcomes.assign(jobs.size(), JobOutcome::kPending);
+  std::vector<double> remaining(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    remaining[i] = jobs[i].workload;
+  }
+
+  const double end = instance.max_deadline();
+  std::size_t next_release = 0;  // jobs are sorted by release
+  std::vector<std::size_t> live;  // released, not finished, not expired
+
+  for (double t = 0.0; t < end; t += dt) {
+    const double step_end = t + dt;
+    // Admit releases that occur up to the *start* of this step.
+    while (next_release < jobs.size() && jobs[next_release].release <= t) {
+      live.push_back(next_release);
+      ++next_release;
+    }
+    // Expire jobs whose deadline has passed.
+    for (auto it = live.begin(); it != live.end();) {
+      if (jobs[*it].deadline <= t) {
+        result.outcomes[*it] = JobOutcome::kExpired;
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (live.empty()) continue;
+    // EDF choice, ties by id for determinism (matches the engine's EDF).
+    std::size_t chosen = live[0];
+    for (std::size_t idx : live) {
+      if (jobs[idx].deadline < jobs[chosen].deadline ||
+          (jobs[idx].deadline == jobs[chosen].deadline && idx < chosen)) {
+        chosen = idx;
+      }
+    }
+    remaining[chosen] -= capacity.work(t, step_end);
+    if (remaining[chosen] <= 1e-12) {
+      result.outcomes[chosen] = JobOutcome::kCompleted;
+      result.completed_value += jobs[chosen].value;
+      ++result.completed_count;
+      live.erase(std::find(live.begin(), live.end(), chosen));
+    }
+  }
+  // Anything still live at the horizon has a deadline <= end and failed.
+  for (std::size_t idx : live) {
+    result.outcomes[idx] = JobOutcome::kExpired;
+  }
+  return result;
+}
+
+}  // namespace sjs::sim

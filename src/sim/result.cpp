@@ -1,0 +1,36 @@
+#include "sim/result.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sjs::sim {
+
+std::vector<double> SimResult::response_times() const {
+  std::vector<double> out;
+  for (std::size_t i = 0;
+       i < completion_times.size() && i < release_times.size(); ++i) {
+    if (!std::isnan(completion_times[i])) {
+      out.push_back(completion_times[i] - release_times[i]);
+    }
+  }
+  return out;
+}
+
+double SimResult::mean_response_time() const {
+  const auto responses = response_times();
+  if (responses.empty()) return 0.0;
+  double total = 0.0;
+  for (double r : responses) total += r;
+  return total / static_cast<double>(responses.size());
+}
+
+std::string SimResult::to_string() const {
+  std::ostringstream os;
+  os << scheduler_name << ": value " << completed_value << "/"
+     << generated_value << " (" << value_fraction() * 100.0 << "%), "
+     << completed_count << " completed, " << expired_count << " expired, "
+     << preemptions << " preemptions, " << events_processed << " events";
+  return os.str();
+}
+
+}  // namespace sjs::sim

@@ -1,0 +1,66 @@
+// Per-run simulation outcome: value accounting, per-job outcomes, the
+// cumulative value-vs-time trace (paper Fig. 1), and engine counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jobs/job.hpp"
+#include "stats/timeseries.hpp"
+
+namespace sjs::sim {
+
+enum class JobOutcome : std::uint8_t {
+  kPending = 0,   ///< not yet released / still live at end of run
+  kCompleted,     ///< finished by its deadline; value collected
+  kExpired,       ///< deadline passed uncompleted
+};
+
+/// One maximal stretch of uninterrupted execution of one job.
+struct ExecutionSlice {
+  double start = 0.0;
+  double end = 0.0;
+  JobId job = kNoJob;
+};
+
+struct SimResult {
+  std::string scheduler_name;
+
+  double completed_value = 0.0;   ///< Σ v_i over completed jobs
+  double generated_value = 0.0;   ///< Σ v_i over all jobs in the instance
+  std::uint64_t completed_count = 0;
+  std::uint64_t expired_count = 0;
+
+  /// completed_value / generated_value — the paper's Table-I metric.
+  double value_fraction() const {
+    return generated_value > 0.0 ? completed_value / generated_value : 0.0;
+  }
+
+  std::vector<JobOutcome> outcomes;       ///< indexed by JobId
+  std::vector<double> executed_work;      ///< work done per job (<= p_i)
+  /// Completion instant per job; NaN for jobs that expired.
+  std::vector<double> completion_times;
+  /// Release instant per job (copied from the instance for convenience).
+  std::vector<double> release_times;
+  /// Response times (completion − release) of completed jobs, in JobId
+  /// order. Empty when nothing completed.
+  std::vector<double> response_times() const;
+  /// Mean response time of completed jobs (0 when none).
+  double mean_response_time() const;
+  StepFunction value_trace;               ///< cumulative completed value v. time
+  /// Full execution timeline (only populated when Engine::record_schedule()
+  /// was enabled): non-overlapping slices in chronological order.
+  std::vector<ExecutionSlice> schedule;
+
+  // Engine counters (useful for ablations and performance sanity checks).
+  std::uint64_t dispatches = 0;    ///< Engine::run() calls that changed the job
+  std::uint64_t preemptions = 0;   ///< dispatches that displaced an unfinished job
+  std::uint64_t events_processed = 0;
+  double busy_time = 0.0;          ///< total time a job occupied the processor
+  double executed_total = 0.0;     ///< Σ executed work (capacity-seconds)
+
+  std::string to_string() const;
+};
+
+}  // namespace sjs::sim

@@ -1,0 +1,62 @@
+// Online scheduler interface.
+//
+// The engine is interrupt-driven, mirroring the paper's Sec. III-D skeleton:
+// the scheduler sleeps until an interrupt (release / completion-or-failure /
+// timer) and reacts by dispatching a job via Engine::run(). Timers are how
+// algorithm-specific interrupts — V-Dover's zero-conservative-laxity
+// interrupt — are realised: the scheduler arms a timer for the instant a
+// queued job's conservative laxity hits zero.
+//
+// Information hiding: callbacks receive an Engine& whose query surface only
+// exposes what an online scheduler may know (current time, current rate, the
+// band, parameters of *released* jobs, remaining workloads). Future capacity
+// is engine-private.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "jobs/job.hpp"
+
+namespace sjs::sim {
+
+class Engine;
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once at t = 0 before any event.
+  virtual void on_start(Engine& /*engine*/) {}
+
+  /// Job release interrupt: `job` has just been released.
+  virtual void on_release(Engine& engine, JobId job) = 0;
+
+  /// Completion interrupt: the running job finished by its deadline. The
+  /// engine has already stopped it (nothing is running).
+  virtual void on_complete(Engine& engine, JobId job) = 0;
+
+  /// Failure/expiry interrupt: `job` reached its deadline uncompleted.
+  /// `was_running` distinguishes the paper's "failure" interrupt (job died on
+  /// the processor) from a queued job silently expiring. The engine has
+  /// already idled the processor if the job was running.
+  virtual void on_expire(Engine& engine, JobId job, bool was_running) = 0;
+
+  /// A timer armed via Engine::set_timer fired. `tag` is scheduler-defined.
+  virtual void on_timer(Engine& /*engine*/, JobId /*job*/, int /*tag*/) {}
+
+  /// Capacity-change interrupt (only delivered when wants_capacity_events()).
+  virtual void on_capacity_change(Engine& /*engine*/) {}
+
+  /// Opt-in to capacity-change interrupts (observable online: the scheduler
+  /// knows c(τ) for τ <= now). Profiles with many breakpoints make these
+  /// events expensive, so only laxity-tracking schedulers should opt in.
+  virtual bool wants_capacity_events() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sjs::sim

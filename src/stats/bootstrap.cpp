@@ -1,0 +1,70 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+#include "util/logging.hpp"
+
+namespace sjs {
+
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  SJS_CHECK_MSG(!sample.empty(), "bootstrap of an empty sample");
+  SJS_CHECK(confidence > 0.0 && confidence < 1.0);
+  SJS_CHECK(resamples >= 2);
+
+  BootstrapInterval interval;
+  interval.point = statistic(sample);
+
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[rng.below(sample.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = quantile_sorted(stats, alpha);
+  interval.hi = quantile_sorted(stats, 1.0 - alpha);
+  return interval;
+}
+
+BootstrapInterval paired_bootstrap_ci(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& statistic,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  SJS_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                "paired bootstrap needs equal non-empty samples");
+  SJS_CHECK(confidence > 0.0 && confidence < 1.0);
+  SJS_CHECK(resamples >= 2);
+
+  BootstrapInterval interval;
+  interval.point = statistic(a, b);
+
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> ra(a.size()), rb(b.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto pick = rng.below(a.size());
+      ra[i] = a[pick];
+      rb[i] = b[pick];
+    }
+    stats.push_back(statistic(ra, rb));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = quantile_sorted(stats, alpha);
+  interval.hi = quantile_sorted(stats, 1.0 - alpha);
+  return interval;
+}
+
+}  // namespace sjs

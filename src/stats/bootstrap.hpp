@@ -1,0 +1,41 @@
+// Bootstrap confidence intervals.
+//
+// Table-I cells are means of a few hundred per-run fractions, where the
+// normal-approximation CI is fine; but derived quantities — the *relative
+// gain* of V-Dover over the best Dover, ratios of means — have no clean
+// closed-form interval. The percentile bootstrap handles them uniformly:
+// resample runs with replacement, recompute the statistic, take quantiles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sjs {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap for a statistic of one sample.
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    std::size_t resamples = 2000, double confidence = 0.95,
+    std::uint64_t seed = 1);
+
+/// Percentile bootstrap for a statistic of two *paired* samples (common
+/// random numbers pair run i of A with run i of B, so rows are resampled
+/// jointly). Used for the V-Dover-vs-Dover gain.
+BootstrapInterval paired_bootstrap_ci(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& statistic,
+    std::size_t resamples = 2000, double confidence = 0.95,
+    std::uint64_t seed = 1);
+
+}  // namespace sjs

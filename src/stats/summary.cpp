@@ -1,0 +1,42 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "util/logging.hpp"
+
+namespace sjs {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  SJS_CHECK_MSG(!sorted.empty(), "quantile of empty sample");
+  SJS_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Welford w;
+  for (double x : samples) w.add(x);
+  s.count = samples.size();
+  s.mean = w.mean();
+  s.stddev = w.stddev_sample();
+  s.sem = w.sem();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = quantile_sorted(samples, 0.5);
+  s.p05 = quantile_sorted(samples, 0.05);
+  s.p95 = quantile_sorted(samples, 0.95);
+  s.ci95_lo = s.mean - 1.959963984540054 * s.sem;
+  s.ci95_hi = s.mean + 1.959963984540054 * s.sem;
+  return s;
+}
+
+}  // namespace sjs

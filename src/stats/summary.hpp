@@ -1,0 +1,30 @@
+// Batch summary statistics: quantiles and normal-approximation confidence
+// intervals for Monte-Carlo aggregates (the Table-I columns are means over
+// hundreds of runs, so the CLT interval is appropriate).
+#pragma once
+
+#include <vector>
+
+namespace sjs {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     // sample standard deviation
+  double sem = 0.0;        // standard error of the mean
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  double ci95_lo = 0.0;    // mean ± 1.96·sem
+  double ci95_hi = 0.0;
+};
+
+/// Computes all Summary fields from a sample vector (copied for sorting).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolation quantile of a *sorted* vector, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace sjs

@@ -1,0 +1,82 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace sjs {
+
+StepFunction::StepFunction(std::vector<double> times,
+                           std::vector<double> values, double before)
+    : times_(std::move(times)), values_(std::move(values)), before_(before) {
+  SJS_CHECK_MSG(times_.size() == values_.size(),
+                "times/values length mismatch");
+  SJS_CHECK_MSG(std::is_sorted(times_.begin(), times_.end()),
+                "breakpoints must be non-decreasing");
+}
+
+void StepFunction::append(double t, double value) {
+  SJS_CHECK_MSG(times_.empty() || t >= times_.back(),
+                "append out of order: " << t << " < " << times_.back());
+  // Collapse a same-instant update into a single step (the later value wins;
+  // the function stays right-continuous).
+  if (!times_.empty() && t == times_.back()) {
+    values_.back() = value;
+    return;
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double StepFunction::value_at(double t) const {
+  // First breakpoint strictly greater than t, then step back one.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return before_;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+std::vector<double> StepFunction::resample(double t0, double t1,
+                                           std::size_t n) const {
+  SJS_CHECK(n >= 2);
+  SJS_CHECK(t1 >= t0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(value_at(t));
+  }
+  return out;
+}
+
+double StepFunction::integrate(double t0, double t1) const {
+  SJS_CHECK(t1 >= t0);
+  if (t0 == t1) return 0.0;
+  double total = 0.0;
+  double cursor = t0;
+  // Advance segment by segment across breakpoints inside (t0, t1).
+  auto it = std::upper_bound(times_.begin(), times_.end(), t0);
+  while (cursor < t1) {
+    const double seg_end =
+        (it == times_.end()) ? t1 : std::min(t1, *it);
+    total += value_at(cursor) * (seg_end - cursor);
+    cursor = seg_end;
+    if (it != times_.end() && seg_end == *it) ++it;
+  }
+  return total;
+}
+
+std::vector<double> mean_resampled(const std::vector<StepFunction>& series,
+                                   double t0, double t1, std::size_t n) {
+  SJS_CHECK(!series.empty());
+  std::vector<double> acc(n, 0.0);
+  for (const auto& s : series) {
+    auto y = s.resample(t0, t1, n);
+    for (std::size_t i = 0; i < n; ++i) acc[i] += y[i];
+  }
+  for (auto& v : acc) v /= static_cast<double>(series.size());
+  return acc;
+}
+
+}  // namespace sjs

@@ -1,0 +1,52 @@
+// Right-continuous step functions over time.
+//
+// Cumulative-value-vs-time traces (paper Fig. 1) and capacity sample paths are
+// both step functions; this class supports evaluation, resampling onto a
+// uniform grid (for plotting/averaging across Monte-Carlo runs), and linear
+// combination of series defined on different breakpoints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sjs {
+
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Builds from breakpoints: value(t) = values[i] for t in
+  /// [times[i], times[i+1]), and values.back() for t >= times.back().
+  /// Before times.front() the function evaluates to `before` (default 0).
+  StepFunction(std::vector<double> times, std::vector<double> values,
+               double before = 0.0);
+
+  /// Appends a step at time t (must be >= the last breakpoint).
+  void append(double t, double value);
+
+  double value_at(double t) const;
+  double before() const { return before_; }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Samples the function at `n` uniformly spaced points on [t0, t1]
+  /// (inclusive endpoints). Returns the y-values; x grid is implied.
+  std::vector<double> resample(double t0, double t1, std::size_t n) const;
+
+  /// ∫ over [t0, t1] of the step function (exact).
+  double integrate(double t0, double t1) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+  double before_ = 0.0;
+};
+
+/// Pointwise mean of several step functions, sampled on a uniform n-point grid
+/// over [t0, t1]. Used to average value-vs-time traces across runs.
+std::vector<double> mean_resampled(const std::vector<StepFunction>& series,
+                                   double t0, double t1, std::size_t n);
+
+}  // namespace sjs

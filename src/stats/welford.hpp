@@ -1,0 +1,37 @@
+// Numerically stable streaming mean/variance (Welford's algorithm) with
+// parallel merge support (Chan et al.) so per-thread accumulators from
+// Monte-Carlo shards can be combined exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace sjs {
+
+class Welford {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (Chan's pairwise update).
+  void merge(const Welford& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance_population() const;
+  /// Sample variance (divide by n-1); 0 when fewer than two samples.
+  double variance_sample() const;
+  double stddev_sample() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sjs

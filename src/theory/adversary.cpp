@@ -1,0 +1,60 @@
+#include "theory/adversary.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace sjs::theory {
+
+AdversaryPair make_adversary_pair(const AdversaryParams& params) {
+  SJS_CHECK(params.c_lo > 0.0);
+  SJS_CHECK_MSG(params.c_hi > params.c_lo,
+                "the trap needs genuine capacity variation (c_hi > c_lo)");
+  SJS_CHECK(params.n >= 1);
+  SJS_CHECK(params.filler_value > 0.0);
+  SJS_CHECK(params.jackpot_value_factor > 0.0);
+
+  const double n = static_cast<double>(params.n);
+
+  std::vector<Job> jobs;
+  // The jackpot: needs the processor at full c_hi for its entire [0, 1]
+  // window, so p/c_lo = δ > 1 = d − r — NOT individually admissible.
+  Job jackpot;
+  jackpot.release = 0.0;
+  jackpot.deadline = 1.0;
+  jackpot.workload = params.c_hi;
+  jackpot.value = params.jackpot_value_factor * n * params.filler_value;
+  jobs.push_back(jackpot);
+
+  // n back-to-back fillers tiling [0, 1], each individually admissible with
+  // zero conservative laxity (window = p / c_lo exactly).
+  for (int i = 0; i < params.n; ++i) {
+    Job filler;
+    filler.release = static_cast<double>(i) / n;
+    filler.deadline = static_cast<double>(i + 1) / n;
+    filler.workload = params.c_lo / n;
+    filler.value = params.filler_value;
+    jobs.push_back(filler);
+  }
+
+  // High path: c_hi through the window, then back to the floor.
+  cap::CapacityProfile high_profile({0.0, 1.0}, {params.c_hi, params.c_lo});
+  // Low path: the floor throughout.
+  cap::CapacityProfile low_profile(params.c_lo);
+
+  // Both instances declare the same band — the adversary's power comes from
+  // the online scheduler's ignorance of which sample path it is on.
+  AdversaryPair pair{
+      Instance(jobs, high_profile, params.c_lo, params.c_hi),
+      Instance(std::move(jobs), low_profile, params.c_lo, params.c_hi),
+      // On the high path the window's work budget is exactly c_hi, so the
+      // offline scheduler picks the better of "jackpot only" and "fillers
+      // only" (running both is infeasible).
+      /*offline_high=*/std::max(jackpot.value, n * params.filler_value),
+      /*offline_low=*/n * params.filler_value,
+  };
+  return pair;
+}
+
+}  // namespace sjs::theory

@@ -1,0 +1,54 @@
+// Theorem 3(3) demonstration: without individual admissibility no online
+// algorithm has a positive competitive ratio.
+//
+// The paper's proof builds, for each n, an input instance I_n containing one
+// job that is not individually admissible, such that the competitive ratio on
+// the singleton set {I_n} is inversely proportional to n. The essential trap:
+// a "jackpot" job J with workload p = c_hi·(d−r) — completable only if the
+// capacity stays at c_hi for its whole window (so d − r < p/c_lo: not
+// individually admissible) — released alongside n tiny filler jobs worth ε
+// each. The adversary controls the capacity path:
+//
+//   * high path: capacity stays at c_hi through J's window. The offline
+//     scheduler runs J and collects v_J ≈ n·ε·scale; an online scheduler that
+//     hedged on fillers gets O(n·ε).
+//   * low path: capacity drops to c_lo at J's release. J is hopeless; the
+//     offline scheduler collects the fillers. An online scheduler that
+//     gambled on J wasted the window and gets ~0.
+//
+// Since a deterministic online algorithm sees identical histories up to J's
+// release, its ratio on the *pair* is at most max over its one choice, which
+// tends to 0 as v_J grows with n. Our engine evaluates concrete algorithms
+// against the pair and the benches report min-ratio decay with n.
+#pragma once
+
+#include <utility>
+
+#include "jobs/instance.hpp"
+
+namespace sjs::theory {
+
+struct AdversaryParams {
+  double c_lo = 1.0;
+  double c_hi = 10.0;
+  /// Number of filler jobs (the paper's n); jackpot value scales with n.
+  int n = 4;
+  /// Value of each filler job.
+  double filler_value = 1.0;
+  /// Jackpot value = jackpot_value_factor · n · filler_value.
+  double jackpot_value_factor = 10.0;
+};
+
+struct AdversaryPair {
+  Instance high;  ///< capacity stays at c_hi through the jackpot window
+  Instance low;   ///< capacity drops to c_lo at the jackpot release
+  /// Offline-optimal values on each path (known analytically by design).
+  double offline_high;
+  double offline_low;
+};
+
+/// Builds the instance pair I_n. The jackpot job is *not* individually
+/// admissible; all fillers are.
+AdversaryPair make_adversary_pair(const AdversaryParams& params);
+
+}  // namespace sjs::theory

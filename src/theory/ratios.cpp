@@ -1,0 +1,40 @@
+#include "theory/ratios.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace sjs::theory {
+
+double f_k_delta(double k, double delta) {
+  SJS_CHECK_MSG(k >= 1.0, "importance ratio k must be >= 1, got " << k);
+  SJS_CHECK_MSG(delta > 1.0, "f(k, δ) requires δ > 1, got " << delta);
+  return 2.0 * delta + 2.0 +
+         std::log(delta * k) / std::log(delta / (delta - 1.0));
+}
+
+double offline_value_multiplier(double k, double delta) {
+  const double root = std::sqrt(k) + std::sqrt(f_k_delta(k, delta));
+  return root * root + 1.0;
+}
+
+double vdover_competitive_ratio(double k, double delta) {
+  return 1.0 / offline_value_multiplier(k, delta);
+}
+
+double overload_upper_bound(double k) {
+  SJS_CHECK_MSG(k >= 1.0, "importance ratio k must be >= 1, got " << k);
+  const double root = 1.0 + std::sqrt(k);
+  return 1.0 / (root * root);
+}
+
+double optimal_beta(double k, double delta) {
+  return 1.0 + std::sqrt(k / f_k_delta(k, delta));
+}
+
+double dover_beta(double k) {
+  SJS_CHECK_MSG(k >= 1.0, "importance ratio k must be >= 1, got " << k);
+  return 1.0 + std::sqrt(k);
+}
+
+}  // namespace sjs::theory

@@ -1,0 +1,38 @@
+// Closed-form competitive-ratio expressions from the paper (Theorems 1 & 3).
+//
+//   f(k, δ)       = 2δ + 2 + log(δk) / log(δ/(δ−1))          (Lemma 2)
+//   V-Dover ratio = 1 / ((√k + √f(k,δ))² + 1)                (Thm. 3(2))
+//   upper bound   = 1 / (1 + √k)²                            (Thm. 3(1), =
+//                   the constant-capacity optimum, Thm. 1(2))
+//   β*            = 1 + √(k / f(k,δ))                        (Thm. 3 proof)
+//
+// k >= 1 is the importance-ratio bound, δ = c_hi/c_lo > 1 the capacity
+// variation. Thm. 3(2) is asymptotically optimal: achievable/upper → 1 as
+// k → ∞ for fixed δ.
+#pragma once
+
+namespace sjs::theory {
+
+/// f(k, δ) of Lemma 2. Requires k >= 1 and δ > 1 (log(δ/(δ-1)) must be
+/// positive and finite).
+double f_k_delta(double k, double delta);
+
+/// Achievable competitive ratio of V-Dover under individual admissibility
+/// (Theorem 3(2)).
+double vdover_competitive_ratio(double k, double delta);
+
+/// Upper bound on any online algorithm's competitive ratio for overloaded
+/// systems with importance ratio <= k (Theorem 3(1) / Theorem 1(2)).
+double overload_upper_bound(double k);
+
+/// The β threshold minimising the Theorem 3 bound: β* = 1 + √(k/f(k,δ)).
+double optimal_beta(double k, double delta);
+
+/// Dover's constant-capacity threshold 1 + √k (Koren–Shasha).
+double dover_beta(double k);
+
+/// The bound C(I) <= ((√k + √f)² + 1) · (suppval + regval) as a multiplier:
+/// returns (√k + √f(k,δ))² + 1, the reciprocal of the achievable ratio.
+double offline_value_multiplier(double k, double delta);
+
+}  // namespace sjs::theory

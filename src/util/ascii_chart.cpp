@@ -1,0 +1,107 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace sjs {
+
+namespace {
+
+struct Bounds {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_ascii_chart(const std::vector<AsciiSeries>& series,
+                               const AsciiChartOptions& options) {
+  Bounds bx, by;
+  for (const auto& s : series) {
+    for (double v : s.x) bx.include(v);
+    for (double v : s.y) by.include(v);
+  }
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  if (!bx.valid() || !by.valid()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      int col = static_cast<int>(
+          std::lround((s.x[i] - bx.lo) / bx.span() * (w - 1)));
+      int row = static_cast<int>(
+          std::lround((s.y[i] - by.lo) / by.span() * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      // Row 0 of the grid is the top of the chart.
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  for (int r = 0; r < h; ++r) {
+    double y_val = by.hi - by.span() * r / (h - 1);
+    // Label the top, middle and bottom rows only to keep the chart compact.
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      os << format_tick(y_val) << " |";
+    } else {
+      os << std::string(10, ' ') << " |";
+    }
+    os << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << "\n";
+  os << std::string(12, ' ') << format_tick(bx.lo)
+     << std::string(static_cast<std::size_t>(std::max(0, w - 22)), ' ')
+     << format_tick(bx.hi) << "\n";
+  if (!options.x_label.empty()) {
+    os << std::string(12, ' ') << options.x_label << "\n";
+  }
+  for (const auto& s : series) {
+    os << "  " << s.marker << " = " << s.name << "\n";
+  }
+  return os.str();
+}
+
+std::string render_sparkline(const std::vector<double>& y) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (y.empty()) return "";
+  Bounds b;
+  for (double v : y) b.include(v);
+  std::string out;
+  for (double v : y) {
+    int level = static_cast<int>((v - b.lo) / b.span() * 7.0);
+    level = std::clamp(level, 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace sjs

@@ -1,0 +1,36 @@
+// ASCII line charts for terminal output of benchmark series.
+//
+// The benches reproduce the paper's figures; since they run headless, each
+// figure is written both as CSV (for external plotting) and as an ASCII chart
+// so the shape is visible directly in the bench log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sjs {
+
+struct AsciiSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;  // same length as x
+  char marker = '*';
+};
+
+struct AsciiChartOptions {
+  int width = 72;    // plot area columns
+  int height = 20;   // plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more (x, y) series onto a shared axis-scaled grid.
+/// Series may have different x grids; each point is nearest-cell plotted.
+std::string render_ascii_chart(const std::vector<AsciiSeries>& series,
+                               const AsciiChartOptions& options);
+
+/// Renders a compact one-line sparkline of y values (8-level Unicode blocks).
+std::string render_sparkline(const std::vector<double>& y);
+
+}  // namespace sjs

@@ -1,0 +1,207 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace sjs {
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t pos = 0;
+    double v = std::stod(item, &pos);
+    if (pos != item.size()) {
+      throw std::invalid_argument("malformed number in list: " + item);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+void CliFlags::add_double(const std::string& name, double def,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.d = def;
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::add_int(const std::string& name, std::int64_t def,
+                       const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.i = def;
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::add_bool(const std::string& name, bool def,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.b = def;
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::add_string(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.s = def;
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::add_double_list(const std::string& name,
+                               std::vector<double> def,
+                               const std::string& help) {
+  Flag f;
+  f.type = Type::kDoubleList;
+  f.help = help;
+  f.list = std::move(def);
+  flags_[name] = std::move(f);
+}
+
+bool CliFlags::set_value(Flag& flag, const std::string& value) {
+  try {
+    switch (flag.type) {
+      case Type::kDouble:
+        flag.d = std::stod(value);
+        return true;
+      case Type::kInt:
+        flag.i = std::stoll(value);
+        return true;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          flag.b = true;
+        } else if (value == "false" || value == "0") {
+          flag.b = false;
+        } else {
+          return false;
+        }
+        return true;
+      case Type::kString:
+        flag.s = value;
+        return true;
+      case Type::kDoubleList:
+        flag.list = parse_double_list(value);
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!value) {
+      if (flag.type == Type::kBool) {
+        value = "true";  // bare --flag enables a boolean
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + name + " expects a value";
+        return false;
+      }
+    }
+    if (!set_value(flag, *value)) {
+      error_ = "bad value for --" + name + ": " + *value;
+      return false;
+    }
+  }
+  return true;
+}
+
+const CliFlags::Flag* CliFlags::find(const std::string& name,
+                                     Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.type != type) {
+    throw std::logic_error("flag not registered with this type: " + name);
+  }
+  return &it->second;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return find(name, Type::kDouble)->d;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return find(name, Type::kInt)->i;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Type::kBool)->b;
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Type::kString)->s;
+}
+
+const std::vector<double>& CliFlags::get_double_list(
+    const std::string& name) const {
+  return find(name, Type::kDoubleList)->list;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kDouble:
+        os << "=<double> (default " << flag.d << ")";
+        break;
+      case Type::kInt:
+        os << "=<int> (default " << flag.i << ")";
+        break;
+      case Type::kBool:
+        os << " (default " << (flag.b ? "true" : "false") << ")";
+        break;
+      case Type::kString:
+        os << "=<string> (default \"" << flag.s << "\")";
+        break;
+      case Type::kDoubleList: {
+        os << "=<d1,d2,...> (default ";
+        for (std::size_t i = 0; i < flag.list.size(); ++i) {
+          if (i) os << ",";
+          os << flag.list[i];
+        }
+        os << ")";
+        break;
+      }
+    }
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sjs

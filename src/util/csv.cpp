@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace sjs {
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open for writing: " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& fields) {
+  std::vector<std::string> row;
+  row.reserve(fields.size());
+  for (double v : fields) row.push_back(format_double(v));
+  write_row(row);
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    fields.push_back(std::move(field));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace sjs

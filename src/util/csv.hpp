@@ -1,0 +1,40 @@
+// Small CSV writer/reader for experiment output and capacity traces.
+//
+// The writer escapes per RFC 4180 (quotes around fields containing commas,
+// quotes, or newlines). The reader supports the same subset and is only used
+// for files this library writes, so it is intentionally not a general parser.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sjs {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Each field is escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void write_row_numeric(const std::vector<double>& fields);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads an entire CSV file into rows of fields. Throws on I/O error.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Formats a double with enough digits to round-trip.
+std::string format_double(double v);
+
+}  // namespace sjs

@@ -1,0 +1,33 @@
+// gnuplot script emission for the figure benches: each bench writes its data
+// as CSV and, via this helper, a ready-to-run .gp script so
+// `gnuplot fig1_chat1.0.gp` reproduces the paper-style figure with no manual
+// plumbing. Kept deliberately tiny — the scripts reference the CSVs by name
+// and set only the cosmetics the paper's figures use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sjs {
+
+struct GnuplotSeries {
+  std::string csv_path;  ///< data file (CSV with header row)
+  int x_column = 1;      ///< 1-based column indices, as gnuplot counts
+  int y_column = 2;
+  std::string title;
+};
+
+struct GnuplotFigure {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::string output_png;  ///< empty = interactive terminal
+  std::vector<GnuplotSeries> series;
+};
+
+/// Writes a gnuplot script rendering `figure` to `script_path`.
+/// Throws std::runtime_error on I/O failure.
+void write_gnuplot_script(const GnuplotFigure& figure,
+                          const std::string& script_path);
+
+}  // namespace sjs

@@ -1,0 +1,64 @@
+// Lightweight leveled logging plus always-on invariant checks.
+//
+// SJS_CHECK is used for invariants that must hold in release builds (engine
+// and scheduler state machines); it throws sjs::CheckError rather than
+// aborting so tests can assert that violations are detected.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sjs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// library code is silent in benches unless asked.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes a formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+/// Thrown by SJS_CHECK on invariant violation.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace sjs
+
+// Invariant check, enabled in all build types. The streamed message is only
+// evaluated on failure.
+#define SJS_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::sjs::detail::check_failed(#expr, __FILE__, __LINE__, std::string()); \
+    }                                                                       \
+  } while (0)
+
+#define SJS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream sjs_check_os_;                                 \
+      sjs_check_os_ << msg;                                             \
+      ::sjs::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                  sjs_check_os_.str());                 \
+    }                                                                   \
+  } while (0)
+
+#define SJS_LOG(level, msg)                                    \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::sjs::log_level())) {                \
+      std::ostringstream sjs_log_os_;                          \
+      sjs_log_os_ << msg;                                      \
+      ::sjs::log_message(level, sjs_log_os_.str());            \
+    }                                                          \
+  } while (0)

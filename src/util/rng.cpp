@@ -1,0 +1,48 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace sjs {
+
+double Rng::exponential_mean(double mean) {
+  // -mean * log(U) with U in (0, 1]; uniform01() is in [0, 1) so flip it.
+  double u = 1.0 - uniform01();
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double u = uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+}  // namespace sjs

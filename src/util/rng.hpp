@@ -1,0 +1,122 @@
+// Deterministic, splittable random number generation for simulations.
+//
+// Monte-Carlo experiments must be reproducible run-to-run and independent of
+// thread scheduling, so every simulation run derives its own Rng from a
+// (master_seed, run_index) pair via SplitMix64 — never from shared state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sjs {
+
+/// SplitMix64: used to seed and to derive independent streams.
+/// Passes BigCrush; trivially splittable by seeding from distinct inputs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xD1B54A32D192ED03ULL) { reseed(seed); }
+
+  /// Derives an independent stream for run `stream` of master seed `seed`.
+  /// Distinct (seed, stream) pairs yield de-correlated state initialisations.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+    for (auto& s : s_) s = mix.next();
+  }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 mix(seed);
+    for (auto& s : s_) s = mix.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Exponential with the given mean (mean = 1/rate). Strictly positive.
+  double exponential_mean(double mean);
+
+  /// Exponential with the given rate. Strictly positive.
+  double exponential_rate(double rate) { return exponential_mean(1.0 / rate); }
+
+  /// Uniform integer in [0, n). Unbiased (rejection sampling).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed workloads).
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  // Cached second normal deviate from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sjs

@@ -1,0 +1,195 @@
+// FIFO and greedy (HVF / HVDF) baseline scheduler tests, plus the factory.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+#include "sched/factory.hpp"
+#include "sched/fifo.hpp"
+#include "sched/greedy.hpp"
+#include "sim/engine.hpp"
+
+namespace sjs {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+template <typename SchedulerT, typename... Args>
+sim::SimResult run_with(const Instance& instance, Args&&... args) {
+  SchedulerT scheduler(std::forward<Args>(args)...);
+  sim::Engine engine(instance, scheduler);
+  return engine.run_to_completion();
+}
+
+// ---------------------------------------------------------------- FIFO
+
+TEST(Fifo, RunsInReleaseOrder) {
+  Instance instance(
+      {make_job(0.0, 2.0, 10.0, 1.0), make_job(1.0, 2.0, 3.5, 5.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::FifoScheduler>(instance);
+  // FIFO refuses to preempt: job 1 (tight deadline) waits and fails.
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 1.0);
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(Fifo, NeverPreempts) {
+  Instance instance(
+      {make_job(0.0, 5.0, 20.0, 1.0), make_job(1.0, 1.0, 3.0, 100.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::FifoScheduler>(instance);
+  EXPECT_EQ(result.preemptions, 0u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 1.0);  // the jackpot is lost
+}
+
+TEST(Fifo, SkipsExpiredQueueEntries) {
+  Instance instance(
+      {make_job(0.0, 4.0, 10.0, 1.0), make_job(1.0, 1.0, 2.0, 1.0),
+       make_job(2.0, 1.0, 20.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::FifoScheduler>(instance);
+  EXPECT_EQ(result.completed_count, 2u);  // jobs 0 and 2
+  EXPECT_EQ(result.expired_count, 1u);
+}
+
+TEST(Fifo, DrainsQueueAfterIdleGap) {
+  Instance instance(
+      {make_job(0.0, 1.0, 5.0, 1.0), make_job(10.0, 1.0, 15.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::FifoScheduler>(instance);
+  EXPECT_EQ(result.completed_count, 2u);
+}
+
+// ---------------------------------------------------------------- Greedy
+
+TEST(Greedy, HvfPrefersAbsoluteValue) {
+  // Job 1 has the higher value but lower density — HVF must still run it.
+  Instance instance(
+      {make_job(0.0, 1.0, 2.0, 5.0), make_job(0.0, 10.0, 12.0, 8.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::GreedyScheduler>(instance,
+                                                 sched::GreedyKey::kValue);
+  // HVF runs job 1 (v=8) for its whole window; job 0 (v=5) expires.
+  EXPECT_DOUBLE_EQ(result.completed_value, 8.0);
+}
+
+TEST(Greedy, HvdfPrefersDensity) {
+  Instance instance(
+      {make_job(0.0, 1.0, 2.0, 5.0), make_job(0.0, 10.0, 12.0, 8.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_with<sched::GreedyScheduler>(
+      instance, sched::GreedyKey::kValueDensity);
+  // HVDF runs job 0 (density 5) first, then job 1 still fits ([1,11] in a
+  // 12-deadline window): both complete.
+  EXPECT_DOUBLE_EQ(result.completed_value, 13.0);
+}
+
+TEST(Greedy, PreemptsForHigherValueArrival) {
+  Instance instance(
+      {make_job(0.0, 5.0, 20.0, 1.0), make_job(1.0, 1.0, 3.0, 100.0)},
+      cap::CapacityProfile(1.0));
+  auto result =
+      run_with<sched::GreedyScheduler>(instance, sched::GreedyKey::kValue);
+  EXPECT_EQ(result.preemptions, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 101.0);
+}
+
+TEST(Greedy, NamesDiffer) {
+  EXPECT_EQ(sched::GreedyScheduler(sched::GreedyKey::kValue).name(), "HVF");
+  EXPECT_EQ(sched::GreedyScheduler(sched::GreedyKey::kValueDensity).name(),
+            "HVDF");
+}
+
+// ---------------------------------------------------------------- NP-EDF
+
+TEST(NpEdf, NeverPreempts) {
+  Instance instance(
+      {make_job(0.0, 5.0, 20.0, 1.0), make_job(1.0, 1.0, 2.5, 100.0)},
+      cap::CapacityProfile(1.0));
+  auto factory = sched::make_np_edf();
+  auto scheduler = factory.make();
+  sim::Engine engine(instance, *scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.preemptions, 0u);
+  // The urgent valuable job dies waiting — the cost of non-preemption.
+  EXPECT_DOUBLE_EQ(result.completed_value, 1.0);
+}
+
+TEST(NpEdf, PicksEarliestDeadlineAtDispatchBoundaries) {
+  Instance instance(
+      {make_job(0.0, 1.0, 10.0, 1.0), make_job(0.5, 1.0, 9.0, 1.0),
+       make_job(0.6, 1.0, 3.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto factory = sched::make_np_edf();
+  auto scheduler = factory.make();
+  sim::Engine engine(instance, *scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 3u);
+  // After job 0 finishes at t=1, job 2 (deadline 3) runs before job 1.
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[1], 2.0);
+}
+
+TEST(NpEdf, MatchesEdfWhenNoPreemptionNeeded) {
+  // Strictly sequential windows: preemptive and non-preemptive EDF coincide.
+  Instance instance(
+      {make_job(0.0, 1.0, 2.0, 1.0), make_job(2.0, 1.0, 4.0, 2.0)},
+      cap::CapacityProfile(1.0));
+  auto np = sched::make_np_edf().make();
+  sim::Engine engine_np(instance, *np);
+  auto np_result = engine_np.run_to_completion();
+  auto p = sched::make_edf().make();
+  sim::Engine engine_p(instance, *p);
+  auto p_result = engine_p.run_to_completion();
+  EXPECT_DOUBLE_EQ(np_result.completed_value, p_result.completed_value);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(Factory, PaperLineupLayout) {
+  auto lineup = sched::paper_lineup({1.0, 10.5, 24.5, 35.0});
+  ASSERT_EQ(lineup.size(), 5u);
+  EXPECT_EQ(lineup[0].name, "Dover(c^=1)");
+  EXPECT_EQ(lineup[3].name, "Dover(c^=35)");
+  EXPECT_EQ(lineup[4].name, "V-Dover");
+}
+
+TEST(Factory, ExtendedLineupAppendsBaselines) {
+  auto lineup = sched::extended_lineup({1.0});
+  ASSERT_EQ(lineup.size(), 9u);
+  EXPECT_EQ(lineup[1].name, "V-Dover");
+  EXPECT_EQ(lineup[2].name, "EDF");
+  EXPECT_EQ(lineup[3].name, "EDF-AC");
+  EXPECT_EQ(lineup.back().name, "SRPT");
+}
+
+TEST(Factory, FactoriesProduceFreshSchedulers) {
+  auto factory = sched::make_edf();
+  auto a = factory.make();
+  auto b = factory.make();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "EDF");
+}
+
+TEST(Factory, EachFactoryRunsACompleteSimulation) {
+  Instance instance(
+      {make_job(0.0, 1.0, 3.0, 1.0), make_job(0.5, 1.0, 4.0, 2.0)},
+      cap::CapacityProfile({0.0, 2.0}, {1.0, 3.0}));
+  for (const auto& factory : sched::extended_lineup({1.0, 35.0})) {
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    auto result = engine.run_to_completion();
+    EXPECT_EQ(result.completed_count + result.expired_count, 2u)
+        << factory.name;
+    EXPECT_GE(result.completed_value, 0.0) << factory.name;
+  }
+}
+
+}  // namespace
+}  // namespace sjs

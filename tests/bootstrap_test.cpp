@@ -1,0 +1,106 @@
+// Bootstrap confidence-interval tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "stats/bootstrap.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+TEST(Bootstrap, PointEstimateIsExact) {
+  std::vector<double> sample{1, 2, 3, 4, 5};
+  auto interval = bootstrap_ci(sample, mean_of, 500, 0.95, 7);
+  EXPECT_DOUBLE_EQ(interval.point, 3.0);
+}
+
+TEST(Bootstrap, IntervalBracketsPoint) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.normal() + 10.0);
+  auto interval = bootstrap_ci(sample, mean_of, 1000, 0.95, 7);
+  EXPECT_LE(interval.lo, interval.point);
+  EXPECT_GE(interval.hi, interval.point);
+  // For n=200 standard normals around 10 the 95% CI is roughly ±0.14.
+  EXPECT_NEAR(interval.hi - interval.lo, 0.28, 0.12);
+}
+
+TEST(Bootstrap, DeterministicInSeed) {
+  std::vector<double> sample{1, 5, 2, 8, 3};
+  auto a = bootstrap_ci(sample, mean_of, 300, 0.9, 42);
+  auto b = bootstrap_ci(sample, mean_of, 300, 0.9, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, WiderConfidenceIsWiderInterval) {
+  Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.uniform(0, 1));
+  auto narrow = bootstrap_ci(sample, mean_of, 1000, 0.80, 7);
+  auto wide = bootstrap_ci(sample, mean_of, 1000, 0.99, 7);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, CoverageNearNominal) {
+  // Repeat: CI for the mean of U[0,1] samples should cover 0.5 about 95%
+  // of the time. With 60 trials, expect at least ~50 covers.
+  int covered = 0;
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    Rng rng(trial + 100);
+    std::vector<double> sample;
+    for (int i = 0; i < 60; ++i) sample.push_back(rng.uniform(0, 1));
+    auto interval = bootstrap_ci(sample, mean_of, 400, 0.95, trial);
+    covered += (interval.lo <= 0.5 && 0.5 <= interval.hi);
+  }
+  EXPECT_GE(covered, 50);
+}
+
+TEST(Bootstrap, RejectsDegenerateInput) {
+  EXPECT_THROW(bootstrap_ci({}, mean_of), CheckError);
+  EXPECT_THROW(bootstrap_ci({1.0}, mean_of, 1), CheckError);
+  EXPECT_THROW(bootstrap_ci({1.0}, mean_of, 100, 1.5), CheckError);
+}
+
+TEST(PairedBootstrap, GainOfPairedShiftIsTight) {
+  // b = a + 2 exactly: the gain statistic has zero variance under paired
+  // resampling, so the interval collapses onto the point.
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.uniform(1, 2));
+    b.push_back(a.back() + 2.0);
+  }
+  auto gain = [](const std::vector<double>& x, const std::vector<double>& y) {
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      mx += x[i];
+      my += y[i];
+    }
+    return my / mx;
+  };
+  auto interval = paired_bootstrap_ci(a, b, gain, 500, 0.95, 7);
+  EXPECT_GT(interval.point, 1.0);
+  // Paired resampling preserves the +2 coupling, but the ratio of means
+  // still varies a little with which rows are drawn.
+  EXPECT_LT(interval.hi - interval.lo, 0.5);
+  EXPECT_LE(interval.lo, interval.point);
+  EXPECT_GE(interval.hi, interval.point);
+}
+
+TEST(PairedBootstrap, RejectsMismatchedSizes) {
+  auto stat = [](const std::vector<double>&, const std::vector<double>&) {
+    return 0.0;
+  };
+  EXPECT_THROW(paired_bootstrap_ci({1.0}, {1.0, 2.0}, stat), CheckError);
+}
+
+}  // namespace
+}  // namespace sjs

@@ -1,0 +1,142 @@
+// Tests for capacity-path descriptive statistics.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "capacity/capacity_stats.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::cap {
+namespace {
+
+const CapacityProfile kProfile({0.0, 10.0, 20.0}, {1.0, 35.0, 2.0});
+
+TEST(CapacityStats, MeanRateKnownValues) {
+  EXPECT_DOUBLE_EQ(mean_rate(kProfile, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(mean_rate(kProfile, 0.0, 20.0), (10.0 + 350.0) / 20.0);
+  EXPECT_DOUBLE_EQ(mean_rate(kProfile, 5.0, 15.0), (5.0 + 175.0) / 10.0);
+}
+
+TEST(CapacityStats, MeanRateRejectsEmptyInterval) {
+  EXPECT_THROW(mean_rate(kProfile, 3.0, 3.0), CheckError);
+}
+
+TEST(CapacityStats, DutyCycle) {
+  // rate >= 2 holds on [10, 20) and on [20, 30): 2/3 of [0, 30].
+  EXPECT_DOUBLE_EQ(duty_cycle(kProfile, 2.0, 0.0, 30.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(duty_cycle(kProfile, 1.0, 0.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(duty_cycle(kProfile, 100.0, 0.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(duty_cycle(kProfile, 35.0, 0.0, 20.0), 0.5);
+}
+
+TEST(CapacityStats, TimeAtRate) {
+  auto shares = time_at_rate(kProfile, 0.0, 30.0);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_DOUBLE_EQ(shares.at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(shares.at(35.0), 10.0);
+  EXPECT_DOUBLE_EQ(shares.at(2.0), 10.0);
+}
+
+TEST(CapacityStats, TimeAtRatePartialWindow) {
+  auto shares = time_at_rate(kProfile, 5.0, 12.0);
+  EXPECT_DOUBLE_EQ(shares.at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(shares.at(35.0), 2.0);
+  EXPECT_EQ(shares.count(2.0), 0u);
+}
+
+TEST(CapacityStats, ObservedBandNarrowerThanDeclared) {
+  // Only looking at [0, 10): the path never visits 35 or 2.
+  auto band = observed_band(kProfile, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(band.lo, 1.0);
+  EXPECT_DOUBLE_EQ(band.hi, 1.0);
+  EXPECT_DOUBLE_EQ(band.delta(), 1.0);
+  auto full = observed_band(kProfile, 0.0, 30.0);
+  EXPECT_DOUBLE_EQ(full.lo, 1.0);
+  EXPECT_DOUBLE_EQ(full.hi, 35.0);
+  EXPECT_DOUBLE_EQ(full.delta(), 35.0);
+}
+
+TEST(CapacityStats, SegmentDurations) {
+  auto durations = segment_durations(kProfile, 5.0, 25.0);
+  ASSERT_EQ(durations.size(), 3u);
+  EXPECT_DOUBLE_EQ(durations[0], 5.0);
+  EXPECT_DOUBLE_EQ(durations[1], 10.0);
+  EXPECT_DOUBLE_EQ(durations[2], 5.0);
+}
+
+TEST(CapacityStats, SharesPartitionTheWindow) {
+  Rng rng(4);
+  TwoStateMarkovParams params;
+  params.mean_sojourn_lo = params.mean_sojourn_hi = 3.0;
+  auto profile = sample_two_state_markov(params, 100.0, rng);
+  auto shares = time_at_rate(profile, 0.0, 100.0);
+  double total = 0.0;
+  for (const auto& [rate, time] : shares) total += time;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  // And the duty cycle at the high state equals its share.
+  EXPECT_NEAR(duty_cycle(profile, 35.0, 0.0, 100.0),
+              shares.count(35.0) ? shares.at(35.0) / 100.0 : 0.0, 1e-12);
+}
+
+TEST(CapacityFit, RecoversKnownTwoStateParameters) {
+  // Long sampled path from known parameters: the moment estimator must land
+  // close to the truth.
+  Rng rng(6);
+  TwoStateMarkovParams truth;
+  truth.c_lo = 1.0;
+  truth.c_hi = 35.0;
+  truth.mean_sojourn_lo = 4.0;
+  truth.mean_sojourn_hi = 8.0;
+  auto profile = sample_two_state_markov(truth, 20000.0, rng);
+  auto fit = fit_two_state_markov(profile, 0.0, 20000.0);
+  // Only two levels exist, so the fitted levels are exact up to the
+  // time-weighted-average's accumulation rounding.
+  EXPECT_NEAR(fit.c_lo, 1.0, 1e-9);
+  EXPECT_NEAR(fit.c_hi, 35.0, 1e-9);
+  EXPECT_NEAR(fit.mean_sojourn_lo, 4.0, 0.5);
+  EXPECT_NEAR(fit.mean_sojourn_hi, 8.0, 1.0);
+  EXPECT_GT(fit.low_visits, 1000u);
+}
+
+TEST(CapacityFit, ConstantPathIsDegenerate) {
+  CapacityProfile p(3.0);
+  auto fit = fit_two_state_markov(p, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(fit.c_lo, 3.0);
+  EXPECT_DOUBLE_EQ(fit.c_hi, 3.0);
+  EXPECT_EQ(fit.low_visits, 1u);
+  EXPECT_EQ(fit.high_visits, 0u);
+  EXPECT_DOUBLE_EQ(fit.mean_sojourn_lo, 10.0);
+}
+
+TEST(CapacityFit, SquareWaveExactSojourns) {
+  auto p = square_wave(1.0, 10.0, 2.0, 3.0, 20.0);
+  auto fit = fit_two_state_markov(p, 0.0, 20.0);
+  EXPECT_DOUBLE_EQ(fit.c_lo, 1.0);
+  EXPECT_DOUBLE_EQ(fit.c_hi, 10.0);
+  EXPECT_NEAR(fit.mean_sojourn_lo, 2.0, 1e-9);
+  EXPECT_NEAR(fit.mean_sojourn_hi, 3.0, 1e-9);
+}
+
+TEST(CapacityFit, MultiLevelPathSplitsAtMidpoint) {
+  // Rates 1, 2 (low side of midpoint 5.5) and 9, 10 (high side).
+  CapacityProfile p({0.0, 1.0, 2.0, 3.0}, {1.0, 9.0, 2.0, 10.0});
+  auto fit = fit_two_state_markov(p, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(fit.c_lo, 1.5);   // time-weighted mean of {1, 2}
+  EXPECT_DOUBLE_EQ(fit.c_hi, 9.5);
+  EXPECT_EQ(fit.low_visits, 2u);
+  EXPECT_EQ(fit.high_visits, 2u);
+}
+
+TEST(CapacityStats, MeanRateConsistentWithShares) {
+  Rng rng(5);
+  TwoStateMarkovParams params;
+  params.mean_sojourn_lo = params.mean_sojourn_hi = 5.0;
+  auto profile = sample_two_state_markov(params, 60.0, rng);
+  auto shares = time_at_rate(profile, 0.0, 60.0);
+  double weighted = 0.0;
+  for (const auto& [rate, time] : shares) weighted += rate * time;
+  EXPECT_NEAR(mean_rate(profile, 0.0, 60.0), weighted / 60.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sjs::cap

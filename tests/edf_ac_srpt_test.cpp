@@ -1,0 +1,181 @@
+// Tests for the EDF-with-admission-control and conservative-SRPT baselines.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/edf_ac.hpp"
+#include "sched/srpt.hpp"
+#include "sched/vdover.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::sched {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+// ---------------------------------------------------------------- EDF-AC
+
+TEST(EdfAc, AdmitsFeasibleSet) {
+  Instance instance({make_job(0, 1, 2, 1), make_job(0, 1, 3, 1),
+                     make_job(0, 1, 4, 1)},
+                    cap::CapacityProfile(1.0));
+  EdfAcScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 3u);
+  EXPECT_EQ(scheduler.rejected(), 0u);
+}
+
+TEST(EdfAc, RejectsOverloadingArrival) {
+  // Two zero-laxity jobs back to back: the second cannot be added without
+  // breaking the first's guarantee.
+  Instance instance({make_job(0, 4, 4, 1), make_job(1, 2, 3, 100)},
+                    cap::CapacityProfile(1.0));
+  EdfAcScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(scheduler.rejected(), 1u);
+  // The admitted (first) job completes, the jackpot was turned away — the
+  // price of hard guarantees.
+  EXPECT_DOUBLE_EQ(result.completed_value, 1.0);
+}
+
+TEST(EdfAc, EveryAdmittedJobCompletes) {
+  // The defining property: admission at c_lo + capacity >= c_lo means no
+  // admitted job ever misses. Expired jobs must all be rejects.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 600);
+    gen::PaperSetup setup;
+    setup.lambda = 8.0;
+    setup.expected_jobs = 200.0;
+    auto instance = gen::generate_paper_instance(setup, rng);
+    EdfAcScheduler scheduler;
+    sim::Engine engine(instance, scheduler);
+    auto result = engine.run_to_completion();
+    EXPECT_EQ(result.expired_count, scheduler.rejected()) << "seed " << seed;
+  }
+}
+
+TEST(EdfAc, AdmissionUsesRemainingNotOriginalWork) {
+  // Job 0 is half done by the time job 1 arrives; admitting job 1 is only
+  // possible because the test uses remaining work.
+  Instance instance({make_job(0, 4, 8, 1), make_job(2, 5.5, 8, 1)},
+                    cap::CapacityProfile(1.0));
+  EdfAcScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  // At t=2: job 0 has 2 remaining (deadline 8 -> needs 2 of 6), job 1 needs
+  // 5.5: total 7.5 > 6 -> reject. With remaining-work accounting this is
+  // correctly rejected; with original workload it would also reject. Flip
+  // the case: make job 1 fit exactly thanks to progress.
+  Instance fits({make_job(0, 4, 8, 1), make_job(2, 4.0, 8, 1)},
+                cap::CapacityProfile(1.0));
+  EdfAcScheduler scheduler2;
+  sim::Engine engine2(fits, scheduler2);
+  auto result2 = engine2.run_to_completion();
+  EXPECT_EQ(result2.completed_count, 2u);  // 2 + 4 = 6 <= 6: admitted
+  EXPECT_EQ(scheduler2.rejected(), 0u);
+  EXPECT_EQ(result.completed_count + result.expired_count, 2u);
+}
+
+TEST(EdfAc, LeavesValueOnTheTableVsVDoverWhenCapacityRises) {
+  // Capacity is mostly far above c_lo: conservative admission rejects jobs
+  // the actual path could have served; V-Dover's supplement queue catches
+  // them. Aggregate over seeds for robustness.
+  double edfac_total = 0.0, vdover_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 900);
+    gen::PaperSetup setup;
+    setup.lambda = 6.0;
+    setup.expected_jobs = 300.0;
+    auto instance = gen::generate_paper_instance(setup, rng);
+    {
+      EdfAcScheduler scheduler;
+      sim::Engine engine(instance, scheduler);
+      edfac_total += engine.run_to_completion().completed_value;
+    }
+    {
+      VDoverScheduler scheduler;
+      sim::Engine engine(instance, scheduler);
+      vdover_total += engine.run_to_completion().completed_value;
+    }
+  }
+  EXPECT_GT(vdover_total, edfac_total);
+}
+
+// ---------------------------------------------------------------- SRPT
+
+TEST(Srpt, PrefersShortJob) {
+  Instance instance({make_job(0, 10, 20, 1), make_job(1, 1, 20, 1)},
+                    cap::CapacityProfile(1.0));
+  SrptScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 2u);
+  EXPECT_EQ(result.preemptions, 1u);
+  // Short job jumps the queue: completes at t=2.
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[0], 2.0);
+}
+
+TEST(Srpt, NoPreemptionWhenRunningIsShorter) {
+  Instance instance({make_job(0, 2, 10, 1), make_job(1, 5, 10, 1)},
+                    cap::CapacityProfile(1.0));
+  SrptScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.preemptions, 0u);
+  EXPECT_EQ(result.completed_count, 2u);
+}
+
+TEST(Srpt, ResumedJobKeyUsesUpdatedRemaining) {
+  // Job 0 (p=10) preempted by job 1 (p=1) at t=5 has 5 remaining; job 2
+  // (p=3, released t=6) must still beat it.
+  Instance instance({make_job(0, 10, 30, 1), make_job(5, 1, 30, 1),
+                     make_job(6, 3, 30, 1)},
+                    cap::CapacityProfile(1.0));
+  SrptScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 3u);
+  const auto& times = result.value_trace.times();
+  // job1 at t=6, job2 at t=9, job0 at t=14.
+  EXPECT_DOUBLE_EQ(times[0], 6.0);
+  EXPECT_DOUBLE_EQ(times[1], 9.0);
+  EXPECT_DOUBLE_EQ(times[2], 14.0);
+}
+
+TEST(Srpt, MaximisesCompletionCountUnderOverload) {
+  // Many small + one huge job, all sharing a window: SRPT finishes the
+  // small ones; value-blindness is the known cost.
+  std::vector<Job> jobs{make_job(0, 8, 10, 100)};
+  for (int i = 0; i < 5; ++i) jobs.push_back(make_job(0, 1, 10, 1));
+  Instance instance(jobs, cap::CapacityProfile(1.0));
+  SrptScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 5u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 5.0);  // the 100 is lost
+}
+
+TEST(Srpt, SurvivesPaperWorkload) {
+  Rng rng(77);
+  gen::PaperSetup setup;
+  setup.lambda = 8.0;
+  setup.expected_jobs = 300.0;
+  auto instance = gen::generate_paper_instance(setup, rng);
+  SrptScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count + result.expired_count, instance.size());
+}
+
+}  // namespace
+}  // namespace sjs::sched

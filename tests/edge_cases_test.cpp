@@ -1,0 +1,181 @@
+// Edge cases across the engine and schedulers: simultaneous events, zero
+// values, completion exactly at capacity switches, duplicate release
+// instants, extreme bands, and degenerate instances.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+sim::SimResult run_factory(const Instance& instance,
+                           const sched::NamedFactory& factory) {
+  auto scheduler = factory.make();
+  sim::Engine engine(instance, *scheduler);
+  return engine.run_to_completion();
+}
+
+TEST(EdgeCases, EmptyInstanceRunsCleanly) {
+  Instance instance({}, cap::CapacityProfile(1.0));
+  for (const auto& factory : sched::extended_lineup({1.0})) {
+    auto result = run_factory(instance, factory);
+    EXPECT_EQ(result.completed_count, 0u) << factory.name;
+    EXPECT_DOUBLE_EQ(result.completed_value, 0.0) << factory.name;
+  }
+}
+
+TEST(EdgeCases, SimultaneousReleasesAllHandled) {
+  // Five jobs released at the same instant with staggered deadlines.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(1.0, 1.0, 2.0 + i, 1.0));
+  }
+  Instance instance(jobs, cap::CapacityProfile(1.0));
+  for (const auto& factory : sched::extended_lineup({1.0})) {
+    auto result = run_factory(instance, factory);
+    EXPECT_EQ(result.completed_count + result.expired_count, 5u)
+        << factory.name;
+  }
+  // EDF completes all five (they are exactly feasible back to back).
+  auto edf = run_factory(instance, sched::make_edf());
+  EXPECT_EQ(edf.completed_count, 5u);
+}
+
+TEST(EdgeCases, ZeroValueJobIsLegalAndCounted) {
+  Instance instance({make_job(0, 1, 3, 0.0)}, cap::CapacityProfile(1.0));
+  auto result = run_factory(instance, sched::make_vdover());
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 0.0);
+}
+
+TEST(EdgeCases, CompletionExactlyAtCapacitySwitch) {
+  // 5 units of work, rate 1 on [0,5): completion lands exactly on the
+  // breakpoint where the rate jumps — the inversion must not double-count.
+  Instance instance({make_job(0, 5, 10, 1)},
+                    cap::CapacityProfile({0.0, 5.0}, {1.0, 35.0}));
+  auto result = run_factory(instance, sched::make_edf());
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[0], 5.0);
+}
+
+TEST(EdgeCases, ReleaseExactlyAtCapacitySwitch) {
+  Instance instance({make_job(5.0, 35.0, 6.0, 1.0)},
+                    cap::CapacityProfile({0.0, 5.0}, {1.0, 35.0}));
+  // Released exactly when rate becomes 35: 35 units in one second.
+  auto result = run_factory(instance, sched::make_edf());
+  EXPECT_EQ(result.completed_count, 1u);
+}
+
+TEST(EdgeCases, DeadlineBeyondCapacityTraceEnd) {
+  // Profile sampled only to t=10 but the job's window extends past it; the
+  // final rate extends to infinity.
+  Instance instance({make_job(9.0, 10.0, 30.0, 1.0)},
+                    cap::CapacityProfile({0.0, 10.0}, {1.0, 2.0}));
+  auto result = run_factory(instance, sched::make_vdover());
+  EXPECT_EQ(result.completed_count, 1u);
+}
+
+TEST(EdgeCases, ManyTinyJobsStressQueues) {
+  Rng rng(50);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 500; ++i) {
+    const double r = rng.uniform(0.0, 10.0);
+    const double p = rng.uniform(0.001, 0.02);
+    jobs.push_back(make_job(r, p, r + p * rng.uniform(1.0, 3.0),
+                            p * rng.uniform(1.0, 7.0)));
+  }
+  Instance instance(jobs, cap::CapacityProfile({0.0, 5.0}, {1.0, 4.0}));
+  for (const auto& factory : sched::extended_lineup({1.0, 4.0})) {
+    auto result = run_factory(instance, factory);
+    EXPECT_EQ(result.completed_count + result.expired_count, 500u)
+        << factory.name;
+  }
+}
+
+TEST(EdgeCases, HugeBandRatio) {
+  // delta = 1e6: numerical stress on the stretch-era formulas and laxities.
+  Instance instance(
+      {make_job(0, 1, 1.0, 1.0), make_job(0.5, 2e6, 3.0, 7.0)},
+      cap::CapacityProfile({0.0, 2.0}, {1.0, 1e6}), 1.0, 1e6);
+  for (const auto& factory :
+       {sched::make_vdover(), sched::make_dover(1.0), sched::make_edf()}) {
+    auto result = run_factory(instance, factory);
+    EXPECT_EQ(result.completed_count + result.expired_count, 2u)
+        << factory.name;
+  }
+}
+
+TEST(EdgeCases, IdenticalJobsTieBreakDeterministically) {
+  std::vector<Job> jobs(4, make_job(0.0, 1.0, 10.0, 2.0));
+  Instance instance(jobs, cap::CapacityProfile(1.0));
+  auto a = run_factory(instance, sched::make_vdover());
+  auto b = run_factory(instance, sched::make_vdover());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.completed_count, 4u);
+}
+
+TEST(EdgeCases, VDoverCascadeOfZeroLaxityWinners) {
+  // Successively released jobs, each beta-times more valuable, all with
+  // zero conservative laxity: each must hijack the previous one. Only the
+  // last completes; the chain must terminate cleanly.
+  std::vector<Job> jobs;
+  double value = 1.0;
+  for (int i = 0; i < 5; ++i) {
+    const double r = 0.2 * i;
+    jobs.push_back(make_job(r, 4.0, r + 4.0, value));
+    value *= 10.0;  // far above any beta
+  }
+  Instance instance(jobs, cap::CapacityProfile(1.0));
+  auto result = run_factory(instance, sched::make_vdover());
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 10000.0);  // the last job
+}
+
+TEST(EdgeCases, SupplementChainDrainsWhenIdle) {
+  // Several supplements stack up behind one long regular job; after it
+  // completes there is abundant capacity — they must drain latest-deadline
+  // first and all finish.
+  std::vector<Job> jobs{make_job(0.0, 4.0, 4.0, 100.0)};
+  for (int i = 1; i <= 3; ++i) {
+    jobs.push_back(make_job(0.5 * i, 2.0, 0.5 * i + 2.0, 1.0));
+  }
+  Instance instance(jobs, cap::CapacityProfile({0.0, 3.0}, {1.0, 35.0}));
+  auto result = run_factory(instance, sched::make_vdover());
+  // Jobs 1-3 supplement out; when capacity hits 35 at t=3, the running
+  // regular job finishes early and the supplements get their chance.
+  EXPECT_GE(result.completed_count, 2u);
+  EXPECT_GE(result.completed_value, 100.0);
+}
+
+TEST(EdgeCases, AllSchedulersHandleInstantWindowOverlap) {
+  // Windows that share exactly one instant (deadline of one = release of
+  // the next) must not confuse the event ordering.
+  Instance instance(
+      {make_job(0.0, 2.0, 2.0, 1.0), make_job(2.0, 2.0, 4.0, 1.0),
+       make_job(4.0, 2.0, 6.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  for (const auto& factory : sched::extended_lineup({1.0})) {
+    auto result = run_factory(instance, factory);
+    EXPECT_EQ(result.completed_count + result.expired_count, 3u)
+        << factory.name;
+  }
+  auto edf = run_factory(instance, sched::make_edf());
+  EXPECT_EQ(edf.completed_count, 3u);
+}
+
+}  // namespace
+}  // namespace sjs

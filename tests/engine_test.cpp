@@ -1,0 +1,463 @@
+// Tests for the discrete-event engine: exact completion times under varying
+// capacity, preemption/resume, deadline semantics, timers, event ordering,
+// and accounting invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::sim {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+/// Runs whatever was just released; re-dispatches nothing on completion.
+/// Used to probe raw engine mechanics.
+class RunOnReleaseScheduler : public Scheduler {
+ public:
+  void on_release(Engine& engine, JobId job) override { engine.run(job); }
+  void on_complete(Engine&, JobId) override {}
+  void on_expire(Engine&, JobId, bool) override {}
+  std::string name() const override { return "run-on-release"; }
+};
+
+/// Work-conserving EDF-ish test scheduler that also logs every callback.
+class LoggingScheduler : public Scheduler {
+ public:
+  void on_release(Engine& engine, JobId job) override {
+    log_.push_back({'R', job, engine.now()});
+    ready_.push_back(job);
+    if (engine.running() == kNoJob) dispatch(engine);
+  }
+  void on_complete(Engine& engine, JobId job) override {
+    log_.push_back({'C', job, engine.now()});
+    dispatch(engine);
+  }
+  void on_expire(Engine& engine, JobId job, bool) override {
+    log_.push_back({'X', job, engine.now()});
+    std::erase(ready_, job);
+    if (engine.running() == kNoJob) dispatch(engine);
+  }
+  void on_timer(Engine& engine, JobId job, int tag) override {
+    log_.push_back({'T', job, engine.now()});
+    last_timer_tag_ = tag;
+  }
+  std::string name() const override { return "logging"; }
+
+  struct Entry {
+    char kind;
+    JobId job;
+    double time;
+  };
+  std::vector<Entry> log_;
+  int last_timer_tag_ = -1;
+
+ private:
+  void dispatch(Engine& engine) {
+    while (!ready_.empty()) {
+      JobId next = ready_.front();
+      ready_.erase(ready_.begin());
+      if (engine.is_live(next)) {
+        engine.run(next);
+        return;
+      }
+    }
+  }
+  std::vector<JobId> ready_;
+};
+
+TEST(Engine, SingleJobCompletesAtExactTime) {
+  Instance instance({make_job(1.0, 4.0, 10.0, 5.0)},
+                    cap::CapacityProfile(2.0));
+  RunOnReleaseScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 5.0);
+  // 4 units at rate 2 from t=1 -> completes at t=3.
+  ASSERT_EQ(result.value_trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[0], 3.0);
+}
+
+TEST(Engine, CompletionSpansCapacityChangeExactly) {
+  // Rate 1 on [0,10), then 35: a 12-unit job started at t=8 gets 2 units by
+  // t=10 and the remaining 10 units in 10/35 time.
+  Instance instance({make_job(8.0, 12.0, 100.0, 1.0)},
+                    cap::CapacityProfile({0.0, 10.0}, {1.0, 35.0}));
+  RunOnReleaseScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[0], 10.0 + 10.0 / 35.0);
+}
+
+TEST(Engine, JobCompletingExactlyAtDeadlineSucceeds) {
+  // p = 4 at rate 1 with window exactly 4.
+  Instance instance({make_job(0.0, 4.0, 4.0, 3.0)}, cap::CapacityProfile(1.0));
+  RunOnReleaseScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 1u);
+  EXPECT_EQ(result.expired_count, 0u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 3.0);
+}
+
+TEST(Engine, InfeasibleJobFailsAtDeadline) {
+  Instance instance({make_job(0.0, 10.0, 4.0, 3.0)},
+                    cap::CapacityProfile(1.0));
+  RunOnReleaseScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 0u);
+  EXPECT_EQ(result.expired_count, 1u);
+  EXPECT_DOUBLE_EQ(result.completed_value, 0.0);
+  // It executed for its whole window though.
+  EXPECT_DOUBLE_EQ(result.executed_work[0], 4.0);
+}
+
+TEST(Engine, UnscheduledJobExpiresUntouched) {
+  /// A scheduler that never runs anything.
+  class IdleScheduler : public Scheduler {
+   public:
+    void on_release(Engine&, JobId) override {}
+    void on_complete(Engine&, JobId) override {}
+    void on_expire(Engine& engine, JobId job, bool was_running) override {
+      EXPECT_FALSE(was_running);
+      EXPECT_FALSE(engine.is_live(job));
+    }
+    std::string name() const override { return "idle"; }
+  };
+  Instance instance({make_job(0.0, 1.0, 2.0, 1.0)}, cap::CapacityProfile(1.0));
+  IdleScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.expired_count, 1u);
+  EXPECT_DOUBLE_EQ(result.executed_work[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.busy_time, 0.0);
+}
+
+TEST(Engine, PreemptionResumesFromPointOfPreemption) {
+  // Job 0: long, released first. Job 1: short, preempts at t=2 (the logging
+  // scheduler runs whatever is released when idle; we force the preemption
+  // by a custom scheduler).
+  class PreemptingScheduler : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override { engine.run(job); }
+    void on_complete(Engine& engine, JobId job) override {
+      if (job == 1 && engine.is_live(0)) engine.run(0);  // resume job 0
+    }
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "preempting"; }
+  };
+  Instance instance(
+      {make_job(0.0, 5.0, 20.0, 1.0), make_job(2.0, 1.0, 10.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  PreemptingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 2u);
+  EXPECT_EQ(result.preemptions, 1u);
+  // Job 0: 2 units by t=2, paused for 1, resumes and finishes at t=6.
+  const auto& times = result.value_trace.times();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 3.0);  // job 1
+  EXPECT_DOUBLE_EQ(times[1], 6.0);  // job 0
+}
+
+TEST(Engine, RemainingTracksExecution) {
+  class ProbeScheduler : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      EXPECT_DOUBLE_EQ(engine.remaining(job), engine.job(job).workload);
+      engine.run(job);
+    }
+    void on_complete(Engine& engine, JobId job) override {
+      EXPECT_DOUBLE_EQ(engine.remaining(job), 0.0);
+      EXPECT_TRUE(engine.is_completed(job));
+    }
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "probe"; }
+  };
+  Instance instance({make_job(0.0, 3.0, 10.0, 1.0)},
+                    cap::CapacityProfile(1.5));
+  ProbeScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+}
+
+TEST(Engine, TimerFiresAtRequestedInstant) {
+  class TimerScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      engine.set_timer(engine.now() + 0.5, job, 42);
+    }
+  };
+  Instance instance({make_job(1.0, 5.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  TimerScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  bool saw_timer = false;
+  for (const auto& e : sched.log_) {
+    if (e.kind == 'T') {
+      saw_timer = true;
+      EXPECT_DOUBLE_EQ(e.time, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_timer);
+  EXPECT_EQ(sched.last_timer_tag_, 42);
+}
+
+TEST(Engine, CancelledTimerNeverFires) {
+  class CancelScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      auto id = engine.set_timer(engine.now() + 0.5, job, 1);
+      engine.cancel_timer(id);
+    }
+  };
+  Instance instance({make_job(0.0, 2.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  CancelScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  for (const auto& e : sched.log_) EXPECT_NE(e.kind, 'T');
+}
+
+TEST(Engine, TimerForDeadJobIsSuppressed) {
+  class DeadTimerScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      // Fires after the job's deadline — must be swallowed by the engine.
+      engine.set_timer(engine.job(job).deadline + 1.0, job, 9);
+    }
+  };
+  Instance instance({make_job(0.0, 10.0, 2.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  DeadTimerScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  for (const auto& e : sched.log_) EXPECT_NE(e.kind, 'T');
+}
+
+TEST(Engine, ImmediateTimerFiresAfterCurrentHandler) {
+  class ImmediateTimerScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      engine.set_timer(engine.now(), job, 7);
+    }
+  };
+  Instance instance({make_job(1.0, 2.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  ImmediateTimerScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  ASSERT_GE(sched.log_.size(), 2u);
+  EXPECT_EQ(sched.log_[0].kind, 'R');
+  EXPECT_EQ(sched.log_[1].kind, 'T');
+  EXPECT_DOUBLE_EQ(sched.log_[1].time, 1.0);
+}
+
+TEST(Engine, CompletionBeatsExpiryAtSameInstant) {
+  // Window exactly equal to processing time: completion and expiry collide
+  // at t=4 and the completion must win.
+  Instance instance({make_job(0.0, 4.0, 4.0, 1.0)}, cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 1u);
+  bool saw_expire = false;
+  for (const auto& e : sched.log_) saw_expire |= (e.kind == 'X');
+  EXPECT_FALSE(saw_expire);
+}
+
+TEST(Engine, ValueTraceIsCumulative) {
+  Instance instance(
+      {make_job(0.0, 1.0, 5.0, 2.0), make_job(0.0, 1.0, 5.0, 3.0)},
+      cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 2u);
+  ASSERT_EQ(result.value_trace.size(), 2u);
+  const auto& values = result.value_trace.values();
+  EXPECT_GT(values[1], values[0]);
+  EXPECT_DOUBLE_EQ(values[1], 5.0);
+}
+
+TEST(Engine, WorkConservation) {
+  Instance instance(
+      {make_job(0.0, 3.0, 4.0, 1.0), make_job(1.0, 2.0, 8.0, 1.0)},
+      cap::CapacityProfile({0.0, 2.0}, {1.0, 3.0}));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  double executed = 0.0;
+  for (double w : result.executed_work) executed += w;
+  EXPECT_NEAR(executed, result.executed_total, 1e-9);
+  // Executed work cannot exceed what the capacity path offered while busy.
+  EXPECT_LE(result.executed_total,
+            instance.capacity().work(0.0, instance.max_deadline()) + 1e-9);
+}
+
+TEST(Engine, RunningNonLiveJobThrows) {
+  class BadScheduler : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId) override {
+      engine.run(1);  // job 1 not released yet
+    }
+    void on_complete(Engine&, JobId) override {}
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "bad"; }
+  };
+  Instance instance(
+      {make_job(0.0, 1.0, 5.0, 1.0), make_job(3.0, 1.0, 9.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  BadScheduler sched;
+  Engine engine(instance, sched);
+  EXPECT_THROW(engine.run_to_completion(), CheckError);
+}
+
+TEST(Engine, RunOutsideCallbackThrows) {
+  Instance instance({make_job(0.0, 1.0, 5.0, 1.0)}, cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  EXPECT_THROW(engine.run(0), CheckError);
+}
+
+TEST(Engine, RunSameJobIsNoOp) {
+  class RedundantScheduler : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      engine.run(job);
+      engine.run(job);  // no-op, must not count a preemption
+    }
+    void on_complete(Engine&, JobId) override {}
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "redundant"; }
+  };
+  Instance instance({make_job(0.0, 1.0, 5.0, 1.0)}, cap::CapacityProfile(1.0));
+  RedundantScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.preemptions, 0u);
+  EXPECT_EQ(result.dispatches, 1u);
+  EXPECT_EQ(result.completed_count, 1u);
+}
+
+TEST(Engine, IdleRunStopsExecution) {
+  class StopScheduler : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      if (job == 0) engine.run(0);
+      if (job == 1) engine.run(kNoJob);  // park the processor at t=1
+    }
+    void on_complete(Engine&, JobId) override {}
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "stop"; }
+  };
+  Instance instance(
+      {make_job(0.0, 5.0, 3.0, 1.0), make_job(1.0, 1.0, 2.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  StopScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 0u);
+  EXPECT_DOUBLE_EQ(result.executed_work[0], 1.0);  // only [0,1)
+  EXPECT_DOUBLE_EQ(result.busy_time, 1.0);
+}
+
+TEST(Engine, ClaxityMatchesDefinition) {
+  class ClaxityProbe : public Scheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      // claxity = d − t − p_rem/c_est.
+      EXPECT_DOUBLE_EQ(engine.claxity(job, 2.0),
+                       engine.job(job).deadline - engine.now() -
+                           engine.remaining(job) / 2.0);
+      engine.run(job);
+    }
+    void on_complete(Engine&, JobId) override {}
+    void on_expire(Engine&, JobId, bool) override {}
+    std::string name() const override { return "claxity"; }
+  };
+  Instance instance({make_job(1.0, 6.0, 9.0, 1.0)}, cap::CapacityProfile(3.0));
+  ClaxityProbe sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+}
+
+TEST(Engine, CapacityChangeEventsDeliveredWhenRequested) {
+  class CapacityWatcher : public LoggingScheduler {
+   public:
+    bool wants_capacity_events() const override { return true; }
+    void on_capacity_change(Engine& engine) override {
+      changes_.push_back({engine.now(), engine.current_rate()});
+    }
+    std::vector<std::pair<double, double>> changes_;
+  };
+  Instance instance({make_job(0.0, 30.0, 40.0, 1.0)},
+                    cap::CapacityProfile({0.0, 10.0, 20.0}, {1.0, 2.0, 1.0}));
+  CapacityWatcher sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  ASSERT_EQ(sched.changes_.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.changes_[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(sched.changes_[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(sched.changes_[1].first, 20.0);
+}
+
+TEST(Engine, CompletionAndResponseTimesRecorded) {
+  Instance instance(
+      {make_job(1.0, 2.0, 9.0, 1.0), make_job(2.0, 50.0, 4.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  ASSERT_EQ(result.completion_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.completion_times[0], 3.0);   // [1, 3)
+  EXPECT_TRUE(std::isnan(result.completion_times[1])); // expired
+  auto responses = result.response_times();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_DOUBLE_EQ(responses[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.mean_response_time(), 2.0);
+}
+
+TEST(Engine, MeanResponseTimeZeroWhenNothingCompletes) {
+  Instance instance({make_job(0.0, 9.0, 1.0, 1.0)}, cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_DOUBLE_EQ(result.mean_response_time(), 0.0);
+  EXPECT_TRUE(result.response_times().empty());
+}
+
+TEST(Engine, GeneratedValueEqualsInstanceTotal) {
+  Instance instance(
+      {make_job(0.0, 1.0, 1.0, 2.5), make_job(0.5, 1.0, 9.0, 4.5)},
+      cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_DOUBLE_EQ(result.generated_value, 7.0);
+  EXPECT_LE(result.completed_value, result.generated_value);
+}
+
+}  // namespace
+}  // namespace sjs::sim

@@ -1,0 +1,148 @@
+// End-to-end integration: the paper's Sec. IV experiment at reduced scale.
+// These tests assert the *qualitative* findings the paper reports — V-Dover
+// dominates the best Dover configuration, EDF is optimal when underloaded,
+// and the Fig.-1-style traces behave — using enough Monte-Carlo runs to make
+// the comparisons statistically meaningful but fast.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/table.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+TEST(Integration, VDoverBeatsBestDoverAtModerateLoad) {
+  // λ = 6, the paper's illustrative load, scaled down to ~300 jobs x 24 runs.
+  mc::McConfig config;
+  config.setup.lambda = 6.0;
+  config.setup.expected_jobs = 300.0;
+  config.runs = 24;
+  config.seed = 2026;
+  auto factories = sched::paper_lineup({1.0, 10.5, 24.5, 35.0});
+  auto outcome = mc::run_monte_carlo(config, factories);
+  auto row = mc::make_row(6.0, outcome, /*vdover_index=*/4);
+
+  // Paper Table I: V-Dover strictly gains over the best Dover at λ=6
+  // (13% there; we only assert a clear positive gap).
+  EXPECT_GT(row.vdover_percent, row.best_dover_percent)
+      << "V-Dover must beat every Dover configuration on average";
+}
+
+TEST(Integration, PerRunVDoverNeverFarBehindBestDover) {
+  // The paper observes V-Dover "performs no worse than Dover in all cases"
+  // (case = averaged configuration). Per run we allow small noise but check
+  // the mean dominance over each individual Dover column.
+  mc::McConfig config;
+  config.setup.lambda = 6.0;
+  config.setup.expected_jobs = 250.0;
+  config.runs = 20;
+  config.seed = 7;
+  auto factories = sched::paper_lineup({1.0, 10.5, 24.5, 35.0});
+  auto outcome = mc::run_monte_carlo(config, factories);
+  const double vdover_mean = outcome.per_scheduler[4].fraction_summary.mean;
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GE(vdover_mean + 1e-9,
+              outcome.per_scheduler[s].fraction_summary.mean)
+        << outcome.per_scheduler[s].name;
+  }
+}
+
+TEST(Integration, EdfCapturesEverythingUnderloaded) {
+  // Theorem 2 at integration scale: a feasible-by-construction workload on a
+  // CTMC path; EDF must capture 100% of the value.
+  Rng rng(99);
+  cap::TwoStateMarkovParams cp;
+  cp.mean_sojourn_lo = cp.mean_sojourn_hi = 100.0;
+  auto profile = cap::sample_two_state_markov(cp, 500.0, rng);
+  auto jobs = gen::generate_underloaded_jobs(profile, 450.0, 120, 0.8, rng);
+  Instance instance(jobs, profile);
+
+  auto factory = sched::make_edf();
+  auto scheduler = factory.make();
+  sim::Engine engine(instance, *scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_DOUBLE_EQ(result.value_fraction(), 1.0);
+}
+
+TEST(Integration, Fig1StyleTracesAreComparable) {
+  // One shared sample path, V-Dover vs Dover(1): traces must start at 0,
+  // end at each algorithm's total, and V-Dover's final value must win on
+  // this overloaded path (λ=6 with zero-laxity jobs is heavily overloaded
+  // whenever c(t)=1).
+  gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = 400.0;
+  Rng rng(1234);
+  auto instance = gen::generate_paper_instance(setup, rng);
+
+  auto run = [&](const sched::NamedFactory& f) {
+    auto scheduler = f.make();
+    sim::Engine engine(instance, *scheduler);
+    return engine.run_to_completion();
+  };
+  auto vdover = run(sched::make_vdover());
+  auto dover = run(sched::make_dover(1.0));
+
+  EXPECT_GE(vdover.completed_value, dover.completed_value);
+  // Traces resample cleanly onto a common grid (what bench_fig1 emits).
+  const double end = instance.max_deadline();
+  auto vd = vdover.value_trace.resample(0.0, end, 100);
+  auto dv = dover.value_trace.resample(0.0, end, 100);
+  EXPECT_DOUBLE_EQ(vd.front(), 0.0);
+  EXPECT_DOUBLE_EQ(dv.front(), 0.0);
+  EXPECT_NEAR(vd.back(), vdover.completed_value, 1e-9);
+  EXPECT_NEAR(dv.back(), dover.completed_value, 1e-9);
+}
+
+TEST(Integration, GainShrinksAtHighLoad) {
+  // Paper: the V-Dover gain is hump-shaped in λ — smaller at very high load
+  // than at moderate load. Compare relative gains at λ=6 and λ=24 (we use a
+  // more extreme high load than the paper's 12 to make the contraction
+  // robust at reduced Monte-Carlo scale).
+  auto gain_at = [](double lambda) {
+    mc::McConfig config;
+    config.setup.lambda = lambda;
+    config.setup.expected_jobs = 250.0;
+    config.runs = 16;
+    config.seed = 55;
+    auto factories = sched::paper_lineup({1.0, 35.0});
+    auto outcome = mc::run_monte_carlo(config, factories);
+    auto row = mc::make_row(lambda, outcome, 2);
+    return row.gain_percent;
+  };
+  const double moderate = gain_at(6.0);
+  const double high = gain_at(24.0);
+  EXPECT_GT(moderate, 0.0);
+  EXPECT_LT(high, moderate + 5.0);  // allow noise; must not explode upward
+}
+
+TEST(Integration, AllSchedulersSurviveLongMixedWorkload) {
+  // Longevity smoke test across the whole line-up on a trace with many
+  // capacity switches and mixed slack.
+  Rng rng(4242);
+  gen::JobGenParams jp;
+  jp.lambda = 8.0;
+  jp.horizon = 120.0;
+  jp.slack_factor = 1.5;
+  auto jobs = gen::generate_jobs(jp, rng);
+  cap::TwoStateMarkovParams cp;
+  cp.mean_sojourn_lo = cp.mean_sojourn_hi = 3.0;  // rapid switching
+  auto profile = cap::sample_two_state_markov(cp, 300.0, rng);
+  Instance instance(jobs, profile, 1.0, 35.0);
+
+  for (const auto& factory : sched::extended_lineup({1.0, 10.5, 24.5, 35.0})) {
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    auto result = engine.run_to_completion();
+    EXPECT_EQ(result.completed_count + result.expired_count, instance.size())
+        << factory.name;
+  }
+}
+
+}  // namespace
+}  // namespace sjs

@@ -1,0 +1,180 @@
+// Empirical validation of the paper's Sec. III-E analysis machinery using
+// the V-Dover scheduler's regular-interval instrumentation:
+//
+//   * Lemma 1: for every regular interval I_R = [s, e],
+//       ∫_s^e c(t)dt  <=  regval(I_R) + clval(I_R) / (β − 1).
+//   * Structural properties of Definition 6: intervals are disjoint, ordered,
+//     and (under individual admissibility) always closed by a completion.
+//   * Value decomposition: V-Dover's total = Σ regval + suppval.
+#include <gtest/gtest.h>
+
+#include "jobs/workload_gen.hpp"
+#include "sched/vdover.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::sched {
+namespace {
+
+struct LemmaRun {
+  Instance instance;
+  std::vector<RegularInterval> intervals;
+  bool interval_open;
+  double beta;
+  double completed_value;
+  VDoverStats stats;
+};
+
+LemmaRun run_paper_instance(std::uint64_t seed, double lambda,
+                            double expected_jobs) {
+  Rng rng(seed);
+  gen::PaperSetup setup;
+  setup.lambda = lambda;
+  setup.expected_jobs = expected_jobs;
+  Instance instance = gen::generate_paper_instance(setup, rng);
+  VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  return LemmaRun{std::move(instance), scheduler.regular_intervals(),
+                  scheduler.interval_open(), scheduler.beta(),
+                  result.completed_value, scheduler.stats()};
+}
+
+class Lemma1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1, WorkloadBoundHoldsOnEveryRegularInterval) {
+  auto run = run_paper_instance(static_cast<std::uint64_t>(GetParam()) + 9000,
+                                6.0, 250.0);
+  ASSERT_FALSE(run.intervals.empty());
+  for (const auto& interval : run.intervals) {
+    const double workload =
+        run.instance.capacity().work(interval.start, interval.end);
+    const double bound =
+        interval.regval + interval.clval / (run.beta - 1.0);
+    EXPECT_LE(workload, bound + 1e-6 * std::max(1.0, bound))
+        << "interval [" << interval.start << ", " << interval.end << "]";
+  }
+}
+
+TEST_P(Lemma1, IntervalsAreDisjointAndOrdered) {
+  auto run = run_paper_instance(static_cast<std::uint64_t>(GetParam()) + 9100,
+                                8.0, 250.0);
+  double previous_end = -1.0;
+  for (const auto& interval : run.intervals) {
+    EXPECT_LE(interval.start, interval.end);
+    // Two regular intervals may touch only at their endpoints (Sec. III-E).
+    EXPECT_GE(interval.start, previous_end - 1e-9);
+    previous_end = interval.end;
+  }
+}
+
+TEST_P(Lemma1, AdmissibleRunsCloseEveryInterval) {
+  // Under individual admissibility (the paper-setup default), a regular job
+  // never fails, so every regular interval closes via a completion.
+  auto run = run_paper_instance(static_cast<std::uint64_t>(GetParam()) + 9200,
+                                6.0, 250.0);
+  ASSERT_TRUE(run.instance.all_individually_admissible());
+  EXPECT_FALSE(run.interval_open);
+}
+
+TEST_P(Lemma1, ValueDecomposesIntoRegvalPlusSuppval) {
+  // Sec. III-F: V-Dover's value = regval + suppval (every regular completion
+  // lies inside a regular interval; every other completion is a supplement).
+  auto run = run_paper_instance(static_cast<std::uint64_t>(GetParam()) + 9300,
+                                7.0, 250.0);
+  double regval_total = 0.0;
+  double clval_total = 0.0;
+  for (const auto& interval : run.intervals) {
+    regval_total += interval.regval;
+    clval_total += interval.clval;
+    EXPECT_GE(interval.clval, -1e-12);
+    EXPECT_LE(interval.clval, interval.regval + 1e-9);
+  }
+  EXPECT_NEAR(run.completed_value,
+              regval_total + run.stats.supplement_value,
+              1e-6 * std::max(1.0, run.completed_value));
+}
+
+TEST_P(Lemma1, SummedBoundImpliesTheorem3Accounting) {
+  // Lemma 1 summed over REG (the proof of Thm. 3(2)): total workload in REG
+  // <= regval + clval/(β−1).
+  auto run = run_paper_instance(static_cast<std::uint64_t>(GetParam()) + 9400,
+                                6.0, 400.0);
+  double workload = 0.0, regval = 0.0, clval = 0.0;
+  for (const auto& interval : run.intervals) {
+    workload += run.instance.capacity().work(interval.start, interval.end);
+    regval += interval.regval;
+    clval += interval.clval;
+  }
+  EXPECT_LE(workload, regval + clval / (run.beta - 1.0) +
+                          1e-6 * std::max(1.0, regval));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1, ::testing::Range(0, 8));
+
+TEST(Lemma1Structure, SingleJobMakesOneInterval) {
+  Job j;
+  j.release = 1.0;
+  j.workload = 2.0;
+  j.deadline = 5.0;
+  j.value = 3.0;
+  Instance instance({j}, cap::CapacityProfile(1.0));
+  VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  engine.run_to_completion();
+  ASSERT_EQ(scheduler.regular_intervals().size(), 1u);
+  const auto& interval = scheduler.regular_intervals()[0];
+  EXPECT_DOUBLE_EQ(interval.start, 1.0);
+  EXPECT_DOUBLE_EQ(interval.end, 3.0);
+  EXPECT_DOUBLE_EQ(interval.regval, 3.0);
+  EXPECT_DOUBLE_EQ(interval.clval, 0.0);
+}
+
+TEST(Lemma1Structure, EdfChainIsOneInterval) {
+  // J0 preempted by J1 (EDF): one interval covering both completions,
+  // regval = both values, no 0cl involvement.
+  auto job = [](double r, double p, double d, double v) {
+    Job x;
+    x.release = r;
+    x.workload = p;
+    x.deadline = d;
+    x.value = v;
+    return x;
+  };
+  // Densities >= 1 (the paper's normalisation, which Lemma 1 assumes).
+  Instance instance({job(0, 4, 10, 5), job(1, 2, 5, 2.5)},
+                    cap::CapacityProfile(1.0));
+  VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  engine.run_to_completion();
+  ASSERT_EQ(scheduler.regular_intervals().size(), 1u);
+  const auto& interval = scheduler.regular_intervals()[0];
+  EXPECT_DOUBLE_EQ(interval.start, 0.0);
+  EXPECT_DOUBLE_EQ(interval.end, 6.0);
+  EXPECT_DOUBLE_EQ(interval.regval, 7.5);
+  EXPECT_DOUBLE_EQ(interval.clval, 0.0);
+}
+
+TEST(Lemma1Structure, OclWinnerCountsInClval) {
+  auto job = [](double r, double p, double d, double v) {
+    Job x;
+    x.release = r;
+    x.workload = p;
+    x.deadline = d;
+    x.value = v;
+    return x;
+  };
+  // J1 wins the 0cl test (value 100 vs beta * 4) and completes.
+  Instance instance({job(0, 4, 4, 4), job(1, 3, 4, 100)},
+                    cap::CapacityProfile(1.0));
+  VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  engine.run_to_completion();
+  ASSERT_EQ(scheduler.regular_intervals().size(), 1u);
+  const auto& interval = scheduler.regular_intervals()[0];
+  EXPECT_DOUBLE_EQ(interval.regval, 100.0);
+  EXPECT_DOUBLE_EQ(interval.clval, 100.0);
+}
+
+}  // namespace
+}  // namespace sjs::sched

@@ -1,0 +1,123 @@
+// Conservative-LLF scheduler tests: least-laxity dispatch, laxity-crossing
+// preemption, the anti-thrash quantum, and underloaded sanity.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "offline/feasibility.hpp"
+#include "sched/llf.hpp"
+#include "sim/engine.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+sim::SimResult run_llf(const Instance& instance, double c_est = 0.0,
+                       double quantum = 0.05) {
+  sched::LlfScheduler scheduler(c_est, quantum);
+  sim::Engine engine(instance, scheduler);
+  return engine.run_to_completion();
+}
+
+TEST(Llf, RunsSingleJob) {
+  Instance instance({make_job(0, 2, 5, 1)}, cap::CapacityProfile(1.0));
+  auto result = run_llf(instance);
+  EXPECT_EQ(result.completed_count, 1u);
+}
+
+TEST(Llf, PrefersSmallerLaxityAtRelease) {
+  // Job 0: laxity 8 at t=0. Job 1 (released t=1): laxity 0 — must preempt.
+  Instance instance(
+      {make_job(0.0, 2.0, 10.0, 1.0), make_job(1.0, 3.0, 4.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_llf(instance);
+  EXPECT_EQ(result.completed_count, 2u);
+  EXPECT_GE(result.preemptions, 1u);
+  // Job 1 runs [1,4): completes first.
+  EXPECT_DOUBLE_EQ(result.value_trace.times()[0], 4.0);
+}
+
+TEST(Llf, NoPreemptionWhenRunningHasLeastLaxity) {
+  Instance instance(
+      {make_job(0.0, 3.0, 3.5, 1.0), make_job(1.0, 1.0, 9.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_llf(instance);
+  EXPECT_EQ(result.completed_count, 2u);
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(Llf, CrossingPreemptionViaTimer) {
+  // Job 0 has plenty of laxity; job 1 waits and its laxity erodes until it
+  // crosses below job 0's — the crossing timer must fire and switch.
+  // Job 0: p=6, d=20 -> laxity at 0 is 14. Job 1: p=2, d=9 -> laxity 7.
+  // Job 1 preempts immediately at release (smaller laxity).
+  // To exercise the *timer* path instead, give job 1 larger initial laxity
+  // but a much closer deadline... laxity ordering is what matters; instead:
+  // job 1 released while job 0 runs with SMALLER remaining laxity gap.
+  Instance instance(
+      {make_job(0.0, 6.0, 20.0, 1.0), make_job(1.0, 2.0, 16.4, 1.0)},
+      cap::CapacityProfile(1.0));
+  // At t=1: job 0 laxity = 20-1-5 = 14, job 1 laxity = 16.4-1-2 = 13.4 —
+  // job 1 preempts at release. Once job 1 runs, its laxity holds at 13.4
+  // while job 0's erodes; they cross at 14-? ... job 0 queued: laxity
+  // 20-t-5; job 1 running at rate 1 = c_est: laxity constant 13.4. Cross at
+  // 20-t-5 = 13.4 -> t = 1.6, timer preempts back to job 0.
+  auto result = run_llf(instance, 1.0, 0.01);
+  EXPECT_EQ(result.completed_count, 2u);
+  EXPECT_GE(result.preemptions, 2u);
+}
+
+TEST(Llf, QuantumBoundsPreemptionRate) {
+  // Two identical jobs with equal laxity: without the quantum LLF would
+  // time-slice unboundedly. Dispatch count must stay modest.
+  Instance instance(
+      {make_job(0.0, 5.0, 30.0, 1.0), make_job(0.0, 5.0, 30.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_llf(instance, 1.0, 0.5);
+  EXPECT_EQ(result.completed_count, 2u);
+  // 10 time units of work, one switch per >= 0.5 -> at most ~21 dispatches.
+  EXPECT_LE(result.dispatches, 25u);
+}
+
+TEST(Llf, UnderloadedFeasibleSetCompleted) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 300);
+    cap::TwoStateMarkovParams cp;
+    cp.mean_sojourn_lo = cp.mean_sojourn_hi = 30.0;
+    auto profile = cap::sample_two_state_markov(cp, 120.0, rng);
+    // Low utilisation so LLF's quantum artefacts cannot cause a miss.
+    auto jobs = gen::generate_underloaded_jobs(profile, 100.0, 15, 0.5, rng);
+    Instance instance(jobs, profile);
+    auto result = run_llf(instance);
+    EXPECT_EQ(result.completed_count, instance.size()) << "seed " << seed;
+  }
+}
+
+TEST(Llf, ExplicitEstimateUsedInsteadOfBand) {
+  // With c_est = c_hi the laxity of a long job looks comfortable; behaviour
+  // should still complete a trivially feasible instance.
+  Instance instance({make_job(0, 2, 50, 1), make_job(1, 2, 40, 1)},
+                    cap::CapacityProfile({0.0, 5.0}, {1.0, 2.0}));
+  auto result = run_llf(instance, 2.0);
+  EXPECT_EQ(result.completed_count, 2u);
+}
+
+TEST(Llf, RejectsNonPositiveQuantum) {
+  Instance instance({make_job(0, 1, 5, 1)}, cap::CapacityProfile(1.0));
+  sched::LlfScheduler scheduler(1.0, 0.0);
+  sim::Engine engine(instance, scheduler);
+  EXPECT_THROW(engine.run_to_completion(), CheckError);
+}
+
+}  // namespace
+}  // namespace sjs

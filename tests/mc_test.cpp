@@ -1,0 +1,209 @@
+// Monte-Carlo driver tests: determinism, common random numbers, thread-count
+// independence, aggregation, and Table-I row construction.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "mc/monte_carlo.hpp"
+#include "mc/table.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::mc {
+namespace {
+
+gen::PaperSetup small_setup(double lambda = 6.0) {
+  gen::PaperSetup setup;
+  setup.lambda = lambda;
+  setup.expected_jobs = 60.0;  // keep unit tests fast
+  return setup;
+}
+
+TEST(MonteCarlo, DeterministicAcrossInvocations) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 6;
+  config.seed = 9;
+  config.threads = 2;
+  auto factories = sched::paper_lineup({1.0, 35.0});
+  auto a = run_monte_carlo(config, factories);
+  auto b = run_monte_carlo(config, factories);
+  for (std::size_t s = 0; s < factories.size(); ++s) {
+    EXPECT_EQ(a.per_scheduler[s].value_fractions,
+              b.per_scheduler[s].value_fractions);
+  }
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 6;
+  config.seed = 10;
+  auto factories = sched::paper_lineup({1.0});
+  config.threads = 1;
+  auto serial = run_monte_carlo(config, factories);
+  config.threads = 4;
+  auto parallel = run_monte_carlo(config, factories);
+  for (std::size_t s = 0; s < factories.size(); ++s) {
+    EXPECT_EQ(serial.per_scheduler[s].value_fractions,
+              parallel.per_scheduler[s].value_fractions);
+  }
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 4;
+  auto factories = sched::paper_lineup({1.0});
+  config.seed = 1;
+  auto a = run_monte_carlo(config, factories);
+  config.seed = 2;
+  auto b = run_monte_carlo(config, factories);
+  EXPECT_NE(a.per_scheduler[0].value_fractions,
+            b.per_scheduler[0].value_fractions);
+}
+
+TEST(MonteCarlo, SimulateOneMatchesDriver) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 3;
+  config.seed = 11;
+  config.threads = 1;
+  auto factories = sched::paper_lineup({1.0});
+  auto outcome = run_monte_carlo(config, factories);
+  for (std::uint64_t run = 0; run < config.runs; ++run) {
+    auto result = simulate_one(config.setup, config.seed, run, factories[0]);
+    EXPECT_DOUBLE_EQ(result.value_fraction(),
+                     outcome.per_scheduler[0].value_fractions[run])
+        << "run " << run;
+  }
+}
+
+TEST(MonteCarlo, FractionsAreValidAndSummarised) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 8;
+  auto factories = sched::extended_lineup({1.0, 35.0});
+  auto outcome = run_monte_carlo(config, factories);
+  for (const auto& agg : outcome.per_scheduler) {
+    EXPECT_EQ(agg.value_fractions.size(), config.runs);
+    for (double f : agg.value_fractions) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+    EXPECT_EQ(agg.fraction_summary.count, config.runs);
+    EXPECT_GE(agg.fraction_summary.mean, 0.0);
+    EXPECT_LE(agg.fraction_summary.mean, 1.0);
+    EXPECT_GT(agg.mean_completed + agg.mean_expired, 0.0);
+  }
+}
+
+TEST(MonteCarlo, TracesKeptOnlyWhenRequested) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 2;
+  auto factories = sched::paper_lineup({1.0});
+  auto without = run_monte_carlo(config, factories);
+  EXPECT_TRUE(without.per_scheduler[0].traces.empty());
+  config.keep_traces = true;
+  auto with = run_monte_carlo(config, factories);
+  ASSERT_EQ(with.per_scheduler[0].traces.size(), 2u);
+  EXPECT_FALSE(with.per_scheduler.back().traces[0].empty());
+}
+
+TEST(MonteCarlo, RejectsEmptyConfig) {
+  McConfig config;
+  config.runs = 0;
+  EXPECT_THROW(run_monte_carlo(config, sched::paper_lineup({1.0})),
+               CheckError);
+  config.runs = 1;
+  EXPECT_THROW(run_monte_carlo(config, {}), CheckError);
+}
+
+TEST(MonteCarlo, RunsCsvDumpsEverySample) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 5;
+  auto factories = sched::paper_lineup({1.0, 35.0});
+  auto outcome = run_monte_carlo(config, factories);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sjs_runs_test.csv").string();
+  save_runs_csv(outcome, path);
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);  // header + 5 runs
+  EXPECT_NE(lines[0].find("V-Dover"), std::string::npos);
+  // Spot-check one cell round-trips.
+  auto fields = lines[1];
+  EXPECT_NE(fields.find(','), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- table
+
+McOutcome tiny_outcome() {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 4;
+  return run_monte_carlo(config, sched::paper_lineup({1.0, 35.0}));
+}
+
+TEST(Table, RowMarksBestDoverAndComputesGain) {
+  auto outcome = tiny_outcome();
+  auto row = make_row(6.0, outcome, /*vdover_index=*/2);
+  EXPECT_EQ(row.percent.size(), 3u);
+  ASSERT_GE(row.best_dover_index, 0);
+  EXPECT_LT(row.best_dover_index, 2);  // V-Dover is not a Dover column
+  EXPECT_DOUBLE_EQ(
+      row.best_dover_percent,
+      std::max(row.percent[0], row.percent[1]));
+  EXPECT_NEAR(row.gain_percent,
+              100.0 * (row.vdover_percent / row.best_dover_percent - 1.0),
+              1e-9);
+}
+
+TEST(Table, RenderContainsColumnsAndGain) {
+  auto outcome = tiny_outcome();
+  Table table;
+  for (const auto& agg : outcome.per_scheduler) {
+    table.scheduler_names.push_back(agg.name);
+  }
+  table.vdover_index = 2;
+  table.rows.push_back(make_row(6.0, outcome, 2));
+  auto text = table.render();
+  EXPECT_NE(text.find("lambda"), std::string::npos);
+  EXPECT_NE(text.find("V-Dover"), std::string::npos);
+  EXPECT_NE(text.find("gain"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsRowCount) {
+  auto outcome = tiny_outcome();
+  Table table;
+  for (const auto& agg : outcome.per_scheduler) {
+    table.scheduler_names.push_back(agg.name);
+  }
+  table.vdover_index = 2;
+  table.rows.push_back(make_row(4.0, outcome, 2));
+  table.rows.push_back(make_row(6.0, outcome, 2));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sjs_table_test.csv").string();
+  table.save_csv(path);
+  // header + 2 rows
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RowRejectsBadVdoverIndex) {
+  auto outcome = tiny_outcome();
+  EXPECT_THROW(make_row(6.0, outcome, 99), CheckError);
+}
+
+}  // namespace
+}  // namespace sjs::mc

@@ -1,0 +1,317 @@
+// Offline solver tests: EDF feasibility oracle, Dinic max-flow and the
+// value upper bound, exact branch-and-bound (validated against brute force),
+// greedy approximations, and the stretch-transform solver equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "offline/exact.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/greedy_offline.hpp"
+#include "offline/maxflow.hpp"
+#include "offline/transform_solver.hpp"
+#include "sched/edf.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::offline {
+namespace {
+
+Job make_job(double r, double p, double d, double v, JobId id = 0) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+std::vector<Job> with_ids(std::vector<Job> jobs) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+  }
+  return jobs;
+}
+
+// ------------------------------------------------------------- feasibility
+
+TEST(Feasibility, EmptySetIsFeasible) {
+  EXPECT_TRUE(edf_feasible({}, cap::CapacityProfile(1.0)));
+}
+
+TEST(Feasibility, SingleJobTightWindow) {
+  cap::CapacityProfile p(2.0);
+  EXPECT_TRUE(edf_feasible({make_job(0, 4, 2, 1)}, p));   // exactly fits
+  EXPECT_FALSE(edf_feasible({make_job(0, 4, 1.9, 1)}, p));
+}
+
+TEST(Feasibility, TwoJobsSequential) {
+  cap::CapacityProfile p(1.0);
+  EXPECT_TRUE(edf_feasible(
+      {make_job(0, 2, 2, 1), make_job(0, 2, 4, 1, 1)}, p));
+  EXPECT_FALSE(edf_feasible(
+      {make_job(0, 2, 2, 1), make_job(0, 2, 3.5, 1, 1)}, p));
+}
+
+TEST(Feasibility, PreemptionRequired) {
+  // Job 1 must interrupt job 0 (both feasible only with preemption).
+  cap::CapacityProfile p(1.0);
+  EXPECT_TRUE(edf_feasible(
+      {make_job(0, 4, 6, 1), make_job(1, 1, 2, 1, 1)}, p));
+}
+
+TEST(Feasibility, VaryingCapacityMatters) {
+  // 20 units due by t=2: impossible at rate 1, trivial when rate jumps to 35.
+  std::vector<Job> jobs{make_job(0, 20, 2, 1)};
+  EXPECT_FALSE(edf_feasible(jobs, cap::CapacityProfile(1.0)));
+  EXPECT_TRUE(edf_feasible(
+      jobs, cap::CapacityProfile({0.0, 1.0}, {1.0, 35.0})));
+}
+
+TEST(Feasibility, IdleGapsHandled) {
+  cap::CapacityProfile p(1.0);
+  EXPECT_TRUE(edf_feasible(
+      {make_job(0, 1, 1, 1), make_job(10, 1, 11, 1, 1)}, p));
+}
+
+TEST(Feasibility, LateArrivalWithEarlierDeadline) {
+  cap::CapacityProfile p(1.0);
+  // Job 1 arrives at t=3 needing [3,4]; job 0 needs 4 units by t=5: the
+  // preemption steals 1 unit and job 0 misses.
+  EXPECT_FALSE(edf_feasible(
+      {make_job(0, 4.5, 5, 1), make_job(3, 1, 4, 1, 1)}, p));
+  EXPECT_TRUE(edf_feasible(
+      {make_job(0, 4.0, 5, 1), make_job(3, 1, 4, 1, 1)}, p));
+}
+
+// Agreement with the engine: feasible <=> the EDF scheduler completes all.
+TEST(Feasibility, MatchesEngineEdfOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed + 700);
+    cap::TwoStateMarkovParams cp;
+    cp.c_hi = 4.0;
+    cp.mean_sojourn_lo = cp.mean_sojourn_hi = 5.0;
+    auto profile = cap::sample_two_state_markov(cp, 30.0, rng);
+    auto jobs = gen::generate_small_random_jobs(8, 15.0, 7.0, 1.0, 3.0, rng);
+    Instance instance(jobs, profile, 1.0, 4.0);
+
+    sched::EdfScheduler scheduler;
+    sim::Engine engine(instance, scheduler);
+    auto result = engine.run_to_completion();
+    const bool engine_all = result.completed_count == instance.size();
+    EXPECT_EQ(edf_feasible(instance.jobs(), instance.capacity()), engine_all)
+        << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------- max-flow
+
+TEST(MaxFlowGraph, HandComputedNetwork) {
+  MaxFlow flow(4);
+  // 0 -> 1 (3), 0 -> 2 (2), 1 -> 3 (2), 2 -> 3 (3), 1 -> 2 (5).
+  flow.add_edge(0, 1, 3);
+  flow.add_edge(0, 2, 2);
+  auto e13 = flow.add_edge(1, 3, 2);
+  flow.add_edge(2, 3, 3);
+  flow.add_edge(1, 2, 5);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e13), 2.0);
+}
+
+TEST(MaxFlowGraph, DisconnectedIsZero) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 5);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 2), 0.0);
+}
+
+TEST(MaxFlowGraph, FractionalCapacities) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 0.75);
+  flow.add_edge(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(flow.solve(0, 2), 0.5);
+}
+
+TEST(SchedulableWorkload, FeasibleSetIsFullyRoutable) {
+  auto jobs = with_ids({make_job(0, 2, 2, 1), make_job(0, 2, 4, 1)});
+  cap::CapacityProfile p(1.0);
+  EXPECT_NEAR(max_schedulable_workload(jobs, p), 4.0, 1e-9);
+}
+
+TEST(SchedulableWorkload, OverloadRoutesOnlyCapacity) {
+  // Two 3-unit jobs sharing window [0, 4] at rate 1: only 4 units fit.
+  auto jobs = with_ids({make_job(0, 3, 4, 1), make_job(0, 3, 4, 1)});
+  cap::CapacityProfile p(1.0);
+  EXPECT_NEAR(max_schedulable_workload(jobs, p), 4.0, 1e-9);
+}
+
+TEST(SchedulableWorkload, UsesVaryingCapacity) {
+  auto jobs = with_ids({make_job(0, 20, 2, 1)});
+  EXPECT_NEAR(max_schedulable_workload(
+                  jobs, cap::CapacityProfile({0.0, 1.0}, {1.0, 35.0})),
+              20.0, 1e-9);
+  EXPECT_NEAR(max_schedulable_workload(jobs, cap::CapacityProfile(1.0)), 2.0,
+              1e-9);
+}
+
+TEST(UpperBound, DominatesExactOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed + 800);
+    cap::TwoStateMarkovParams cp;
+    cp.c_hi = 6.0;
+    cp.mean_sojourn_lo = cp.mean_sojourn_hi = 4.0;
+    auto profile = cap::sample_two_state_markov(cp, 25.0, rng);
+    auto jobs = gen::generate_small_random_jobs(9, 12.0, 7.0, 1.0, 2.5, rng);
+    Instance instance(jobs, profile, 1.0, 6.0);
+    auto exact = exact_offline_value(instance);
+    ASSERT_TRUE(exact.proved_optimal);
+    EXPECT_GE(offline_value_upper_bound(instance.jobs(), instance.capacity()),
+              exact.value - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------- exact B&B
+
+// Brute force over all subsets for validation.
+double brute_force_optimum(const std::vector<Job>& jobs,
+                           const cap::CapacityProfile& profile) {
+  const std::size_t n = jobs.size();
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<Job> subset;
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        subset.push_back(jobs[i]);
+        value += jobs[i].value;
+      }
+    }
+    if (value > best && edf_feasible(subset, profile)) best = value;
+  }
+  return best;
+}
+
+TEST(Exact, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed + 900);
+    cap::TwoStateMarkovParams cp;
+    cp.c_hi = 4.0;
+    cp.mean_sojourn_lo = cp.mean_sojourn_hi = 3.0;
+    auto profile = cap::sample_two_state_markov(cp, 20.0, rng);
+    auto jobs = gen::generate_small_random_jobs(9, 10.0, 7.0, 1.0, 2.0, rng);
+    Instance instance(jobs, profile, 1.0, 4.0);
+
+    auto exact = exact_offline_value(instance);
+    ASSERT_TRUE(exact.proved_optimal);
+    EXPECT_NEAR(exact.value,
+                brute_force_optimum(instance.jobs(), instance.capacity()),
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Exact, KeptSetIsFeasibleAndSumsToValue) {
+  Rng rng(1234);
+  auto jobs = gen::generate_small_random_jobs(10, 10.0, 7.0, 1.0, 2.0, rng);
+  cap::CapacityProfile profile(1.0);
+  Instance instance(jobs, profile, 1.0, 1.0);
+  auto exact = exact_offline_value(instance);
+  ASSERT_TRUE(exact.proved_optimal);
+
+  std::vector<Job> kept;
+  double value = 0.0;
+  for (JobId id : exact.kept) {
+    kept.push_back(instance.job(id));
+    value += instance.job(id).value;
+  }
+  EXPECT_TRUE(edf_feasible(kept, profile));
+  EXPECT_NEAR(value, exact.value, 1e-9);
+}
+
+TEST(Exact, EmptyInstance) {
+  Instance instance({}, cap::CapacityProfile(1.0));
+  auto exact = exact_offline_value(instance);
+  EXPECT_TRUE(exact.proved_optimal);
+  EXPECT_DOUBLE_EQ(exact.value, 0.0);
+  EXPECT_TRUE(exact.kept.empty());
+}
+
+TEST(Exact, NodeBudgetTruncates) {
+  Rng rng(77);
+  auto jobs = gen::generate_small_random_jobs(14, 10.0, 7.0, 1.0, 2.0, rng);
+  Instance instance(jobs, cap::CapacityProfile(1.0), 1.0, 1.0);
+  ExactOptions options;
+  options.max_nodes = 5;
+  auto truncated = exact_offline_value(instance, options);
+  EXPECT_FALSE(truncated.proved_optimal);
+  // Still a valid lower bound:
+  auto full = exact_offline_value(instance);
+  EXPECT_LE(truncated.value, full.value + 1e-12);
+}
+
+// ------------------------------------------------------------- greedy
+
+TEST(GreedyOffline, NeverExceedsExactAndKeepsFeasibleSet) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 1100);
+    auto profile = cap::CapacityProfile({0.0, 5.0}, {1.0, 3.0});
+    auto jobs = gen::generate_small_random_jobs(10, 10.0, 7.0, 1.0, 2.0, rng);
+    Instance instance(jobs, profile, 1.0, 3.0);
+    auto exact = exact_offline_value(instance);
+    auto greedy = best_greedy_offline_value(instance);
+    EXPECT_LE(greedy.value, exact.value + 1e-9);
+
+    std::vector<Job> kept;
+    for (JobId id : greedy.kept) kept.push_back(instance.job(id));
+    EXPECT_TRUE(edf_feasible(kept, instance.capacity()));
+  }
+}
+
+TEST(GreedyOffline, OrdersCanDisagree) {
+  // value order picks the big job; density order picks the two small ones.
+  auto jobs = with_ids({make_job(0, 4, 4, 6), make_job(0, 1, 1, 2),
+                        make_job(1, 1, 2, 2)});
+  cap::CapacityProfile p(1.0);
+  auto by_value = greedy_offline_value(jobs, p, GreedyOrder::kValueDesc);
+  auto by_density =
+      greedy_offline_value(jobs, p, GreedyOrder::kValueDensityDesc);
+  EXPECT_DOUBLE_EQ(by_value.value, 6.0);
+  EXPECT_DOUBLE_EQ(by_density.value, 4.0);
+}
+
+// ------------------------------------------------------------- stretch solver
+
+TEST(TransformSolver, StretchedJobsPreserveWorkloadAndValue) {
+  cap::CapacityProfile p({0.0, 10.0}, {1.0, 35.0});
+  Instance instance(with_ids({make_job(5, 2, 15, 3)}), p);
+  auto transformed = stretch_instance(instance);
+  ASSERT_EQ(transformed.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(transformed.jobs[0].workload, 2.0);
+  EXPECT_DOUBLE_EQ(transformed.jobs[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(transformed.jobs[0].release, 5.0);            // T(5) = 5
+  EXPECT_DOUBLE_EQ(transformed.jobs[0].deadline, 10.0 + 175.0);  // T(15)
+  EXPECT_DOUBLE_EQ(transformed.reference_rate, 1.0);
+}
+
+TEST(TransformSolver, ReductionPreservesOptimalValue) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed + 1300);
+    cap::TwoStateMarkovParams cp;
+    cp.c_hi = 8.0;
+    cp.mean_sojourn_lo = cp.mean_sojourn_hi = 3.0;
+    auto profile = cap::sample_two_state_markov(cp, 20.0, rng);
+    auto jobs = gen::generate_small_random_jobs(9, 10.0, 7.0, 1.0, 2.5, rng);
+    Instance instance(jobs, profile, 1.0, 8.0);
+
+    auto direct = exact_offline_value(instance);
+    auto via_stretch = solve_via_stretch(instance);
+    ASSERT_TRUE(direct.proved_optimal && via_stretch.proved_optimal);
+    EXPECT_NEAR(direct.value, via_stretch.value, 1e-6) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sjs::offline

@@ -1,0 +1,169 @@
+// Cross-cutting engine/scheduler invariants under randomised stress:
+// whatever the scheduler does (including a deliberately chaotic one), the
+// engine must uphold work conservation, window containment, value
+// accounting, and outcome partitioning.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+/// A chaos-monkey scheduler: at every interrupt it runs a uniformly random
+/// live job (or idles). Exercises engine paths no sane policy reaches.
+class RandomScheduler : public sim::Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  void on_release(sim::Engine& engine, JobId) override { act(engine); }
+  void on_complete(sim::Engine& engine, JobId) override { act(engine); }
+  void on_expire(sim::Engine& engine, JobId, bool) override { act(engine); }
+  std::string name() const override { return "random"; }
+
+ private:
+  void act(sim::Engine& engine) {
+    std::vector<JobId> live;
+    for (JobId id = 0; id < static_cast<JobId>(engine.job_count()); ++id) {
+      if (engine.is_live(id)) live.push_back(id);
+    }
+    if (live.empty() || rng_.bernoulli(0.2)) {
+      engine.run(kNoJob);
+      return;
+    }
+    engine.run(live[rng_.below(live.size())]);
+  }
+  Rng rng_;
+};
+
+struct NamedRun {
+  std::string name;
+  sim::SimResult result;
+};
+
+std::vector<NamedRun> run_everything(const Instance& instance,
+                                     std::uint64_t seed) {
+  std::vector<NamedRun> runs;
+  for (const auto& factory : sched::extended_lineup({1.0, 10.5, 35.0})) {
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    runs.push_back({factory.name, engine.run_to_completion()});
+  }
+  RandomScheduler chaos(seed);
+  sim::Engine engine(instance, chaos);
+  runs.push_back({"random", engine.run_to_completion()});
+  return runs;
+}
+
+class EngineInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  Instance make_instance() {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+    gen::PaperSetup setup;
+    setup.lambda = 2.0 + 2.0 * rng.uniform01() * 5.0;
+    setup.expected_jobs = 150.0;
+    // Mix in instances with slack and without.
+    setup.slack_factor = rng.bernoulli(0.5) ? 1.0 : 1.0 + rng.uniform01();
+    return gen::generate_paper_instance(setup, rng);
+  }
+};
+
+TEST_P(EngineInvariants, OutcomesPartitionTheJobSet) {
+  auto instance = make_instance();
+  for (const auto& [name, result] :
+       run_everything(instance, static_cast<std::uint64_t>(GetParam()))) {
+    EXPECT_EQ(result.completed_count + result.expired_count, instance.size())
+        << name;
+    std::uint64_t completed = 0, expired = 0;
+    for (auto outcome : result.outcomes) {
+      completed += outcome == sim::JobOutcome::kCompleted;
+      expired += outcome == sim::JobOutcome::kExpired;
+      EXPECT_NE(outcome, sim::JobOutcome::kPending) << name;
+    }
+    EXPECT_EQ(completed, result.completed_count) << name;
+    EXPECT_EQ(expired, result.expired_count) << name;
+  }
+}
+
+TEST_P(EngineInvariants, ValueAccountingMatchesOutcomes) {
+  auto instance = make_instance();
+  for (const auto& [name, result] :
+       run_everything(instance, static_cast<std::uint64_t>(GetParam()))) {
+    double completed_value = 0.0;
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (result.outcomes[i] == sim::JobOutcome::kCompleted) {
+        completed_value += instance.jobs()[i].value;
+      }
+    }
+    EXPECT_NEAR(result.completed_value, completed_value,
+                1e-9 * std::max(1.0, completed_value))
+        << name;
+    EXPECT_DOUBLE_EQ(result.generated_value, instance.total_value()) << name;
+    EXPECT_LE(result.completed_value, result.generated_value + 1e-9) << name;
+  }
+}
+
+TEST_P(EngineInvariants, WorkConservation) {
+  auto instance = make_instance();
+  const double available =
+      instance.capacity().work(0.0, instance.max_deadline());
+  for (const auto& [name, result] :
+       run_everything(instance, static_cast<std::uint64_t>(GetParam()))) {
+    double executed = 0.0;
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const double w = result.executed_work[i];
+      EXPECT_GE(w, -1e-9) << name;
+      EXPECT_LE(w, instance.jobs()[i].workload + 1e-9) << name;
+      // Completed jobs executed their full workload.
+      if (result.outcomes[i] == sim::JobOutcome::kCompleted) {
+        EXPECT_NEAR(w, instance.jobs()[i].workload,
+                    1e-6 * std::max(1.0, instance.jobs()[i].workload))
+            << name;
+      }
+      executed += w;
+    }
+    EXPECT_NEAR(executed, result.executed_total,
+                1e-6 * std::max(1.0, executed))
+        << name;
+    // A single processor cannot out-execute the capacity path.
+    EXPECT_LE(result.executed_total, available + 1e-6) << name;
+  }
+}
+
+TEST_P(EngineInvariants, ValueTraceMonotoneAndEndsAtTotal) {
+  auto instance = make_instance();
+  for (const auto& [name, result] :
+       run_everything(instance, static_cast<std::uint64_t>(GetParam()))) {
+    const auto& values = result.value_trace.values();
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      EXPECT_GE(values[i], values[i - 1]) << name;
+    }
+    if (!values.empty()) {
+      EXPECT_NEAR(values.back(), result.completed_value,
+                  1e-9 * std::max(1.0, values.back()))
+          << name;
+    } else {
+      EXPECT_DOUBLE_EQ(result.completed_value, 0.0) << name;
+    }
+  }
+}
+
+TEST_P(EngineInvariants, BusyTimeBounded) {
+  auto instance = make_instance();
+  const double horizon = instance.max_deadline();
+  for (const auto& [name, result] :
+       run_everything(instance, static_cast<std::uint64_t>(GetParam()))) {
+    EXPECT_GE(result.busy_time, 0.0) << name;
+    EXPECT_LE(result.busy_time, horizon + 1e-9) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariants, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sjs

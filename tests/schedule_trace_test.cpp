@@ -1,0 +1,145 @@
+// Execution-timeline recording tests: the recorded slices are the ground
+// truth of "who ran when", so they must partition the busy time, stay inside
+// each job's [release, deadline] window, and integrate (against the capacity
+// path) to exactly the per-job executed work. Also covers the Gantt
+// renderer.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_process.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::sim {
+namespace {
+
+Job make_job(double r, double p, double d, double v) {
+  Job j;
+  j.release = r;
+  j.workload = p;
+  j.deadline = d;
+  j.value = v;
+  return j;
+}
+
+SimResult run_recorded(const Instance& instance,
+                       const sched::NamedFactory& factory) {
+  auto scheduler = factory.make();
+  Engine engine(instance, *scheduler);
+  engine.record_schedule(true);
+  return engine.run_to_completion();
+}
+
+TEST(ScheduleTrace, OffByDefault) {
+  Instance instance({make_job(0, 1, 2, 1)}, cap::CapacityProfile(1.0));
+  auto factory = sched::make_edf();
+  auto scheduler = factory.make();
+  Engine engine(instance, *scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(ScheduleTrace, SingleJobSingleSlice) {
+  Instance instance({make_job(1, 2, 9, 1)}, cap::CapacityProfile(1.0));
+  auto result = run_recorded(instance, sched::make_edf());
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.schedule[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule[0].end, 3.0);
+  EXPECT_EQ(result.schedule[0].job, 0);
+}
+
+TEST(ScheduleTrace, PreemptionSplitsSlices) {
+  Instance instance(
+      {make_job(0.0, 4.0, 10.0, 1.0), make_job(1.0, 2.0, 5.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_recorded(instance, sched::make_edf());
+  ASSERT_EQ(result.schedule.size(), 3u);
+  EXPECT_EQ(result.schedule[0].job, 0);  // [0,1)
+  EXPECT_EQ(result.schedule[1].job, 1);  // [1,3)
+  EXPECT_EQ(result.schedule[2].job, 0);  // [3,6)
+  EXPECT_DOUBLE_EQ(result.schedule[2].end, 6.0);
+}
+
+class ScheduleTraceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleTraceProperty, SlicesAreChronologicalAndWindowContained) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 13000);
+  gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = 120.0;
+  auto instance = gen::generate_paper_instance(setup, rng);
+
+  for (const auto& factory :
+       {sched::make_vdover(), sched::make_edf(), sched::make_llf(),
+        sched::make_hvdf(), sched::make_srpt()}) {
+    auto result = run_recorded(instance, factory);
+    double cursor = 0.0;
+    for (const auto& slice : result.schedule) {
+      EXPECT_LE(cursor, slice.start + 1e-12) << factory.name;
+      EXPECT_LT(slice.start, slice.end) << factory.name;
+      const Job& j = instance.job(slice.job);
+      EXPECT_GE(slice.start, j.release - 1e-9) << factory.name;
+      EXPECT_LE(slice.end, j.deadline + 1e-9) << factory.name;
+      cursor = slice.end;
+    }
+  }
+}
+
+TEST_P(ScheduleTraceProperty, SliceWorkMatchesExecutedWork) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 14000);
+  gen::PaperSetup setup;
+  setup.lambda = 7.0;
+  setup.expected_jobs = 120.0;
+  auto instance = gen::generate_paper_instance(setup, rng);
+  auto result = run_recorded(instance, sched::make_vdover());
+
+  std::vector<double> work(instance.size(), 0.0);
+  double busy = 0.0;
+  for (const auto& slice : result.schedule) {
+    work[static_cast<std::size_t>(slice.job)] +=
+        instance.capacity().work(slice.start, slice.end);
+    busy += slice.end - slice.start;
+  }
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    EXPECT_NEAR(work[i], result.executed_work[i],
+                1e-6 * std::max(1.0, work[i]))
+        << "job " << i;
+  }
+  EXPECT_NEAR(busy, result.busy_time, 1e-6 * std::max(1.0, busy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleTraceProperty, ::testing::Range(0, 6));
+
+TEST(Gantt, RendersExecutionAndOutcome) {
+  Instance instance(
+      {make_job(0.0, 4.0, 4.0, 1.0), make_job(1.0, 4.0, 5.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  auto result = run_recorded(instance, sched::make_edf());
+  auto gantt = render_gantt(instance, result);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('C'), std::string::npos);  // job 0 completes
+  EXPECT_NE(gantt.find('X'), std::string::npos);  // job 1 expires
+  EXPECT_NE(gantt.find("job    0"), std::string::npos);
+}
+
+TEST(Gantt, ElidesExcessRows) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(make_job(i, 0.5, i + 2, 1));
+  Instance instance(jobs, cap::CapacityProfile(1.0));
+  auto result = run_recorded(instance, sched::make_edf());
+  GanttOptions options;
+  options.max_jobs = 3;
+  auto gantt = render_gantt(instance, result, options);
+  EXPECT_NE(gantt.find("7 more jobs elided"), std::string::npos);
+}
+
+TEST(Gantt, EmptyInstanceSafe) {
+  Instance instance({}, cap::CapacityProfile(1.0));
+  SimResult result;
+  EXPECT_EQ(render_gantt(instance, result), "(no jobs)\n");
+}
+
+}  // namespace
+}  // namespace sjs::sim

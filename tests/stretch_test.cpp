@@ -1,0 +1,139 @@
+// Tests for the paper's Sec. III-A stretch transformation: bijection,
+// workload preservation, and schedulability equivalence between the original
+// varying-capacity system and the stretched constant-capacity system.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/capacity_process.hpp"
+#include "capacity/stretch.hpp"
+#include "jobs/workload_gen.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/transform_solver.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+using cap::CapacityProfile;
+using cap::StretchTransform;
+
+TEST(Stretch, IdentityOnConstantProfileAtReferenceRate) {
+  CapacityProfile p(3.0);
+  StretchTransform t(p, 3.0);
+  for (double x : {0.0, 1.0, 5.5, 100.0}) {
+    EXPECT_DOUBLE_EQ(t.forward(x), x);
+    EXPECT_DOUBLE_EQ(t.inverse(x), x);
+  }
+}
+
+TEST(Stretch, ConstantProfileScalesLinearly) {
+  CapacityProfile p(4.0);
+  StretchTransform t(p, 2.0);  // running twice as fast as reference
+  EXPECT_DOUBLE_EQ(t.forward(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.forward(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(t.inverse(6.0), 3.0);
+}
+
+TEST(Stretch, PiecewiseKnownValues) {
+  // c = 1 on [0,10), 35 on [10,20), 1 after; reference c_lo = 1.
+  CapacityProfile p({0.0, 10.0, 20.0}, {1.0, 35.0, 1.0});
+  StretchTransform t(p);
+  EXPECT_DOUBLE_EQ(t.reference_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(t.forward(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.forward(20.0), 10.0 + 350.0);
+  EXPECT_DOUBLE_EQ(t.forward(21.0), 361.0);
+  EXPECT_DOUBLE_EQ(t.inverse(360.0), 20.0);
+}
+
+TEST(Stretch, ForwardIsStrictlyIncreasing) {
+  CapacityProfile p({0.0, 1.0, 2.0}, {1.0, 10.0, 2.0});
+  StretchTransform t(p);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 5.0; x += 0.1) {
+    const double y = t.forward(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Stretch, StretchedProfileIsConstantReference) {
+  CapacityProfile p({0.0, 1.0}, {2.0, 5.0});
+  StretchTransform t(p);
+  auto stretched = t.stretched_profile();
+  EXPECT_DOUBLE_EQ(stretched.rate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(stretched.rate(1000.0), 2.0);
+  EXPECT_EQ(stretched.segments(), 1u);
+}
+
+TEST(Stretch, RejectsNonPositiveReference) {
+  CapacityProfile p(1.0);
+  EXPECT_THROW(StretchTransform(p, 0.0), CheckError);
+  EXPECT_THROW(StretchTransform(p, -2.0), CheckError);
+}
+
+// Property: round trips and the paper's workload-preservation identity
+//   ∫_s^t c = c_ref · (T(t) − T(s))
+// on random piecewise profiles.
+class StretchProperty : public ::testing::TestWithParam<int> {
+ protected:
+  CapacityProfile random_profile(Rng& rng) {
+    std::vector<double> times{0.0};
+    std::vector<double> rates{rng.uniform(1.0, 35.0)};
+    for (int i = 0; i < 25; ++i) {
+      times.push_back(times.back() + rng.exponential_mean(3.0));
+      rates.push_back(rng.uniform(1.0, 35.0));
+    }
+    return CapacityProfile(times, rates);
+  }
+};
+
+TEST_P(StretchProperty, RoundTripBothWays) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 10);
+  auto p = random_profile(rng);
+  StretchTransform t(p);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.uniform(0.0, 120.0);
+    EXPECT_NEAR(t.inverse(t.forward(x)), x, 1e-8 * std::max(1.0, x));
+    const double y = rng.uniform(0.0, 120.0);
+    EXPECT_NEAR(t.forward(t.inverse(y)), y, 1e-8 * std::max(1.0, y));
+  }
+}
+
+TEST_P(StretchProperty, WorkloadPreserved) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  auto p = random_profile(rng);
+  StretchTransform t(p);
+  for (int trial = 0; trial < 50; ++trial) {
+    double s = rng.uniform(0.0, 100.0);
+    double e = s + rng.exponential_mean(10.0);
+    const double original_work = p.work(s, e);
+    const double stretched_work =
+        t.reference_rate() * (t.forward(e) - t.forward(s));
+    EXPECT_NEAR(original_work, stretched_work,
+                1e-9 * std::max(1.0, original_work));
+  }
+}
+
+// The core claim of Sec. III-A: a job set is schedulable under the original
+// varying capacity iff the stretched set is schedulable at constant c_lo.
+TEST_P(StretchProperty, FeasibilityEquivalence) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 90);
+  auto profile = random_profile(rng);
+  auto jobs =
+      gen::generate_small_random_jobs(8, 40.0, 7.0, profile.min_rate(),
+                                      /*slack_max=*/4.0, rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
+
+  Instance instance(jobs, profile);
+  auto transformed = offline::stretch_instance(instance);
+
+  EXPECT_EQ(offline::edf_feasible(instance.jobs(), instance.capacity()),
+            offline::edf_feasible(transformed.jobs, transformed.capacity));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StretchProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sjs

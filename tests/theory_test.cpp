@@ -1,0 +1,196 @@
+// Tests for the competitive-ratio formulas (Theorems 1 & 3) and the
+// Theorem 3(3) adversary construction — including verifying the pair's
+// claimed offline optima with the exact solver and demonstrating the
+// ratio -> 0 decay for concrete online algorithms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "offline/exact.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "theory/adversary.hpp"
+#include "theory/ratios.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::theory {
+namespace {
+
+// ---------------------------------------------------------------- formulas
+
+TEST(Ratios, FKnownValue) {
+  // f(k, δ) = 2δ + 2 + log(δk)/log(δ/(δ−1)); δ = 2, k = 1:
+  // 4 + 2 + log(2)/log(2) = 7.
+  EXPECT_NEAR(f_k_delta(1.0, 2.0), 7.0, 1e-12);
+}
+
+TEST(Ratios, FPaperParameters) {
+  // The paper's simulation: k = 7, δ = 35.
+  const double expected =
+      2.0 * 35.0 + 2.0 + std::log(35.0 * 7.0) / std::log(35.0 / 34.0);
+  EXPECT_NEAR(f_k_delta(7.0, 35.0), expected, 1e-9);
+  EXPECT_GT(f_k_delta(7.0, 35.0), 72.0);  // the log term is positive
+}
+
+TEST(Ratios, FMonotoneInDeltaForLargeDelta) {
+  // For moderate-to-large δ the 2δ term dominates.
+  EXPECT_LT(f_k_delta(7.0, 5.0), f_k_delta(7.0, 20.0));
+  EXPECT_LT(f_k_delta(7.0, 20.0), f_k_delta(7.0, 100.0));
+}
+
+TEST(Ratios, FMonotoneInK) {
+  EXPECT_LT(f_k_delta(2.0, 5.0), f_k_delta(20.0, 5.0));
+}
+
+TEST(Ratios, FRejectsInvalidDomain) {
+  EXPECT_THROW(f_k_delta(0.5, 2.0), CheckError);
+  EXPECT_THROW(f_k_delta(2.0, 1.0), CheckError);   // δ must exceed 1
+  EXPECT_THROW(f_k_delta(2.0, 0.5), CheckError);
+}
+
+TEST(Ratios, VDoverRatioInUnitInterval) {
+  for (double k : {1.0, 2.0, 7.0, 100.0}) {
+    for (double delta : {1.5, 2.0, 35.0}) {
+      const double r = vdover_competitive_ratio(k, delta);
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.0);
+    }
+  }
+}
+
+TEST(Ratios, AchievableBelowUpperBound) {
+  // Theorem 3: achievable ratio (claim 2) <= upper bound (claim 1).
+  for (double k : {1.0, 7.0, 50.0}) {
+    for (double delta : {1.2, 5.0, 35.0}) {
+      EXPECT_LE(vdover_competitive_ratio(k, delta), overload_upper_bound(k));
+    }
+  }
+}
+
+TEST(Ratios, UpperBoundKnownValues) {
+  EXPECT_NEAR(overload_upper_bound(1.0), 0.25, 1e-12);       // 1/(1+1)²
+  EXPECT_NEAR(overload_upper_bound(4.0), 1.0 / 9.0, 1e-12);  // 1/(1+2)²
+}
+
+TEST(Ratios, AsymptoticOptimality) {
+  // Theorem 3 remark: achievable/upper -> 1 as k -> ∞ for fixed δ.
+  const double delta = 5.0;
+  double previous = 0.0;
+  for (double k : {1e2, 1e4, 1e6, 1e8}) {
+    const double quotient =
+        vdover_competitive_ratio(k, delta) / overload_upper_bound(k);
+    EXPECT_GT(quotient, previous);  // improves monotonically along this sweep
+    previous = quotient;
+  }
+  EXPECT_GT(previous, 0.99);  // essentially optimal by k = 1e8
+}
+
+TEST(Ratios, OptimalBetaExceedsOne) {
+  for (double k : {1.0, 7.0, 100.0}) {
+    for (double delta : {1.5, 35.0}) {
+      EXPECT_GT(optimal_beta(k, delta), 1.0);
+    }
+  }
+}
+
+TEST(Ratios, OptimalBetaFormula) {
+  const double k = 7.0, delta = 35.0;
+  EXPECT_NEAR(optimal_beta(k, delta),
+              1.0 + std::sqrt(k / f_k_delta(k, delta)), 1e-12);
+}
+
+TEST(Ratios, DoverBetaFormula) {
+  EXPECT_NEAR(dover_beta(4.0), 3.0, 1e-12);
+  EXPECT_NEAR(dover_beta(7.0), 1.0 + std::sqrt(7.0), 1e-12);
+}
+
+TEST(Ratios, MultiplierIsReciprocalOfRatio) {
+  const double k = 7.0, delta = 35.0;
+  EXPECT_NEAR(offline_value_multiplier(k, delta) *
+                  vdover_competitive_ratio(k, delta),
+              1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- adversary
+
+TEST(Adversary, JackpotViolatesAdmissibilityFillersDoNot) {
+  AdversaryParams params;
+  params.n = 5;
+  auto pair = make_adversary_pair(params);
+  // Job ids are reassigned after release-sorting; the jackpot is the unique
+  // inadmissible job.
+  auto bad = pair.high.inadmissible_jobs();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_DOUBLE_EQ(pair.high.job(bad[0]).workload, params.c_hi);
+  EXPECT_EQ(pair.low.inadmissible_jobs().size(), 1u);
+}
+
+TEST(Adversary, BothPathsShareJobsAndBand) {
+  auto pair = make_adversary_pair({});
+  ASSERT_EQ(pair.high.size(), pair.low.size());
+  for (std::size_t i = 0; i < pair.high.size(); ++i) {
+    EXPECT_EQ(pair.high.jobs()[i], pair.low.jobs()[i]);
+  }
+  EXPECT_DOUBLE_EQ(pair.high.c_lo(), pair.low.c_lo());
+  EXPECT_DOUBLE_EQ(pair.high.c_hi(), pair.low.c_hi());
+}
+
+TEST(Adversary, ClaimedOfflineValuesMatchExactSolver) {
+  AdversaryParams params;
+  params.n = 4;
+  params.c_hi = 6.0;
+  auto pair = make_adversary_pair(params);
+  auto exact_high = offline::exact_offline_value(pair.high);
+  auto exact_low = offline::exact_offline_value(pair.low);
+  ASSERT_TRUE(exact_high.proved_optimal && exact_low.proved_optimal);
+  EXPECT_NEAR(exact_high.value, pair.offline_high, 1e-9);
+  EXPECT_NEAR(exact_low.value, pair.offline_low, 1e-9);
+}
+
+TEST(Adversary, RejectsDegenerateParameters) {
+  AdversaryParams params;
+  params.c_hi = params.c_lo;  // no variation -> no trap
+  EXPECT_THROW(make_adversary_pair(params), CheckError);
+  params = {};
+  params.n = 0;
+  EXPECT_THROW(make_adversary_pair(params), CheckError);
+}
+
+// Theorem 3(3) demonstration: as the jackpot value grows with n, every
+// concrete online algorithm's min-ratio over the pair decays toward 0.
+double pair_min_ratio(const AdversaryPair& pair,
+                      const sched::NamedFactory& factory) {
+  double worst = 1.0;
+  const Instance* instances[] = {&pair.high, &pair.low};
+  const double offline[] = {pair.offline_high, pair.offline_low};
+  for (int i = 0; i < 2; ++i) {
+    auto scheduler = factory.make();
+    sim::Engine engine(*instances[i], *scheduler);
+    auto result = engine.run_to_completion();
+    worst = std::min(worst, result.completed_value / offline[i]);
+  }
+  return worst;
+}
+
+TEST(Adversary, RatioDecaysForOnlineAlgorithms) {
+  for (const auto& factory :
+       {sched::make_vdover(), sched::make_edf(), sched::make_hvdf()}) {
+    double previous = 2.0;
+    for (int n : {2, 8, 32}) {
+      AdversaryParams params;
+      params.n = n;
+      // Jackpot value grows superlinearly so the high-path ratio of a
+      // filler-hedging algorithm decays.
+      params.jackpot_value_factor = static_cast<double>(n);
+      auto pair = make_adversary_pair(params);
+      const double ratio = pair_min_ratio(pair, factory);
+      EXPECT_LE(ratio, previous + 1e-12) << factory.name << " n=" << n;
+      previous = ratio;
+    }
+    EXPECT_LT(previous, 0.15)
+        << factory.name << " should be crushed by the adversary at n=32";
+  }
+}
+
+}  // namespace
+}  // namespace sjs::theory

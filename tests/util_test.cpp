@@ -1,0 +1,473 @@
+// Unit tests for src/util: RNG, CLI flags, CSV, ASCII charts, logging/checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/gnuplot.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sjs {
+namespace {
+
+// ---------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamIsDeterministic) {
+  Rng a(7, 5), b(7, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialStrictlyPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential_mean(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRateIsReciprocalMean) {
+  Rng a(6), b(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.exponential_rate(4.0), b.exponential_mean(0.25));
+  }
+}
+
+TEST(Rng, BelowInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BoundedParetoInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.bounded_pareto(1.5, 0.1, 20.0);
+    EXPECT_GE(x, 0.1 - 1e-9);
+    EXPECT_LE(x, 20.0 + 1e-9);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // 50! permutations; identity is absurdly unlikely
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, SizeReflectsThreadCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+// ---------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesEqualsSyntax) {
+  CliFlags flags;
+  flags.add_double("rate", 1.0, "");
+  const char* argv[] = {"prog", "--rate=2.5"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.5);
+}
+
+TEST(Cli, ParsesSpaceSyntax) {
+  CliFlags flags;
+  flags.add_int("runs", 10, "");
+  const char* argv[] = {"prog", "--runs", "800"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("runs"), 800);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  CliFlags flags;
+  flags.add_bool("verbose", false, "");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanExplicitFalse) {
+  CliFlags flags;
+  flags.add_bool("verbose", true, "");
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, DefaultsSurviveNoArgs) {
+  CliFlags flags;
+  flags.add_double("x", 3.5, "");
+  flags.add_string("name", "abc", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(flags.get_double("x"), 3.5);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+}
+
+TEST(Cli, UnknownFlagIsError) {
+  CliFlags flags;
+  flags.add_double("x", 0.0, "");
+  const char* argv[] = {"prog", "--y=1"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(flags.error().find("unknown"), std::string::npos);
+}
+
+TEST(Cli, MissingValueIsError) {
+  CliFlags flags;
+  flags.add_double("x", 0.0, "");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, MalformedNumberIsError) {
+  CliFlags flags;
+  flags.add_double("x", 0.0, "");
+  const char* argv[] = {"prog", "--x=abc"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, DoubleListParses) {
+  CliFlags flags;
+  flags.add_double_list("lambda", {1.0}, "");
+  const char* argv[] = {"prog", "--lambda=4,5,6.5"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_double_list("lambda"),
+            (std::vector<double>{4.0, 5.0, 6.5}));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliFlags flags;
+  flags.add_double("x", 0.0, "the x flag");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.error().empty());
+}
+
+TEST(Cli, UsageMentionsFlagsAndHelp) {
+  CliFlags flags;
+  flags.add_double("rate", 1.0, "arrival rate");
+  auto usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("arrival rate"), std::string::npos);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  CliFlags flags;
+  flags.add_double("x", 0.0, "");
+  EXPECT_THROW(flags.get_int("x"), std::logic_error);
+  EXPECT_THROW(flags.get_double("nope"), std::logic_error);
+}
+
+TEST(ParseDoubleList, HandlesEmptyAndMalformed) {
+  EXPECT_TRUE(parse_double_list("").empty());
+  EXPECT_EQ(parse_double_list("1,2"), (std::vector<double>{1, 2}));
+  EXPECT_THROW(parse_double_list("1,x"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- CSV
+
+class CsvRoundtrip : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "sjs_csv_test.csv")
+                          .string();
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvRoundtrip, SimpleRows) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"a", "b"});
+    w.write_row({"1", "2"});
+  }
+  auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvRoundtrip, EscapedFields) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"with,comma", "with\"quote", "plain"});
+  }
+  auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "with,comma");
+  EXPECT_EQ(rows[0][1], "with\"quote");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST_F(CsvRoundtrip, NumericRoundTrip) {
+  {
+    CsvWriter w(path_);
+    w.write_row_numeric({0.1, 1e-17, 12345.6789});
+  }
+  auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), 0.1);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][1]), 1e-17);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][2]), 12345.6789);
+}
+
+TEST(Csv, EscapePassthroughForPlainFields) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+TEST(Csv, WriteToBadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- ASCII chart
+
+TEST(AsciiChart, ContainsMarkersAndLegend) {
+  AsciiSeries s;
+  s.name = "series-one";
+  s.marker = '@';
+  for (int i = 0; i < 20; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  AsciiChartOptions opt;
+  opt.title = "squares";
+  auto chart = render_ascii_chart({s}, opt);
+  EXPECT_NE(chart.find('@'), std::string::npos);
+  EXPECT_NE(chart.find("series-one"), std::string::npos);
+  EXPECT_NE(chart.find("squares"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesSafe) {
+  auto chart = render_ascii_chart({}, {});
+  EXPECT_NE(chart.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChart, SparklineLengthMatches) {
+  auto spark = render_sparkline({1, 2, 3, 2, 1});
+  EXPECT_FALSE(spark.empty());
+  EXPECT_TRUE(render_sparkline({}).empty());
+}
+
+// ---------------------------------------------------------------- gnuplot
+
+class GnuplotTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "sjs_gnuplot_test.gp")
+                          .string();
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string read_all() {
+    std::ifstream in(path_);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+};
+
+TEST_F(GnuplotTest, EmitsSeriesAndLabels) {
+  GnuplotFigure figure;
+  figure.title = "my title";
+  figure.x_label = "time";
+  figure.y_label = "value";
+  figure.series = {{"data.csv", 1, 2, "V-Dover"},
+                   {"data.csv", 1, 3, "Dover"}};
+  write_gnuplot_script(figure, path_);
+  auto script = read_all();
+  EXPECT_NE(script.find("set title \"my title\""), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("title \"V-Dover\""), std::string::npos);
+  EXPECT_EQ(script.find("set output"), std::string::npos);  // interactive
+}
+
+TEST_F(GnuplotTest, PngOutputAndEscaping) {
+  GnuplotFigure figure;
+  figure.title = "quote \" here";
+  figure.output_png = "out.png";
+  figure.series = {{"d.csv", 1, 2, "s"}};
+  write_gnuplot_script(figure, path_);
+  auto script = read_all();
+  EXPECT_NE(script.find("set output \"out.png\""), std::string::npos);
+  EXPECT_NE(script.find("quote \\\" here"), std::string::npos);
+}
+
+TEST(Gnuplot, BadPathThrows) {
+  GnuplotFigure figure;
+  EXPECT_THROW(write_gnuplot_script(figure, "/nonexistent/dir/x.gp"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(Logging, CheckThrowsWithMessage) {
+  try {
+    SJS_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Logging, CheckPassesSilently) {
+  SJS_CHECK(1 + 1 == 2);  // must not throw
+}
+
+TEST(Logging, LevelGating) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace sjs

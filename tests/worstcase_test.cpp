@@ -1,0 +1,84 @@
+// Tests for the adversarial worst-case search harness.
+#include <gtest/gtest.h>
+
+#include "mc/worstcase.hpp"
+#include "sched/factory.hpp"
+#include "theory/ratios.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::mc {
+namespace {
+
+WorstCaseOptions small_options() {
+  WorstCaseOptions options;
+  options.jobs = 5;
+  options.restarts = 2;
+  options.iterations = 40;
+  options.seed = 3;
+  return options;
+}
+
+TEST(WorstCase, DeterministicInSeed) {
+  auto a = search_worst_case(small_options(), sched::make_edf());
+  auto b = search_worst_case(small_options(), sched::make_edf());
+  EXPECT_DOUBLE_EQ(a.worst_ratio, b.worst_ratio);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(WorstCase, RatioIsAValidRatio) {
+  auto result = search_worst_case(small_options(), sched::make_vdover());
+  EXPECT_GE(result.worst_ratio, 0.0);
+  EXPECT_LE(result.worst_ratio, 1.0);
+  EXPECT_LE(result.online_value, result.offline_value + 1e-9);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(WorstCase, WorstInstanceIsAdmissibleByConstruction) {
+  auto options = small_options();
+  auto result = search_worst_case(options, sched::make_edf());
+  ASSERT_FALSE(result.jobs.empty());
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.individually_admissible(options.c_lo))
+        << job.to_string();
+  }
+}
+
+TEST(WorstCase, EvaluationCountMatchesBudget) {
+  auto options = small_options();
+  auto result = search_worst_case(options, sched::make_fifo());
+  // One evaluation per restart seed + one per mutation.
+  EXPECT_EQ(result.evaluations,
+            options.restarts * (options.iterations + 1));
+}
+
+TEST(WorstCase, FindsOverloadForEdf) {
+  // EDF under overload is famously fragile; even a tiny search should find
+  // an instance where it loses a chunk of the optimum.
+  auto options = small_options();
+  options.restarts = 4;
+  options.iterations = 150;
+  auto result = search_worst_case(options, sched::make_edf());
+  EXPECT_LT(result.worst_ratio, 0.95);
+}
+
+TEST(WorstCase, VDoverRespectsItsGuarantee) {
+  auto options = small_options();
+  options.restarts = 4;
+  options.iterations = 150;
+  auto result = search_worst_case(options, sched::make_vdover(options.k));
+  const double guarantee = theory::vdover_competitive_ratio(
+      options.k, options.c_hi / options.c_lo);
+  EXPECT_GE(result.worst_ratio, guarantee - 1e-9);
+}
+
+TEST(WorstCase, RejectsDegenerateOptions) {
+  WorstCaseOptions options = small_options();
+  options.c_hi = options.c_lo;
+  EXPECT_THROW(search_worst_case(options, sched::make_edf()), CheckError);
+  options = small_options();
+  options.jobs = 0;
+  EXPECT_THROW(search_worst_case(options, sched::make_edf()), CheckError);
+}
+
+}  // namespace
+}  // namespace sjs::mc
