@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
 # Full pipeline: configure, build, test, regenerate every paper experiment.
-# Outputs land next to this repo root (table1.csv, fig1_*.csv, logs).
+# Outputs land in results/ (table1.csv, fig1_*.csv + .gp, logs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Prefer Ninja when it is installed and build/ is not already configured with
+# another generator; otherwise fall back to the CMake default (Makefiles).
+generator_args=()
+if [[ ! -f build/CMakeCache.txt ]] && command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
+cmake -B build "${generator_args[@]}"
 cmake --build build
-ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/test_output.txt
 
-{
-  for bench in build/bench/*; do
-    echo "==================== ${bench} ===================="
+# Benches run from results/ so their CSV / gnuplot outputs land there.
+(
+  cd results
+  for bench in ../build/bench/*; do
+    [[ -f ${bench} && -x ${bench} ]] || continue
+    echo "==================== $(basename "${bench}") ===================="
     "${bench}"
     echo
   done
-} 2>&1 | tee bench_output.txt
+) 2>&1 | tee results/bench_output.txt

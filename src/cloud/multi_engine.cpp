@@ -117,6 +117,8 @@ void MultiEngine::run_on(std::size_t server, JobId id) {
   // Migration: stop it wherever it currently runs.
   const std::size_t current = placement_[static_cast<std::size_t>(id)];
   if (current != kNoServer) {
+    trace(obs::TraceKind::kMigrate, id, server, static_cast<double>(current),
+          static_cast<double>(server));
     halt_server(current);
     ++result_.migrations;
   }
@@ -124,6 +126,8 @@ void MultiEngine::run_on(std::size_t server, JobId id) {
   if (running_[server] != kNoJob) {
     if (remaining_[static_cast<std::size_t>(running_[server])] > 0.0) {
       ++result_.preemptions;
+      trace(obs::TraceKind::kPreempt, running_[server], server,
+            remaining_[static_cast<std::size_t>(running_[server])]);
     }
     halt_server(server);
   } else {
@@ -132,6 +136,8 @@ void MultiEngine::run_on(std::size_t server, JobId id) {
   running_[server] = id;
   placement_[static_cast<std::size_t>(id)] = server;
   ++result_.dispatches;
+  trace(obs::TraceKind::kDispatch, id, server,
+        remaining_[static_cast<std::size_t>(id)]);
   schedule_completion(server);
 }
 
@@ -142,8 +148,11 @@ void MultiEngine::idle(std::size_t server) {
   if (running_[server] != kNoJob &&
       remaining_[static_cast<std::size_t>(running_[server])] > 0.0) {
     ++result_.preemptions;
+    trace(obs::TraceKind::kPreempt, running_[server], server,
+          remaining_[static_cast<std::size_t>(running_[server])]);
   }
   halt_server(server);
+  trace(obs::TraceKind::kIdle, kNoJob, server);
 }
 
 void MultiEngine::stop(JobId id) {
@@ -161,6 +170,10 @@ MultiSimResult MultiEngine::run_to_completion() {
     push_event(j.release, EventType::kRelease, j.id, kNoServer, 0);
     push_event(j.deadline, EventType::kExpiry, j.id, kNoServer, 0);
   }
+
+  trace(obs::TraceKind::kRunStart, kNoJob, kNoServer,
+        static_cast<double>(jobs_->size()),
+        static_cast<double>(servers_.size()));
 
   in_callback_ = true;
   scheduler_->on_start(*this);
@@ -188,6 +201,8 @@ MultiSimResult MultiEngine::run_to_completion() {
         halt_server(event.server);
         result_.completed_value += job(event.job).value;
         ++result_.completed_count;
+        trace(obs::TraceKind::kComplete, event.job, event.server,
+              job(event.job).value);
         scheduler_->on_complete(*this, event.job, event.server);
         break;
       }
@@ -198,11 +213,16 @@ MultiSimResult MultiEngine::run_to_completion() {
         ++result_.expired_count;
         const std::size_t server = placement_[idx];
         if (server != kNoServer) halt_server(server);
+        trace(obs::TraceKind::kExpire, event.job, server, remaining_[idx],
+              server != kNoServer ? 1.0 : 0.0);
         scheduler_->on_expire(*this, event.job, server);
         break;
       }
       case EventType::kRelease: {
         released_[static_cast<std::size_t>(event.job)] = true;
+        const Job& j = job(event.job);
+        trace(obs::TraceKind::kRelease, event.job, kNoServer, j.workload,
+              j.deadline);
         scheduler_->on_release(*this, event.job);
         break;
       }
@@ -215,6 +235,9 @@ MultiSimResult MultiEngine::run_to_completion() {
   for (std::size_t i = 0; i < jobs_->size(); ++i) {
     result_.executed_work[i] = (*jobs_)[i].workload - remaining_[i];
   }
+  trace(obs::TraceKind::kRunEnd, kNoJob, kNoServer, result_.completed_value,
+        result_.generated_value);
+  if (sink_) sink_->flush();
   return result_;
 }
 

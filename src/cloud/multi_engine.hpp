@@ -23,6 +23,7 @@
 
 #include "capacity/capacity_profile.hpp"
 #include "jobs/job.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/result.hpp"
 
 namespace sjs::cloud {
@@ -75,6 +76,12 @@ class MultiEngine {
 
   MultiSimResult run_to_completion();
 
+  /// Attaches a trace sink (src/obs/); events carry the server index in
+  /// TraceEvent::server and migrations are recorded as kMigrate. Same
+  /// contract as sim::Engine::attach_trace.
+  void attach_trace(obs::TraceSink* sink) { sink_ = sink; }
+  bool trace_enabled() const { return sink_ != nullptr; }
+
   // --- query surface (online-observable) ---
   double now() const { return now_; }
   std::size_t server_count() const { return servers_.size(); }
@@ -121,6 +128,16 @@ class MultiEngine {
     }
   };
 
+  /// Records one trace event at `now_` (null check only when disabled).
+  void trace(obs::TraceKind kind, JobId job, std::size_t server,
+             double a = 0.0, double b = 0.0) {
+    if (sink_) {
+      sink_->record(obs::TraceEvent{
+          now_, kind, job,
+          server == kNoServer ? -1 : static_cast<std::int32_t>(server), a, b});
+    }
+  }
+
   void push_event(double time, EventType type, JobId job, std::size_t server,
                   std::uint64_t epoch);
   /// Accounts execution on every busy server up to time t.
@@ -145,6 +162,7 @@ class MultiEngine {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::uint64_t next_seq_ = 0;
   bool in_callback_ = false;
+  obs::TraceSink* sink_ = nullptr;
   MultiSimResult result_;
 };
 

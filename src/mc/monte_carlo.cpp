@@ -1,5 +1,8 @@
 #include "mc/monte_carlo.hpp"
 
+#include <optional>
+
+#include "obs/digest.hpp"
 #include "sim/engine.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
@@ -46,22 +49,37 @@ McOutcome run_monte_carlo(const McConfig& config,
 
   // One task per run: each task regenerates its instance once and plays it
   // through every scheduler (common random numbers across schedulers).
+  // Digests land in run-indexed slots so the combined fold below is
+  // independent of which thread simulated which run.
   std::vector<std::vector<sim::SimResult>> results(config.runs);
+  std::vector<std::vector<std::uint64_t>> digests(
+      config.compute_digests ? config.runs : 0);
   ThreadPool pool(config.threads);
   parallel_for(pool, config.runs, [&](std::size_t run) {
     Rng rng(config.seed, run);
     const Instance instance = gen::generate_paper_instance(config.setup, rng);
     auto& row = results[run];
     row.reserve(factories.size());
-    for (const auto& factory : factories) {
-      auto scheduler = factory.make();
+    for (std::size_t s = 0; s < factories.size(); ++s) {
+      auto scheduler = factories[s].make();
       sim::Engine engine(instance, *scheduler);
+      obs::DigestSink digest;
+      std::optional<obs::TraceMetricsBridge> bridge;
+      obs::TeeSink tee;
+      if (config.compute_digests) tee.add(&digest);
+      if (config.metrics) {
+        bridge.emplace(config.metrics->local());
+        tee.add(&*bridge);
+      }
+      if (tee.sink_count() > 0) engine.attach_trace(&tee);
       row.push_back(engine.run_to_completion());
+      if (config.compute_digests) digests[run].push_back(digest.digest());
     }
   });
 
   for (std::size_t s = 0; s < factories.size(); ++s) {
     auto& agg = outcome.per_scheduler[s];
+    if (config.compute_digests) agg.run_digests.resize(config.runs);
     double completed = 0.0;
     double expired = 0.0;
     double preemptions = 0.0;
@@ -72,6 +90,10 @@ McOutcome run_monte_carlo(const McConfig& config,
       expired += static_cast<double>(r.expired_count);
       preemptions += static_cast<double>(r.preemptions);
       if (config.keep_traces) agg.traces[run] = std::move(r.value_trace);
+      if (config.compute_digests) agg.run_digests[run] = digests[run][s];
+    }
+    if (config.compute_digests) {
+      agg.combined_digest = obs::combine_digests(agg.run_digests);
     }
     const double n = static_cast<double>(config.runs);
     agg.mean_completed = completed / n;

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "jobs/workload_gen.hpp"
+#include "obs/metrics.hpp"
 #include "sched/factory.hpp"
 #include "sim/result.hpp"
 #include "stats/summary.hpp"
@@ -25,6 +27,15 @@ struct McConfig {
   std::uint64_t seed = 42;
   std::size_t threads = 0;     ///< 0 = hardware concurrency
   bool keep_traces = false;    ///< retain per-run value-vs-time traces (Fig. 1)
+  /// Fold every run's engine event stream into a 64-bit replay digest
+  /// (obs::DigestSink). Digests land in run-indexed slots, so the combined
+  /// digest is thread-count-independent — the determinism contract as a
+  /// checkable value.
+  bool compute_digests = false;
+  /// Optional metrics sink: each worker feeds its thread-local shard via
+  /// obs::TraceMetricsBridge. Not owned; must outlive the call. Snapshot it
+  /// only after run_monte_carlo returns.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SchedulerAggregate {
@@ -34,6 +45,10 @@ struct SchedulerAggregate {
   Summary fraction_summary;
   /// Per-run cumulative value traces (only when keep_traces).
   std::vector<StepFunction> traces;
+  /// Per-run replay digests (only when compute_digests).
+  std::vector<std::uint64_t> run_digests;
+  /// Order-sensitive fold of run_digests (0 when digests are off).
+  std::uint64_t combined_digest = 0;
   /// Means over runs of auxiliary counters.
   double mean_completed = 0.0;
   double mean_expired = 0.0;

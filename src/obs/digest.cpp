@@ -1,0 +1,41 @@
+#include "obs/digest.hpp"
+
+#include <bit>
+
+namespace sjs::obs {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t double_bits(double x) {
+  if (x == 0.0) x = 0.0;  // collapse -0.0 and +0.0
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+std::uint64_t fold_event(std::uint64_t digest, const TraceEvent& event) {
+  digest = mix64(digest ^ double_bits(event.time));
+  digest = mix64(digest ^ (static_cast<std::uint64_t>(event.kind) |
+                           (static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(event.job))
+                            << 8) |
+                           (static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(event.server))
+                            << 40)));
+  digest = mix64(digest ^ double_bits(event.a));
+  digest = mix64(digest ^ double_bits(event.b));
+  return digest;
+}
+
+std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests) {
+  std::uint64_t h = kDigestSeed;
+  for (std::uint64_t d : digests) h = mix64(h ^ d);
+  return h;
+}
+
+}  // namespace sjs::obs

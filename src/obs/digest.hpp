@@ -1,0 +1,56 @@
+// Replay determinism digest — a 64-bit hash folded over the canonical event
+// stream of a run.
+//
+// The engine's determinism contract (DESIGN.md §5, README "Determinism")
+// promises bit-identical runs for a given (instance, scheduler) pair,
+// independent of thread count. The digest turns that promise into a cheap,
+// checkable assertion: fold every TraceEvent into a running hash and compare
+// the final value across configurations. Any divergence — a reordered event,
+// a single bit of floating-point drift — changes the digest with
+// overwhelming probability.
+//
+// The fold is order-sensitive by construction (event order IS the contract)
+// and uses the splitmix64 finalizer, whose avalanche behaviour makes
+// near-identical streams hash far apart. Doubles are folded by IEEE-754 bit
+// pattern with -0.0 normalised to +0.0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace sjs::obs {
+
+/// Digest seed; shared so independently computed digests are comparable.
+inline constexpr std::uint64_t kDigestSeed = 0x5A17AB1EDEADC0DEull;
+
+/// splitmix64 finalizer (Vigna): bijective 64-bit mixer with full avalanche.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Canonical bit pattern of a double (-0.0 -> +0.0).
+std::uint64_t double_bits(double x);
+
+/// Folds one event into a running digest.
+std::uint64_t fold_event(std::uint64_t digest, const TraceEvent& event);
+
+/// Order-sensitive combination of per-run digests into a campaign digest.
+std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests);
+
+/// Sink computing the digest of the stream it observes.
+class DigestSink : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override {
+    digest_ = fold_event(digest_, event);
+    ++count_;
+  }
+
+  std::uint64_t digest() const { return digest_; }
+  std::uint64_t event_count() const { return count_; }
+
+ private:
+  std::uint64_t digest_ = kDigestSeed;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace sjs::obs

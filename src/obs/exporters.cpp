@@ -1,0 +1,181 @@
+#include "obs/exporters.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace sjs::obs {
+
+namespace {
+
+// Plain doubles print with enough digits to round-trip.
+void print_double(std::ostream& out, double x) {
+  const auto old_precision = out.precision(17);
+  out << x;
+  out.precision(old_precision);
+}
+
+void print_event_json(std::ostream& out, const TraceEvent& event) {
+  out << "{\"t\":";
+  print_double(out, event.time);
+  out << ",\"kind\":\"" << kind_name(event.kind) << "\"";
+  if (event.job != kNoJob) out << ",\"job\":" << event.job;
+  if (event.server >= 0) out << ",\"server\":" << event.server;
+  if (event.a != 0.0) {
+    out << ",\"a\":";
+    print_double(out, event.a);
+  }
+  if (event.b != 0.0) {
+    out << ",\"b\":";
+    print_double(out, event.b);
+  }
+  out << "}";
+}
+
+// Chrome trace timestamps are microseconds.
+double to_us(double t) { return t * 1e6; }
+
+class ChromeWriter {
+ public:
+  explicit ChromeWriter(std::ostream& out) : out_(&out) {}
+
+  void write(const std::vector<TraceEvent>& events) {
+    *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    for (const TraceEvent& event : events) handle(event);
+    // Close slices left open at the stream end (e.g. a truncated ring).
+    for (const auto& [server, slice] : open_) {
+      emit_slice(slice.job, server, slice.start, last_time_);
+    }
+    *out_ << "]}";
+  }
+
+ private:
+  struct OpenSlice {
+    JobId job;
+    double start;
+  };
+
+  static int track_of(const TraceEvent& event) {
+    return event.server >= 0 ? event.server : 0;
+  }
+
+  void comma() {
+    if (!first_) *out_ << ",";
+    first_ = false;
+  }
+
+  void emit_slice(JobId job, int server, double start, double end) {
+    comma();
+    *out_ << "{\"name\":\"job " << job << "\",\"cat\":\"exec\",\"ph\":\"X\","
+          << "\"ts\":";
+    print_double(*out_, to_us(start));
+    *out_ << ",\"dur\":";
+    print_double(*out_, to_us(end - start));
+    *out_ << ",\"pid\":0,\"tid\":" << server << ",\"args\":{\"job\":" << job
+          << "}}";
+  }
+
+  void emit_instant(const TraceEvent& event) {
+    comma();
+    *out_ << "{\"name\":\"" << kind_name(event.kind);
+    if (event.job != kNoJob) *out_ << " job " << event.job;
+    *out_ << "\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    print_double(*out_, to_us(event.time));
+    *out_ << ",\"pid\":0,\"tid\":" << track_of(event) << "}";
+  }
+
+  void emit_counter(const TraceEvent& event) {
+    comma();
+    *out_ << "{\"name\":\"capacity\",\"ph\":\"C\",\"ts\":";
+    print_double(*out_, to_us(event.time));
+    *out_ << ",\"pid\":0,\"args\":{\"rate\":";
+    print_double(*out_, event.a);
+    *out_ << "}}";
+  }
+
+  void close_open(int server, double end) {
+    const auto it = open_.find(server);
+    if (it == open_.end()) return;
+    emit_slice(it->second.job, server, it->second.start, end);
+    open_.erase(it);
+  }
+
+  void handle(const TraceEvent& event) {
+    last_time_ = event.time;
+    const int server = track_of(event);
+    switch (event.kind) {
+      case TraceKind::kDispatch:
+        close_open(server, event.time);
+        open_[server] = OpenSlice{event.job, event.time};
+        break;
+      case TraceKind::kPreempt:
+      case TraceKind::kIdle:
+        close_open(server, event.time);
+        break;
+      case TraceKind::kComplete:
+      case TraceKind::kExpire:
+        close_open(server, event.time);
+        emit_instant(event);
+        break;
+      case TraceKind::kMigrate:
+        // a = source server; the destination slice opens at its kDispatch.
+        close_open(static_cast<int>(event.a), event.time);
+        emit_instant(event);
+        break;
+      case TraceKind::kRelease:
+      case TraceKind::kTimer:
+        emit_instant(event);
+        break;
+      case TraceKind::kCapacityChange:
+        emit_counter(event);
+        break;
+      case TraceKind::kRunStart:
+      case TraceKind::kNote:
+      case TraceKind::kRunEnd:
+        break;  // bookkeeping records; no timeline geometry
+    }
+  }
+
+  std::ostream* out_;
+  std::map<int, OpenSlice> open_;
+  bool first_ = true;
+  double last_time_ = 0.0;
+};
+
+}  // namespace
+
+void JsonlTraceSink::record(const TraceEvent& event) {
+  print_event_json(*out_, event);
+  *out_ << "\n";
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  JsonlTraceSink sink(out);
+  for (const TraceEvent& event : events) sink.record(event);
+  sink.flush();
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out) {
+  ChromeWriter(out).write(events);
+  out.flush();
+}
+
+void save_trace(const std::vector<TraceEvent>& events, const std::string& path,
+                const std::string& format) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  if (format == "jsonl") {
+    write_jsonl(events, out);
+  } else if (format == "chrome") {
+    write_chrome_trace(events, out);
+  } else {
+    throw std::runtime_error("unknown trace format: " + format +
+                             " (expected jsonl|chrome)");
+  }
+}
+
+}  // namespace sjs::obs

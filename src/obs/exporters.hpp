@@ -1,0 +1,47 @@
+// Trace exporters: JSONL event logs and Chrome trace_event (catapult) JSON.
+//
+// JSONL is the machine-diffable archival format — one self-describing JSON
+// object per line, trivially consumed by jq / pandas / grep. The Chrome
+// format renders the schedule as a timeline: load the file in
+// chrome://tracing or https://ui.perfetto.dev and every server becomes a
+// track whose slices are job executions, with releases / completions /
+// expiries as instant markers and capacity as a counter track.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace sjs::obs {
+
+/// Streaming sink writing one JSON object per event line. The stream is not
+/// owned and must outlive the sink.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  void record(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Writes a buffered event stream as JSONL.
+void write_jsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Writes a buffered event stream in Chrome trace_event JSON (the
+/// {"traceEvents": [...]} object form). Simulation time is mapped to
+/// microseconds (1 sim second = 1 trace second = 1e6 us).
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out);
+
+/// Convenience: writes `events` to `path` in the named format
+/// ("jsonl" | "chrome"). Throws std::runtime_error on unknown format or
+/// unwritable path.
+void save_trace(const std::vector<TraceEvent>& events, const std::string& path,
+                const std::string& format);
+
+}  // namespace sjs::obs

@@ -1,0 +1,129 @@
+// InvariantChecker — online runtime verification of engine conservation laws.
+//
+// A TraceSink that replays the event stream against the ground-truth
+// instance (jobs + capacity sample path) and independently re-derives what
+// the engine claims: it integrates ∫c(τ)dτ over every execution slice it
+// observes, so any engine accounting bug — lost work, execution outside a
+// job's window, double completion, value miscounting — surfaces as a typed
+// violation instead of a silently wrong experiment.
+//
+// Invariants verified on every run:
+//   I1  event times are non-decreasing (the engine's ordering contract);
+//   I2  releases happen exactly at r_i, once per job;
+//   I3  no job executes outside [r_i, d_i], and at most one job occupies a
+//       server at a time (dispatch implies the previous slice closed);
+//   I4  a completed job received exactly p_i of work — the checker's own
+//       ∫c(τ)dτ over the job's slices, not the engine's number;
+//   I5  executed work over busy intervals never exceeds ∫c(τ)dτ available
+//       on [0, T] (conservation; equality holds per slice by I4's method);
+//   I6  no job completes after expiring, or vice versa;
+//   I7  value accounting: Σ v_i over observed completions equals the
+//       completed value the engine reports at kRunEnd, and the generated
+//       value equals the instance total;
+//   I8  capacity-change events report the true rate c(t);
+//   I9  V-Dover/Dover only label a job supplement — or abandon it — after
+//       that job actually went through the zero-laxity value test (kNote
+//       records, see trace_event.hpp).
+//
+// By default the checker runs on the single-server engine using the
+// instance's capacity path; for cloud::MultiEngine streams, supply the
+// per-server profiles via set_server_profiles().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace sjs::obs {
+
+struct InvariantViolation {
+  std::string what;
+  TraceEvent event;
+};
+
+class InvariantChecker : public TraceSink {
+ public:
+  struct Options {
+    /// Relative tolerance for work/value comparisons (floating-point dust).
+    double tolerance = 1e-6;
+    /// Throw CheckError on first violation instead of collecting.
+    bool throw_on_violation = false;
+    /// Cap on stored violations (the stream may be long).
+    std::size_t max_violations = 100;
+  };
+
+  explicit InvariantChecker(const Instance& instance)
+      : InvariantChecker(instance, Options()) {}
+  InvariantChecker(const Instance& instance, Options options);
+
+  /// For multi-server streams: per-server capacity paths, indexed by the
+  /// TraceEvent::server field.
+  void set_server_profiles(std::vector<cap::CapacityProfile> profiles);
+
+  void record(const TraceEvent& event) override;
+
+  /// Cross-checks the engine's reported per-job executed work against this
+  /// checker's independent integration (call after the run with
+  /// SimResult::executed_work).
+  void verify_executed_work(const std::vector<double>& reported);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t events_seen() const { return events_seen_; }
+  /// Work this checker integrated for `job` across its execution slices.
+  double executed(JobId job) const;
+  double total_executed() const;
+  std::uint64_t completed_count() const { return completed_count_; }
+
+  /// Multi-line summary: "OK (N events)" or the collected violations.
+  std::string report() const;
+
+ private:
+  const cap::CapacityProfile& profile_for(std::int32_t server) const;
+  double work_tolerance(const Job& job) const;
+  void fail(const TraceEvent& event, const std::string& what);
+  /// Integrates and closes the open slice on `server` (no-op when idle).
+  /// `expected` != kNoJob asserts which job the slice must hold.
+  void close_slice(std::int32_t server, double t, JobId expected);
+
+  void on_release(const TraceEvent& event);
+  void on_dispatch(const TraceEvent& event);
+  void on_complete(const TraceEvent& event);
+  void on_expire(const TraceEvent& event);
+  void on_note(const TraceEvent& event);
+  void on_run_end(const TraceEvent& event);
+
+  struct OpenSlice {
+    JobId job;
+    double start;
+  };
+
+  const Instance* instance_;
+  Options options_;
+  std::vector<cap::CapacityProfile> server_profiles_;
+
+  std::vector<double> executed_;
+  std::vector<char> released_;
+  std::vector<char> completed_;
+  std::vector<char> expired_;
+  std::vector<char> zero_laxity_tested_;
+  std::map<std::int32_t, OpenSlice> open_;  // per server (-1 = single engine)
+
+  double last_time_ = 0.0;
+  double value_sum_ = 0.0;
+  std::uint64_t completed_count_ = 0;
+  std::uint64_t events_seen_ = 0;
+  bool run_ended_ = false;
+
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t suppressed_violations_ = 0;
+};
+
+}  // namespace sjs::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace sjs::obs {
+
+namespace {
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+void MetricsRegistry::Shard::count(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Shard::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Shard::observe(const std::string& name, double value) {
+  distributions_[name].add(value);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    const auto spec = owner_->histogram_specs_.find(name);
+    if (spec == owner_->histogram_specs_.end()) return;
+    it = histograms_
+             .emplace(name, Histogram(spec->second.lo, spec->second.hi,
+                                      spec->second.bins))
+             .first;
+  }
+  it->second.add(value);
+}
+
+void MetricsRegistry::declare_histogram(const std::string& name, double lo,
+                                        double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SJS_CHECK_MSG(shards_.empty(),
+                "declare_histogram() after shards exist would bin "
+                "inconsistently; declare before the parallel region");
+  histogram_specs_.insert_or_assign(name, HistogramSpec{lo, hi, bins});
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local() {
+  // Keyed by registry id, not pointer: a destroyed registry's address can be
+  // reused, and a stale cache hit would then write into a foreign shard.
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::unique_ptr<Shard>(new Shard(this)));
+  Shard* shard = shards_.back().get();
+  cache.emplace(id_, shard);
+  return *shard;
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& shard : shards_) {
+    for (const auto& [name, value] : shard->counters_) {
+      snap.counters[name] += value;
+    }
+    for (const auto& [name, value] : shard->gauges_) {
+      auto [it, inserted] = snap.gauges.emplace(name, value);
+      if (!inserted && value > it->second) it->second = value;
+    }
+    for (const auto& [name, welford] : shard->distributions_) {
+      snap.distributions[name].merge(welford);
+    }
+    for (const auto& [name, histogram] : shard->histograms_) {
+      auto [it, inserted] = snap.histograms.emplace(name, histogram);
+      if (!inserted) it->second.merge(histogram);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::render() const {
+  std::ostringstream os;
+  if (!counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : counters) {
+      os << "  " << name << ": " << value << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      os << "  " << name << ": " << value << "\n";
+    }
+  }
+  if (!distributions.empty()) {
+    os << "distributions:\n";
+    for (const auto& [name, w] : distributions) {
+      os << "  " << name << ": n=" << w.count() << " mean=" << w.mean()
+         << " sd=" << w.stddev_sample() << " min=" << w.min()
+         << " max=" << w.max() << "\n";
+    }
+  }
+  for (const auto& [name, histogram] : histograms) {
+    os << "histogram " << name << ":\n" << histogram.render();
+  }
+  return os.str();
+}
+
+void TraceMetricsBridge::record(const TraceEvent& event) {
+  shard_->count(std::string("trace.") + kind_name(event.kind));
+  switch (event.kind) {
+    case TraceKind::kRelease:
+      release_time_[event.job] = event.time;
+      deadline_[event.job] = event.b;
+      break;
+    case TraceKind::kComplete: {
+      const auto rel = release_time_.find(event.job);
+      if (rel != release_time_.end()) {
+        shard_->observe("job.response_time", event.time - rel->second);
+      }
+      const auto dl = deadline_.find(event.job);
+      if (dl != deadline_.end()) {
+        shard_->observe("job.slack_at_completion", dl->second - event.time);
+      }
+      break;
+    }
+    case TraceKind::kRunEnd:
+      if (event.b > 0.0) {
+        shard_->observe("run.value_fraction", event.a / event.b);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace sjs::obs

@@ -1,0 +1,116 @@
+// MetricsRegistry — named counters, gauges, and distributions with
+// thread-local sharding.
+//
+// Parallel Monte-Carlo workers must not contend on shared counters, so the
+// registry never takes a lock on the update path: each thread obtains its
+// own Shard (created once, under the registration mutex) and updates plain
+// maps thereafter. snapshot() merges every shard — counters add, gauges take
+// the maximum (shards have no global ordering, so "last write" is
+// undefined), distributions merge exactly via Welford/Chan, histograms add
+// bin-wise.
+//
+// Snapshotting while worker threads are still writing is a data race by
+// design (no atomics on the hot path); call snapshot() after the parallel
+// region has been joined (e.g. after ThreadPool::wait_idle()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+#include "stats/histogram.hpp"
+#include "stats/welford.hpp"
+
+namespace sjs::obs {
+
+/// Merged view over all shards at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Welford> distributions;
+  std::map<std::string, Histogram> histograms;
+
+  /// Human-readable multi-line report.
+  std::string render() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// Per-thread accumulator. Obtained via MetricsRegistry::local(); all
+  /// update methods are lock-free (the shard is thread-private).
+  class Shard {
+   public:
+    /// Adds `delta` to a monotone counter.
+    void count(const std::string& name, double delta = 1.0);
+    /// Sets a gauge (merged across shards by maximum).
+    void set_gauge(const std::string& name, double value);
+    /// Feeds a sample into a distribution (streaming mean/variance/min/max),
+    /// and into its histogram when binning was declared for `name`.
+    void observe(const std::string& name, double value);
+
+   private:
+    friend class MetricsRegistry;
+    explicit Shard(const MetricsRegistry* owner) : owner_(owner) {}
+
+    const MetricsRegistry* owner_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Welford> distributions_;
+    std::map<std::string, Histogram> histograms_;
+  };
+
+  /// Declares histogram binning for distribution `name`. Must be called
+  /// before the parallel region; observe() calls for `name` then also fill a
+  /// histogram with these bins.
+  void declare_histogram(const std::string& name, double lo, double hi,
+                         std::size_t bins);
+
+  /// The calling thread's shard (created on first use).
+  Shard& local();
+
+  /// Number of shards created so far (== distinct threads that updated).
+  std::size_t shard_count() const;
+
+  /// Merges all shards. Only safe once parallel updates have quiesced.
+  MetricsSnapshot snapshot() const;
+
+  /// snapshot().render() convenience.
+  std::string render() const { return snapshot().render(); }
+
+ private:
+  struct HistogramSpec {
+    double lo;
+    double hi;
+    std::size_t bins;
+  };
+
+  const std::uint64_t id_;  // distinguishes registries in thread-local caches
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, HistogramSpec> histogram_specs_;
+};
+
+/// Bridges a trace stream into a metrics shard: per-kind event counters
+/// ("trace.release", "trace.dispatch", ...) plus derived distributions —
+/// "job.response_time" (completion - release) and "job.slack_at_completion"
+/// (deadline - completion). Lets any engine run feed the metrics surface
+/// without bespoke wiring.
+class TraceMetricsBridge : public TraceSink {
+ public:
+  explicit TraceMetricsBridge(MetricsRegistry::Shard& shard) : shard_(&shard) {}
+
+  void record(const TraceEvent& event) override;
+
+ private:
+  MetricsRegistry::Shard* shard_;
+  std::map<JobId, double> release_time_;
+  std::map<JobId, double> deadline_;
+};
+
+}  // namespace sjs::obs

@@ -1,0 +1,38 @@
+#include "obs/ring_buffer.hpp"
+
+#include "util/logging.hpp"
+
+namespace sjs::obs {
+
+RingTraceBuffer::RingTraceBuffer(std::size_t capacity) : buffer_(capacity) {
+  SJS_CHECK_MSG(capacity > 0, "ring buffer needs capacity >= 1");
+}
+
+void RingTraceBuffer::record(const TraceEvent& event) {
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % buffer_.size();
+  ++total_;
+}
+
+std::size_t RingTraceBuffer::size() const {
+  return total_ < buffer_.size() ? static_cast<std::size_t>(total_)
+                                 : buffer_.size();
+}
+
+std::uint64_t RingTraceBuffer::dropped() const {
+  return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+}
+
+std::vector<TraceEvent> RingTraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest retained event sits at `next_` once the buffer has wrapped.
+  const std::size_t start = (total_ > buffer_.size()) ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+}  // namespace sjs::obs

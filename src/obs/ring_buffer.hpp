@@ -1,0 +1,41 @@
+// RingTraceBuffer — bounded, allocation-free-after-construction trace sink.
+//
+// Keeps the most recent `capacity` events of a run in a circular buffer, the
+// right tool for "always-on" tracing of long campaigns: memory is constant,
+// recording is a store plus an index increment (no locks — sinks are
+// per-thread, see trace_sink.hpp), and after a failure the tail of the
+// stream — the events leading up to the problem — is still available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace sjs::obs {
+
+class RingTraceBuffer : public TraceSink {
+ public:
+  explicit RingTraceBuffer(std::size_t capacity);
+
+  void record(const TraceEvent& event) override;
+
+  std::size_t capacity() const { return buffer_.size(); }
+  /// Number of events currently retained (<= capacity).
+  std::size_t size() const;
+  /// Total events ever recorded.
+  std::uint64_t total_recorded() const { return total_; }
+  /// Events overwritten because the buffer wrapped.
+  std::uint64_t dropped() const;
+
+  /// The retained events in chronological order (oldest first).
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t next_ = 0;      // write position
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sjs::obs

@@ -1,0 +1,35 @@
+#include "obs/trace_event.hpp"
+
+namespace sjs::obs {
+
+const char* kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRunStart:
+      return "run_start";
+    case TraceKind::kRelease:
+      return "release";
+    case TraceKind::kDispatch:
+      return "dispatch";
+    case TraceKind::kPreempt:
+      return "preempt";
+    case TraceKind::kIdle:
+      return "idle";
+    case TraceKind::kComplete:
+      return "complete";
+    case TraceKind::kExpire:
+      return "expire";
+    case TraceKind::kTimer:
+      return "timer";
+    case TraceKind::kCapacityChange:
+      return "capacity_change";
+    case TraceKind::kMigrate:
+      return "migrate";
+    case TraceKind::kNote:
+      return "note";
+    case TraceKind::kRunEnd:
+      return "run_end";
+  }
+  return "unknown";
+}
+
+}  // namespace sjs::obs

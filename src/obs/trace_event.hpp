@@ -1,0 +1,80 @@
+// Typed trace records — the canonical event stream of an engine run.
+//
+// Every observable engine transition (release, dispatch, preemption,
+// completion, expiry, timer, migration, capacity change) is recorded as one
+// fixed-size POD record. The stream is *canonical*: for a given (instance,
+// scheduler) pair it is bit-identical across processes, thread counts, and
+// platforms with IEEE-754 doubles, which is what makes the replay digest
+// (obs/digest.hpp) a meaningful determinism check.
+//
+// The payload fields `a`/`b` are kind-specific (full schema in
+// docs/observability.md):
+//
+//   kind            job        a                    b
+//   --------------  ---------  -------------------  --------------------
+//   kRunStart       kNoJob     job count            0
+//   kRelease        released   workload p_i         deadline d_i
+//   kDispatch       dispatched remaining workload   0
+//   kPreempt        displaced  remaining workload   0
+//   kIdle           kNoJob     0                    0
+//   kComplete       completed  value v_i            0
+//   kExpire         expired    remaining workload   1 if it was running
+//   kTimer          target     timer tag            0
+//   kCapacityChange kNoJob     new rate c(t)        0
+//   kMigrate        migrated   source server        destination server
+//   kNote           annotated  note code            note-specific payload
+//   kRunEnd         kNoJob     completed value      generated value
+#pragma once
+
+#include <cstdint>
+
+#include "jobs/job.hpp"
+
+namespace sjs::obs {
+
+enum class TraceKind : std::uint8_t {
+  kRunStart = 0,
+  kRelease,
+  kDispatch,
+  kPreempt,
+  kIdle,
+  kComplete,
+  kExpire,
+  kTimer,
+  kCapacityChange,
+  kMigrate,
+  kNote,
+  kRunEnd,
+};
+
+/// Stable display name ("release", "dispatch", ...) used by the exporters.
+const char* kind_name(TraceKind kind);
+
+/// Scheduler annotation codes carried in TraceEvent::a when kind == kNote.
+/// These let the InvariantChecker audit algorithm-internal decisions (e.g.
+/// V-Dover's Procedure D) without reaching into scheduler state.
+enum NoteCode : int {
+  /// The zero-conservative-laxity value test (V-Dover Procedure D.1) was
+  /// evaluated for `job`; payload b = the privileged value it was compared
+  /// against.
+  kNoteZeroLaxityTest = 1,
+  /// `job` lost the test and was moved to the supplement queue (V-Dover).
+  kNoteSupplement = 2,
+  /// `job` lost the test and was abandoned (Dover mode).
+  kNoteAbandon = 3,
+  /// `job` won the test and was 0cl-scheduled immediately.
+  kNoteOclScheduled = 4,
+};
+
+/// One trace record. `server` is the executing server index on the
+/// multi-server engine and -1 on the single-server engine.
+struct TraceEvent {
+  double time = 0.0;
+  TraceKind kind = TraceKind::kNote;
+  JobId job = kNoJob;
+  std::int32_t server = -1;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+}  // namespace sjs::obs

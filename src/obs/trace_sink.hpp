@@ -1,0 +1,61 @@
+// TraceSink — the consumer interface for engine event streams.
+//
+// Engines hold a raw `TraceSink*` that defaults to nullptr; the recording
+// helper compiles to a single null check when tracing is disabled, so the
+// hot path pays nothing measurable. A sink is owned by the caller and must
+// outlive the run. Sinks are single-threaded by design: each engine run is
+// sequential, and parallel Monte-Carlo campaigns attach one sink per run
+// (per worker thread) — lock-free without any atomics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace sjs::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Consumes one event. Called in canonical stream order.
+  virtual void record(const TraceEvent& event) = 0;
+
+  /// Flushes any buffered output (no-op for in-memory sinks).
+  virtual void flush() {}
+};
+
+/// Unbounded in-memory sink — the input both exporters consume.
+class VectorTraceSink : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Fan-out to several sinks (e.g. digest + invariant checker + JSONL file in
+/// one run). Sinks are not owned.
+class TeeSink : public TraceSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+  std::size_t sink_count() const { return sinks_.size(); }
+
+  void record(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) sink->record(event);
+  }
+  void flush() override {
+    for (TraceSink* sink : sinks_) sink->flush();
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace sjs::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace_event.hpp"
 #include "theory/ratios.hpp"
 #include "util/logging.hpp"
 
@@ -211,9 +212,12 @@ void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
   SJS_CHECK_MSG(flag_ == Flag::kReg,
                 "Qother non-empty requires a running regular job");
   const double urgent_value = engine.job(job).value;
-  if (urgent_value > beta_ * privileged_value(engine)) {  // D.1
+  const double privileged = privileged_value(engine);
+  engine.note(job, obs::kNoteZeroLaxityTest, privileged);
+  if (urgent_value > beta_ * privileged) {  // D.1
     ++stats_.ocl_scheduled;
     ocl_scheduled_[static_cast<std::size_t>(job)] = true;
+    engine.note(job, obs::kNoteOclScheduled);
     remove_other(engine, job);
     const JobId prev = engine.running();
     engine.run(job);  // D.5
@@ -232,9 +236,11 @@ void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
     if (use_supplement_queue_) {
       insert_supp(engine, job);
       ++stats_.labeled_supplement;
+      engine.note(job, obs::kNoteSupplement);
     } else {
       abandoned_[static_cast<std::size_t>(job)] = true;
       ++stats_.abandoned;
+      engine.note(job, obs::kNoteAbandon);
     }
   }
 }

@@ -95,13 +95,20 @@ void Engine::run(JobId id) {
   if (running_ != kNoJob &&
       remaining_[static_cast<std::size_t>(running_)] > 0.0) {
     ++result_.preemptions;
+    trace(obs::TraceKind::kPreempt, running_,
+          remaining_[static_cast<std::size_t>(running_)]);
   }
   halt_running();
-  if (id == kNoJob) return;
+  if (id == kNoJob) {
+    trace(obs::TraceKind::kIdle, kNoJob);
+    return;
+  }
 
   SJS_CHECK_MSG(is_live(id), "run() on non-live job " << id);
   running_ = id;
   ++result_.dispatches;
+  trace(obs::TraceKind::kDispatch, id,
+        remaining_[static_cast<std::size_t>(id)]);
 
   const Job& j = instance_->job(id);
   const double completion =
@@ -146,6 +153,7 @@ void Engine::handle_completion(const Event& event) {
   ++result_.completed_count;
   result_.completion_times[idx] = now_;
   result_.value_trace.append(now_, result_.completed_value);
+  trace(obs::TraceKind::kComplete, event.job, j.value);
 
   scheduler_->on_complete(*this, event.job);
 }
@@ -157,11 +165,15 @@ void Engine::handle_expiry(const Event& event) {
   ++result_.expired_count;
   const bool was_running = (running_ == event.job);
   if (was_running) halt_running();
+  trace(obs::TraceKind::kExpire, event.job, remaining_[idx],
+        was_running ? 1.0 : 0.0);
   scheduler_->on_expire(*this, event.job, was_running);
 }
 
 void Engine::handle_release(const Event& event) {
   released_[static_cast<std::size_t>(event.job)] = true;
+  const Job& j = instance_->job(event.job);
+  trace(obs::TraceKind::kRelease, event.job, j.workload, j.deadline);
   scheduler_->on_release(*this, event.job);
 }
 
@@ -173,6 +185,7 @@ void Engine::handle_timer(const Event& event) {
   // a timer outliving its job (completed early, or expired at the same
   // instant) must not resurrect it.
   if (record.job != kNoJob && !is_live(record.job)) return;
+  trace(obs::TraceKind::kTimer, record.job, static_cast<double>(record.tag));
   scheduler_->on_timer(*this, record.job, record.tag);
 }
 
@@ -198,6 +211,9 @@ SimResult Engine::run_to_completion() {
     }
   }
 
+  trace(obs::TraceKind::kRunStart, kNoJob,
+        static_cast<double>(instance_->size()));
+
   in_callback_ = true;
   scheduler_->on_start(*this);
   in_callback_ = false;
@@ -218,6 +234,8 @@ SimResult Engine::run_to_completion() {
         handle_expiry(event);
         break;
       case EventType::kCapacityChange:
+        trace(obs::TraceKind::kCapacityChange, kNoJob,
+              instance_->capacity().rate(now_));
         scheduler_->on_capacity_change(*this);
         break;
       case EventType::kRelease:
@@ -235,6 +253,9 @@ SimResult Engine::run_to_completion() {
   for (std::size_t i = 0; i < instance_->size(); ++i) {
     result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
   }
+  trace(obs::TraceKind::kRunEnd, kNoJob, result_.completed_value,
+        result_.generated_value);
+  if (sink_) sink_->flush();
   return result_;
 }
 

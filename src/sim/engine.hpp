@@ -22,6 +22,7 @@
 
 #include "capacity/capacity_profile.hpp"
 #include "jobs/instance.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
 
@@ -42,6 +43,13 @@ class Engine {
   /// SimResult::schedule (off by default; costs one slice append per
   /// dispatch change). Call before run_to_completion().
   void record_schedule(bool enabled) { record_schedule_ = enabled; }
+
+  /// Attaches a trace sink (src/obs/) receiving every engine event as a
+  /// typed record; nullptr detaches. The sink is not owned and must outlive
+  /// the run. With no sink attached the recording path is a single null
+  /// check per event. Call before run_to_completion().
+  void attach_trace(obs::TraceSink* sink) { sink_ = sink; }
+  bool trace_enabled() const { return sink_ != nullptr; }
 
   // --- Query surface available to schedulers (online-observable only) ---
 
@@ -85,6 +93,13 @@ class Engine {
   /// a harmless no-op (schedulers cancel lazily on preemption paths).
   void cancel_timer(TimerId id);
 
+  /// Scheduler annotation channel: records an obs::TraceKind::kNote event
+  /// (code from obs::NoteCode, plus a free payload) so algorithm-internal
+  /// decisions are auditable from the trace. No-op without a sink.
+  void note(JobId job, int code, double payload = 0.0) {
+    trace(obs::TraceKind::kNote, job, static_cast<double>(code), payload);
+  }
+
  private:
   enum class EventType : std::uint8_t {
     // Declaration order IS the tie-break priority at equal timestamps.
@@ -116,6 +131,12 @@ class Engine {
     bool fired = false;
   };
 
+  /// Records one trace event at `now_`; compiles to a null check when no
+  /// sink is attached (the zero-cost disabled path).
+  void trace(obs::TraceKind kind, JobId job, double a = 0.0, double b = 0.0) {
+    if (sink_) sink_->record(obs::TraceEvent{now_, kind, job, -1, a, b});
+  }
+
   void push_event(double time, EventType type, JobId job, std::uint64_t id);
   /// Brings the running job's remaining workload up to date at time `t`.
   void advance_execution(double t);
@@ -145,6 +166,7 @@ class Engine {
 
   bool in_callback_ = false;
   bool record_schedule_ = false;
+  obs::TraceSink* sink_ = nullptr;
   SimResult result_;
 };
 

@@ -30,6 +30,18 @@ void Histogram::add(double x) {
   ++counts_[bin];
 }
 
+void Histogram::merge(const Histogram& other) {
+  SJS_CHECK_MSG(other.lo_ == lo_ && other.hi_ == hi_ &&
+                    other.counts_.size() == counts_.size(),
+                "histogram merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
                    static_cast<double>(counts_.size());

@@ -16,6 +16,10 @@ class Histogram {
 
   void add(double x);
 
+  /// Adds another histogram's counts bin-wise. Requires identical binning
+  /// (same lo/hi/bins) — used to merge per-thread metric shards.
+  void merge(const Histogram& other);
+
   std::size_t bins() const { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t underflow() const { return underflow_; }

@@ -9,6 +9,9 @@
 #include "jobs/workload_gen.hpp"
 #include "mc/monte_carlo.hpp"
 #include "mc/table.hpp"
+#include "obs/digest.hpp"
+#include "obs/invariants.hpp"
+#include "obs/trace_sink.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -119,6 +122,58 @@ TEST(Integration, GainShrinksAtHighLoad) {
   const double high = gain_at(24.0);
   EXPECT_GT(moderate, 0.0);
   EXPECT_LT(high, moderate + 5.0);  // allow noise; must not explode upward
+}
+
+TEST(Integration, InvariantsHoldForEveryRegisteredScheduler) {
+  // Runtime verification across the full line-up: the InvariantChecker
+  // independently re-integrates ∫c(τ)dτ over every execution slice and must
+  // come back green for every scheduler on a paper-style overloaded instance.
+  gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = 200.0;
+  Rng rng(2027);
+  const auto instance = gen::generate_paper_instance(setup, rng);
+
+  for (const auto& factory : sched::extended_lineup({1.0, 10.5, 24.5, 35.0})) {
+    auto scheduler = factory.make();
+    sim::Engine engine(instance, *scheduler);
+    obs::InvariantChecker checker(instance);
+    obs::DigestSink digest;
+    obs::TeeSink tee({&checker, &digest});
+    engine.attach_trace(&tee);
+    auto result = engine.run_to_completion();
+    checker.verify_executed_work(result.executed_work);
+    EXPECT_TRUE(checker.ok()) << factory.name << ": " << checker.report();
+    EXPECT_EQ(checker.completed_count(), result.completed_count)
+        << factory.name;
+    EXPECT_NE(digest.digest(), obs::kDigestSeed) << factory.name;
+  }
+}
+
+TEST(Integration, TracingDoesNotChangeTheSchedule) {
+  // Observability must be pure: the same (instance, scheduler) pair with and
+  // without an attached sink produces bit-identical results.
+  gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = 250.0;
+  Rng rng(31337);
+  const auto instance = gen::generate_paper_instance(setup, rng);
+
+  auto bare_scheduler = sched::make_vdover().make();
+  sim::Engine bare(instance, *bare_scheduler);
+  auto bare_result = bare.run_to_completion();
+
+  auto traced_scheduler = sched::make_vdover().make();
+  sim::Engine traced(instance, *traced_scheduler);
+  obs::VectorTraceSink sink;
+  traced.attach_trace(&sink);
+  auto traced_result = traced.run_to_completion();
+
+  EXPECT_EQ(bare_result.completed_value, traced_result.completed_value);
+  EXPECT_EQ(bare_result.completed_count, traced_result.completed_count);
+  EXPECT_EQ(bare_result.preemptions, traced_result.preemptions);
+  EXPECT_EQ(bare_result.executed_work, traced_result.executed_work);
+  EXPECT_FALSE(sink.events().empty());
 }
 
 TEST(Integration, AllSchedulersSurviveLongMixedWorkload) {

@@ -50,6 +50,66 @@ TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(MonteCarlo, ReplayDigestsIdenticalAcrossThreadCounts) {
+  // The determinism contract as a checkable value: every run's full engine
+  // event stream hashes to the same 64-bit digest whether the campaign ran
+  // on one thread or eight.
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 8;
+  config.seed = 21;
+  config.compute_digests = true;
+  auto factories = sched::paper_lineup({1.0, 35.0});
+  config.threads = 1;
+  auto serial = run_monte_carlo(config, factories);
+  config.threads = 8;
+  auto parallel = run_monte_carlo(config, factories);
+  for (std::size_t s = 0; s < factories.size(); ++s) {
+    EXPECT_EQ(serial.per_scheduler[s].value_fractions,
+              parallel.per_scheduler[s].value_fractions);
+    ASSERT_EQ(serial.per_scheduler[s].run_digests.size(), config.runs);
+    EXPECT_EQ(serial.per_scheduler[s].run_digests,
+              parallel.per_scheduler[s].run_digests);
+    EXPECT_EQ(serial.per_scheduler[s].combined_digest,
+              parallel.per_scheduler[s].combined_digest);
+    EXPECT_NE(serial.per_scheduler[s].combined_digest, 0u);
+  }
+  // Different schedulers on the same instances must diverge somewhere.
+  EXPECT_NE(serial.per_scheduler[0].combined_digest,
+            serial.per_scheduler[1].combined_digest);
+}
+
+TEST(MonteCarlo, DigestsOffByDefault) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 2;
+  auto factories = sched::paper_lineup({1.0});
+  auto outcome = run_monte_carlo(config, factories);
+  EXPECT_TRUE(outcome.per_scheduler[0].run_digests.empty());
+  EXPECT_EQ(outcome.per_scheduler[0].combined_digest, 0u);
+}
+
+TEST(MonteCarlo, MetricsRegistryCollectsAcrossRuns) {
+  McConfig config;
+  config.setup = small_setup();
+  config.runs = 4;
+  config.threads = 2;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  auto factories = sched::paper_lineup({1.0});
+  auto outcome = run_monte_carlo(config, factories);
+  auto snap = registry.snapshot();
+  // Every run emits exactly one run_start/run_end pair per scheduler.
+  EXPECT_EQ(snap.counters.at("trace.run_start"),
+            static_cast<double>(config.runs * factories.size()));
+  EXPECT_EQ(snap.counters.at("trace.run_end"),
+            static_cast<double>(config.runs * factories.size()));
+  // Completions feed the response-time distribution.
+  ASSERT_TRUE(snap.distributions.count("job.response_time"));
+  EXPECT_GT(snap.distributions.at("job.response_time").count(), 0u);
+  (void)outcome;
+}
+
 TEST(MonteCarlo, SeedChangesResults) {
   McConfig config;
   config.setup = small_setup();

@@ -193,6 +193,36 @@ TEST(ThreadPool, ParallelForEmptyIsNoop) {
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPool, ParallelForNonDivisibleBlockSizes) {
+  // 1000 % 7 threads != 0: the trailing partial block must still run and no
+  // index may be visited twice.
+  ThreadPool pool(7);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPrimeCountOnSingleThread) {
+  ThreadPool pool(1);
+  std::vector<int> hits(13, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ThreadPool, WaitIdleOnFreshPool) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not deadlock

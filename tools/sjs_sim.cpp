@@ -8,10 +8,15 @@
 // optimum.
 //
 //   sjs_sim --bundle=DIR [--scheduler=V-Dover] [--gantt] [--opt]
-//           [--trace-csv=out.csv] [--list-schedulers]
+//           [--trace-csv=out.csv] [--trace=FILE --trace-format=jsonl|chrome]
+//           [--metrics] [--check-invariants] [--list-schedulers]
 #include <cstdio>
 
 #include "jobs/bundle.hpp"
+#include "obs/digest.hpp"
+#include "obs/exporters.hpp"
+#include "obs/invariants.hpp"
+#include "obs/metrics.hpp"
 #include "offline/exact.hpp"
 #include "offline/greedy_offline.hpp"
 #include "sched/factory.hpp"
@@ -42,6 +47,13 @@ int main(int argc, char** argv) {
                  "and the greedy offline approximation");
   flags.add_string("trace-csv", "",
                    "write the cumulative value trace to this CSV");
+  flags.add_string("trace", "", "write the full engine event trace to FILE");
+  flags.add_string("trace-format", "jsonl",
+                   "trace file format: jsonl | chrome (chrome://tracing)");
+  flags.add_bool("metrics", false,
+                 "collect and print run metrics (counters, distributions)");
+  flags.add_bool("check-invariants", false,
+                 "verify conservation laws online against the event stream");
   flags.add_bool("list-schedulers", false, "print scheduler names and exit");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
@@ -93,8 +105,57 @@ int main(int argc, char** argv) {
   auto scheduler = chosen->make();
   sjs::sim::Engine engine(instance, *scheduler);
   if (flags.get_bool("gantt")) engine.record_schedule(true);
+
+  // Observability wiring (src/obs/): every requested consumer taps the same
+  // event stream through one tee.
+  const bool want_trace = !flags.get_string("trace").empty();
+  const bool want_metrics = flags.get_bool("metrics");
+  const bool want_invariants = flags.get_bool("check-invariants");
+  sjs::obs::VectorTraceSink events;
+  sjs::obs::DigestSink digest;
+  sjs::obs::MetricsRegistry registry;
+  sjs::obs::TraceMetricsBridge bridge(registry.local());
+  sjs::obs::InvariantChecker checker(instance);
+  sjs::obs::TeeSink tee;
+  if (want_trace) tee.add(&events);
+  if (want_metrics) tee.add(&bridge);
+  if (want_invariants) tee.add(&checker);
+  if (tee.sink_count() > 0) {
+    tee.add(&digest);
+    engine.attach_trace(&tee);
+  }
+
   auto result = engine.run_to_completion();
   std::printf("\n%s\n", result.to_string().c_str());
+
+  if (want_trace) {
+    const std::string path = flags.get_string("trace");
+    const std::string format = flags.get_string("trace-format");
+    try {
+      sjs::obs::save_trace(events.events(), path, format);
+      std::printf("event trace (%zu events, %s) written to %s\n",
+                  events.events().size(), format.c_str(), path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write trace: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (want_metrics) {
+    std::printf("\nmetrics:\n%s", registry.render().c_str());
+  }
+  if (want_invariants) {
+    checker.verify_executed_work(result.executed_work);
+    if (checker.ok()) {
+      std::printf("\ninvariants: all hold (%llu events checked, replay "
+                  "digest %016llx)\n",
+                  static_cast<unsigned long long>(digest.event_count()),
+                  static_cast<unsigned long long>(digest.digest()));
+    } else {
+      std::fprintf(stderr, "\ninvariant violations:\n%s",
+                   checker.report().c_str());
+      return 1;
+    }
+  }
 
   if (flags.get_bool("gantt")) {
     std::printf("\n%s", sjs::sim::render_gantt(instance, result).c_str());
