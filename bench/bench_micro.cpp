@@ -4,11 +4,15 @@
 // scheduler, exact offline solving).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <optional>
+
 #include "capacity/capacity_process.hpp"
 #include "jobs/workload_gen.hpp"
 #include "offline/exact.hpp"
 #include "offline/feasibility.hpp"
 #include "sched/factory.hpp"
+#include "sched/vdover.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +50,38 @@ void BM_CapacityWork(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CapacityWork)->Arg(8)->Arg(512);
+
+void BM_CapacityInvertMonotone(benchmark::State& state) {
+  // The engine's actual access pattern: invert() queried at non-decreasing
+  // start times (dispatch instants move forward). Arg 0 = segment count,
+  // arg 1 = 0 for the plain binary-search methods, 1 for
+  // CapacityProfile::Cursor (amortized O(1) on this stream).
+  auto profile = make_profile(static_cast<std::size_t>(state.range(0)));
+  const bool use_cursor = state.range(1) != 0;
+  const double span = profile.breakpoints().back();
+  sjs::cap::CapacityProfile::Cursor cursor(profile);
+  sjs::Rng rng(8);
+  double t = 0.0;
+  for (auto _ : state) {
+    const double w = rng.exponential_mean(5.0);
+    const double done =
+        use_cursor ? cursor.invert(t, w) : profile.invert(t, w);
+    benchmark::DoNotOptimize(done);
+    t += rng.exponential_mean(0.05);
+    if (t > span) {
+      t = 0.0;
+      cursor.reset();
+    }
+  }
+  state.SetLabel(use_cursor ? "cursor" : "plain");
+}
+BENCHMARK(BM_CapacityInvertMonotone)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_EdfFeasibility(benchmark::State& state) {
   sjs::Rng rng(4);
@@ -94,6 +130,76 @@ BENCHMARK(BM_FullSimulation)
     ->Args({6, 1000})
     ->Args({7, 1000})
     ->Args({8, 1000});
+
+void BM_FullSimulationReuse(benchmark::State& state) {
+  // BM_FullSimulation's loop with the PR's engine-reuse path: one Engine is
+  // constructed outside the loop and reset() per iteration, the way
+  // mc::run_monte_carlo replays one instance through a scheduler lineup.
+  // Compare against BM_FullSimulation at the same args to see the
+  // allocation-free win.
+  const int scheduler_index = static_cast<int>(state.range(0));
+  sjs::gen::PaperSetup setup;
+  setup.lambda = 6.0;
+  setup.expected_jobs = static_cast<double>(state.range(1));
+  sjs::Rng rng(5);
+  const sjs::Instance instance = sjs::gen::generate_paper_instance(setup, rng);
+  auto factories = sjs::sched::extended_lineup({10.5});
+  const auto& factory = factories[static_cast<std::size_t>(scheduler_index)];
+  state.SetLabel(factory.name);
+
+  std::optional<sjs::sim::Engine> engine;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto scheduler = factory.make();
+    if (engine) {
+      engine->reset(*scheduler);
+    } else {
+      engine.emplace(instance, *scheduler);
+    }
+    auto result = engine->run_to_completion();
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.completed_value);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSimulationReuse)->Args({1, 1000})->Args({2, 1000});
+
+void BM_EngineTimerChurn(benchmark::State& state) {
+  // Worst-case timer pressure: adaptive-EWMA V-Dover re-arms every queued
+  // job's 0cl timer at every capacity breakpoint, so a profile with
+  // state.range(0) segments cancels and re-arms O(segments * queued) timers
+  // per run. Exercises the generation-checked slab + lazy heap compaction;
+  // on the old append-only slab this footprint grew without bound.
+  const std::size_t segments = static_cast<std::size_t>(state.range(0));
+  auto profile = make_profile(segments);
+  const double span = profile.breakpoints().back();
+  sjs::Rng rng(9);
+  auto jobs = sjs::gen::generate_small_random_jobs(
+      2 * segments, span, 7.0, 1.0, 2.0, rng);
+  sjs::Instance instance(jobs, profile);
+  sjs::sched::VDoverOptions options;
+  options.adaptive_estimate = true;
+  std::uint64_t timers = 0;
+  double slab_slots = 0.0;
+  double dead_peak = 0.0;
+  for (auto _ : state) {
+    sjs::sched::VDoverScheduler scheduler(options);
+    sjs::sim::Engine engine(instance, scheduler);
+    auto result = engine.run_to_completion();
+    timers += result.timers_armed;
+    slab_slots = std::max(slab_slots,
+                          static_cast<double>(result.timer_slab_slots));
+    dead_peak = std::max(dead_peak,
+                         static_cast<double>(result.event_heap_dead_peak));
+    benchmark::DoNotOptimize(result.completed_value);
+  }
+  state.counters["timers/s"] = benchmark::Counter(
+      static_cast<double>(timers), benchmark::Counter::kIsRate);
+  state.counters["slab_slots"] = slab_slots;
+  state.counters["dead_peak"] = dead_peak;
+}
+BENCHMARK(BM_EngineTimerChurn)->Arg(64)->Arg(512);
 
 void BM_ExactOffline(benchmark::State& state) {
   sjs::Rng rng(6);

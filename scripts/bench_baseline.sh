@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Captures the micro-benchmark baseline into BENCH_micro.json at the repo
+# root. Run it before and after a hot-path change and diff the numbers;
+# the committed file is the reference the next optimisation PR compares
+# against.
+#
+# Usage:
+#   scripts/bench_baseline.sh             # full capture (~1 min)
+#   SMOKE=1 scripts/bench_baseline.sh     # CI smoke: tiny min_time, engine +
+#                                         # capacity benches only, result
+#                                         # discarded to a temp file
+#
+# Note: --benchmark_min_time is passed as a plain double (not "0.2s") for
+# compatibility with older google-benchmark releases that reject the
+# unit-suffixed form.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+generator_args=()
+if [[ ! -f build/CMakeCache.txt ]] && command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
+cmake -B build "${generator_args[@]}" >/dev/null
+cmake --build build --target bench_micro
+
+if [[ "${SMOKE:-0}" == "1" ]]; then
+  out=$(mktemp /tmp/bench_micro_smoke.XXXXXX.json)
+  ./build/bench/bench_micro \
+    --benchmark_filter='BM_Capacity|BM_Engine|BM_FullSimulation' \
+    --benchmark_min_time=0.01 \
+    --benchmark_format=json \
+    --benchmark_out="${out}"
+  echo "smoke run ok (json at ${out}, not committed)"
+else
+  ./build/bench/bench_micro \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_micro.json
+  echo "baseline written to BENCH_micro.json"
+fi

@@ -68,6 +68,59 @@ double CapacityProfile::invert(double t, double w) const {
   return times_[i] + (target - cum_[i]) / rates_[i];
 }
 
+std::size_t CapacityProfile::Cursor::seek(double t) {
+  const auto& times = profile_->times_;
+  if (t < times[hint_]) {
+    // Backward jump: not the engine's pattern; correctness over speed.
+    hint_ = profile_->segment_index(t);
+    return hint_;
+  }
+  while (hint_ + 1 < times.size() && times[hint_ + 1] <= t) ++hint_;
+  return hint_;
+}
+
+double CapacityProfile::Cursor::cumulative(double t) {
+  // Same expression as CapacityProfile::cumulative — results must be
+  // bit-identical or replay digests would shift under the cursor.
+  const std::size_t i = seek(t);
+  return profile_->cum_[i] + profile_->rates_[i] * (t - profile_->times_[i]);
+}
+
+double CapacityProfile::Cursor::work(double t1, double t2) {
+  SJS_CHECK_MSG(t2 >= t1, "work() interval reversed: [" << t1 << ", " << t2
+                                                        << "]");
+  const double c1 = cumulative(t1);
+  return cumulative(t2) - c1;
+}
+
+double CapacityProfile::Cursor::invert(double t, double w) {
+  SJS_CHECK_MSG(w >= 0.0, "workload must be non-negative");
+  if (w == 0.0) return t;
+  const auto& cum = profile_->cum_;
+  const std::size_t start = seek(t);
+  const double target = cum[start] +
+                        profile_->rates_[start] * (t - profile_->times_[start]) +
+                        w;
+  // Gallop forward for the largest i with cum_[i] <= target (cum_ is strictly
+  // increasing). The hint stays at `start`: the next on-time query must not
+  // see the completion-instant lookahead as a backward jump.
+  std::size_t lo = start;
+  std::size_t hi = start + 1;
+  std::size_t step = 1;
+  while (hi < cum.size() && cum[hi] <= target) {
+    lo = hi;
+    hi += step;
+    step *= 2;
+  }
+  const auto first = cum.begin() + static_cast<std::ptrdiff_t>(lo + 1);
+  const auto last =
+      cum.begin() + static_cast<std::ptrdiff_t>(std::min(hi, cum.size()));
+  const auto it = std::upper_bound(first, last, target);
+  const std::size_t i = static_cast<std::size_t>(it - cum.begin()) - 1;
+  return profile_->times_[i] +
+         (target - cum[i]) / profile_->rates_[i];
+}
+
 double CapacityProfile::next_change(double t) const {
   auto it = std::upper_bound(times_.begin(), times_.end(), t);
   if (it == times_.end()) return kInfinity;

@@ -60,6 +60,46 @@ class CapacityProfile {
   const std::vector<double>& breakpoints() const { return times_; }
   const std::vector<double>& rates() const { return rates_; }
 
+  /// Monotone query cursor: rate/work/invert with the same exact results as
+  /// the profile's own methods (bit-identical arithmetic, asserted in
+  /// tests/capacity_test.cpp) but amortized O(1) per call when successive
+  /// query start times are non-decreasing — the discrete-event engine's
+  /// access pattern (simulation time never rewinds). The cursor remembers the
+  /// segment containing the last start time and walks forward from it; a
+  /// backward jump falls back to the profile's O(log B) binary search, so
+  /// out-of-order use is slower, never wrong.
+  ///
+  /// invert() may target a completion instant far ahead of the current
+  /// segment; it gallops (doubling steps, then binary search inside the
+  /// bracketed window) from the cursor position *without* advancing it, so an
+  /// O(log d) lookahead — d = segments to the completion — never turns the
+  /// next on-time query into a backward jump.
+  ///
+  /// The cursor borrows the profile (no ownership) and holds mutable state;
+  /// it is single-threaded like the engine that owns it. The profile itself
+  /// stays immutable and freely shareable across threads.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const CapacityProfile& profile) : profile_(&profile) {}
+
+    /// Rewinds to segment 0 (use when restarting a run at t = 0).
+    void reset() { hint_ = 0; }
+
+    double rate(double t) { return profile_->rates_[seek(t)]; }
+    double cumulative(double t);
+    double work(double t1, double t2);
+    double invert(double t, double w);
+
+   private:
+    /// Largest i with times_[i] <= t; advances the hint (amortized O(1) for
+    /// non-decreasing t, O(log B) on a backward jump).
+    std::size_t seek(double t);
+
+    const CapacityProfile* profile_ = nullptr;
+    std::size_t hint_ = 0;
+  };
+
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
  private:

@@ -24,11 +24,13 @@ void save_runs_csv(const McOutcome& outcome, const std::string& path) {
   for (const auto& agg : outcome.per_scheduler) header.push_back(agg.name);
   writer.write_row(header);
   for (std::size_t run = 0; run < outcome.config.runs; ++run) {
-    std::vector<double> row{static_cast<double>(run)};
+    // The run id is an integer key, not a measurement: emit it as one so
+    // downstream tooling joins on "3", not "3.000000".
+    std::vector<std::string> row{std::to_string(run)};
     for (const auto& agg : outcome.per_scheduler) {
-      row.push_back(agg.value_fractions[run]);
+      row.push_back(format_double(agg.value_fractions[run]));
     }
-    writer.write_row_numeric(row);
+    writer.write_row(row);
   }
 }
 
@@ -48,7 +50,9 @@ McOutcome run_monte_carlo(const McConfig& config,
   }
 
   // One task per run: each task regenerates its instance once and plays it
-  // through every scheduler (common random numbers across schedulers).
+  // through every scheduler (common random numbers across schedulers) on ONE
+  // engine, reset between cells — the remaining/outcome tables, event heap,
+  // and timer slab are allocated once per run instead of once per cell.
   // Digests land in run-indexed slots so the combined fold below is
   // independent of which thread simulated which run.
   std::vector<std::vector<sim::SimResult>> results(config.runs);
@@ -60,9 +64,14 @@ McOutcome run_monte_carlo(const McConfig& config,
     const Instance instance = gen::generate_paper_instance(config.setup, rng);
     auto& row = results[run];
     row.reserve(factories.size());
+    std::optional<sim::Engine> engine;
     for (std::size_t s = 0; s < factories.size(); ++s) {
       auto scheduler = factories[s].make();
-      sim::Engine engine(instance, *scheduler);
+      if (engine) {
+        engine->reset(*scheduler);
+      } else {
+        engine.emplace(instance, *scheduler);
+      }
       obs::DigestSink digest;
       std::optional<obs::TraceMetricsBridge> bridge;
       obs::TeeSink tee;
@@ -71,9 +80,25 @@ McOutcome run_monte_carlo(const McConfig& config,
         bridge.emplace(config.metrics->local());
         tee.add(&*bridge);
       }
-      if (tee.sink_count() > 0) engine.attach_trace(&tee);
-      row.push_back(engine.run_to_completion());
+      engine->attach_trace(tee.sink_count() > 0 ? &tee : nullptr);
+      row.push_back(engine->run_to_completion());
       if (config.compute_digests) digests[run].push_back(digest.digest());
+      if (config.metrics) {
+        auto& shard = config.metrics->local();
+        const sim::SimResult& r = row.back();
+        shard.set_gauge(obs::kGaugeTimerSlabPeak,
+                        static_cast<double>(r.timer_slab_peak));
+        shard.set_gauge(obs::kGaugeTimerSlabSlots,
+                        static_cast<double>(r.timer_slab_slots));
+        shard.set_gauge(obs::kGaugeEventHeapPeak,
+                        static_cast<double>(r.event_heap_peak));
+        shard.set_gauge(obs::kGaugeEventHeapDeadPeak,
+                        static_cast<double>(r.event_heap_dead_peak));
+        shard.count(obs::kCounterTimersArmed,
+                    static_cast<double>(r.timers_armed));
+        shard.count(obs::kCounterHeapCompactions,
+                    static_cast<double>(r.heap_compactions));
+      }
     }
   });
 

@@ -96,6 +96,22 @@ class MetricsRegistry {
   std::map<std::string, HistogramSpec> histogram_specs_;
 };
 
+// Hot-path occupancy metric names fed from SimResult by the engine's
+// consumers (mc::run_monte_carlo when McConfig::metrics is set, sjs_sim
+// --metrics). Gauges merge by maximum across shards, so a campaign snapshot
+// reports the worst run. The bounded-memory guarantee of the timer slab /
+// event heap (engine.hpp) is observable here: slab peak stays O(jobs) and the
+// dead-event peak stays at most ~half the heap peak no matter how many
+// timers a run arms or cancels.
+inline constexpr const char* kGaugeTimerSlabPeak = "engine.timer_slab_peak";
+inline constexpr const char* kGaugeTimerSlabSlots = "engine.timer_slab_slots";
+inline constexpr const char* kGaugeEventHeapPeak = "engine.event_heap_peak";
+inline constexpr const char* kGaugeEventHeapDeadPeak =
+    "engine.event_heap_dead_peak";
+inline constexpr const char* kCounterTimersArmed = "engine.timers_armed";
+inline constexpr const char* kCounterHeapCompactions =
+    "engine.heap_compactions";
+
 /// Bridges a trace stream into a metrics shard: per-kind event counters
 /// ("trace.release", "trace.dispatch", ...) plus derived distributions —
 /// "job.response_time" (completion - release) and "job.slack_at_completion"

@@ -265,6 +265,15 @@ void VDoverScheduler::on_complete(sim::Engine& engine, JobId job) {
 
 void VDoverScheduler::on_expire(sim::Engine& engine, JobId job,
                                 bool was_running) {
+  // The job is dead: whatever 0cl timer handle it still carries can never
+  // legitimately fire again. Cancel-and-clear unconditionally — including
+  // when the timer fires at the very instant of the expiry (expiry sorts
+  // first, so the timer event is still pending here and would otherwise
+  // leave ocl_timer_ pointing at a fired id once the engine swallows it).
+  // Cancelling an already-dead id is a generation-checked no-op.
+  auto& timer = ocl_timer_[static_cast<std::size_t>(job)];
+  engine.cancel_timer(timer);
+  timer = sim::kNoTimer;
   if (was_running) {
     completion_or_failure(engine);
     // [reconstruction] With individual admissibility a regular job never
@@ -274,14 +283,12 @@ void VDoverScheduler::on_expire(sim::Engine& engine, JobId job,
     if (interval_open_ && flag_ != Flag::kReg) close_interval(engine.now());
     return;
   }
-  // A queued job silently expired: purge it from whichever queue holds it.
+  // A queued job silently expired: purge it from whichever queue holds it
+  // (erasing from the queues it is not in is a no-op).
   const double deadline = engine.job(job).deadline;
-  if (qother_.count({deadline, job})) {
-    remove_other(engine, job);
-  } else {
-    qedf_.erase({deadline, job});
-    qsupp_.erase({deadline, job});
-  }
+  qother_.erase({deadline, job});
+  qedf_.erase({deadline, job});
+  qsupp_.erase({deadline, job});
 }
 
 void VDoverScheduler::on_timer(sim::Engine& engine, JobId job, int tag) {

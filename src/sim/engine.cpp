@@ -20,19 +20,81 @@ double deadline_eps(double deadline) {
 }  // namespace
 
 Engine::Engine(const Instance& instance, Scheduler& scheduler)
-    : instance_(&instance), scheduler_(&scheduler) {
-  const std::size_t n = instance.size();
+    : instance_(&instance),
+      scheduler_(&scheduler),
+      cursor_(instance.capacity()) {
+  rewind();
+}
+
+void Engine::reset(Scheduler& scheduler) {
+  scheduler_ = &scheduler;
+  rewind();
+}
+
+void Engine::rewind() {
+  now_ = 0.0;
+  last_advance_ = 0.0;
+  running_ = kNoJob;
+  dispatch_epoch_ = 0;
+  completion_pending_ = false;
+
+  const std::size_t n = instance_->size();
   remaining_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_[i] = instance_->jobs()[i].workload;
+  }
   outcomes_.assign(n, JobOutcome::kPending);
   released_.assign(n, false);
-  for (std::size_t i = 0; i < n; ++i) {
-    remaining_[i] = instance.jobs()[i].workload;
-  }
+
+  heap_.clear();
+  next_seq_ = 0;
+  dead_events_ = 0;
+  timer_slots_.clear();
+  free_timer_slots_.clear();
+  live_timers_ = 0;
+  cursor_.reset();
+  in_callback_ = false;
 }
 
 void Engine::push_event(double time, EventType type, JobId jid,
                         std::uint64_t id) {
-  queue_.push(Event{time, type, next_seq_++, jid, id});
+  heap_.push_back(Event{time, type, next_seq_++, jid, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  result_.event_heap_peak = std::max<std::uint64_t>(
+      result_.event_heap_peak, heap_.size());
+}
+
+Engine::Event Engine::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  const Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+void Engine::free_timer_slot(std::uint32_t slot) {
+  TimerSlot& s = timer_slots_[slot];
+  s.live = false;
+  ++s.generation;
+  free_timer_slots_.push_back(slot);
+  --live_timers_;
+}
+
+void Engine::maybe_compact_heap() {
+  if (heap_.size() < kCompactionMinEvents ||
+      dead_events_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [&](const Event& e) {
+    if (e.type == EventType::kTimer) {
+      return timer_slots_[timer_slot_of(e.id)].generation !=
+             timer_generation_of(e.id);
+    }
+    if (e.type == EventType::kCompletion) return e.id != dispatch_epoch_;
+    return false;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  dead_events_ = 0;
+  ++result_.heap_compactions;
 }
 
 double Engine::remaining(JobId id) const {
@@ -63,7 +125,7 @@ void Engine::advance_execution(double t) {
                 "time moved backwards: " << t << " < " << last_advance_);
   t = std::max(t, last_advance_);
   if (running_ != kNoJob && t > last_advance_) {
-    const double executed = instance_->capacity().work(last_advance_, t);
+    const double executed = cursor_.work(last_advance_, t);
     auto& rem = remaining_[static_cast<std::size_t>(running_)];
     rem = std::max(0.0, rem - executed);
     result_.busy_time += t - last_advance_;
@@ -85,6 +147,12 @@ void Engine::advance_execution(double t) {
 void Engine::halt_running() {
   running_ = kNoJob;
   ++dispatch_epoch_;  // invalidates any in-flight completion event
+  if (completion_pending_) {
+    completion_pending_ = false;
+    ++dead_events_;
+    result_.event_heap_dead_peak =
+        std::max<std::uint64_t>(result_.event_heap_dead_peak, dead_events_);
+  }
 }
 
 void Engine::run(JobId id) {
@@ -112,12 +180,13 @@ void Engine::run(JobId id) {
 
   const Job& j = instance_->job(id);
   const double completion =
-      instance_->capacity().invert(now_, remaining_[static_cast<std::size_t>(id)]);
+      cursor_.invert(now_, remaining_[static_cast<std::size_t>(id)]);
   if (completion <= j.deadline + deadline_eps(j.deadline)) {
     // Clamp to the deadline so a completion that lands "at" the deadline
     // sorts before the expiry event at the same timestamp.
     push_event(std::min(completion, j.deadline), EventType::kCompletion, id,
                dispatch_epoch_);
+    completion_pending_ = true;
   }
   // Otherwise the job cannot finish under the true capacity path from here;
   // the expiry event at its deadline will raise the failure interrupt (the
@@ -127,19 +196,52 @@ void Engine::run(JobId id) {
 TimerId Engine::set_timer(double t, JobId jid, int tag) {
   SJS_CHECK_MSG(in_callback_, "set_timer() outside a scheduler callback");
   SJS_CHECK_MSG(t >= now_ - 1e-12, "timer in the past: " << t << " < " << now_);
-  timers_.push_back(TimerRecord{jid, tag, false, false});
-  const TimerId id = timers_.size();  // ids are 1-based; 0 = kNoTimer
+  std::uint32_t slot;
+  if (!free_timer_slots_.empty()) {
+    slot = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.push_back(TimerSlot{});
+  }
+  TimerSlot& s = timer_slots_[slot];
+  s.job = jid;
+  s.tag = tag;
+  s.live = true;
+  ++live_timers_;
+  ++result_.timers_armed;
+  result_.timer_slab_peak =
+      std::max<std::uint64_t>(result_.timer_slab_peak, live_timers_);
+  // Ids are (generation << 32) | (slot + 1); the +1 keeps every id distinct
+  // from kNoTimer regardless of generation.
+  const TimerId id =
+      (static_cast<TimerId>(s.generation) << 32) | (slot + 1ull);
   push_event(std::max(t, now_), EventType::kTimer, jid, id);
   return id;
 }
 
 void Engine::cancel_timer(TimerId id) {
-  if (id == kNoTimer || id > timers_.size()) return;
-  timers_[id - 1].cancelled = true;
+  if (id == kNoTimer) return;
+  const std::uint64_t slot_plus_one = id & 0xffffffffull;
+  SJS_CHECK_MSG(slot_plus_one >= 1 && slot_plus_one <= timer_slots_.size(),
+                "cancel_timer: corrupted TimerId " << id << " (slab has "
+                    << timer_slots_.size() << " slots)");
+  const std::uint32_t slot = timer_slot_of(id);
+  TimerSlot& s = timer_slots_[slot];
+  if (!s.live || s.generation != timer_generation_of(id)) return;  // stale
+  free_timer_slot(slot);
+  ++dead_events_;  // its heap event is now dead weight
+  result_.event_heap_dead_peak =
+      std::max<std::uint64_t>(result_.event_heap_dead_peak, dead_events_);
+  maybe_compact_heap();
 }
 
 void Engine::handle_completion(const Event& event) {
-  if (event.id != dispatch_epoch_ || event.job != running_) return;  // stale
+  if (event.id != dispatch_epoch_ || event.job != running_) {  // stale
+    --dead_events_;  // counted when the preemption invalidated it
+    return;
+  }
+  completion_pending_ = false;
   const auto idx = static_cast<std::size_t>(event.job);
   // The inversion is exact; any residue is floating-point dust.
   SJS_CHECK_MSG(remaining_[idx] < 1e-6 * std::max(1.0, instance_->job(event.job).workload),
@@ -178,15 +280,23 @@ void Engine::handle_release(const Event& event) {
 }
 
 void Engine::handle_timer(const Event& event) {
-  auto& record = timers_[event.id - 1];
-  if (record.cancelled || record.fired) return;
-  record.fired = true;
+  const std::uint32_t slot = timer_slot_of(event.id);
+  TimerSlot& s = timer_slots_[slot];
+  if (s.generation != timer_generation_of(event.id)) {
+    // Cancelled (the slot may even have been reused since): dead event.
+    --dead_events_;
+    return;
+  }
+  SJS_CHECK_MSG(s.live, "timer slab resurrected freed id " << event.id);
+  const JobId jid = s.job;
+  const int tag = s.tag;
+  free_timer_slot(slot);  // fires exactly once; the id is now stale
   // Guard: timers reference queue membership that only matters for live jobs;
   // a timer outliving its job (completed early, or expired at the same
   // instant) must not resurrect it.
-  if (record.job != kNoJob && !is_live(record.job)) return;
-  trace(obs::TraceKind::kTimer, record.job, static_cast<double>(record.tag));
-  scheduler_->on_timer(*this, record.job, record.tag);
+  if (jid != kNoJob && !is_live(jid)) return;
+  trace(obs::TraceKind::kTimer, jid, static_cast<double>(tag));
+  scheduler_->on_timer(*this, jid, tag);
 }
 
 SimResult Engine::run_to_completion() {
@@ -218,9 +328,8 @@ SimResult Engine::run_to_completion() {
   scheduler_->on_start(*this);
   in_callback_ = false;
 
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const Event event = pop_event();
     now_ = std::max(now_, event.time);
     advance_execution(now_);
     ++result_.events_processed;
@@ -235,7 +344,7 @@ SimResult Engine::run_to_completion() {
         break;
       case EventType::kCapacityChange:
         trace(obs::TraceKind::kCapacityChange, kNoJob,
-              instance_->capacity().rate(now_));
+              cursor_.rate(now_));
         scheduler_->on_capacity_change(*this);
         break;
       case EventType::kRelease:
@@ -253,6 +362,7 @@ SimResult Engine::run_to_completion() {
   for (std::size_t i = 0; i < instance_->size(); ++i) {
     result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
   }
+  result_.timer_slab_slots = timer_slots_.size();
   trace(obs::TraceKind::kRunEnd, kNoJob, result_.completed_value,
         result_.generated_value);
   if (sink_) sink_->flush();

@@ -13,11 +13,17 @@
 // "now" during a release handler fires immediately after it.
 //
 // Stale events are handled by lazy invalidation: each dispatch bumps an epoch
-// counter recorded in completion events; timers carry generation-checked ids.
+// counter recorded in completion events, and timers live in a slab of
+// reusable slots whose ids carry a generation stamp — cancelling or firing a
+// timer frees its slot and bumps the generation, so any event or handle still
+// holding the old id decodes to a mismatched generation and is discarded.
+// Dead events left in the priority heap by either mechanism are reclaimed
+// lazily: when they outnumber the live events the heap is compacted in one
+// O(n) pass. Both structures are therefore bounded by the number of
+// *simultaneously pending* timers/dispatches, not by the totals over the run.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "capacity/capacity_profile.hpp"
@@ -32,12 +38,23 @@ class Engine {
  public:
   /// Binds the engine to an instance and a scheduler. Neither is owned; both
   /// must outlive the engine. A Scheduler instance must not be reused across
-  /// runs (its internal queues would leak state); construct one per run.
+  /// runs (its internal queues would leak state); construct one per run and
+  /// rebind with reset(scheduler) — the engine itself is reusable.
   Engine(const Instance& instance, Scheduler& scheduler);
 
   /// Runs the simulation to completion (all jobs completed or expired) and
   /// returns the result.
   SimResult run_to_completion();
+
+  /// Rewinds the engine for another run over the same instance with a fresh
+  /// scheduler, keeping every allocation (remaining/outcome/release tables,
+  /// event heap, timer slab) — the Monte-Carlo driver reuses one engine per
+  /// run across all scheduler cells instead of reallocating each cell. The
+  /// replayed event stream is bit-identical to a freshly constructed
+  /// engine's (asserted in tests/engine_test.cpp). The trace sink and
+  /// record_schedule flag persist across resets; pass attach_trace(nullptr)
+  /// to detach.
+  void reset(Scheduler& scheduler);
 
   /// Enables recording of the full execution timeline into
   /// SimResult::schedule (off by default; costs one slice append per
@@ -55,7 +72,8 @@ class Engine {
 
   double now() const { return now_; }
   /// Current instantaneous capacity (observable: c(τ) is known for τ <= now).
-  double current_rate() const { return instance_->capacity().rate(now_); }
+  /// Served from the monotone capacity cursor: amortized O(1).
+  double current_rate() const { return cursor_.rate(now_); }
   /// The declared capacity band (known a priori to the algorithms).
   double c_lo() const { return instance_->c_lo(); }
   double c_hi() const { return instance_->c_hi(); }
@@ -86,12 +104,35 @@ class Engine {
   void run(JobId id);
 
   /// Arms a timer that raises Scheduler::on_timer(job, tag) at time `t`
-  /// (>= now; t == now fires after the current handler returns).
+  /// (>= now; t == now fires after the current handler returns). The
+  /// returned id encodes (slab slot, generation); it is invalidated — and
+  /// its slot reclaimed — the moment the timer fires, is cancelled, or is
+  /// swallowed because `job` died first.
   TimerId set_timer(double t, JobId job, int tag);
 
-  /// Cancels a pending timer; cancelling an already-fired or unknown timer is
-  /// a harmless no-op (schedulers cancel lazily on preemption paths).
+  /// Cancels a pending timer and frees its slab slot. Cancelling an
+  /// already-fired or already-cancelled id is a harmless no-op (schedulers
+  /// cancel lazily on preemption paths): the generation check rejects stale
+  /// ids even after the slot was reused. A *corrupted* id — one whose slot
+  /// index was never allocated — fails an SJS_CHECK loudly.
   void cancel_timer(TimerId id);
+
+  // --- Hot-path occupancy introspection (tests, benches, gauges) ---
+
+  /// Timers currently armed (slab slots in use).
+  std::size_t live_timer_count() const { return live_timers_; }
+  /// Distinct slab slots ever allocated this run (bounded by the peak of
+  /// live_timer_count, NOT by the total number of set_timer calls).
+  std::size_t timer_slab_size() const { return timer_slots_.size(); }
+  /// Events currently pending in the heap, dead ones included.
+  std::size_t queued_event_count() const { return heap_.size(); }
+  /// Dead (cancelled/stale) events currently in the heap; lazy compaction
+  /// keeps this at most max(kCompactionMinEvents, half the heap).
+  std::size_t dead_event_count() const { return dead_events_; }
+
+  /// Compaction is skipped below this heap size: tiny heaps make the dead
+  /// fraction noisy and the O(n) pass isn't worth saving a few entries.
+  static constexpr std::size_t kCompactionMinEvents = 64;
 
   /// Scheduler annotation channel: records an obs::TraceKind::kNote event
   /// (code from obs::NoteCode, plus a free payload) so algorithm-internal
@@ -124,12 +165,24 @@ class Engine {
     }
   };
 
-  struct TimerRecord {
+  /// One slab slot. `generation` stamps the slot's current incarnation; ids
+  /// handed out by set_timer embed it, so a handle outliving the timer can
+  /// never act on a reused slot. `live` distinguishes an armed slot from a
+  /// freed one awaiting reuse (generation match with live == false would mean
+  /// the slab resurrected a freed id — checked fatal in handle_timer).
+  struct TimerSlot {
     JobId job = kNoJob;
     int tag = 0;
-    bool cancelled = false;
-    bool fired = false;
+    std::uint32_t generation = 0;
+    bool live = false;
   };
+
+  static std::uint32_t timer_slot_of(TimerId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffull) - 1;
+  }
+  static std::uint32_t timer_generation_of(TimerId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
 
   /// Records one trace event at `now_`; compiles to a null check when no
   /// sink is attached (the zero-cost disabled path).
@@ -138,6 +191,15 @@ class Engine {
   }
 
   void push_event(double time, EventType type, JobId job, std::uint64_t id);
+  Event pop_event();
+  /// Rewinds all per-run state (capacities of every container are kept).
+  void rewind();
+  /// Frees a slab slot: bumps the generation (invalidating outstanding ids)
+  /// and returns the slot to the free list.
+  void free_timer_slot(std::uint32_t slot);
+  /// Purges dead events once they outnumber the live ones (amortized O(1)
+  /// per event; total order on events makes the rebuild order-neutral).
+  void maybe_compact_heap();
   /// Brings the running job's remaining workload up to date at time `t`.
   void advance_execution(double t);
   /// Stops the running job (bookkeeping only; no scheduler callback).
@@ -154,15 +216,28 @@ class Engine {
   double last_advance_ = 0.0;   // execution accounted up to this time
   JobId running_ = kNoJob;
   std::uint64_t dispatch_epoch_ = 0;
+  /// A completion event for the current dispatch epoch is in the heap; used
+  /// to count the event as dead the moment a preemption invalidates it.
+  bool completion_pending_ = false;
 
   std::vector<double> remaining_;
   std::vector<JobOutcome> outcomes_;
   std::vector<bool> released_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  /// Binary min-heap (std::push_heap/pop_heap with greater<>): an explicit
+  /// container instead of std::priority_queue so dead events can be purged
+  /// in place. Pop order is governed by the total order on Event (time,
+  /// type, seq), so compaction cannot reorder survivors.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t dead_events_ = 0;   // dead entries currently in heap_
 
-  std::vector<TimerRecord> timers_;  // index = TimerId - 1
+  std::vector<TimerSlot> timer_slots_;
+  std::vector<std::uint32_t> free_timer_slots_;
+  std::size_t live_timers_ = 0;
+
+  mutable cap::CapacityProfile::Cursor cursor_;  // mutable: amortized-O(1)
+                                                 // lookups from const queries
 
   bool in_callback_ = false;
   bool record_schedule_ = false;

@@ -60,6 +60,15 @@ struct SimResult {
   double busy_time = 0.0;          ///< total time a job occupied the processor
   double executed_total = 0.0;     ///< Σ executed work (capacity-seconds)
 
+  // Hot-path occupancy stats (timer slab and event heap; the bounded-memory
+  // regression test and the engine.* metrics gauges read these).
+  std::uint64_t timers_armed = 0;       ///< set_timer() calls over the run
+  std::uint64_t timer_slab_peak = 0;    ///< peak simultaneously-live timers
+  std::uint64_t timer_slab_slots = 0;   ///< distinct slots ever allocated
+  std::uint64_t event_heap_peak = 0;    ///< peak pending events in the heap
+  std::uint64_t event_heap_dead_peak = 0;  ///< peak dead (stale) heap events
+  std::uint64_t heap_compactions = 0;   ///< lazy dead-event purges performed
+
   std::string to_string() const;
 };
 

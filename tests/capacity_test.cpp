@@ -145,6 +145,87 @@ TEST_P(ProfileInverseProperty, WorkIsAdditive) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProfileInverseProperty,
                          ::testing::Range(0, 8));
 
+// ----------------------------------------------------------------- cursor
+//
+// The cursor is a drop-in replacement for the plain methods on the engine's
+// hot path, gated by replay digests — so its results must be BIT-identical
+// (EXPECT_EQ on doubles, not EXPECT_NEAR), on monotone streams, backward
+// jumps, and after reset().
+
+TEST(CapacityCursor, MatchesPlainMethodsExactlyOnMonotoneStream) {
+  Rng rng(300);
+  for (int profile_trial = 0; profile_trial < 4; ++profile_trial) {
+    std::vector<double> times{0.0};
+    std::vector<double> rates{rng.uniform(0.5, 10.0)};
+    for (int i = 0; i < 40; ++i) {
+      times.push_back(times.back() + rng.exponential_mean(1.0));
+      rates.push_back(rng.uniform(0.5, 10.0));
+    }
+    CapacityProfile p(times, rates);
+    CapacityProfile::Cursor cursor(p);
+    double t = 0.0;
+    for (int q = 0; q < 200; ++q) {
+      const double w = rng.exponential_mean(4.0);
+      EXPECT_EQ(cursor.rate(t), p.rate(t));
+      EXPECT_EQ(cursor.cumulative(t), p.cumulative(t));
+      EXPECT_EQ(cursor.invert(t, w), p.invert(t, w));
+      const double t2 = t + rng.exponential_mean(0.7);
+      EXPECT_EQ(cursor.work(t, t2), p.work(t, t2));
+      t = t2;
+    }
+  }
+}
+
+TEST(CapacityCursor, MatchesPlainMethodsOnBackwardJumps) {
+  // Backward queries fall back to binary search; answers stay identical.
+  Rng rng(301);
+  std::vector<double> times{0.0};
+  std::vector<double> rates{rng.uniform(0.5, 10.0)};
+  for (int i = 0; i < 40; ++i) {
+    times.push_back(times.back() + rng.exponential_mean(1.0));
+    rates.push_back(rng.uniform(0.5, 10.0));
+  }
+  CapacityProfile p(times, rates);
+  CapacityProfile::Cursor cursor(p);
+  const double span = times.back();
+  for (int q = 0; q < 300; ++q) {
+    const double t = rng.uniform(0.0, span * 1.3);  // arbitrary order
+    const double w = rng.exponential_mean(4.0);
+    EXPECT_EQ(cursor.rate(t), p.rate(t));
+    EXPECT_EQ(cursor.invert(t, w), p.invert(t, w));
+    EXPECT_EQ(cursor.work(t, t + w), p.work(t, t + w));
+  }
+}
+
+TEST(CapacityCursor, InvertLookaheadDoesNotPoisonHint) {
+  // invert() may gallop far ahead of the current segment (a long completion
+  // lookahead); the next rate() query at the *current* time must still be on
+  // the forward-walk fast path and — more importantly — still exact.
+  CapacityProfile p({0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, {1, 2, 3, 4, 5, 6});
+  CapacityProfile::Cursor cursor(p);
+  EXPECT_EQ(cursor.rate(0.5), 1.0);
+  EXPECT_EQ(cursor.invert(0.5, 100.0), p.invert(0.5, 100.0));  // far lookahead
+  EXPECT_EQ(cursor.rate(0.6), 1.0);  // still exact at the original position
+  EXPECT_EQ(cursor.cumulative(0.6), p.cumulative(0.6));
+}
+
+TEST(CapacityCursor, ResetRestartsFromTimeZero) {
+  CapacityProfile p({0.0, 10.0, 20.0}, {1.0, 35.0, 2.0});
+  CapacityProfile::Cursor cursor(p);
+  EXPECT_EQ(cursor.rate(25.0), 2.0);  // advance hint to the last segment
+  cursor.reset();
+  EXPECT_EQ(cursor.rate(0.0), 1.0);
+  EXPECT_EQ(cursor.work(0.0, 20.0), p.work(0.0, 20.0));
+}
+
+TEST(CapacityCursor, RejectsInvalidQueriesLikePlainMethods) {
+  CapacityProfile p(1.0);
+  CapacityProfile::Cursor cursor(p);
+  EXPECT_THROW(cursor.rate(-0.5), CheckError);
+  EXPECT_THROW(cursor.work(2.0, 1.0), CheckError);
+  EXPECT_THROW(cursor.invert(0.0, -1.0), CheckError);
+}
+
 // ---------------------------------------------------------------- processes
 
 TEST(TwoStateMarkov, PathStaysInBand) {

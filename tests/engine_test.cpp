@@ -8,6 +8,7 @@
 
 #include "capacity/capacity_profile.hpp"
 #include "jobs/instance.hpp"
+#include "obs/digest.hpp"
 #include "sim/engine.hpp"
 #include "util/logging.hpp"
 
@@ -446,6 +447,171 @@ TEST(Engine, MeanResponseTimeZeroWhenNothingCompletes) {
   auto result = engine.run_to_completion();
   EXPECT_DOUBLE_EQ(result.mean_response_time(), 0.0);
   EXPECT_TRUE(result.response_times().empty());
+}
+
+// ------------------------------------------------------------- timer slab
+
+TEST(EngineTimerSlab, CancelCorruptedIdThrows) {
+  Instance instance({make_job(0.0, 1.0, 5.0, 1.0)}, cap::CapacityProfile(1.0));
+  LoggingScheduler sched;
+  Engine engine(instance, sched);
+  // Slot index 999 was never allocated: a corrupted handle, not a stale one.
+  EXPECT_THROW(engine.cancel_timer(TimerId{999}), CheckError);
+}
+
+TEST(EngineTimerSlab, StaleCancelAfterSlotReuseIsNoOp) {
+  // Cancel a timer, arm a new one (which reuses the freed slot with a bumped
+  // generation), then cancel the FIRST handle again: the stale cancel must
+  // not kill the new timer.
+  class ReuseScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      TimerId first = engine.set_timer(engine.now() + 0.25, job, 1);
+      engine.cancel_timer(first);
+      TimerId second = engine.set_timer(engine.now() + 0.5, job, 2);
+      EXPECT_EQ(engine.live_timer_count(), 1u);
+      engine.cancel_timer(first);  // stale generation: harmless no-op
+      EXPECT_EQ(engine.live_timer_count(), 1u);
+      (void)second;
+    }
+  };
+  Instance instance({make_job(0.0, 2.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  ReuseScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  int timer_fires = 0;
+  for (const auto& e : sched.log_) timer_fires += (e.kind == 'T');
+  EXPECT_EQ(timer_fires, 1);
+  EXPECT_EQ(sched.last_timer_tag_, 2);  // the second timer, not the first
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+}
+
+TEST(EngineTimerSlab, SlotsAreReusedNotLeaked) {
+  // One timer live at a time, armed and fired N times in sequence: the slab
+  // must stay at a single slot however many timers were armed.
+  class ChainScheduler : public LoggingScheduler {
+   public:
+    void on_timer(Engine& engine, JobId job, int tag) override {
+      LoggingScheduler::on_timer(engine, job, tag);
+      if (tag < 8 && engine.is_live(job)) {
+        engine.set_timer(engine.now() + 0.5, job, tag + 1);
+      }
+    }
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      engine.set_timer(engine.now() + 0.5, job, 1);
+    }
+  };
+  Instance instance({make_job(0.0, 6.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  ChainScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.timers_armed, 8u);
+  EXPECT_EQ(result.timer_slab_slots, 1u);   // same slot recycled every time
+  EXPECT_EQ(result.timer_slab_peak, 1u);
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+}
+
+TEST(EngineTimerSlab, LiveTimerCountTracksArmAndCancel) {
+  class CountScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      TimerId a = engine.set_timer(engine.now() + 1.0, job, 1);
+      engine.set_timer(engine.now() + 2.0, job, 2);
+      EXPECT_EQ(engine.live_timer_count(), 2u);
+      engine.cancel_timer(a);
+      EXPECT_EQ(engine.live_timer_count(), 1u);
+      engine.cancel_timer(kNoTimer);  // explicit no-op
+      EXPECT_EQ(engine.live_timer_count(), 1u);
+    }
+  };
+  Instance instance({make_job(0.0, 4.0, 20.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  CountScheduler sched;
+  Engine engine(instance, sched);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.timer_slab_peak, 2u);
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+}
+
+TEST(EngineTimerSlab, DeadJobTimerStillFreesItsSlot) {
+  // A timer that fires after its job's deadline is swallowed (no callback),
+  // but the slab slot must still come back.
+  class DeadTimerScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      engine.set_timer(engine.job(job).deadline + 1.0, job, 9);
+    }
+  };
+  Instance instance({make_job(0.0, 10.0, 2.0, 1.0)},
+                    cap::CapacityProfile(1.0));
+  DeadTimerScheduler sched;
+  Engine engine(instance, sched);
+  engine.run_to_completion();
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+}
+
+// ------------------------------------------------------------ engine reuse
+
+TEST(EngineReset, ReplaysIdenticallyOnSameInstance) {
+  Instance instance(
+      {make_job(0.0, 3.0, 4.0, 1.0), make_job(1.0, 2.0, 8.0, 2.0),
+       make_job(1.5, 4.0, 5.0, 3.0)},
+      cap::CapacityProfile({0.0, 2.0, 5.0}, {1.0, 3.0, 2.0}));
+
+  obs::DigestSink first_digest;
+  LoggingScheduler first_sched;
+  Engine engine(instance, first_sched);
+  engine.attach_trace(&first_digest);
+  auto first = engine.run_to_completion();
+
+  obs::DigestSink second_digest;
+  LoggingScheduler second_sched;  // fresh scheduler, same engine
+  engine.reset(second_sched);
+  engine.attach_trace(&second_digest);
+  auto second = engine.run_to_completion();
+
+  EXPECT_EQ(first_digest.digest(), second_digest.digest());
+  EXPECT_EQ(first_digest.event_count(), second_digest.event_count());
+  EXPECT_EQ(first.completed_count, second.completed_count);
+  EXPECT_DOUBLE_EQ(first.completed_value, second.completed_value);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.preemptions, second.preemptions);
+  ASSERT_EQ(first.executed_work.size(), second.executed_work.size());
+  for (std::size_t i = 0; i < first.executed_work.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.executed_work[i], second.executed_work[i]);
+  }
+}
+
+TEST(EngineReset, ClearsTimersFromPreviousRun) {
+  // Run 1 leaves nothing live, but even mid-slab state must not leak into
+  // run 2: stale handles from run 1 are rejected as corrupted or stale, and
+  // the slab starts empty.
+  class ArmOnlyScheduler : public LoggingScheduler {
+   public:
+    void on_release(Engine& engine, JobId job) override {
+      LoggingScheduler::on_release(engine, job);
+      saved_ = engine.set_timer(engine.now() + 50.0, job, 3);  // never fires
+    }
+    TimerId saved_ = kNoTimer;
+  };
+  Instance instance({make_job(0.0, 1.0, 2.0, 1.0)}, cap::CapacityProfile(1.0));
+  ArmOnlyScheduler first;
+  Engine engine(instance, first);
+  engine.run_to_completion();
+
+  LoggingScheduler second;
+  engine.reset(second);
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+  EXPECT_EQ(engine.timer_slab_size(), 0u);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.completed_count, 1u);
+  for (const auto& e : second.log_) EXPECT_NE(e.kind, 'T');
 }
 
 TEST(Engine, GeneratedValueEqualsInstanceTotal) {

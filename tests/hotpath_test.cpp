@@ -1,0 +1,158 @@
+// Long-run bounded-memory regression for the engine hot paths.
+//
+// The adaptive-EWMA V-Dover configuration is the engine's worst timer
+// customer: every capacity breakpoint cancels and re-arms one 0-claxity
+// timer per queued job. Over a profile with hundreds of breakpoints the
+// pre-slab engine grew its timer table and event heap linearly with the
+// number of set_timer calls (the table was append-only, and cancelled
+// events were left dead in the heap until their expiry popped). These tests
+// pin the bounded-memory contract of engine.hpp: slab slots stay O(max
+// simultaneously live timers) and the dead fraction of the heap stays below
+// the compaction threshold, no matter how many timers a run arms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/instance.hpp"
+#include "jobs/workload_gen.hpp"
+#include "sched/vdover.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sjs {
+namespace {
+
+/// Many-breakpoint profile oscillating in [1, 4] with mean sojourn
+/// `mean_sojourn` — dense capacity changes, little service capacity, so an
+/// aggressive arrival stream keeps a standing Qother queue (each queued job
+/// holds one armed 0cl timer that every breakpoint cancels and re-arms).
+cap::CapacityProfile make_choppy_profile(std::size_t segments,
+                                         double mean_sojourn, Rng& rng) {
+  std::vector<double> times{0.0};
+  std::vector<double> rates{rng.uniform(1.0, 4.0)};
+  for (std::size_t i = 1; i < segments; ++i) {
+    times.push_back(times.back() + rng.exponential_mean(mean_sojourn));
+    rates.push_back(rng.uniform(1.0, 4.0));
+  }
+  return {std::move(times), std::move(rates)};
+}
+
+/// V-Dover with the engine's occupancy sampled at every capacity
+/// breakpoint — the instants right after the scheduler's own timer churn.
+class ProbedVDover : public sched::VDoverScheduler {
+ public:
+  explicit ProbedVDover(const sched::VDoverOptions& options)
+      : sched::VDoverScheduler(options) {}
+
+  void on_capacity_change(sim::Engine& engine) override {
+    sched::VDoverScheduler::on_capacity_change(engine);
+    max_live_timers_ =
+        std::max(max_live_timers_, engine.live_timer_count());
+    max_slab_size_ = std::max(max_slab_size_, engine.timer_slab_size());
+    const std::size_t queued = engine.queued_event_count();
+    const std::size_t dead = engine.dead_event_count();
+    max_dead_events_ = std::max(max_dead_events_, dead);
+    if (queued >= sim::Engine::kCompactionMinEvents) {
+      max_dead_fraction_ = std::max(
+          max_dead_fraction_,
+          static_cast<double>(dead) / static_cast<double>(queued));
+    }
+    ++samples_;
+  }
+
+  std::size_t max_live_timers_ = 0;
+  std::size_t max_slab_size_ = 0;
+  std::size_t max_dead_events_ = 0;
+  double max_dead_fraction_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+TEST(HotPathBoundedMemory, TimerSlabAndHeapStayBoundedUnderEwmaChurn) {
+  // A 3x-overloaded arrival stream against 512 capacity breakpoints:
+  // thousands of timer arms, only a few dozen ever live at once.
+  Rng rng(2024);
+  auto profile = make_choppy_profile(512, 0.2, rng);  // span ~100
+  const double horizon = profile.breakpoints().back();
+  auto jobs = gen::generate_small_random_jobs(800, horizon, 7.0, 1.0, 3.0,
+                                              rng);
+  Instance instance(std::move(jobs), profile);
+
+  sched::VDoverOptions options;
+  options.adaptive_estimate = true;
+  ProbedVDover scheduler(options);
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+
+  // The probe actually sampled the churn (every breakpoint inside the run).
+  ASSERT_GT(scheduler.samples_, 400u);
+  ASSERT_GT(result.timers_armed, 1000u);
+
+  // Slab slots are bounded by peak simultaneous liveness, not by the arm
+  // count. The pre-slab engine kept one record per set_timer call, so this
+  // bound is the regression: slots would equal timers_armed there. (The
+  // probe samples only at breakpoints, so it may miss the exact peak
+  // instant — it lower-bounds the engine's own accounting.)
+  EXPECT_GE(result.timer_slab_peak,
+            static_cast<std::uint64_t>(scheduler.max_live_timers_));
+  EXPECT_LE(result.timer_slab_peak, result.timer_slab_slots);
+  EXPECT_LE(result.timer_slab_slots, instance.size() + 4);
+  EXPECT_LT(result.timer_slab_slots, result.timers_armed / 10);
+  EXPECT_LE(scheduler.max_slab_size_, instance.size() + 4);
+
+  // Dead (cancelled / stale) events never dominate the heap: compaction
+  // keeps the dead fraction at most ~half once the heap is big enough for
+  // compaction to be worthwhile, plus slack for the events added between
+  // threshold crossings.
+  EXPECT_LE(scheduler.max_dead_fraction_, 0.75);
+  EXPECT_LE(static_cast<std::uint64_t>(scheduler.max_dead_events_),
+            result.event_heap_peak);
+
+  // The mechanism engaged (this workload cancels far more than it fires)
+  // and the run still terminated with an empty slab.
+  EXPECT_GE(result.heap_compactions, 1u);
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+  EXPECT_EQ(engine.dead_event_count(), 0u);
+}
+
+TEST(HotPathBoundedMemory, RepeatedResetDoesNotGrowSlab) {
+  // Replay the same churn-heavy instance many times on ONE engine (the
+  // Monte-Carlo reuse path): per-run occupancy must not creep run over run.
+  Rng rng(2025);
+  auto profile = make_choppy_profile(128, 0.2, rng);
+  const double horizon = profile.breakpoints().back();
+  auto jobs = gen::generate_small_random_jobs(200, horizon, 7.0, 1.0, 3.0,
+                                              rng);
+  Instance instance(std::move(jobs), profile);
+
+  sched::VDoverOptions options;
+  options.adaptive_estimate = true;
+
+  std::uint64_t first_slots = 0;
+  std::uint64_t first_heap_peak = 0;
+  std::optional<sim::Engine> engine;
+  for (int run = 0; run < 8; ++run) {
+    sched::VDoverScheduler scheduler(options);
+    if (engine) {
+      engine->reset(scheduler);
+    } else {
+      engine.emplace(instance, scheduler);
+    }
+    auto result = engine->run_to_completion();
+    if (run == 0) {
+      first_slots = result.timer_slab_slots;
+      first_heap_peak = result.event_heap_peak;
+    } else {
+      // reset() rewinds; identical replay means identical occupancy.
+      EXPECT_EQ(result.timer_slab_slots, first_slots);
+      EXPECT_EQ(result.event_heap_peak, first_heap_peak);
+    }
+    EXPECT_EQ(engine->live_timer_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sjs

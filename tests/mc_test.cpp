@@ -107,6 +107,13 @@ TEST(MonteCarlo, MetricsRegistryCollectsAcrossRuns) {
   // Completions feed the response-time distribution.
   ASSERT_TRUE(snap.distributions.count("job.response_time"));
   EXPECT_GT(snap.distributions.at("job.response_time").count(), 0u);
+  // Engine occupancy gauges/counters ride along with every metrics-enabled
+  // campaign (gauges merge by max across shards: the worst run).
+  ASSERT_TRUE(snap.gauges.count(obs::kGaugeTimerSlabPeak));
+  ASSERT_TRUE(snap.gauges.count(obs::kGaugeEventHeapPeak));
+  EXPECT_GT(snap.gauges.at(obs::kGaugeEventHeapPeak), 0.0);
+  ASSERT_TRUE(snap.counters.count(obs::kCounterTimersArmed));
+  EXPECT_GT(snap.counters.at(obs::kCounterTimersArmed), 0.0);
   (void)outcome;
 }
 
@@ -195,6 +202,11 @@ TEST(MonteCarlo, RunsCsvDumpsEverySample) {
   while (std::getline(in, line)) lines.push_back(line);
   ASSERT_EQ(lines.size(), 6u);  // header + 5 runs
   EXPECT_NE(lines[0].find("V-Dover"), std::string::npos);
+  // Run ids are integer join keys, not measurements: "3", never "3.000000".
+  for (std::size_t run = 1; run < lines.size(); ++run) {
+    const std::string id = lines[run].substr(0, lines[run].find(','));
+    EXPECT_EQ(id, std::to_string(run - 1));
+  }
   // Spot-check one cell round-trips.
   auto fields = lines[1];
   EXPECT_NE(fields.find(','), std::string::npos);

@@ -353,6 +353,58 @@ TEST(VDoverAdaptive, SurvivesPaperWorkload) {
   EXPECT_EQ(result.completed_count + result.expired_count, instance.size());
 }
 
+// ------------------------------------------------------------- timer hygiene
+
+TEST(VDoverTimers, ExpiryAtExactTimerInstantLeavesNoDanglingHandle) {
+  // J1's workload is so small (1e-17 < ulp(4.0)/2) that its 0cl instant
+  // d − p/c_est rounds to exactly its deadline: the expiry event and the 0cl
+  // timer event land on the same timestamp. Expiry sorts first (event type
+  // 1 < 4), so on_expire runs with the timer event still pending in the
+  // heap — the old handler left ocl_timer_ pointing at it, a dangling
+  // handle once the engine swallowed the fire. The fixed handler
+  // cancel-and-clears; the swallowed event must then be a stale
+  // generation-checked no-op, never a resurrected slab slot (SJS_CHECK in
+  // the engine) and never a zero-laxity interrupt.
+  //
+  // J0 runs with zero conservative slack (p = d at rate 1), so J1's
+  // earlier deadline cannot EDF-preempt (tc = 1e-17 > cSlack = 0) and it
+  // waits in Qother until it dies.
+  Instance instance(
+      {make_job(0.0, 20.0, 20.0, 100.0), make_job(1.0, 1e-17, 4.0, 1.0)},
+      cap::CapacityProfile(1.0));
+  sched::VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+
+  EXPECT_EQ(result.completed_count, 1u);  // J0, exactly at its deadline
+  EXPECT_EQ(result.expired_count, 1u);    // J1 dies queued at t = 4.0
+  EXPECT_EQ(scheduler.stats().zero_laxity_interrupts, 0u)
+      << "the dead job's timer fired as a live interrupt";
+  EXPECT_EQ(engine.live_timer_count(), 0u)
+      << "expiry path leaked an armed timer slot";
+  EXPECT_EQ(engine.dead_event_count(), 0u);
+}
+
+TEST(VDoverTimers, QueuedExpiryNeverFiresStaleInterrupt) {
+  // Broader sweep of the same hazard: a batch of tiny-workload jobs with
+  // staggered deadlines all expire while queued behind a zero-slack hog.
+  // Every expiry cancels a pending timer; none may come back as an
+  // interrupt, and the slab must drain completely.
+  std::vector<Job> jobs{make_job(0.0, 50.0, 50.0, 1000.0)};
+  for (int i = 1; i <= 8; ++i) {
+    jobs.push_back(
+        make_job(1.0, 1e-17, 4.0 + static_cast<double>(i), 1.0));
+  }
+  Instance instance(std::move(jobs), cap::CapacityProfile(1.0));
+  sched::VDoverScheduler scheduler;
+  sim::Engine engine(instance, scheduler);
+  auto result = engine.run_to_completion();
+  EXPECT_EQ(result.expired_count, 8u);
+  EXPECT_EQ(scheduler.stats().zero_laxity_interrupts, 0u);
+  EXPECT_EQ(engine.live_timer_count(), 0u);
+  EXPECT_EQ(engine.dead_event_count(), 0u);
+}
+
 // ---------------------------------------------------------------- properties
 
 // Theorem 3(2): on individually admissible instances V-Dover's value is at

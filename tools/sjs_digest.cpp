@@ -1,0 +1,98 @@
+// sjs_digest — replay-digest gate for engine/scheduler refactors.
+//
+// Runs a Monte-Carlo campaign with per-run replay digests for every scheduler
+// in the extended line-up (plus the adaptive-EWMA variants, which exercise the
+// capacity-change timer re-arm path) at each requested λ, across at least two
+// thread counts, and prints one line per (λ, scheduler) cell:
+//
+//   lambda=6 scheduler=V-Dover runs=64 digest=0123456789abcdef
+//
+// The combined digest folds the full canonical event stream of every run, so
+// two builds printing identical output are replay-equivalent: any hot-path
+// refactor that changes a single event (order, payload, or count) diverges.
+// Usage as a gate:
+//
+//   ./sjs_digest > before.txt        # at the baseline commit
+//   ./sjs_digest > after.txt         # with the refactor applied
+//   diff before.txt after.txt        # must be empty
+//
+// Thread-count independence is asserted internally (the campaign is run once
+// per entry of --threads and the digests must agree), so a single output file
+// also certifies the determinism contract.
+#include <cstdio>
+#include <cstdlib>
+
+#include "mc/monte_carlo.hpp"
+#include "sched/factory.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+std::vector<sjs::sched::NamedFactory> gate_lineup() {
+  // c_lo/c_hi below must match gen::PaperSetup defaults (1, 35).
+  auto lineup = sjs::sched::extended_lineup({1.0, 18.0, 35.0});
+  lineup.push_back(sjs::sched::make_dover_ewma());
+  sjs::sched::VDoverOptions ewma;
+  ewma.adaptive_estimate = true;
+  lineup.push_back(sjs::sched::make_vdover_with(ewma));
+  return lineup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sjs::CliFlags flags;
+  flags.add_double_list("lambda", {6.0, 20.0}, "arrival rates to gate");
+  flags.add_int("runs", 64, "Monte-Carlo runs per (lambda, scheduler) cell");
+  flags.add_int("jobs", 400, "expected jobs per run");
+  flags.add_int("seed", 42, "master seed");
+  flags.add_double_list("threads", {1.0, 4.0},
+                        "thread counts; digests must agree across all");
+  if (!flags.parse(argc, argv)) {
+    if (!flags.error().empty()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const auto factories = gate_lineup();
+  const auto& thread_counts = flags.get_double_list("threads");
+  SJS_CHECK_MSG(thread_counts.size() >= 2,
+                "digest gate needs at least two thread counts");
+
+  for (double lambda : flags.get_double_list("lambda")) {
+    sjs::mc::McConfig config;
+    config.setup.lambda = lambda;
+    config.setup.expected_jobs = static_cast<double>(flags.get_int("jobs"));
+    config.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    config.compute_digests = true;
+
+    std::vector<sjs::mc::McOutcome> outcomes;
+    for (double threads : thread_counts) {
+      config.threads = static_cast<std::size_t>(threads);
+      outcomes.push_back(sjs::mc::run_monte_carlo(config, factories));
+    }
+    for (std::size_t s = 0; s < factories.size(); ++s) {
+      for (std::size_t t = 1; t < outcomes.size(); ++t) {
+        if (outcomes[t].per_scheduler[s].combined_digest !=
+            outcomes[0].per_scheduler[s].combined_digest) {
+          std::fprintf(stderr,
+                       "FATAL: digest for %s diverges between %zu and %zu "
+                       "threads — determinism contract broken\n",
+                       factories[s].name.c_str(),
+                       static_cast<std::size_t>(thread_counts[0]),
+                       static_cast<std::size_t>(thread_counts[t]));
+          return 2;
+        }
+      }
+      std::printf("lambda=%g scheduler=%s runs=%zu digest=%016llx\n", lambda,
+                  factories[s].name.c_str(), config.runs,
+                  static_cast<unsigned long long>(
+                      outcomes[0].per_scheduler[s].combined_digest));
+    }
+  }
+  return 0;
+}

@@ -141,6 +141,20 @@ int main(int argc, char** argv) {
     }
   }
   if (want_metrics) {
+    // Hot-path occupancy gauges (timer slab / event heap) from the run.
+    auto& shard = registry.local();
+    shard.set_gauge(sjs::obs::kGaugeTimerSlabPeak,
+                    static_cast<double>(result.timer_slab_peak));
+    shard.set_gauge(sjs::obs::kGaugeTimerSlabSlots,
+                    static_cast<double>(result.timer_slab_slots));
+    shard.set_gauge(sjs::obs::kGaugeEventHeapPeak,
+                    static_cast<double>(result.event_heap_peak));
+    shard.set_gauge(sjs::obs::kGaugeEventHeapDeadPeak,
+                    static_cast<double>(result.event_heap_dead_peak));
+    shard.count(sjs::obs::kCounterTimersArmed,
+                static_cast<double>(result.timers_armed));
+    shard.count(sjs::obs::kCounterHeapCompactions,
+                static_cast<double>(result.heap_compactions));
     std::printf("\nmetrics:\n%s", registry.render().c_str());
   }
   if (want_invariants) {
