@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::cap {
 
@@ -44,7 +45,7 @@ CapacityProfile sample_markov_chain(const MarkovChainParams& params,
     }
     SJS_CHECK_MSG(n == 1 || std::abs(row - 1.0) < 1e-9,
                   "transition row " << i << " sums to " << row);
-    SJS_CHECK_MSG(params.transition[i][i] == 0.0,
+    SJS_CHECK_MSG(fp::is_zero(params.transition[i][i]),
                   "jump chain must not self-loop (state " << i << ")");
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::cap {
 
@@ -15,7 +16,7 @@ CapacityProfile::CapacityProfile(std::vector<double> times,
     : times_(std::move(times)), rates_(std::move(rates)) {
   SJS_CHECK_MSG(!times_.empty(), "profile needs at least one segment");
   SJS_CHECK_MSG(times_.size() == rates_.size(), "times/rates size mismatch");
-  SJS_CHECK_MSG(times_[0] == 0.0, "profile must start at t=0");
+  SJS_CHECK_MSG(fp::is_zero(times_[0]), "profile must start at t=0");
   for (std::size_t i = 1; i < times_.size(); ++i) {
     SJS_CHECK_MSG(times_[i] > times_[i - 1],
                   "breakpoints must be strictly increasing");
@@ -58,7 +59,7 @@ double CapacityProfile::work(double t1, double t2) const {
 
 double CapacityProfile::invert(double t, double w) const {
   SJS_CHECK_MSG(w >= 0.0, "workload must be non-negative");
-  if (w == 0.0) return t;
+  if (fp::is_zero(w)) return t;
   const double target = cumulative(t) + w;
   // Find the segment in which the cumulative work reaches `target`.
   // cum_[i] is the cumulative work at the *start* of segment i; the last
@@ -95,7 +96,7 @@ double CapacityProfile::Cursor::work(double t1, double t2) {
 
 double CapacityProfile::Cursor::invert(double t, double w) {
   SJS_CHECK_MSG(w >= 0.0, "workload must be non-negative");
-  if (w == 0.0) return t;
+  if (fp::is_zero(w)) return t;
   const auto& cum = profile_->cum_;
   const std::size_t start = seek(t);
   const double target = cum[start] +

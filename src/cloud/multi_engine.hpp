@@ -25,6 +25,7 @@
 #include "jobs/job.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/result.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::cloud {
 
@@ -122,7 +123,7 @@ class MultiEngine {
     std::uint64_t epoch = 0;
 
     bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
+      if (fp::exact_ne(time, other.time)) return time > other.time;
       if (type != other.type) return type > other.type;
       return seq > other.seq;
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include "util/fp.hpp"
 
 namespace sjs {
 
@@ -19,8 +20,9 @@ std::string Job::to_string() const {
 }
 
 bool operator==(const Job& a, const Job& b) {
-  return a.id == b.id && a.release == b.release && a.workload == b.workload &&
-         a.deadline == b.deadline && a.value == b.value;
+  return a.id == b.id && fp::exact_eq(a.release, b.release) &&
+         fp::exact_eq(a.workload, b.workload) &&
+         fp::exact_eq(a.deadline, b.deadline) && fp::exact_eq(a.value, b.value);
 }
 
 }  // namespace sjs

@@ -1,6 +1,7 @@
 #include "obs/digest.hpp"
 
 #include <bit>
+#include "util/fp.hpp"
 
 namespace sjs::obs {
 
@@ -14,7 +15,7 @@ std::uint64_t mix64(std::uint64_t x) {
 }
 
 std::uint64_t double_bits(double x) {
-  if (x == 0.0) x = 0.0;  // collapse -0.0 and +0.0
+  if (fp::is_zero(x)) x = 0.0;  // collapse -0.0 and +0.0
   return std::bit_cast<std::uint64_t>(x);
 }
 

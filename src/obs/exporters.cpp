@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 #include <utility>
+#include "util/fp.hpp"
 
 namespace sjs::obs {
 
@@ -22,11 +23,11 @@ void print_event_json(std::ostream& out, const TraceEvent& event) {
   out << ",\"kind\":\"" << kind_name(event.kind) << "\"";
   if (event.job != kNoJob) out << ",\"job\":" << event.job;
   if (event.server >= 0) out << ",\"server\":" << event.server;
-  if (event.a != 0.0) {
+  if (!fp::is_zero(event.a)) {
     out << ",\"a\":";
     print_double(out, event.a);
   }
-  if (event.b != 0.0) {
+  if (!fp::is_zero(event.b)) {
     out << ",\"b\":";
     print_double(out, event.b);
   }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::obs {
 
@@ -184,7 +185,7 @@ void InvariantChecker::on_expire(const TraceEvent& event) {
   if (completed_[idx]) fail(event, "expiry of a completed job");  // I6
   if (expired_[idx]) fail(event, "job expired twice");
   expired_[idx] = 1;
-  const bool was_running = event.b != 0.0;
+  const bool was_running = !fp::is_zero(event.b);
   if (was_running) {
     close_slice(event.server, event.time, event.job);
   }

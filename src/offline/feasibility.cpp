@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include "util/fp.hpp"
 
 namespace sjs::offline {
 
@@ -14,7 +15,9 @@ struct LiveJob {
   std::size_t index;  // tie-break for determinism
 
   bool operator>(const LiveJob& other) const {
-    if (deadline != other.deadline) return deadline > other.deadline;
+    if (fp::exact_ne(deadline, other.deadline)) {
+      return deadline > other.deadline;
+    }
     return index > other.index;
   }
 };

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::sim {
 
@@ -134,7 +135,7 @@ void Engine::advance_execution(double t) {
       // Extend the current slice if it continues the same job, else append.
       auto& schedule = result_.schedule;
       if (!schedule.empty() && schedule.back().job == running_ &&
-          schedule.back().end == last_advance_) {
+          fp::exact_eq(schedule.back().end, last_advance_)) {
         schedule.back().end = t;
       } else {
         schedule.push_back(ExecutionSlice{last_advance_, t, running_});

@@ -31,6 +31,7 @@
 #include "obs/trace_sink.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::sim {
 
@@ -159,7 +160,7 @@ class Engine {
     std::uint64_t id = 0;  // dispatch epoch (completion) or timer id
 
     bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
+      if (fp::exact_ne(time, other.time)) return time > other.time;
       if (type != other.type) return type > other.type;
       return seq > other.seq;
     }

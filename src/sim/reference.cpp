@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/fp.hpp"
 
 namespace sjs::sim {
 
@@ -44,7 +45,8 @@ ReferenceResult reference_edf_simulate(const Instance& instance, double dt) {
     std::size_t chosen = live[0];
     for (std::size_t idx : live) {
       if (jobs[idx].deadline < jobs[chosen].deadline ||
-          (jobs[idx].deadline == jobs[chosen].deadline && idx < chosen)) {
+          (fp::exact_eq(jobs[idx].deadline, jobs[chosen].deadline) &&
+           idx < chosen)) {
         chosen = idx;
       }
     }

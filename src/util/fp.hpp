@@ -1,0 +1,55 @@
+// Named floating-point comparison helpers.
+//
+// The replay-digest contract makes raw `==`/`!=` on doubles ambiguous to a
+// reviewer: sometimes exact bit-equality IS the contract (event tie-breaks,
+// piecewise-boundary tests, -0.0 canonicalization in the digest), and
+// sometimes it is a latent determinism bug (comparing two *derived* values
+// that are algebraically but not bit-wise equal). These helpers name the
+// intent so `sjs_lint`'s float-eq rule can ban the raw operators outright:
+//
+//   exact_eq / exact_ne  — bit-for-bit comparison is the contract (both
+//                          operands come from the same computation path, so
+//                          equality is deterministic and meaningful)
+//   is_zero              — exact test against 0.0 (sentinel/flag semantics;
+//                          also true for -0.0, matching IEEE-754 ==)
+//   near                 — tolerance comparison for derived quantities where
+//                          exactness cannot be assumed (mixed absolute +
+//                          relative epsilon)
+//
+// Using exact_eq on two independently-derived values is still wrong — the
+// helper only makes the decision visible and greppable, it does not make it
+// correct.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace sjs::fp {
+
+/// Default tolerance for near(): generous enough for sums of O(1e3) terms
+/// of O(1e2) magnitude, far below any simulation event spacing.
+inline constexpr double kDefaultEps = 1e-9;
+
+// The raw operators below are the one sanctioned home of float equality.
+// sjs-lint: allow(float-eq): these helpers ARE the sanctioned exact-compare
+// primitives the rule points users at.
+/// Exact (bit-level modulo -0.0==0.0) equality; use when both operands come
+/// from the same computation path and exactness is the contract.
+inline constexpr bool exact_eq(double a, double b) { return a == b; }
+
+/// Negation of exact_eq.
+// sjs-lint: allow(float-eq): sanctioned exact-compare primitive.
+inline constexpr bool exact_ne(double a, double b) { return a != b; }
+
+/// Exact test against zero (true for -0.0 as well).
+// sjs-lint: allow(float-eq): sanctioned exact-compare primitive.
+inline constexpr bool is_zero(double x) { return x == 0.0; }
+
+/// True when |a-b| <= eps * max(1, |a|, |b|) — a mixed absolute/relative
+/// tolerance suitable for derived simulation quantities.
+inline bool near(double a, double b, double eps = kDefaultEps) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= eps * scale;
+}
+
+}  // namespace sjs::fp

@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include "util/fp.hpp"
 
 namespace sjs {
 
@@ -30,7 +31,7 @@ double Rng::normal() {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
+  } while (s >= 1.0 || fp::is_zero(s));
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   cached_normal_ = v * factor;
   has_cached_normal_ = true;

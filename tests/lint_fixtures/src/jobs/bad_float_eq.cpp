@@ -1,0 +1,15 @@
+// Fixture: float-eq must fire on raw ==/!= against FP literals and on
+// time-named operands.
+namespace fixture {
+
+struct Ev {
+  double time;
+};
+
+bool zero_payload(double a) { return a == 0.0; }  // BAD: float-eq (literal)
+
+bool same_instant(const Ev& x, const Ev& y) {
+  return x.time == y.time;  // BAD: float-eq (time-named operands)
+}
+
+}  // namespace fixture

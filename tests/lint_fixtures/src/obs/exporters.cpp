@@ -1,0 +1,17 @@
+// Fixture: handles kDispatch and kComplete but not kGhost.
+#include "obs/trace_event.hpp"
+
+namespace fixture {
+
+int handle(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDispatch:
+      return 1;
+    case TraceKind::kComplete:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

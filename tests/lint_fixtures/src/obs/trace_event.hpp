@@ -1,0 +1,12 @@
+// Fixture: a TraceKind enum with one kind the exporter forgets to handle.
+#pragma once
+
+namespace fixture {
+
+enum class TraceKind {
+  kDispatch = 0,
+  kComplete,
+  kGhost,  // not handled by exporters.cpp -> trace-exhaustive fires
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: float-type must fire on any `float` in simulation code.
+namespace fixture {
+
+float truncate_deadline(double d) {  // BAD: float-type
+  return static_cast<float>(d);      // BAD: float-type
+}
+
+}  // namespace fixture

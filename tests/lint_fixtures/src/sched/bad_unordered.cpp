@@ -1,0 +1,26 @@
+// Fixture: unordered-iter must fire on hot-path iteration over unordered
+// containers (both range-for and explicit .begin() walks).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Sched {
+  std::unordered_map<int, double> queue_;
+  std::unordered_set<int> live_;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [id, laxity] : queue_) {  // BAD: unordered-iter
+      sum += laxity;
+    }
+    return sum;
+  }
+
+  int first() const {
+    auto it = live_.begin();  // BAD: unordered-iter
+    return it == live_.end() ? -1 : *it;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: banned-time must fire on every ambient time/randomness source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double ambient() {
+  double x = 0.5;
+  x += static_cast<double>(std::rand());                 // BAD: banned-time
+  x += static_cast<double>(std::random_device{}());      // BAD: banned-time
+  x += static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x += static_cast<double>(time(nullptr));               // BAD: banned-time
+  return x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: include-hygiene must fire on relative/bare quoted includes,
+// <iostream> in a header, and file-scope using-namespace in a header.
+#pragma once
+
+#include "../sim/bad_time.hpp"  // BAD: include-hygiene (relative)
+#include "bad_unordered.hpp"    // BAD: include-hygiene (bare, not module-rooted)
+#include <iostream>             // BAD: include-hygiene (<iostream> in header)
+
+using namespace std;  // BAD: include-hygiene (using-namespace in header)

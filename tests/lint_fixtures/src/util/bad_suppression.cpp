@@ -1,0 +1,11 @@
+// Fixture: bad-suppression must fire on a reason-less allow() and on an
+// allow() naming an unknown rule. Neither comment suppresses anything.
+namespace fixture {
+
+// sjs-lint: allow(float-eq)
+bool no_reason(double a) { return a == 0.0; }
+
+// sjs-lint: allow(made-up-rule): this rule id does not exist
+bool unknown_rule(double b) { return b != 0.0; }
+
+}  // namespace fixture

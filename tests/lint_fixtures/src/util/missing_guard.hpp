@@ -1,0 +1,6 @@
+// Fixture: header-guard must fire — no #pragma once anywhere in this header.
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: correctly-written suppressions must silence the diagnostics —
+// this file must produce ZERO findings.
+namespace fixture {
+
+// sjs-lint: allow(float-eq): sentinel payloads are written as exact 0.0.
+bool line_above(double a) { return a == 0.0; }
+
+bool same_line(double b) {
+  return b != 0.0;  // sjs-lint: allow(float-eq): exact flag semantics.
+}
+
+}  // namespace fixture

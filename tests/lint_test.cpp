@@ -1,0 +1,167 @@
+// Tests for tools/sjs_lint: every rule must fire on its known-bad fixture
+// (tests/lint_fixtures/), valid suppressions must silence diagnostics,
+// malformed suppressions must themselves be diagnosed, and the real source
+// tree must be clean.
+//
+// The linter is exercised end-to-end as a subprocess (the binary path and
+// fixture root are injected by CMake), so the exit-code and output-format
+// contracts are covered too.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(SJS_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  LintResult result;
+  std::array<char, 4096> buf{};
+  while (pipe != nullptr && fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pipe != nullptr ? pclose(pipe) : -1;
+  result.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture_args(const std::string& paths) {
+  return std::string("--root ") + SJS_LINT_FIXTURES + " " + paths;
+}
+
+std::string fx(const std::string& rel) {
+  return std::string(SJS_LINT_FIXTURES) + "/" + rel;
+}
+
+// Number of output lines naming `rule` within `file` (empty file = any).
+int count_findings(const std::string& output, const std::string& rule,
+                   const std::string& file = "") {
+  int n = 0;
+  std::size_t pos = 0;
+  const std::string needle = "[" + rule + "]";
+  while (true) {
+    const std::size_t eol = output.find('\n', pos);
+    const std::string line = output.substr(pos, eol - pos);
+    if (line.find(needle) != std::string::npos &&
+        (file.empty() || line.find(file) != std::string::npos)) {
+      ++n;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return n;
+}
+
+TEST(LintTest, UnorderedIterFiresOnRangeForAndBeginWalk) {
+  const auto r = run_lint(fixture_args(fx("src/sched/bad_unordered.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "unordered-iter"), 2) << r.output;
+}
+
+TEST(LintTest, BannedTimeFiresOnEverySource) {
+  const auto r = run_lint(fixture_args(fx("src/sim/bad_time.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // std::rand, random_device, steady_clock::now, time(nullptr)
+  EXPECT_EQ(count_findings(r.output, "banned-time"), 4) << r.output;
+}
+
+TEST(LintTest, FloatEqFiresOnLiteralAndTimeNamedOperands) {
+  const auto r = run_lint(fixture_args(fx("src/jobs/bad_float_eq.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "float-eq"), 2) << r.output;
+}
+
+TEST(LintTest, FloatTypeFires) {
+  const auto r = run_lint(fixture_args(fx("src/sched/bad_float_type.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_GE(count_findings(r.output, "float-type"), 2) << r.output;
+}
+
+TEST(LintTest, TraceExhaustiveFiresOnUnhandledKind) {
+  const auto r = run_lint(fixture_args(fx("src/obs/trace_event.hpp") + " " +
+                                       fx("src/obs/exporters.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "trace-exhaustive"), 1) << r.output;
+  EXPECT_NE(r.output.find("kGhost"), std::string::npos) << r.output;
+}
+
+TEST(LintTest, TraceExhaustiveNeedsBothFiles) {
+  // With only the enum header in scope the rule cannot run — no findings.
+  const auto r = run_lint(fixture_args(fx("src/obs/trace_event.hpp")));
+  EXPECT_EQ(count_findings(r.output, "trace-exhaustive"), 0) << r.output;
+}
+
+TEST(LintTest, IncludeHygieneFiresOnRelativeBareIostreamAndUsingNamespace) {
+  const auto r = run_lint(fixture_args(fx("src/util/bad_include.hpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "include-hygiene"), 4) << r.output;
+}
+
+TEST(LintTest, HeaderGuardFires) {
+  const auto r = run_lint(fixture_args(fx("src/util/missing_guard.hpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "header-guard"), 1) << r.output;
+}
+
+TEST(LintTest, BadSuppressionFiresAndDoesNotSuppress) {
+  const auto r = run_lint(fixture_args(fx("src/util/bad_suppression.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // One reason-less allow() + one unknown-rule allow().
+  EXPECT_EQ(count_findings(r.output, "bad-suppression"), 2) << r.output;
+  // A malformed allow() must not silence the underlying diagnostic.
+  EXPECT_EQ(count_findings(r.output, "float-eq"), 2) << r.output;
+}
+
+TEST(LintTest, ValidSuppressionsSilenceDiagnostics) {
+  const auto r = run_lint(fixture_args(fx("src/util/suppressed_ok.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(LintTest, WholeFixtureTreeReportsEveryRule) {
+  const auto r = run_lint(fixture_args(fx("src")));
+  EXPECT_EQ(r.exit_code, 1);
+  for (const char* rule :
+       {"unordered-iter", "banned-time", "float-eq", "float-type",
+        "trace-exhaustive", "include-hygiene", "header-guard",
+        "bad-suppression"}) {
+    EXPECT_GE(count_findings(r.output, rule), 1) << rule << "\n" << r.output;
+  }
+}
+
+TEST(LintTest, GithubFormatEmitsWorkflowAnnotations) {
+  const auto r = run_lint("--format=github " +
+                          fixture_args(fx("src/util/missing_guard.hpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("::error file="), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("title=sjs_lint header-guard"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintTest, ListRulesNamesAllRules) {
+  const auto r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"unordered-iter", "banned-time", "float-eq", "float-type",
+        "trace-exhaustive", "include-hygiene", "header-guard"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+// The acceptance gate: the real tree must lint clean.
+TEST(LintTest, RealSourceTreeIsClean) {
+  const auto r = run_lint(std::string("--root ") + SJS_SOURCE_ROOT + " " +
+                          SJS_SOURCE_ROOT + "/src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace
