@@ -1,6 +1,7 @@
 #include "util/csv.hpp"
 
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -44,37 +45,55 @@ void CsvWriter::write_row_numeric(const std::vector<double>& fields) {
 }
 
 std::vector<std::vector<std::string>> read_csv(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  // Character-level state machine rather than line-at-a-time: a quoted field
+  // may legally contain '\n' (csv_escape produces such fields), so the
+  // quoting state must survive row terminators.
   std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::vector<std::string> fields;
-    std::string field;
-    bool in_quotes = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      char c = line[i];
-      if (in_quotes) {
-        if (c == '"') {
-          if (i + 1 < line.size() && line[i + 1] == '"') {
-            field += '"';
-            ++i;
-          } else {
-            in_quotes = false;
-          }
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool row_open = false;  // consumed any character since the last terminator
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const char c = data[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < data.size() && data[i + 1] == '"') {
+          field += '"';
+          ++i;
         } else {
-          field += c;
+          in_quotes = false;
         }
-      } else if (c == '"') {
-        in_quotes = true;
-      } else if (c == ',') {
-        fields.push_back(std::move(field));
-        field.clear();
       } else {
         field += c;
       }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_open = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      row_open = true;
+    } else if (c == '\r' && (i + 1 == data.size() || data[i + 1] == '\n')) {
+      // CRLF (or a trailing CR at end of file): the '\n', when present,
+      // terminates the row; the CR itself is not field content.
+      row_open = true;
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(fields));
+      fields.clear();
+      row_open = false;
+    } else {
+      field += c;
+      row_open = true;
     }
+  }
+  if (row_open || in_quotes) {  // last row lacked a trailing newline
     fields.push_back(std::move(field));
     rows.push_back(std::move(fields));
   }

@@ -1,8 +1,10 @@
 // Small CSV writer/reader for experiment output and capacity traces.
 //
 // The writer escapes per RFC 4180 (quotes around fields containing commas,
-// quotes, or newlines). The reader supports the same subset and is only used
-// for files this library writes, so it is intentionally not a general parser.
+// quotes, or newlines). The reader parses exactly that subset — including
+// quoted fields spanning physical lines and CRLF row terminators — and is
+// only used for files this library writes, so it is intentionally not a
+// general parser (no configurable delimiters, comments, or encodings).
 #pragma once
 
 #include <fstream>

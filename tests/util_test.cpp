@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <vector>
 
@@ -369,6 +370,39 @@ TEST_F(CsvRoundtrip, EscapedFields) {
   EXPECT_EQ(rows[0][0], "with,comma");
   EXPECT_EQ(rows[0][1], "with\"quote");
   EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST_F(CsvRoundtrip, QuotedNewlinesSurviveRoundTrip) {
+  // Regression: csv_escape quotes fields containing '\n', but read_csv used
+  // to parse line-at-a-time, splitting such a field into two rows and
+  // carrying the broken quote state into the next line (the row after the
+  // newline came back with its commas swallowed into one field).
+  {
+    CsvWriter w(path_);
+    w.write_row({"a\nb", "x"});
+    w.write_row({"multi\nline\nnote", "with,comma", "with\"quote"});
+    w.write_row({"plain", "tail"});
+  }
+  auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\nb", "x"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"multi\nline\nnote",
+                                               "with,comma", "with\"quote"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"plain", "tail"}));
+}
+
+TEST_F(CsvRoundtrip, CrlfTerminatorsAndMissingFinalNewline) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "a,b\r\n"      // CRLF-terminated row
+        << "\"q\r\",c\r\n"  // CR *inside* quotes is field content
+        << "last,row";    // no trailing newline at all
+  }
+  auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"q\r", "c"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"last", "row"}));
 }
 
 TEST_F(CsvRoundtrip, NumericRoundTrip) {
