@@ -5,13 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "capacity/capacity_process.hpp"
 #include "jobs/workload_gen.hpp"
 #include "offline/exact.hpp"
 #include "offline/feasibility.hpp"
 #include "sched/factory.hpp"
+#include "sched/ready_queue.hpp"
 #include "sched/vdover.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -163,7 +169,95 @@ void BM_FullSimulationReuse(benchmark::State& state) {
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullSimulationReuse)->Args({1, 1000})->Args({2, 1000});
+// V-Dover, EDF, and LLF cover the three queue profiles: three queues with
+// ordered visitation, one plain deadline queue, and the timer-churn-heavy
+// laxity queue.
+BENCHMARK(BM_FullSimulationReuse)
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({4, 1000});
+
+void BM_ReadyQueueChurn(benchmark::State& state) {
+  // The scheduler-queue hot loop in isolation: a deterministic interleaving
+  // of push / pop / erase-by-id / re-key at a standing occupancy of
+  // state.range(0), run through sched::ReadyQueue (arg1 = 1) or the
+  // std::set<pair<double, JobId>> it replaced (arg1 = 0). Both paths consume
+  // the same pre-generated operation stream, so the numbers isolate the
+  // container cost (node allocation + pointer chasing vs flat sifts).
+  const std::size_t occupancy = static_cast<std::size_t>(state.range(0));
+  const bool use_ready_queue = state.range(1) != 0;
+  state.SetLabel(use_ready_queue ? "ReadyQueue" : "std::set");
+
+  struct Op {
+    double key;
+    sjs::JobId id;
+    int kind;  // 0 = erase+push (re-key), 1 = pop+push (dispatch cycle)
+  };
+  sjs::Rng rng(10);
+  std::vector<Op> ops(4096);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i] = {rng.uniform(0.0, 100.0),
+              static_cast<sjs::JobId>(rng.below(occupancy)),
+              static_cast<int>(rng.below(2))};
+  }
+
+  std::uint64_t processed = 0;
+  if (use_ready_queue) {
+    sjs::sched::ReadyQueue queue;
+    queue.reserve(occupancy);
+    for (std::size_t i = 0; i < occupancy; ++i) {
+      queue.push(rng.uniform(0.0, 100.0), static_cast<sjs::JobId>(i));
+    }
+    for (auto _ : state) {
+      for (const Op& op : ops) {
+        if (op.kind == 0) {
+          queue.erase(op.id);
+          queue.push(op.key, op.id);
+        } else {
+          const auto popped = queue.pop();
+          queue.push(op.key, popped.id);
+        }
+        benchmark::DoNotOptimize(queue.top().id);
+      }
+      processed += ops.size();
+    }
+  } else {
+    std::set<std::pair<double, sjs::JobId>> queue;
+    std::vector<double> key_of(occupancy);
+    for (std::size_t i = 0; i < occupancy; ++i) {
+      key_of[i] = rng.uniform(0.0, 100.0);
+      queue.emplace(key_of[i], static_cast<sjs::JobId>(i));
+    }
+    for (auto _ : state) {
+      for (const Op& op : ops) {
+        if (op.kind == 0) {
+          const auto idx = static_cast<std::size_t>(op.id);
+          queue.erase({key_of[idx], op.id});
+          key_of[idx] = op.key;
+          queue.emplace(op.key, op.id);
+        } else {
+          const auto it = queue.begin();
+          const sjs::JobId id = it->second;
+          queue.erase(it);
+          key_of[static_cast<std::size_t>(id)] = op.key;
+          queue.emplace(op.key, id);
+        }
+        benchmark::DoNotOptimize(queue.begin()->second);
+      }
+      processed += ops.size();
+    }
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(processed), benchmark::Counter::kIsRate);
+}
+// arg0 = standing occupancy, arg1 = container (0 = std::set, 1 = ReadyQueue).
+BENCHMARK(BM_ReadyQueueChurn)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_EngineTimerChurn(benchmark::State& state) {
   // Worst-case timer pressure: adaptive-EWMA V-Dover re-arms every queued

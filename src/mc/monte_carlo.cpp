@@ -98,6 +98,10 @@ McOutcome run_monte_carlo(const McConfig& config,
                     static_cast<double>(r.timers_armed));
         shard.count(obs::kCounterHeapCompactions,
                     static_cast<double>(r.heap_compactions));
+        shard.set_gauge(obs::kGaugeQueuePeak,
+                        static_cast<double>(r.queue_peak));
+        shard.set_gauge(obs::kGaugeQueueSlots,
+                        static_cast<double>(r.queue_slots));
       }
     }
   });

@@ -112,6 +112,14 @@ inline constexpr const char* kCounterTimersArmed = "engine.timers_armed";
 inline constexpr const char* kCounterHeapCompactions =
     "engine.heap_compactions";
 
+// Scheduler ready-queue occupancy (sched::ReadyQueue via
+// Scheduler::queue_stats -> SimResult::queue_peak/queue_slots). Gauges merge
+// by maximum, so a campaign snapshot reports the worst (run, scheduler)
+// cell: peak is the summed per-queue occupancy high-water mark, slots the
+// entry storage reserved — bounded by O(jobs), never by event count.
+inline constexpr const char* kGaugeQueuePeak = "sched.queue.peak";
+inline constexpr const char* kGaugeQueueSlots = "sched.queue.slots";
+
 /// Bridges a trace stream into a metrics shard: per-kind event counters
 /// ("trace.release", "trace.dispatch", ...) plus derived distributions —
 /// "job.response_time" (completion - release) and "job.slack_at_completion"

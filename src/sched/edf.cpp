@@ -2,23 +2,27 @@
 
 namespace sjs::sched {
 
+void EdfScheduler::on_start(sim::Engine& engine) {
+  ready_.reserve(engine.job_count());
+}
+
 void EdfScheduler::dispatch(sim::Engine& engine) {
   if (ready_.empty()) return;
-  const auto [best_deadline, best] = *ready_.begin();
+  const double best_deadline = ready_.top().key;
   const JobId current = engine.running();
   if (current != kNoJob &&
       engine.job(current).deadline <= best_deadline) {
     return;  // the running job already has the earliest deadline
   }
-  ready_.erase(ready_.begin());
+  const JobId best = ready_.pop().id;
   if (current != kNoJob) {
-    ready_.emplace(engine.job(current).deadline, current);
+    ready_.push(engine.job(current).deadline, current);
   }
   engine.run(best);
 }
 
 void EdfScheduler::on_release(sim::Engine& engine, JobId job) {
-  ready_.emplace(engine.job(job).deadline, job);
+  ready_.push(engine.job(job).deadline, job);
   dispatch(engine);
 }
 
@@ -28,7 +32,7 @@ void EdfScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 
 void EdfScheduler::on_expire(sim::Engine& engine, JobId job,
                              bool /*was_running*/) {
-  ready_.erase({engine.job(job).deadline, job});
+  ready_.erase(job);
   dispatch(engine);
 }
 

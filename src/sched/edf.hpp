@@ -8,9 +8,7 @@
 // V-Dover address.
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -18,9 +16,13 @@ namespace sjs::sched {
 
 class EdfScheduler : public sim::Scheduler {
  public:
+  void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  QueueStats queue_stats() const override {
+    return {ready_.peak(), ready_.slots()};
+  }
   std::string name() const override { return "EDF"; }
 
  private:
@@ -28,7 +30,7 @@ class EdfScheduler : public sim::Scheduler {
   void dispatch(sim::Engine& engine);
 
   /// Ready jobs excluding the running one, ordered by (deadline, id).
-  std::set<std::pair<double, JobId>> ready_;
+  ReadyQueue ready_;
 };
 
 }  // namespace sjs::sched

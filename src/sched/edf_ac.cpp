@@ -7,6 +7,7 @@ namespace sjs::sched {
 
 void EdfAcScheduler::on_start(sim::Engine& engine) {
   if (c_est_ <= 0.0) c_est_ = engine.c_lo();
+  admitted_.reserve(engine.job_count());
 }
 
 bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
@@ -14,12 +15,13 @@ bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
   // Gather (deadline, remaining work) of the admitted set + candidate and
   // sweep in EDF order at constant rate c_est: feasible iff cumulative
   // remaining work never overtakes c_est * (deadline − now). All admitted
-  // jobs are already released, so release times play no role.
+  // jobs are already released, so release times play no role. Visitation
+  // order does not matter: the entries are sorted before the sweep.
   std::vector<std::pair<double, double>> load;  // (deadline, remaining)
   load.reserve(admitted_.size() + 2);
-  for (const auto& [deadline, job] : admitted_) {
-    load.emplace_back(deadline, engine.remaining(job));
-  }
+  admitted_.for_each_unordered([&](const ReadyQueue::Entry& e) {
+    load.emplace_back(e.key, engine.remaining(e.id));
+  });
   if (engine.running() != kNoJob) {
     load.emplace_back(engine.job(engine.running()).deadline,
                       engine.remaining(engine.running()));
@@ -39,14 +41,14 @@ bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
 
 void EdfAcScheduler::dispatch(sim::Engine& engine) {
   if (admitted_.empty()) return;
-  const auto [best_deadline, best] = *admitted_.begin();
+  const double best_deadline = admitted_.top().key;
   const JobId current = engine.running();
   if (current != kNoJob && engine.job(current).deadline <= best_deadline) {
     return;
   }
-  admitted_.erase(admitted_.begin());
+  const JobId best = admitted_.pop().id;
   if (current != kNoJob) {
-    admitted_.emplace(engine.job(current).deadline, current);
+    admitted_.push(engine.job(current).deadline, current);
   }
   engine.run(best);
 }
@@ -56,7 +58,7 @@ void EdfAcScheduler::on_release(sim::Engine& engine, JobId job) {
     ++rejected_;  // never scheduled; expires on its own
     return;
   }
-  admitted_.emplace(engine.job(job).deadline, job);
+  admitted_.push(engine.job(job).deadline, job);
   dispatch(engine);
 }
 
@@ -66,7 +68,7 @@ void EdfAcScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 
 void EdfAcScheduler::on_expire(sim::Engine& engine, JobId job,
                                bool /*was_running*/) {
-  admitted_.erase({engine.job(job).deadline, job});
+  admitted_.erase(job);
   dispatch(engine);
 }
 

@@ -13,9 +13,7 @@
 // remaining work, O(n log n) per release.
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -30,6 +28,9 @@ class EdfAcScheduler : public sim::Scheduler {
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  QueueStats queue_stats() const override {
+    return {admitted_.peak(), admitted_.slots()};
+  }
   std::string name() const override { return "EDF-AC"; }
 
   std::uint64_t rejected() const { return rejected_; }
@@ -43,7 +44,7 @@ class EdfAcScheduler : public sim::Scheduler {
   double c_est_;
   std::uint64_t rejected_ = 0;
   /// Admitted ready jobs excluding the running one, (deadline, id).
-  std::set<std::pair<double, JobId>> admitted_;
+  ReadyQueue admitted_;
 };
 
 }  // namespace sjs::sched

@@ -19,6 +19,7 @@ void FifoScheduler::dispatch_next(sim::Engine& engine) {
 
 void FifoScheduler::on_release(sim::Engine& engine, JobId job) {
   queue_.push_back(job);
+  if (queue_.size() > peak_) peak_ = queue_.size();
   dispatch_next(engine);
 }
 

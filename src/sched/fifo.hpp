@@ -3,6 +3,7 @@
 // loses under overload; the paper's intro motivates value-aware policies.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 
 #include "sim/engine.hpp"
@@ -15,12 +16,18 @@ class FifoScheduler : public sim::Scheduler {
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  /// FIFO keeps a plain deque (no keyed ordering to accelerate); it still
+  /// reports its occupancy high-water so `sched.queue.peak` is comparable
+  /// across the whole lineup. Slot accounting stays 0: the deque's storage
+  /// is not the flat entry layout the gauge describes.
+  QueueStats queue_stats() const override { return {peak_, 0}; }
   std::string name() const override { return "FIFO"; }
 
  private:
   void dispatch_next(sim::Engine& engine);
 
   std::deque<JobId> queue_;
+  std::uint64_t peak_ = 0;
 };
 
 }  // namespace sjs::sched

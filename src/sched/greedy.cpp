@@ -2,6 +2,10 @@
 
 namespace sjs::sched {
 
+void GreedyScheduler::on_start(sim::Engine& engine) {
+  ready_.reserve(engine.job_count());
+}
+
 double GreedyScheduler::priority(const sim::Engine& engine, JobId job) const {
   const Job& j = engine.job(job);
   return key_ == GreedyKey::kValue ? j.value : j.value_density();
@@ -9,20 +13,20 @@ double GreedyScheduler::priority(const sim::Engine& engine, JobId job) const {
 
 void GreedyScheduler::dispatch(sim::Engine& engine) {
   if (ready_.empty()) return;
-  const auto [best_priority, best] = *ready_.begin();
+  const double best_priority = ready_.top().key;
   const JobId current = engine.running();
   if (current != kNoJob && priority(engine, current) >= best_priority) {
     return;
   }
-  ready_.erase(ready_.begin());
+  const JobId best = ready_.pop().id;
   if (current != kNoJob) {
-    ready_.emplace(priority(engine, current), current);
+    ready_.push(priority(engine, current), current);
   }
   engine.run(best);
 }
 
 void GreedyScheduler::on_release(sim::Engine& engine, JobId job) {
-  ready_.emplace(priority(engine, job), job);
+  ready_.push(priority(engine, job), job);
   dispatch(engine);
 }
 
@@ -32,7 +36,7 @@ void GreedyScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 
 void GreedyScheduler::on_expire(sim::Engine& engine, JobId job,
                                 bool /*was_running*/) {
-  ready_.erase({priority(engine, job), job});
+  ready_.erase(job);
   dispatch(engine);
 }
 

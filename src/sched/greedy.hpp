@@ -4,9 +4,7 @@
 // the benches show where they lose to deadline-aware scheduling.
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -19,11 +17,16 @@ enum class GreedyKey {
 
 class GreedyScheduler : public sim::Scheduler {
  public:
-  explicit GreedyScheduler(GreedyKey key) : key_(key) {}
+  explicit GreedyScheduler(GreedyKey key)
+      : key_(key), ready_(QueueOrder::kMaxFirst) {}
 
+  void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  QueueStats queue_stats() const override {
+    return {ready_.peak(), ready_.slots()};
+  }
   std::string name() const override {
     return key_ == GreedyKey::kValue ? "HVF" : "HVDF";
   }
@@ -34,7 +37,7 @@ class GreedyScheduler : public sim::Scheduler {
 
   GreedyKey key_;
   /// Ready jobs excluding the running one, highest priority first.
-  std::set<std::pair<double, JobId>, std::greater<>> ready_;
+  ReadyQueue ready_;
 };
 
 }  // namespace sjs::sched

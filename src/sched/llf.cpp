@@ -15,6 +15,7 @@ constexpr double kLaxityEps = 1e-9;
 void LlfScheduler::on_start(sim::Engine& engine) {
   if (c_est_ <= 0.0) c_est_ = engine.c_lo();
   SJS_CHECK_MSG(quantum_ > 0.0, "LLF quantum must be positive");
+  ready_.reserve(engine.job_count());
 }
 
 void LlfScheduler::arm_crossing_timer(sim::Engine& engine) {
@@ -23,7 +24,7 @@ void LlfScheduler::arm_crossing_timer(sim::Engine& engine) {
   if (engine.running() == kNoJob || ready_.empty()) return;
 
   const double now = engine.now();
-  const double queued_laxity = ready_.begin()->first - now;
+  const double queued_laxity = ready_.top().key - now;
   const double running_laxity = engine.claxity(engine.running(), c_est_);
   // The queued job's laxity falls at rate 1, the running job's at
   // 1 - c/c_est <= 1, so the queued job closes the lead at speed c/c_est.
@@ -42,10 +43,10 @@ void LlfScheduler::arm_crossing_timer(sim::Engine& engine) {
 void LlfScheduler::dispatch(sim::Engine& engine) {
   if (!ready_.empty()) {
     const double now = engine.now();
-    const auto [best_intercept, best] = *ready_.begin();
+    const auto [best_intercept, best] = ready_.top();
     const JobId current = engine.running();
     if (current == kNoJob) {
-      ready_.erase(ready_.begin());
+      ready_.pop();
       engine.run(best);
       last_switch_ = now;
     } else {
@@ -53,8 +54,8 @@ void LlfScheduler::dispatch(sim::Engine& engine) {
       const double running_laxity = engine.claxity(current, c_est_);
       if (queued_laxity < running_laxity - kLaxityEps &&
           now >= last_switch_ + quantum_) {
-        ready_.erase(ready_.begin());
-        ready_.emplace(intercept(engine, current), current);
+        ready_.pop();
+        ready_.push(intercept(engine, current), current);
         engine.run(best);
         last_switch_ = now;
       }
@@ -64,17 +65,16 @@ void LlfScheduler::dispatch(sim::Engine& engine) {
 }
 
 void LlfScheduler::on_release(sim::Engine& engine, JobId job) {
-  ready_.emplace(intercept(engine, job), job);
+  ready_.push(intercept(engine, job), job);
   // A newly released job may preempt immediately regardless of the quantum
   // (release-driven preemptions are bounded by the number of jobs).
   const JobId current = engine.running();
   if (current != kNoJob) {
-    const double queued_laxity = ready_.begin()->first - engine.now();
+    const double queued_laxity = ready_.top().key - engine.now();
     const double running_laxity = engine.claxity(current, c_est_);
     if (queued_laxity < running_laxity - kLaxityEps) {
-      const auto best = ready_.begin()->second;
-      ready_.erase(ready_.begin());
-      ready_.emplace(intercept(engine, current), current);
+      const JobId best = ready_.pop().id;
+      ready_.push(intercept(engine, current), current);
       engine.run(best);
       last_switch_ = engine.now();
     }
@@ -90,7 +90,7 @@ void LlfScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 
 void LlfScheduler::on_expire(sim::Engine& engine, JobId job,
                              bool /*was_running*/) {
-  ready_.erase({intercept(engine, job), job});
+  ready_.erase(job);
   dispatch(engine);
 }
 

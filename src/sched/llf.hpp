@@ -17,9 +17,7 @@
 // without changing which jobs LLF favours at the scale of job lengths).
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -39,6 +37,9 @@ class LlfScheduler : public sim::Scheduler {
   void on_timer(sim::Engine& engine, JobId job, int tag) override;
   void on_capacity_change(sim::Engine& engine) override;
   bool wants_capacity_events() const override { return true; }
+  QueueStats queue_stats() const override {
+    return {ready_.peak(), ready_.slots()};
+  }
   std::string name() const override { return "LLF"; }
 
  private:
@@ -57,8 +58,8 @@ class LlfScheduler : public sim::Scheduler {
   double quantum_;
   double last_switch_ = -1e300;
   sim::TimerId crossing_timer_ = sim::kNoTimer;
-  /// Ready jobs excluding the running one, ordered by (intercept, id).
-  std::set<std::pair<double, JobId>> ready_;
+  /// Ready jobs excluding the running one, keyed by (intercept, id).
+  ReadyQueue ready_;
 };
 
 }  // namespace sjs::sched

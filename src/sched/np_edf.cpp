@@ -2,15 +2,17 @@
 
 namespace sjs::sched {
 
+void NonPreemptiveEdfScheduler::on_start(sim::Engine& engine) {
+  ready_.reserve(engine.job_count());
+}
+
 void NonPreemptiveEdfScheduler::dispatch_if_idle(sim::Engine& engine) {
   if (engine.running() != kNoJob || ready_.empty()) return;
-  const auto [deadline, job] = *ready_.begin();
-  ready_.erase(ready_.begin());
-  engine.run(job);
+  engine.run(ready_.pop().id);
 }
 
 void NonPreemptiveEdfScheduler::on_release(sim::Engine& engine, JobId job) {
-  ready_.emplace(engine.job(job).deadline, job);
+  ready_.push(engine.job(job).deadline, job);
   dispatch_if_idle(engine);
 }
 
@@ -21,7 +23,7 @@ void NonPreemptiveEdfScheduler::on_complete(sim::Engine& engine,
 
 void NonPreemptiveEdfScheduler::on_expire(sim::Engine& engine, JobId job,
                                           bool /*was_running*/) {
-  ready_.erase({engine.job(job).deadline, job});
+  ready_.erase(job);
   dispatch_if_idle(engine);
 }
 

@@ -10,9 +10,7 @@
 // V-Dover.
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -20,16 +18,20 @@ namespace sjs::sched {
 
 class NonPreemptiveEdfScheduler : public sim::Scheduler {
  public:
+  void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  QueueStats queue_stats() const override {
+    return {ready_.peak(), ready_.slots()};
+  }
   std::string name() const override { return "NP-EDF"; }
 
  private:
   void dispatch_if_idle(sim::Engine& engine);
 
   /// Ready jobs, (deadline, id).
-  std::set<std::pair<double, JobId>> ready_;
+  ReadyQueue ready_;
 };
 
 }  // namespace sjs::sched

@@ -2,22 +2,26 @@
 
 namespace sjs::sched {
 
+void SrptScheduler::on_start(sim::Engine& engine) {
+  ready_.reserve(engine.job_count());
+}
+
 void SrptScheduler::dispatch(sim::Engine& engine) {
   if (ready_.empty()) return;
-  const auto [best_remaining, best] = *ready_.begin();
+  const double best_remaining = ready_.top().key;
   const JobId current = engine.running();
   if (current != kNoJob && engine.remaining(current) <= best_remaining) {
     return;
   }
-  ready_.erase(ready_.begin());
+  const JobId best = ready_.pop().id;
   if (current != kNoJob) {
-    ready_.emplace(engine.remaining(current), current);
+    ready_.push(engine.remaining(current), current);
   }
   engine.run(best);
 }
 
 void SrptScheduler::on_release(sim::Engine& engine, JobId job) {
-  ready_.emplace(engine.remaining(job), job);
+  ready_.push(engine.remaining(job), job);
   dispatch(engine);
 }
 
@@ -28,9 +32,7 @@ void SrptScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 void SrptScheduler::on_expire(sim::Engine& engine, JobId job,
                               bool was_running) {
   if (!was_running) {
-    // The key is the remaining workload frozen at enqueue time, which for a
-    // never-executed-since-enqueue job equals its current remaining work.
-    ready_.erase({engine.remaining(job), job});
+    ready_.erase(job);
   }
   dispatch(engine);
 }

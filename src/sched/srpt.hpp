@@ -11,9 +11,7 @@
 // crossing timers are needed (preemption happens only at releases).
 #pragma once
 
-#include <set>
-#include <utility>
-
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -21,9 +19,13 @@ namespace sjs::sched {
 
 class SrptScheduler : public sim::Scheduler {
  public:
+  void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
+  QueueStats queue_stats() const override {
+    return {ready_.peak(), ready_.slots()};
+  }
   std::string name() const override { return "SRPT"; }
 
  private:
@@ -31,7 +33,7 @@ class SrptScheduler : public sim::Scheduler {
 
   /// Ready jobs excluding the running one, (remaining-at-enqueue, id). The
   /// key is stable because queued jobs do not execute.
-  std::set<std::pair<double, JobId>> ready_;
+  ReadyQueue ready_;
 };
 
 }  // namespace sjs::sched

@@ -57,6 +57,9 @@ void VDoverScheduler::on_start(sim::Engine& engine) {
   }
   SJS_CHECK_MSG(beta_ > 1.0, "β must exceed 1 (Lemma 1 needs β − 1 > 0)");
   const std::size_t n = engine.job_count();
+  qedf_.reserve(n);
+  qother_.reserve(n);
+  qsupp_.reserve(n);
   qedf_meta_.assign(n, QedfMeta{});
   ocl_timer_.assign(n, sim::kNoTimer);
   abandoned_.assign(n, false);
@@ -79,12 +82,16 @@ void VDoverScheduler::close_interval(double now) {
 double VDoverScheduler::privileged_value(const sim::Engine& engine) const {
   double total = 0.0;
   if (engine.running() != kNoJob) total += engine.job(engine.running()).value;
-  for (const auto& [deadline, job] : qedf_) total += engine.job(job).value;
+  // Ordered visitation: the sum feeds a traced payload, and floating-point
+  // addition order is observable in the replay digest.
+  qedf_.for_each_ordered([&](const ReadyQueue::Entry& e) {
+    total += engine.job(e.id).value;
+  });
   return total;
 }
 
 void VDoverScheduler::insert_other(sim::Engine& engine, JobId job) {
-  qother_.emplace(engine.job(job).deadline, job);
+  qother_.push(engine.job(job).deadline, job);
   // The 0cl instant: the conservative laxity d − t − p_rem/c_est hits zero at
   // t = d − p_rem/c_est; p_rem is frozen while the job waits, so the instant
   // is known now. A non-positive laxity raises the interrupt immediately
@@ -96,14 +103,14 @@ void VDoverScheduler::insert_other(sim::Engine& engine, JobId job) {
 }
 
 void VDoverScheduler::remove_other(sim::Engine& engine, JobId job) {
-  qother_.erase({engine.job(job).deadline, job});
+  qother_.erase(job);
   auto& timer = ocl_timer_[static_cast<std::size_t>(job)];
   engine.cancel_timer(timer);
   timer = sim::kNoTimer;
 }
 
 void VDoverScheduler::insert_supp(sim::Engine& engine, JobId job) {
-  qsupp_.emplace(engine.job(job).deadline, job);
+  qsupp_.push(engine.job(job).deadline, job);
 }
 
 // Procedure B — job release handler.
@@ -124,7 +131,7 @@ void VDoverScheduler::on_release(sim::Engine& engine, JobId job) {
       if (arr.deadline < running.deadline && cslack_ >= tc(engine, job)) {
         // EDF preemption without overload: the preempted job becomes
         // "recently EDF-scheduled" (B.7–B.9).
-        qedf_.emplace(running.deadline, curr);
+        qedf_.push(running.deadline, curr);
         qedf_meta_[static_cast<std::size_t>(curr)] =
             QedfMeta{engine.now(), cslack_};
         const double tc_arr = tc(engine, job);
@@ -157,17 +164,17 @@ void VDoverScheduler::on_release(sim::Engine& engine, JobId job) {
 void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
   const double now = engine.now();
   if (!qedf_.empty() && !qother_.empty()) {
-    const auto [d_edf, t_edf] = *qedf_.begin();
+    const auto [d_edf, t_edf] = qedf_.top();
     const auto& meta = qedf_meta_[static_cast<std::size_t>(t_edf)];
     cslack_ = meta.cslack_insert - (now - meta.t_insert);  // C.3
-    const auto [d_other, t_other] = *qother_.begin();
+    const auto [d_other, t_other] = qother_.top();
     if (d_other < d_edf && cslack_ >= tc(engine, t_other)) {  // C.5
       remove_other(engine, t_other);
       const double tc_other = tc(engine, t_other);
       engine.run(t_other);
       cslack_ = std::min(cslack_ - tc_other, claxity(engine, t_other));  // C.7
     } else {
-      qedf_.erase(qedf_.begin());  // C.9
+      qedf_.pop();  // C.9
       engine.run(t_edf);
     }
     maybe_open_interval(now);
@@ -175,7 +182,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
     return;
   }
   if (!qother_.empty()) {  // C.10–12
-    const auto [d_other, t_other] = *qother_.begin();
+    const JobId t_other = qother_.top().id;
     remove_other(engine, t_other);
     engine.run(t_other);
     maybe_open_interval(now);
@@ -184,8 +191,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
     return;
   }
   if (!qedf_.empty()) {  // C.13–15
-    const auto [d_edf, t_edf] = *qedf_.begin();
-    qedf_.erase(qedf_.begin());
+    const JobId t_edf = qedf_.pop().id;
     const auto& meta = qedf_meta_[static_cast<std::size_t>(t_edf)];
     engine.run(t_edf);
     maybe_open_interval(now);
@@ -195,8 +201,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
   }
   cslack_ = kInf;  // C.17
   if (use_supplement_queue_ && !qsupp_.empty()) {  // C.18–20
-    const auto [d_supp, t_supp] = *qsupp_.begin();  // latest deadline first
-    qsupp_.erase(qsupp_.begin());
+    const JobId t_supp = qsupp_.pop().id;  // latest deadline first
     engine.run(t_supp);
     ++stats_.supplement_dispatched;
     flag_ = Flag::kSupp;
@@ -207,7 +212,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
 
 // Procedure D — zero conservative laxity handler.
 void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
-  SJS_CHECK_MSG(qother_.count({engine.job(job).deadline, job}) == 1,
+  SJS_CHECK_MSG(qother_.contains(job),
                 "0cl interrupt for a job not in Qother");
   SJS_CHECK_MSG(flag_ == Flag::kReg,
                 "Qother non-empty requires a running regular job");
@@ -223,12 +228,12 @@ void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
     engine.run(job);  // D.5
     // D.2–3: demote the previous running job and all of Qedf to Qother
     // (each re-arms a 0cl timer; those with negative laxity re-raise the
-    // interrupt immediately and will typically become supplements).
+    // interrupt immediately and will typically become supplements). Drain in
+    // pop order — timer arming order is observable in the replay digest.
     if (prev != kNoJob) insert_other(engine, prev);
-    for (const auto& [deadline, demoted] : qedf_) {
-      insert_other(engine, demoted);
+    while (!qedf_.empty()) {
+      insert_other(engine, qedf_.pop().id);
     }
-    qedf_.clear();
     cslack_ = 0.0;  // D.4: the urgent job leaves no conservative slack
   } else {
     // D.7: not valuable enough — supplement (V-Dover) or abandon (Dover).
@@ -285,10 +290,9 @@ void VDoverScheduler::on_expire(sim::Engine& engine, JobId job,
   }
   // A queued job silently expired: purge it from whichever queue holds it
   // (erasing from the queues it is not in is a no-op).
-  const double deadline = engine.job(job).deadline;
-  qother_.erase({deadline, job});
-  qedf_.erase({deadline, job});
-  qsupp_.erase({deadline, job});
+  qother_.erase(job);
+  qedf_.erase(job);
+  qsupp_.erase(job);
 }
 
 void VDoverScheduler::on_timer(sim::Engine& engine, JobId job, int tag) {
@@ -305,15 +309,15 @@ void VDoverScheduler::on_capacity_change(sim::Engine& engine) {
                       engine.c_lo(), engine.c_hi());
   // The 0cl instants of queued regular jobs depend on the estimate: re-arm
   // every Qother timer at the new d − p_rem/c_est (immediately when already
-  // overdue). Copy first — an overdue timer fires after this handler and
-  // mutates qother_.
-  const auto snapshot = qother_;
-  for (const auto& [deadline, job] : snapshot) {
-    auto& timer = ocl_timer_[static_cast<std::size_t>(job)];
+  // overdue). for_each_ordered walks a snapshot — an overdue timer fires
+  // after this handler and mutates qother_ — and its (deadline, id) order
+  // keeps timer arming order, hence the digest, stable.
+  qother_.for_each_ordered([&](const ReadyQueue::Entry& e) {
+    auto& timer = ocl_timer_[static_cast<std::size_t>(e.id)];
     engine.cancel_timer(timer);
-    const double t_0cl = deadline - engine.remaining(job) / c_est_;
-    timer = engine.set_timer(std::max(engine.now(), t_0cl), job, /*tag=*/0);
-  }
+    const double t_0cl = e.key - engine.remaining(e.id) / c_est_;
+    timer = engine.set_timer(std::max(engine.now(), t_0cl), e.id, /*tag=*/0);
+  });
 }
 
 }  // namespace sjs::sched

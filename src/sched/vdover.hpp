@@ -28,10 +28,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <set>
-#include <utility>
 #include <vector>
 
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -101,6 +100,10 @@ class VDoverScheduler : public sim::Scheduler {
   void on_timer(sim::Engine& engine, JobId job, int tag) override;
   void on_capacity_change(sim::Engine& engine) override;
   bool wants_capacity_events() const override { return adaptive_estimate_; }
+  QueueStats queue_stats() const override {
+    return {qedf_.peak() + qother_.peak() + qsupp_.peak(),
+            qedf_.slots() + qother_.slots() + qsupp_.slots()};
+  }
   std::string name() const override;
 
   const VDoverStats& stats() const { return stats_; }
@@ -170,11 +173,11 @@ class VDoverScheduler : public sim::Scheduler {
   // --- algorithm state ---
   Flag flag_ = Flag::kIdle;
   double cslack_ = kInf;
-  /// (deadline, id): earliest deadline first.
-  std::set<std::pair<double, JobId>> qedf_;
-  std::set<std::pair<double, JobId>> qother_;
-  /// (deadline, id) with greater<>: latest deadline first.
-  std::set<std::pair<double, JobId>, std::greater<>> qsupp_;
+  /// Keyed by (deadline, id): earliest deadline first.
+  ReadyQueue qedf_;
+  ReadyQueue qother_;
+  /// Keyed by (deadline, id), max-first: latest deadline first.
+  ReadyQueue qsupp_{QueueOrder::kMaxFirst};
   std::vector<QedfMeta> qedf_meta_;      // indexed by JobId
   std::vector<sim::TimerId> ocl_timer_;  // indexed by JobId
   std::vector<bool> abandoned_;          // Dover mode, indexed by JobId

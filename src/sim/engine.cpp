@@ -47,6 +47,9 @@ void Engine::rewind() {
   outcomes_.assign(n, JobOutcome::kPending);
   released_.assign(n, false);
 
+  static_events_.clear();
+  static_cursor_ = 0;
+  static_sealed_ = false;
   heap_.clear();
   next_seq_ = 0;
   dead_events_ = 0;
@@ -59,17 +62,33 @@ void Engine::rewind() {
 
 void Engine::push_event(double time, EventType type, JobId jid,
                         std::uint64_t id) {
-  heap_.push_back(Event{time, type, next_seq_++, jid, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  const Event event{time, type, next_seq_++, jid, id};
+  if (type == EventType::kCompletion || type == EventType::kTimer) {
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  } else {
+    // Releases, expiries, and capacity changes all arrive during setup and
+    // are never cancelled; they go to the sort-once static queue.
+    SJS_CHECK_MSG(!static_sealed_,
+                  "static-type event pushed after the queue was sealed");
+    static_events_.push_back(event);
+  }
   result_.event_heap_peak = std::max<std::uint64_t>(
-      result_.event_heap_peak, heap_.size());
+      result_.event_heap_peak, pending_events());
 }
 
 Engine::Event Engine::pop_event() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
-  const Event event = heap_.back();
-  heap_.pop_back();
-  return event;
+  // Merge-pop: whichever front is smaller under Event's total order. The
+  // two sides never tie — seq numbers are globally unique.
+  const bool has_static = static_cursor_ < static_events_.size();
+  if (!heap_.empty() &&
+      (!has_static || static_events_[static_cursor_] > heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    const Event event = heap_.back();
+    heap_.pop_back();
+    return event;
+  }
+  return static_events_[static_cursor_++];
 }
 
 void Engine::free_timer_slot(std::uint32_t slot) {
@@ -322,6 +341,11 @@ SimResult Engine::run_to_completion() {
     }
   }
 
+  // Seal the static side: one ascending sort, then pops are a cursor walk.
+  std::sort(static_events_.begin(), static_events_.end(),
+            [](const Event& a, const Event& b) { return b > a; });
+  static_sealed_ = true;
+
   trace(obs::TraceKind::kRunStart, kNoJob,
         static_cast<double>(instance_->size()));
 
@@ -329,7 +353,7 @@ SimResult Engine::run_to_completion() {
   scheduler_->on_start(*this);
   in_callback_ = false;
 
-  while (!heap_.empty()) {
+  while (pending_events() > 0) {
     const Event event = pop_event();
     now_ = std::max(now_, event.time);
     advance_execution(now_);
@@ -364,6 +388,9 @@ SimResult Engine::run_to_completion() {
     result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
   }
   result_.timer_slab_slots = timer_slots_.size();
+  const Scheduler::QueueStats queue_stats = scheduler_->queue_stats();
+  result_.queue_peak = queue_stats.peak;
+  result_.queue_slots = queue_stats.slots;
   trace(obs::TraceKind::kRunEnd, kNoJob, result_.completed_value,
         result_.generated_value);
   if (sink_) sink_->flush();

@@ -125,10 +125,11 @@ class Engine {
   /// Distinct slab slots ever allocated this run (bounded by the peak of
   /// live_timer_count, NOT by the total number of set_timer calls).
   std::size_t timer_slab_size() const { return timer_slots_.size(); }
-  /// Events currently pending in the heap, dead ones included.
-  std::size_t queued_event_count() const { return heap_.size(); }
-  /// Dead (cancelled/stale) events currently in the heap; lazy compaction
-  /// keeps this at most max(kCompactionMinEvents, half the heap).
+  /// Events currently pending (static queue + volatile heap), dead ones
+  /// included.
+  std::size_t queued_event_count() const { return pending_events(); }
+  /// Dead (cancelled/stale) events currently in the volatile heap; lazy
+  /// compaction keeps this at most max(kCompactionMinEvents, half the heap).
   std::size_t dead_event_count() const { return dead_events_; }
 
   /// Compaction is skipped below this heap size: tiny heaps make the dead
@@ -225,10 +226,28 @@ class Engine {
   std::vector<JobOutcome> outcomes_;
   std::vector<bool> released_;
 
-  /// Binary min-heap (std::push_heap/pop_heap with greater<>): an explicit
-  /// container instead of std::priority_queue so dead events can be purged
-  /// in place. Pop order is governed by the total order on Event (time,
-  /// type, seq), so compaction cannot reorder survivors.
+  std::size_t pending_events() const {
+    return heap_.size() + (static_events_.size() - static_cursor_);
+  }
+
+  /// The event queue is split in two by churn profile; pop_event compares
+  /// the two fronts under the total order on Event (time, type, seq), so
+  /// the merged pop sequence is identical to a single queue's.
+  ///
+  /// Static side: releases, expiries, and capacity changes are all pushed
+  /// up front by run_to_completion and never cancelled — one sort seals
+  /// them, then consumption is a cursor walk (O(1) pops, no heap traffic).
+  std::vector<Event> static_events_;
+  std::size_t static_cursor_ = 0;
+  bool static_sealed_ = false;
+
+  /// Volatile side: timers and completions, the entries schedulers churn
+  /// (cancel/re-arm every event in LLF/V-Dover). A binary min-heap
+  /// (std::push_heap/pop_heap with greater<>) — an explicit container
+  /// instead of std::priority_queue so dead events can be purged in place;
+  /// the total order on Event makes compaction order-neutral. Keeping only
+  /// the high-churn types here caps its size near the live-timer count
+  /// instead of the whole run's event population.
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   std::size_t dead_events_ = 0;   // dead entries currently in heap_

@@ -69,6 +69,11 @@ struct SimResult {
   std::uint64_t event_heap_dead_peak = 0;  ///< peak dead (stale) heap events
   std::uint64_t heap_compactions = 0;   ///< lazy dead-event purges performed
 
+  // Scheduler ready-queue occupancy (Scheduler::queue_stats, harvested at
+  // the end of the run; zeros for schedulers that keep no priority queue).
+  std::uint64_t queue_peak = 0;    ///< summed per-queue occupancy high-water
+  std::uint64_t queue_slots = 0;   ///< entry storage reserved across queues
+
   std::string to_string() const;
 };
 

@@ -56,6 +56,18 @@ class Scheduler {
   /// events expensive, so only laxity-tracking schedulers should opt in.
   virtual bool wants_capacity_events() const { return false; }
 
+  /// Ready-queue occupancy accounting, harvested by the engine at the end of
+  /// run_to_completion into SimResult::queue_peak / queue_slots (and from
+  /// there into the sched.queue.* metrics gauges). `peak` sums each queue's
+  /// lifetime high-water mark — for a multi-queue scheduler (V-Dover) an
+  /// upper bound on simultaneous total occupancy; `slots` is the entry
+  /// storage currently reserved across the scheduler's queues.
+  struct QueueStats {
+    std::uint64_t peak = 0;
+    std::uint64_t slots = 0;
+  };
+  virtual QueueStats queue_stats() const { return {}; }
+
   virtual std::string name() const = 0;
 };
 

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "capacity/capacity_profile.hpp"
@@ -116,6 +117,62 @@ TEST(HotPathBoundedMemory, TimerSlabAndHeapStayBoundedUnderEwmaChurn) {
   EXPECT_GE(result.heap_compactions, 1u);
   EXPECT_EQ(engine.live_timer_count(), 0u);
   EXPECT_EQ(engine.dead_event_count(), 0u);
+}
+
+TEST(HotPathBoundedMemory, ReadyQueueStorageStaysBoundedUnderChurn) {
+  // The same churn-heavy workload through V-Dover's three ReadyQueues: the
+  // entry storage each run reserves must be bounded by the occupancy peak
+  // (plus geometric-growth slack), never by the number of queue operations,
+  // and identical replays must report identical occupancy. Runs on a fresh
+  // thread so the queues' thread-local buffer recycler starts empty —
+  // otherwise buffers donated by other tests in this process would inflate
+  // the slot accounting this test bounds.
+  std::thread worker([] {
+  Rng rng(2026);
+  auto profile = make_choppy_profile(128, 0.2, rng);
+  const double horizon = profile.breakpoints().back();
+  auto jobs = gen::generate_small_random_jobs(400, horizon, 7.0, 1.0, 3.0,
+                                              rng);
+  Instance instance(std::move(jobs), profile);
+
+  sched::VDoverOptions options;
+  options.adaptive_estimate = true;
+
+  std::uint64_t first_peak = 0;
+  std::uint64_t first_slots = 0;
+  std::optional<sim::Engine> engine;
+  for (int run = 0; run < 6; ++run) {
+    sched::VDoverScheduler scheduler(options);
+    if (engine) {
+      engine->reset(scheduler);
+    } else {
+      engine.emplace(instance, scheduler);
+    }
+    auto result = engine->run_to_completion();
+
+    // The workload actually exercises the queues...
+    ASSERT_GT(result.queue_peak, 0u);
+    // ...and storage is occupancy-bound: reserve() sizes each of the three
+    // queues to at most the instance size, so the summed peak and slot
+    // counts can never exceed 3n no matter how many operations ran.
+    EXPECT_LE(result.queue_peak,
+              3 * static_cast<std::uint64_t>(instance.size()));
+    EXPECT_LE(result.queue_slots,
+              3 * static_cast<std::uint64_t>(instance.size()));
+    EXPECT_GE(result.queue_slots, result.queue_peak);
+
+    if (run == 0) {
+      first_peak = result.queue_peak;
+      first_slots = result.queue_slots;
+    } else {
+      // Identical replay => identical occupancy accounting (this is what
+      // the sched.queue.* gauges aggregate).
+      EXPECT_EQ(result.queue_peak, first_peak);
+      EXPECT_EQ(result.queue_slots, first_slots);
+    }
+  }
+  });
+  worker.join();
 }
 
 TEST(HotPathBoundedMemory, RepeatedResetDoesNotGrowSlab) {

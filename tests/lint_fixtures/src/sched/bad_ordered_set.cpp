@@ -1,0 +1,19 @@
+// Fixture: ordered-set-hot-path must fire on std::set/std::multiset keyed on
+// double (directly or via pair<double, ...>) in sched/ or sim/, must NOT fire
+// on unordered_set, and must honour an audited suppression.
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace fixture {
+
+struct Sched {
+  std::set<std::pair<double, int>> ready_;        // BAD: ordered-set-hot-path
+  std::multiset<double> laxities_;                // BAD: ordered-set-hot-path
+  std::unordered_set<double> seen_;               // OK: not an ordered set
+  std::set<int> ids_;                             // OK: not keyed on double
+  // sjs-lint: allow(ordered-set-hot-path): cold path, audited 2026-08
+  std::set<std::pair<double, int>> audit_log_;    // suppressed
+};
+
+}  // namespace fixture

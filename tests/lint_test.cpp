@@ -67,6 +67,15 @@ TEST(LintTest, UnorderedIterFiresOnRangeForAndBeginWalk) {
   EXPECT_EQ(count_findings(r.output, "unordered-iter"), 2) << r.output;
 }
 
+TEST(LintTest, OrderedSetHotPathFiresOnDoubleKeyedSetsOnly) {
+  const auto r = run_lint(fixture_args(fx("src/sched/bad_ordered_set.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // set<pair<double,..>> + multiset<double>; the unordered_set<double>, the
+  // set<int>, and the suppressed member must all stay silent.
+  EXPECT_EQ(count_findings(r.output, "ordered-set-hot-path"), 2) << r.output;
+  EXPECT_NE(r.output.find("ReadyQueue"), std::string::npos) << r.output;
+}
+
 TEST(LintTest, BannedTimeFiresOnEverySource) {
   const auto r = run_lint(fixture_args(fx("src/sim/bad_time.cpp")));
   EXPECT_EQ(r.exit_code, 1);
@@ -131,8 +140,8 @@ TEST(LintTest, WholeFixtureTreeReportsEveryRule) {
   const auto r = run_lint(fixture_args(fx("src")));
   EXPECT_EQ(r.exit_code, 1);
   for (const char* rule :
-       {"unordered-iter", "banned-time", "float-eq", "float-type",
-        "trace-exhaustive", "include-hygiene", "header-guard",
+       {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
+        "float-type", "trace-exhaustive", "include-hygiene", "header-guard",
         "bad-suppression"}) {
     EXPECT_GE(count_findings(r.output, rule), 1) << rule << "\n" << r.output;
   }
@@ -151,8 +160,8 @@ TEST(LintTest, ListRulesNamesAllRules) {
   const auto r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
-       {"unordered-iter", "banned-time", "float-eq", "float-type",
-        "trace-exhaustive", "include-hygiene", "header-guard"}) {
+       {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
+        "float-type", "trace-exhaustive", "include-hygiene", "header-guard"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -13,6 +13,10 @@
 //   unordered-iter   iteration over std::unordered_{map,set,multimap,multiset}
 //                    in sched/, sim/, mc/, cloud/ — iteration order is
 //                    implementation-defined and leaks into schedule decisions
+//   ordered-set-hot-path
+//                    std::set/std::multiset keyed on double (incl.
+//                    pair<double, ...>) in sched/ or sim/ — node churn
+//                    allocates per operation; use sched::ReadyQueue
 //   banned-time      std::rand/srand/random_device/chrono *_clock::now/
 //                    time(nullptr)/clock() outside util/rng + util/logging —
 //                    all nondeterminism must flow through the seeded Rng
@@ -68,6 +72,8 @@ struct Diagnostic {
 const std::vector<std::pair<const char*, const char*>> kRules = {
     {"unordered-iter",
      "iteration over unordered containers in scheduler/engine/MC hot paths"},
+    {"ordered-set-hot-path",
+     "std::set/multiset keyed on double in sched//sim/ (use sched::ReadyQueue)"},
     {"banned-time",
      "wall-clock / ambient randomness outside util/rng and util/logging"},
     {"float-eq", "raw ==/!= on floating-point values (use util/fp.hpp)"},
@@ -298,6 +304,44 @@ void check_unordered_iter(const SourceFile& file,
                    "ordered container or sort the keys first",
                diags);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: ordered-set-hot-path
+// ---------------------------------------------------------------------------
+
+// std::set / std::multiset keyed on double (including pair<double, ...>) in
+// the scheduler/engine hot paths: every insert/erase is a node allocation
+// plus a pointer-chasing rebalance, and erase-by-value needs the exact key.
+// sched::ReadyQueue provides the same deterministic (key, id) pop order over
+// flat storage with O(log n) erase-by-id and no per-operation allocation.
+void check_ordered_set_hot_path(const SourceFile& file,
+                                std::vector<Diagnostic>& diags) {
+  if (!path_in(file.rel, "sched") && !path_in(file.rel, "sim")) return;
+  static const std::regex ordered_set_re(
+      R"((?:std::)?(?:multi)?set\s*<\s*(?:(?:std::)?pair\s*<\s*double\b|double\b))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& code = file.code[i];
+    for (auto it =
+             std::sregex_iterator(code.begin(), code.end(), ordered_set_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position());
+      // std::regex (ECMAScript) has no lookbehind: drop matches that are the
+      // tail of a longer identifier (unordered_set, flat_set, ...).
+      if (pos > 0 &&
+          (std::isalnum(static_cast<unsigned char>(code[pos - 1])) ||
+           code[pos - 1] == '_')) {
+        continue;
+      }
+      report(file, i + 1, pos + 1, "ordered-set-hot-path",
+             "ordered std::set/std::multiset keyed on double in a "
+             "scheduler/engine hot path allocates a node per insert and "
+             "rebalances on every churn; use sched::ReadyQueue "
+             "(sched/ready_queue.hpp) — same deterministic (key, id) order "
+             "over flat storage with O(log n) erase-by-id",
+             diags);
     }
   }
 }
@@ -635,6 +679,7 @@ int main(int argc, char** argv) {
 
   for (const SourceFile& file : files) {
     check_unordered_iter(file, diags);
+    check_ordered_set_hot_path(file, diags);
     check_banned_time(file, diags);
     check_float_eq(file, diags);
     check_float_type(file, diags);

@@ -155,6 +155,10 @@ int main(int argc, char** argv) {
                 static_cast<double>(result.timers_armed));
     shard.count(sjs::obs::kCounterHeapCompactions,
                 static_cast<double>(result.heap_compactions));
+    shard.set_gauge(sjs::obs::kGaugeQueuePeak,
+                    static_cast<double>(result.queue_peak));
+    shard.set_gauge(sjs::obs::kGaugeQueueSlots,
+                    static_cast<double>(result.queue_slots));
     std::printf("\nmetrics:\n%s", registry.render().c_str());
   }
   if (want_invariants) {
