@@ -19,6 +19,7 @@
 #include "sched/factory.hpp"
 #include "sched/ready_queue.hpp"
 #include "sched/vdover.hpp"
+#include "serve/protocol.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -318,5 +319,44 @@ void BM_PaperInstanceGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaperInstanceGeneration);
+
+void BM_ProtocolCodec(benchmark::State& state) {
+  // Full SUBMIT→ACCEPTED wire round-trip: encode both frames, then feed the
+  // byte stream through a FrameDecoder — the per-request codec cost of the
+  // admission service's hot path (tools/sjs_serve).
+  sjs::Rng rng(8);
+  std::vector<sjs::serve::Message> submits(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < submits.size(); ++i) {
+    submits[i].type = sjs::serve::MsgType::kSubmit;
+    submits[i].seq = i;
+    submits[i].a = rng.exponential_mean(0.02);
+    submits[i].b = rng.uniform(0.1, 1.0);
+    submits[i].c = rng.uniform(1.0, 7.0);
+  }
+  std::vector<std::uint8_t> stream;
+  std::uint64_t decoded = 0;
+  for (auto _ : state) {
+    stream.clear();
+    for (const auto& m : submits) {
+      sjs::serve::append_frame(stream, m);
+      sjs::serve::Message ack;
+      ack.type = sjs::serve::MsgType::kAccepted;
+      ack.seq = m.seq;
+      ack.ticket = m.seq;
+      ack.a = m.a;
+      sjs::serve::append_frame(stream, ack);
+    }
+    sjs::serve::FrameDecoder decoder;
+    decoder.feed(stream.data(), stream.size());
+    sjs::serve::Message out;
+    while (decoder.next(out) == sjs::serve::FrameDecoder::Status::kOk) {
+      ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decoded));
+}
+BENCHMARK(BM_ProtocolCodec)->Arg(64)->Arg(1024);
 
 }  // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Serving-stack smoke gate (CI): boot sjs_serve on an ephemeral loopback
+# port, drive it with sjs_load for ~2 wall seconds, SIGTERM the daemon, and
+# assert the full contract:
+#
+#   1. the server drains cleanly on SIGTERM (exit 0),
+#   2. jobs actually completed (nonzero server completed counter AND a
+#      nonzero server.jobs_completed metric),
+#   3. the journal directory is a parseable instance bundle, and
+#   4. replaying it through sjs_sim reproduces the live outcomes
+#      byte-identically (diff of outcomes.csv).
+#
+# Usage: scripts/serve_smoke.sh   (BUILD_DIR overrides ./build)
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SERVE="$BUILD_DIR/tools/sjs_serve"
+LOAD="$BUILD_DIR/tools/sjs_load"
+SIM="$BUILD_DIR/tools/sjs_sim"
+for bin in "$SERVE" "$LOAD" "$SIM"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)" >&2; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+JOURNAL="$WORK/journal"
+SERVER_LOG="$WORK/server.log"
+
+# accel=20: two wall seconds of load span 40 virtual seconds, so plenty of
+# jobs resolve while the session is still live.
+"$SERVE" --port=0 --journal="$JOURNAL" --accel=20 --metrics \
+  > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "$SERVER_LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never reported LISTENING" >&2; exit 1; }
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+"$LOAD" --port="$PORT" --duration=2 --rate=200 --linger=1 --seed=7
+
+echo "sending SIGTERM"
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+SERVER_PID=""
+cat "$SERVER_LOG"
+[ "$SERVER_STATUS" -eq 0 ] || {
+  echo "FAIL: server exited $SERVER_STATUS after SIGTERM" >&2; exit 1; }
+
+COMPLETED="$(sed -n 's/^server: .* \([0-9]*\) completed.*/\1/p' "$SERVER_LOG")"
+[ -n "$COMPLETED" ] && [ "$COMPLETED" -gt 0 ] || {
+  echo "FAIL: no completed jobs in server summary" >&2; exit 1; }
+
+METRIC="$(awk '/server\.jobs_completed:/ { print $2 }' "$SERVER_LOG")"
+[ -n "$METRIC" ] && awk -v m="$METRIC" 'BEGIN { exit !(m > 0) }' || {
+  echo "FAIL: server.jobs_completed metric missing or zero" >&2; exit 1; }
+
+for f in jobs.csv capacity.csv band.csv meta.csv outcomes.csv; do
+  [ -s "$JOURNAL/$f" ] || { echo "FAIL: journal missing $f" >&2; exit 1; }
+done
+
+SCHEDULER="$(awk -F, '$1 == "scheduler" { print $2 }' "$JOURNAL/meta.csv")"
+"$SIM" --bundle="$JOURNAL" --scheduler="$SCHEDULER" \
+  --outcomes-csv="$WORK/replay_outcomes.csv" > "$WORK/replay.log"
+cat "$WORK/replay.log"
+diff "$JOURNAL/outcomes.csv" "$WORK/replay_outcomes.csv" || {
+  echo "FAIL: replay outcomes differ from the live session" >&2; exit 1; }
+
+echo "PASS: clean SIGTERM drain, $COMPLETED jobs completed, replay bit-exact"

@@ -107,6 +107,16 @@ Instance Instance::normalized() const {
   return Instance(std::move(scaled), capacity_, c_lo_, c_hi_);
 }
 
+JobId Instance::append_job(Job job) {
+  SJS_CHECK_MSG(jobs_.empty() || job.release >= jobs_.back().release,
+                "live append must be release-monotone: "
+                    << job.release << " < " << jobs_.back().release);
+  job.id = static_cast<JobId>(jobs_.size());
+  SJS_CHECK_MSG(job.valid(), "invalid job: " << job.to_string());
+  jobs_.push_back(job);
+  return job.id;
+}
+
 void Instance::save_jobs(const std::string& path) const {
   CsvWriter writer(path);
   writer.write_row({"id", "release", "workload", "deadline", "value"});

@@ -64,6 +64,14 @@ class Instance {
   /// are unchanged up to the common factor.
   Instance normalized() const;
 
+  /// Appends one job to a *live* instance (real-time admission, src/serve/).
+  /// Releases must be non-decreasing so the canonical sorted-by-release form
+  /// is preserved without re-sorting; the job's id is assigned to its
+  /// position and returned. An engine bound to this instance may be mid-run
+  /// in live mode — append only between engine callbacks (the engine holds
+  /// no references into the job vector across calls).
+  JobId append_job(Job job);
+
   /// Serializes jobs to CSV ("id,release,workload,deadline,value").
   void save_jobs(const std::string& path) const;
 

@@ -97,4 +97,18 @@ std::vector<NamedFactory> extended_lineup(const std::vector<double>& c_hats,
   return lineup;
 }
 
+std::vector<NamedFactory> full_lineup(double c_lo, double c_hi, double k) {
+  auto lineup = extended_lineup({c_lo, (c_lo + c_hi) / 2.0, c_hi}, k);
+  lineup.push_back(make_np_edf());
+  return lineup;
+}
+
+const NamedFactory* find_factory(const std::vector<NamedFactory>& lineup,
+                                 const std::string& name) {
+  for (const auto& f : lineup) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
 }  // namespace sjs::sched

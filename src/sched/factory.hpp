@@ -53,4 +53,14 @@ std::vector<NamedFactory> paper_lineup(const std::vector<double>& c_hats,
 std::vector<NamedFactory> extended_lineup(const std::vector<double>& c_hats,
                                           double k = 7.0);
 
+/// Every named scheduler the CLI surfaces resolve (sjs_sim, sjs_serve, the
+/// serving tests): extended_lineup at ĉ ∈ {c_lo, mid, c_hi} plus NP-EDF.
+/// One definition so a scheduler name recorded in a serving journal's
+/// meta.csv means the same algorithm when the session is replayed.
+std::vector<NamedFactory> full_lineup(double c_lo, double c_hi, double k = 7.0);
+
+/// Looks up a factory by exact name; nullptr when absent.
+const NamedFactory* find_factory(const std::vector<NamedFactory>& lineup,
+                                 const std::string& name);
+
 }  // namespace sjs::sched

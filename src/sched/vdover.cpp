@@ -113,8 +113,18 @@ void VDoverScheduler::insert_supp(sim::Engine& engine, JobId job) {
   qsupp_.push(engine.job(job).deadline, job);
 }
 
+void VDoverScheduler::ensure_job_tables(JobId job) {
+  const auto need = static_cast<std::size_t>(job) + 1;
+  if (qedf_meta_.size() >= need) return;
+  qedf_meta_.resize(need, QedfMeta{});
+  ocl_timer_.resize(need, sim::kNoTimer);
+  abandoned_.resize(need, false);
+  ocl_scheduled_.resize(need, false);
+}
+
 // Procedure B — job release handler.
 void VDoverScheduler::on_release(sim::Engine& engine, JobId job) {
+  ensure_job_tables(job);
   switch (flag_) {
     case Flag::kIdle: {
       engine.run(job);

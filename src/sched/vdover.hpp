@@ -139,6 +139,12 @@ class VDoverScheduler : public sim::Scheduler {
     return engine.claxity(job, c_est_);
   }
 
+  /// Grows the per-job state tables through `job`. A batch run sizes them
+  /// once in on_start; live admission (Engine::admit_live) appends jobs
+  /// after on_start, so first contact in on_release extends them instead.
+  /// Growth is value-preserving, hence replay-neutral.
+  void ensure_job_tables(JobId job);
+
   /// Inserts a regular job into Qother and arms its 0cl timer at
   /// d − p_rem/c_est (fires immediately when already non-positive).
   void insert_other(sim::Engine& engine, JobId job);

@@ -1,0 +1,16 @@
+// The single sanctioned wall-clock read site outside util/ (see clock.hpp
+// and docs/serving.md). Everything downstream of SystemClock must go through
+// the Clock interface so it can be replaced by FakeClock in tests.
+#include "serve/clock.hpp"
+
+#include <chrono>
+
+namespace sjs::serve {
+
+double SystemClock::now() {
+  // sjs-lint: allow(banned-time): serve::SystemClock is the audited wall-clock bridge for real-time serving; all other code takes Clock& (docs/serving.md)
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace sjs::serve

@@ -1,0 +1,93 @@
+#include "serve/journal.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "capacity/trace_io.hpp"
+
+namespace sjs::serve {
+
+namespace fs = std::filesystem;
+
+Journal::Journal(const std::string& dir, const cap::CapacityProfile& capacity,
+                 double c_lo, double c_hi, const Meta& meta)
+    : dir_(dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create journal directory " + dir + ": " +
+                             ec.message());
+  }
+  cap::save_trace(capacity, (fs::path(dir) / "capacity.csv").string());
+  {
+    CsvWriter band((fs::path(dir) / "band.csv").string());
+    band.write_row({"c_lo", "c_hi"});
+    band.write_row_numeric({c_lo, c_hi});
+  }
+  {
+    CsvWriter m((fs::path(dir) / "meta.csv").string());
+    m.write_row({"key", "value"});
+    m.write_row({"scheduler", meta.scheduler});
+    m.write_row({"accel", format_double(meta.accel)});
+    m.write_row({"admission_check", meta.admission_check ? "1" : "0"});
+  }
+  jobs_csv_ = std::make_unique<CsvWriter>((fs::path(dir) / "jobs.csv").string());
+  jobs_csv_->write_row({"id", "release", "workload", "deadline", "value"});
+  jobs_csv_->flush();
+  cancels_csv_ =
+      std::make_unique<CsvWriter>((fs::path(dir) / "cancels.csv").string());
+  cancels_csv_->write_row({"time", "ticket"});
+  cancels_csv_->flush();
+}
+
+void Journal::record_admit(const Job& job) {
+  // Same row layout and %.17g formatting as Instance::save_jobs, so the
+  // bundle loader reconstructs the admitted stream bit-exactly.
+  jobs_csv_->write_row_numeric({static_cast<double>(job.id), job.release,
+                            job.workload, job.deadline, job.value});
+  jobs_csv_->flush();
+  ++admit_rows_;
+}
+
+void Journal::record_cancel(double time, JobId job) {
+  cancels_csv_->write_row_numeric({time, static_cast<double>(job)});
+  cancels_csv_->flush();
+  ++cancel_rows_;
+}
+
+void Journal::close() {
+  if (jobs_csv_) jobs_csv_->flush();
+  if (cancels_csv_) cancels_csv_->flush();
+  jobs_csv_.reset();
+  cancels_csv_.reset();
+}
+
+std::map<std::string, std::string> read_journal_meta(const std::string& dir) {
+  const auto rows = read_csv((fs::path(dir) / "meta.csv").string());
+  std::map<std::string, std::string> out;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 2) {
+      throw std::runtime_error("malformed meta.csv row in " + dir);
+    }
+    out[rows[i][0]] = rows[i][1];
+  }
+  return out;
+}
+
+std::vector<std::pair<double, JobId>> read_journal_cancels(
+    const std::string& dir) {
+  const auto path = (fs::path(dir) / "cancels.csv").string();
+  std::vector<std::pair<double, JobId>> out;
+  if (!fs::exists(path)) return out;
+  const auto rows = read_csv(path);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 2) {
+      throw std::runtime_error("malformed cancels.csv row in " + dir);
+    }
+    out.emplace_back(std::stod(rows[i][0]),
+                     static_cast<JobId>(std::stol(rows[i][1])));
+  }
+  return out;
+}
+
+}  // namespace sjs::serve

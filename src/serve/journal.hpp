@@ -1,0 +1,79 @@
+// Append-only admission journal, laid out as an instance bundle.
+//
+// The journal directory IS a loadable bundle (jobs.csv + capacity.csv +
+// band.csv, the src/jobs/bundle.hpp layout): capacity and band are written
+// once at session start, and every admitted job appends one row to jobs.csv
+// the moment it is accepted — %.17g doubles, so the admission stamps
+// round-trip bit-exactly. Replay is therefore just
+//
+//   sjs_sim --bundle=<journal dir> --scheduler=<meta.csv scheduler>
+//
+// and must reproduce the live session's completion set and captured value
+// exactly (the engine's live mode guarantees it; asserted in
+// tests/serve_test.cpp and gated in CI by scripts/serve_smoke.sh).
+//
+// Extra session files (ignored by the bundle loader):
+//   meta.csv     key,value — scheduler name, accel, admission flag
+//   cancels.csv  time,ticket — client cancellations. A session with cancels
+//                is NOT replayable through sjs_sim (the replay input has no
+//                cancel channel); readers must check cancel_count.
+//   outcomes.csv written at drain by sjs_serve (sim::save_outcomes_csv) so
+//                the replay gate can diff live vs replayed outcomes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "jobs/job.hpp"
+#include "util/csv.hpp"
+
+namespace sjs::serve {
+
+class Journal {
+ public:
+  struct Meta {
+    std::string scheduler;
+    double accel = 1.0;
+    bool admission_check = true;
+  };
+
+  /// Creates the journal directory (if missing), writes capacity.csv,
+  /// band.csv, and meta.csv, and opens jobs.csv / cancels.csv for appending.
+  /// Throws std::runtime_error on I/O failure.
+  Journal(const std::string& dir, const cap::CapacityProfile& capacity,
+          double c_lo, double c_hi, const Meta& meta);
+
+  /// Appends one admitted job and flushes the row (an admission the client
+  /// saw ACCEPTED for must be on disk before the next poll).
+  void record_admit(const Job& job);
+
+  /// Appends one cancellation.
+  void record_cancel(double time, JobId job);
+
+  /// Flushes and closes the writers (also done by the destructor).
+  void close();
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t admit_count() const { return admit_rows_; }
+  std::uint64_t cancel_count() const { return cancel_rows_; }
+
+ private:
+  std::string dir_;
+  std::unique_ptr<CsvWriter> jobs_csv_;
+  std::unique_ptr<CsvWriter> cancels_csv_;
+  std::uint64_t admit_rows_ = 0;
+  std::uint64_t cancel_rows_ = 0;
+};
+
+/// meta.csv as a key→value map. Throws on missing/malformed file.
+std::map<std::string, std::string> read_journal_meta(const std::string& dir);
+
+/// time,ticket rows of cancels.csv (empty when the file is absent).
+std::vector<std::pair<double, JobId>> read_journal_cancels(
+    const std::string& dir);
+
+}  // namespace sjs::serve

@@ -1,0 +1,239 @@
+#include "serve/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::serve {
+
+namespace {
+
+struct PendingSubmit {
+  double sent_at = 0.0;   // wall clock reading at submit
+  double value = 0.0;
+};
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("loadgen: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("loadgen: connect to 127.0.0.1:" +
+                             std::to_string(port) + " failed: " +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
+  const int fd = connect_loopback(config.port);
+  Rng rng(config.seed);
+  LoadReport report;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> obuf;   // unsent output, opos = sent prefix
+  std::size_t opos = 0;
+  std::map<std::uint64_t, PendingSubmit> by_seq;     // awaiting ack
+  std::map<std::uint64_t, PendingSubmit> by_ticket;  // awaiting completion
+  std::vector<double> ack_lat;
+  std::vector<double> done_lat;
+
+  const double start = clock.now();
+  const double submit_end = start + config.duration_s;
+  const double hard_end = submit_end + config.linger_s;
+  double next_submit = start + rng.exponential_rate(config.arrival_rate);
+  std::uint64_t next_seq = 1;
+  bool drain_sent = false;
+  bool closed = false;
+
+  auto queue_frame = [&](const Message& m) {
+    append_frame(obuf, m);
+  };
+
+  while (!closed) {
+    const double now = clock.now();
+    if (now >= hard_end) break;
+    // Open-loop pacing: emit every submission whose arrival instant has
+    // passed, regardless of what the server answered so far.
+    while (!drain_sent && now >= next_submit && next_submit < submit_end) {
+      Message m;
+      m.type = MsgType::kSubmit;
+      m.seq = next_seq++;
+      m.a = rng.exponential_mean(config.mean_workload);
+      const double slack = rng.uniform(config.slack_min, config.slack_max);
+      m.b = slack * m.a / config.c_lo;
+      m.c = m.a * rng.uniform(1.0, config.k);  // density in [1, k]
+      queue_frame(m);
+      by_seq[m.seq] = PendingSubmit{now, m.c};
+      ++report.submitted;
+      report.submitted_value += m.c;
+      next_submit += rng.exponential_rate(config.arrival_rate);
+    }
+    if (config.send_drain && !drain_sent && now >= submit_end) {
+      Message m;
+      m.type = MsgType::kDrain;
+      m.seq = next_seq++;
+      queue_frame(m);
+      drain_sent = true;
+    }
+
+    // Poll until the next submission is due (or briefly, when idle).
+    double wait_s = config.send_drain || drain_sent
+                        ? 0.01
+                        : std::max(0.0, next_submit - now);
+    if (next_submit >= submit_end && !config.send_drain) wait_s = 0.01;
+    wait_s = std::min(wait_s, std::max(0.0, hard_end - now));
+    pollfd pfd{fd, POLLIN, 0};
+    if (opos < obuf.size()) pfd.events |= POLLOUT;
+    const int timeout_ms =
+        static_cast<int>(std::ceil(std::min(wait_s, 0.05) * 1000.0));
+    ::poll(&pfd, 1, timeout_ms);
+
+    if (pfd.revents & POLLOUT) {
+      while (opos < obuf.size()) {
+        const ssize_t n = ::send(fd, obuf.data() + opos, obuf.size() - opos,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          opos += static_cast<std::size_t>(n);
+        } else {
+          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+              errno != EINTR) {
+            closed = true;
+          }
+          break;
+        }
+      }
+      if (opos == obuf.size()) {
+        obuf.clear();
+        opos = 0;
+      }
+    }
+    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+      std::uint8_t rbuf[4096];
+      while (true) {
+        const ssize_t n = ::recv(fd, rbuf, sizeof(rbuf), 0);
+        if (n > 0) {
+          decoder.feed(rbuf, static_cast<std::size_t>(n));
+          if (n < static_cast<ssize_t>(sizeof(rbuf))) break;
+        } else if (n == 0) {
+          closed = true;
+          break;
+        } else {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            closed = true;
+          }
+          break;
+        }
+      }
+      Message m;
+      while (decoder.next(m) == FrameDecoder::Status::kOk) {
+        const double t = clock.now();
+        switch (m.type) {
+          case MsgType::kAccepted: {
+            const auto it = by_seq.find(m.seq);
+            if (it != by_seq.end()) {
+              ack_lat.push_back(t - it->second.sent_at);
+              report.admitted_value += it->second.value;
+              by_ticket[m.ticket] = it->second;
+              by_seq.erase(it);
+            }
+            ++report.accepted;
+            break;
+          }
+          case MsgType::kRejected: {
+            const auto it = by_seq.find(m.seq);
+            if (it != by_seq.end()) {
+              ack_lat.push_back(t - it->second.sent_at);
+              by_seq.erase(it);
+            }
+            ++report.rejected;
+            break;
+          }
+          case MsgType::kShed: {
+            const auto it = by_seq.find(m.seq);
+            if (it != by_seq.end()) {
+              ack_lat.push_back(t - it->second.sent_at);
+              by_seq.erase(it);
+            }
+            ++report.shed;
+            break;
+          }
+          case MsgType::kCompleted: {
+            const auto it = by_ticket.find(m.ticket);
+            if (it != by_ticket.end()) {
+              done_lat.push_back(t - it->second.sent_at);
+              by_ticket.erase(it);
+            }
+            ++report.completed;
+            report.completed_value += m.a;
+            break;
+          }
+          case MsgType::kExpired: {
+            by_ticket.erase(m.ticket);
+            ++report.expired;
+            break;
+          }
+          case MsgType::kDraining:
+            report.drain_acked = true;
+            break;
+          default:
+            break;  // kQueryReply/kStatsReply/kCancelled: not used here
+        }
+      }
+    }
+    // After a drain ack, the server resolves everything immediately; once no
+    // completions are outstanding there is nothing left to wait for.
+    if (report.drain_acked && by_ticket.empty() && opos == obuf.size()) break;
+  }
+  ::close(fd);
+  report.ack_latency = summarize(ack_lat);
+  report.completion_latency = summarize(done_lat);
+  return report;
+}
+
+std::string LoadReport::to_string() const {
+  std::ostringstream os;
+  os << "submitted " << submitted << " (value " << submitted_value << "), "
+     << "accepted " << accepted << ", rejected " << rejected << ", shed "
+     << shed << ", completed " << completed << ", expired " << expired
+     << "\ncaptured value: " << completed_value << "/" << admitted_value
+     << " admitted (" << captured_fraction() * 100.0 << "%)";
+  if (ack_latency.count > 0) {
+    os << "\nack latency (ms): p50 " << ack_latency.median * 1e3 << ", p95 "
+       << ack_latency.p95 * 1e3 << ", p99 " << ack_latency.p99 * 1e3
+       << ", max " << ack_latency.max * 1e3;
+  }
+  if (completion_latency.count > 0) {
+    os << "\ncompletion latency (ms): p50 " << completion_latency.median * 1e3
+       << ", p95 " << completion_latency.p95 * 1e3 << ", p99 "
+       << completion_latency.p99 * 1e3;
+  }
+  return os.str();
+}
+
+}  // namespace sjs::serve

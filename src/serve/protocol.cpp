@@ -1,0 +1,268 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sjs::serve {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    return pos_ < size_ ? data_[pos_++] : 0;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8 && pos_ < size_; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t body_size(MsgType type) {
+  switch (type) {
+    case MsgType::kSubmit:
+      return 24;  // workload, rel_deadline, value
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+    case MsgType::kCancelled:
+    case MsgType::kCancelFailed:
+      return 8;  // ticket
+    case MsgType::kStats:
+    case MsgType::kDrain:
+    case MsgType::kShed:
+    case MsgType::kDraining:
+      return 0;
+    case MsgType::kAccepted:
+      return 16;  // ticket, release
+    case MsgType::kRejected:
+    case MsgType::kError:
+      return 1;  // code
+    case MsgType::kCompleted:
+      return 24;  // ticket, value, time
+    case MsgType::kExpired:
+      return 16;  // ticket, time
+    case MsgType::kQueryReply:
+      return 17;  // ticket, state, remaining
+    case MsgType::kStatsReply:
+      return 8 * 8 + 3 * 8;  // eight u64 counters + three f64
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Message& m) {
+  const std::size_t payload = kMinPayload + body_size(m.type);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u8(out, static_cast<std::uint8_t>(m.type));
+  put_u64(out, m.seq);
+  switch (m.type) {
+    case MsgType::kSubmit:
+      put_f64(out, m.a);
+      put_f64(out, m.b);
+      put_f64(out, m.c);
+      break;
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+    case MsgType::kCancelled:
+    case MsgType::kCancelFailed:
+      put_u64(out, m.ticket);
+      break;
+    case MsgType::kStats:
+    case MsgType::kDrain:
+    case MsgType::kShed:
+    case MsgType::kDraining:
+      break;
+    case MsgType::kAccepted:
+      put_u64(out, m.ticket);
+      put_f64(out, m.a);
+      break;
+    case MsgType::kRejected:
+    case MsgType::kError:
+      put_u8(out, m.code);
+      break;
+    case MsgType::kCompleted:
+      put_u64(out, m.ticket);
+      put_f64(out, m.a);
+      put_f64(out, m.b);
+      break;
+    case MsgType::kExpired:
+      put_u64(out, m.ticket);
+      put_f64(out, m.b);
+      break;
+    case MsgType::kQueryReply:
+      put_u64(out, m.ticket);
+      put_u8(out, m.code);
+      put_f64(out, m.a);
+      break;
+    case MsgType::kStatsReply:
+      put_u64(out, m.stats.submitted);
+      put_u64(out, m.stats.accepted);
+      put_u64(out, m.stats.rejected);
+      put_u64(out, m.stats.shed);
+      put_u64(out, m.stats.completed);
+      put_u64(out, m.stats.expired);
+      put_u64(out, m.stats.cancelled);
+      put_u64(out, m.stats.in_flight);
+      put_f64(out, m.stats.virtual_now);
+      put_f64(out, m.stats.admitted_value);
+      put_f64(out, m.stats.completed_value);
+      break;
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeader + kMinPayload + body_size(m.type));
+  append_frame(out, m);
+  return out;
+}
+
+bool decode_payload(const std::uint8_t* data, std::size_t size, Message& out,
+                    std::string& error) {
+  if (size < kMinPayload) {
+    error = "payload shorter than type+seq";
+    return false;
+  }
+  const auto type = static_cast<MsgType>(data[0]);
+  const std::size_t body = body_size(type);
+  if (body == static_cast<std::size_t>(-1)) {
+    error = "unknown message type " + std::to_string(data[0]);
+    return false;
+  }
+  if (size != kMinPayload + body) {
+    error = "bad length for type " + std::to_string(data[0]) + ": " +
+            std::to_string(size) + " != " +
+            std::to_string(kMinPayload + body);
+    return false;
+  }
+  out = Message{};
+  out.type = type;
+  Reader r(data + 1, size - 1);
+  out.seq = r.u64();
+  switch (type) {
+    case MsgType::kSubmit:
+      out.a = r.f64();
+      out.b = r.f64();
+      out.c = r.f64();
+      break;
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+    case MsgType::kCancelled:
+    case MsgType::kCancelFailed:
+      out.ticket = r.u64();
+      break;
+    case MsgType::kStats:
+    case MsgType::kDrain:
+    case MsgType::kShed:
+    case MsgType::kDraining:
+      break;
+    case MsgType::kAccepted:
+      out.ticket = r.u64();
+      out.a = r.f64();
+      break;
+    case MsgType::kRejected:
+    case MsgType::kError:
+      out.code = r.u8();
+      break;
+    case MsgType::kCompleted:
+      out.ticket = r.u64();
+      out.a = r.f64();
+      out.b = r.f64();
+      break;
+    case MsgType::kExpired:
+      out.ticket = r.u64();
+      out.b = r.f64();
+      break;
+    case MsgType::kQueryReply:
+      out.ticket = r.u64();
+      out.code = r.u8();
+      out.a = r.f64();
+      break;
+    case MsgType::kStatsReply:
+      out.stats.submitted = r.u64();
+      out.stats.accepted = r.u64();
+      out.stats.rejected = r.u64();
+      out.stats.shed = r.u64();
+      out.stats.completed = r.u64();
+      out.stats.expired = r.u64();
+      out.stats.cancelled = r.u64();
+      out.stats.in_flight = r.u64();
+      out.stats.virtual_now = r.f64();
+      out.stats.admitted_value = r.f64();
+      out.stats.completed_value = r.f64();
+      break;
+  }
+  return true;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (broken_) return;
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+FrameDecoder::Status FrameDecoder::next(Message& out) {
+  if (broken_) return Status::kMalformed;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeader) return Status::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len < kMinPayload || len > kMaxPayload) {
+    broken_ = true;
+    error_ = "frame length " + std::to_string(len) + " outside [" +
+             std::to_string(kMinPayload) + ", " + std::to_string(kMaxPayload) +
+             "]";
+    return Status::kMalformed;
+  }
+  if (avail < kFrameHeader + len) return Status::kNeedMore;
+  if (!decode_payload(buf_.data() + pos_ + kFrameHeader, len, out, error_)) {
+    broken_ = true;
+    return Status::kMalformed;
+  }
+  pos_ += kFrameHeader + len;
+  // Reclaim the consumed prefix once it dominates the buffer, keeping the
+  // decoder O(live bytes) over arbitrarily long sessions.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return Status::kOk;
+}
+
+}  // namespace sjs::serve

@@ -1,0 +1,187 @@
+// AdmissionServer — the real-time job-admission service (docs/serving.md).
+//
+// Glues the serving stack together: an EventLoop accepts loopback
+// connections speaking the length-prefixed protocol; a ClockBridge maps the
+// injected Clock onto virtual simulation time; the live-mode sim::Engine +
+// a sched::Scheduler decide what runs; a Journal records every admitted job
+// so the session replays bit-exactly through `sjs_sim --bundle=<journal>`.
+//
+// Single-threaded by construction: sockets, engine, and journal are all
+// touched only from the thread calling step()/run(), so the whole daemon is
+// trivially race-free (the TSan CI job runs the loopback tests).
+//
+// Admission path for SUBMIT(p, d_rel, v):
+//   draining              → REJECTED(draining)
+//   in_flight >= limit    → SHED                 (backpressure)
+//   invalid p/d_rel/v     → REJECTED(invalid)
+//   d − r < p / c_lo      → REJECTED(inadmissible)   [Thm. 3(3): such a job
+//                           can be dropped without hurting any algorithm's
+//                           competitive ratio, so it never enters the system]
+//   otherwise             → release stamped, appended to the Instance,
+//                           Engine::admit_live, journalled, ACCEPTED
+//
+// Admission stamps are strictly increasing (max(virtual_now,
+// nextafter(prev))), which together with Engine::advance_to's strict bound
+// is what makes the journal replay exact — see engine.hpp's live-mode notes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jobs/instance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring_buffer.hpp"
+#include "obs/trace_sink.hpp"
+#include "serve/clock.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::serve {
+
+struct ServerConfig {
+  std::string scheduler_name = "V-Dover";
+  cap::CapacityProfile capacity{1.0};
+  double c_lo = 0.0;               ///< 0 → profile min rate
+  double c_hi = 0.0;               ///< 0 → profile max rate
+  int port = 0;                    ///< 0 → ephemeral
+  std::string journal_dir;         ///< empty → no journal
+  double accel = 1.0;              ///< virtual seconds per wall second
+  std::uint64_t max_in_flight = 1024;
+  std::size_t max_write_buffer = 1 << 18;
+  bool admission_check = true;     ///< Thm. 3(3) rejection at the door
+  std::size_t trace_ring = 0;      ///< >0: keep the last N trace events
+};
+
+class AdmissionServer final : public EventLoop::Handler {
+ public:
+  /// The scheduler is owned; the clock is injected (SystemClock for the
+  /// daemon, FakeClock in tests) and must outlive the server. `metrics` is
+  /// optional; when set, server.* counters/gauges are published to it.
+  AdmissionServer(ServerConfig config, std::unique_ptr<sim::Scheduler> sched,
+                  Clock& clock, obs::MetricsRegistry* metrics = nullptr);
+  ~AdmissionServer() override;
+
+  /// Binds the listener, anchors the clock bridge, enters engine live mode.
+  /// Returns the bound port.
+  int start();
+
+  /// One pump cycle: advance virtual time, deliver job notifications, poll
+  /// sockets (at most `max_wait_ms`), process requests. After a drain has
+  /// been requested it instead finalises the run and flushes remaining
+  /// output. Returns false once fully drained (run() just loops on this).
+  bool step(int max_wait_ms = 50);
+
+  /// Serves until drained (DRAIN request or request_drain()).
+  void run();
+
+  /// Initiates graceful drain: stop accepting, refuse new submits, resolve
+  /// the simulated backlog, notify clients, flush, shut down. Callable from
+  /// a request handler or after a signal wake.
+  void request_drain();
+
+  bool draining() const { return draining_; }
+  bool finished() const { return finished_; }
+
+  /// Final result; valid once finished().
+  const sim::SimResult& result() const { return result_; }
+
+  /// Live counters (also the body of STATS replies).
+  StatsBody stats() const;
+
+  int port() const { return loop_.port(); }
+  EventLoop& loop() { return loop_; }
+  const Instance& instance() const { return instance_; }
+  const std::string& journal_dir() const;
+  /// The ring of recent trace events (empty unless trace_ring > 0).
+  std::vector<obs::TraceEvent> recent_trace() const;
+
+  /// Registers `fd` (e.g. a signal self-pipe) with the loop; when it becomes
+  /// readable the server drains it and initiates a drain.
+  void watch_shutdown_fd(int fd);
+
+  // EventLoop::Handler:
+  void on_accept(int conn) override;
+  void on_data(int conn, const std::uint8_t* data, std::size_t size) override;
+  void on_close(int conn, bool overflow) override;
+  void on_wake(int fd) override;
+
+ private:
+  /// Tracks where to route a job's COMPLETED/EXPIRED notification. The
+  /// generation guards against conn-id reuse after a disconnect.
+  struct Route {
+    int conn = -1;
+    std::uint64_t gen = 0;
+    std::uint64_t seq = 0;      // the SUBMIT's seq, echoed in notifications
+    bool cancelled = false;
+  };
+
+  /// Captures kComplete/kExpire events raised inside the engine so the pump
+  /// can translate them into client notifications after advance_to returns.
+  class NotificationSink final : public obs::TraceSink {
+   public:
+    void record(const obs::TraceEvent& event) override {
+      if (event.kind == obs::TraceKind::kComplete ||
+          event.kind == obs::TraceKind::kExpire) {
+        pending_.push_back(event);
+      }
+    }
+    std::vector<obs::TraceEvent> take() { return std::move(pending_); }
+
+   private:
+    std::vector<obs::TraceEvent> pending_;
+  };
+
+  void handle_message(int conn, const Message& m);
+  void handle_submit(int conn, const Message& m);
+  void handle_cancel(int conn, const Message& m);
+  void handle_query(int conn, const Message& m);
+  void reply(int conn, const Message& m);
+  /// Strictly-increasing virtual admission stamp.
+  double stamp();
+  /// Advances virtual time to the bridge's now and ships notifications.
+  void pump_engine();
+  void dispatch_notifications();
+  /// Resolves the backlog (Engine::finish_live), notifies, closes journal,
+  /// writes outcomes.csv.
+  void finalize();
+  void count(const char* name, double delta = 1.0);
+  void set_gauge(const char* name, double value);
+
+  ServerConfig config_;
+  std::unique_ptr<sim::Scheduler> scheduler_;
+  Instance instance_;
+  sim::Engine engine_;
+  ClockBridge bridge_;
+  EventLoop loop_;
+  std::unique_ptr<Journal> journal_;
+  obs::MetricsRegistry* metrics_;
+
+  NotificationSink notifications_;
+  std::unique_ptr<obs::RingTraceBuffer> ring_;
+  std::unique_ptr<obs::TraceMetricsBridge> trace_bridge_;
+  obs::TeeSink tee_;
+
+  std::vector<FrameDecoder> decoders_;   // indexed by conn id
+  std::vector<std::uint64_t> conn_gens_; // bumped on close
+  std::vector<Route> routes_;            // indexed by JobId
+  std::vector<int> shutdown_fds_;
+
+  double last_stamp_ = -1.0;
+  bool started_ = false;
+  bool draining_ = false;
+  bool finalized_ = false;
+  bool finished_ = false;
+  int flush_spins_ = 0;
+
+  StatsBody stats_{};
+  std::uint64_t in_flight_peak_ = 0;
+  sim::SimResult result_;
+};
+
+}  // namespace sjs::serve

@@ -58,12 +58,19 @@ void Engine::rewind() {
   live_timers_ = 0;
   cursor_.reset();
   in_callback_ = false;
+  live_ = false;
 }
 
 void Engine::push_event(double time, EventType type, JobId jid,
                         std::uint64_t id) {
   const Event event{time, type, next_seq_++, jid, id};
-  if (type == EventType::kCompletion || type == EventType::kTimer) {
+  // Live-admitted releases/expiries arrive after the static side was sealed,
+  // so they use the heap; side placement never changes the merged pop order
+  // (pop_event compares fronts under the total order on Event).
+  const bool volatile_side =
+      type == EventType::kCompletion || type == EventType::kTimer ||
+      (live_ && (type == EventType::kRelease || type == EventType::kExpiry));
+  if (volatile_side) {
     heap_.push_back(event);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
   } else {
@@ -89,6 +96,16 @@ Engine::Event Engine::pop_event() {
     return event;
   }
   return static_events_[static_cursor_++];
+}
+
+double Engine::peek_event_time() const {
+  const bool has_static = static_cursor_ < static_events_.size();
+  if (!heap_.empty() &&
+      (!has_static || static_events_[static_cursor_] > heap_.front())) {
+    return heap_.front().time;
+  }
+  if (has_static) return static_events_[static_cursor_].time;
+  return std::numeric_limits<double>::infinity();
 }
 
 void Engine::free_timer_slot(std::uint32_t slot) {
@@ -354,34 +371,46 @@ SimResult Engine::run_to_completion() {
   in_callback_ = false;
 
   while (pending_events() > 0) {
-    const Event event = pop_event();
-    now_ = std::max(now_, event.time);
-    advance_execution(now_);
-    ++result_.events_processed;
-
-    in_callback_ = true;
-    switch (event.type) {
-      case EventType::kCompletion:
-        handle_completion(event);
-        break;
-      case EventType::kExpiry:
-        handle_expiry(event);
-        break;
-      case EventType::kCapacityChange:
-        trace(obs::TraceKind::kCapacityChange, kNoJob,
-              cursor_.rate(now_));
-        scheduler_->on_capacity_change(*this);
-        break;
-      case EventType::kRelease:
-        handle_release(event);
-        break;
-      case EventType::kTimer:
-        handle_timer(event);
-        break;
-    }
-    in_callback_ = false;
+    step_event();
   }
 
+  harvest_result();
+  return result_;
+}
+
+void Engine::process_event(const Event& event) {
+  switch (event.type) {
+    case EventType::kCompletion:
+      handle_completion(event);
+      break;
+    case EventType::kExpiry:
+      handle_expiry(event);
+      break;
+    case EventType::kCapacityChange:
+      trace(obs::TraceKind::kCapacityChange, kNoJob, cursor_.rate(now_));
+      scheduler_->on_capacity_change(*this);
+      break;
+    case EventType::kRelease:
+      handle_release(event);
+      break;
+    case EventType::kTimer:
+      handle_timer(event);
+      break;
+  }
+}
+
+void Engine::step_event() {
+  const Event event = pop_event();
+  now_ = std::max(now_, event.time);
+  advance_execution(now_);
+  ++result_.events_processed;
+
+  in_callback_ = true;
+  process_event(event);
+  in_callback_ = false;
+}
+
+void Engine::harvest_result() {
   result_.outcomes = outcomes_;
   result_.executed_work.resize(instance_->size());
   for (std::size_t i = 0; i < instance_->size(); ++i) {
@@ -394,6 +423,109 @@ SimResult Engine::run_to_completion() {
   trace(obs::TraceKind::kRunEnd, kNoJob, result_.completed_value,
         result_.generated_value);
   if (sink_) sink_->flush();
+}
+
+// --- Live mode (real-time admission serving) --------------------------------
+
+void Engine::begin_live() {
+  SJS_CHECK_MSG(!live_ && !in_callback_, "begin_live: already live");
+  live_ = true;
+  result_ = SimResult{};
+  result_.scheduler_name = scheduler_->name();
+  result_.generated_value = instance_->total_value();
+  result_.completion_times.assign(instance_->size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+  result_.release_times.reserve(instance_->size());
+  // A live session normally starts empty, but admit any pre-loaded jobs so a
+  // warm-started instance behaves like the equivalent replay.
+  for (const Job& j : instance_->jobs()) {
+    result_.release_times.push_back(j.release);
+    push_event(j.release, EventType::kRelease, j.id, 0);
+    push_event(j.deadline, EventType::kExpiry, j.id, 0);
+  }
+  if (scheduler_->wants_capacity_events()) {
+    // All profile breakpoints: the final deadline is unknown up front. The
+    // extras beyond the last admitted deadline fire with no live jobs and
+    // change nothing — outcome equality with replay is unaffected.
+    for (double bp : instance_->capacity().breakpoints()) {
+      if (bp > 0.0) {
+        push_event(bp, EventType::kCapacityChange, kNoJob, 0);
+      }
+    }
+  }
+  std::sort(static_events_.begin(), static_events_.end(),
+            [](const Event& a, const Event& b) { return b > a; });
+  static_sealed_ = true;
+
+  trace(obs::TraceKind::kRunStart, kNoJob,
+        static_cast<double>(instance_->size()));
+  in_callback_ = true;
+  scheduler_->on_start(*this);
+  in_callback_ = false;
+}
+
+void Engine::admit_live(JobId id) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "admit_live outside live mode");
+  const auto idx = static_cast<std::size_t>(id);
+  SJS_CHECK_MSG(idx == remaining_.size(),
+                "admit_live out of order: job " << id << ", expected "
+                    << remaining_.size());
+  const Job& j = instance_->job(id);
+  SJS_CHECK_MSG(j.release >= now_ - 1e-12,
+                "admit_live in the past: release " << j.release << " < now "
+                    << now_);
+  remaining_.push_back(j.workload);
+  outcomes_.push_back(JobOutcome::kPending);
+  released_.push_back(false);
+  result_.generated_value += j.value;
+  result_.completion_times.push_back(std::numeric_limits<double>::quiet_NaN());
+  result_.release_times.push_back(j.release);
+  push_event(j.release, EventType::kRelease, id, 0);
+  push_event(j.deadline, EventType::kExpiry, id, 0);
+}
+
+bool Engine::cancel_live(JobId id) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "cancel_live outside live mode");
+  if (!is_live(id)) return false;
+  // Deliver an ordinary expiry interrupt at the current instant; the job's
+  // original expiry event stays queued and later pops as a no-op (outcome is
+  // no longer pending). Note this subdivides the running job's execution
+  // integral at now(), so cancel-bearing sessions are excluded from the
+  // bit-exact replay guarantee (docs/serving.md).
+  advance_execution(now_);
+  const Event event{now_, EventType::kExpiry, next_seq_++, id, 0};
+  ++result_.events_processed;
+  in_callback_ = true;
+  handle_expiry(event);
+  in_callback_ = false;
+  return true;
+}
+
+void Engine::advance_to(double t) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "advance_to outside live mode");
+  SJS_CHECK_MSG(t >= now_ - 1e-12, "advance_to moving backwards: " << t
+                                       << " < " << now_);
+  while (pending_events() > 0 && peek_event_time() < t) {
+    step_event();
+  }
+  now_ = std::max(now_, t);
+  // last_advance_ deliberately stays at the last processed event: execution
+  // integrals must be subdivided at event times only, exactly as replay
+  // subdivides them, or remaining workloads drift by ulps.
+}
+
+double Engine::next_event_time() const {
+  if (pending_events() == 0) return std::numeric_limits<double>::infinity();
+  return peek_event_time();
+}
+
+SimResult Engine::finish_live() {
+  SJS_CHECK_MSG(live_ && !in_callback_, "finish_live outside live mode");
+  while (pending_events() > 0) {
+    step_event();
+  }
+  harvest_result();
+  live_ = false;
   return result_;
 }
 

@@ -57,6 +57,59 @@ class Engine {
   /// to detach.
   void reset(Scheduler& scheduler);
 
+  // --- Live mode (real-time admission serving, src/serve/) -----------------
+  //
+  // The serving daemon drives the engine against wall-clock time instead of
+  // running a sealed instance to completion: jobs are appended to the bound
+  // Instance as they arrive over the wire (Instance::append_job) and admitted
+  // with admit_live(); the event loop advances virtual time with
+  // advance_to(t) between socket polls. Live mode reuses the exact replay
+  // machinery — push_event/pop_event, the handler dispatch, the (time, type,
+  // seq) total order — so a live session whose admitted arrival stream is
+  // journalled and replayed through run_to_completion reproduces the
+  // identical schedule: the event sequences coincide because (1) live
+  // release/expiry events go to the volatile heap, and heap-vs-static
+  // placement never affects the merged pop order, (2) admission stamps are
+  // strictly increasing and advance_to's bound is *strict* (< t), so every
+  // event at one timestamp is in the queue before any of them pops, and (3)
+  // relative seq order within each (time, type) class equals admission order
+  // in both modes. See docs/serving.md for the full argument.
+
+  /// Enters live mode over the (possibly empty) bound instance: initialises
+  /// the run, pushes capacity-change interrupts if the scheduler wants them,
+  /// and raises on_start. Pair with finish_live().
+  void begin_live();
+
+  /// Admits job `id` — already appended to the bound Instance, release
+  /// >= now() — into the live run: schedules its release and expiry.
+  void admit_live(JobId id);
+
+  /// Force-expires a live job at now() (client cancellation). The scheduler
+  /// sees an ordinary on_expire interrupt. Returns false when the job is not
+  /// live (already completed/expired/cancelled, or not yet released).
+  /// Sessions containing cancellations are not journal-replayable through
+  /// run_to_completion (the replay input has no cancel channel).
+  bool cancel_live(JobId id);
+
+  /// Processes every pending event with time *strictly* before t, then
+  /// advances the virtual clock to t (>= now()). Strictness is what keeps
+  /// live pop order identical to replay order: events at exactly t wait
+  /// until every same-timestamp admission has been queued.
+  void advance_to(double t);
+
+  /// Timestamp of the next pending event, or +infinity when idle — the event
+  /// loop's poll-timeout bound.
+  double next_event_time() const;
+
+  /// Fast-forwards through every remaining event (drain: the simulated
+  /// backlog is resolved immediately in virtual time), harvests and returns
+  /// the result, and leaves live mode.
+  SimResult finish_live();
+
+  bool live_mode() const { return live_; }
+
+  // -------------------------------------------------------------------------
+
   /// Enables recording of the full execution timeline into
   /// SimResult::schedule (off by default; costs one slice append per
   /// dispatch change). Call before run_to_completion().
@@ -194,6 +247,16 @@ class Engine {
 
   void push_event(double time, EventType type, JobId job, std::uint64_t id);
   Event pop_event();
+  /// Timestamp of the event pop_event would return (+inf when none). Dead
+  /// events count — popping them is a cheap no-op, never wrong.
+  double peek_event_time() const;
+  /// Pops and handles exactly one event (the body of the run loops).
+  void step_event();
+  /// Dispatches one event to its handler (the switch shared by all modes).
+  void process_event(const Event& event);
+  /// Fills the end-of-run SimResult fields (outcome/work tables, occupancy
+  /// stats, kRunEnd trace) shared by run_to_completion and finish_live.
+  void harvest_result();
   /// Rewinds all per-run state (capacities of every container are kept).
   void rewind();
   /// Frees a slab slot: bumps the generation (invalidating outstanding ids)
@@ -260,6 +323,7 @@ class Engine {
                                                  // lookups from const queries
 
   bool in_callback_ = false;
+  bool live_ = false;  // live admission mode (begin_live..finish_live)
   bool record_schedule_ = false;
   obs::TraceSink* sink_ = nullptr;
   SimResult result_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/csv.hpp"
+
 namespace sjs::sim {
 
 std::vector<double> SimResult::response_times() const {
@@ -31,6 +33,29 @@ std::string SimResult::to_string() const {
      << completed_count << " completed, " << expired_count << " expired, "
      << preemptions << " preemptions, " << events_processed << " events";
   return os.str();
+}
+
+void save_outcomes_csv(const SimResult& result, const std::vector<Job>& jobs,
+                       const std::string& path) {
+  CsvWriter w(path);
+  w.write_row({"id", "outcome", "completion", "value_collected"});
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const char* outcome = "pending";
+    double collected = 0.0;
+    std::string completion;
+    if (result.outcomes[i] == JobOutcome::kCompleted) {
+      outcome = "completed";
+      collected = i < jobs.size() ? jobs[i].value : 0.0;
+      if (i < result.completion_times.size() &&
+          !std::isnan(result.completion_times[i])) {
+        completion = format_double(result.completion_times[i]);
+      }
+    } else if (result.outcomes[i] == JobOutcome::kExpired) {
+      outcome = "expired";
+    }
+    w.write_row({std::to_string(i), outcome, completion,
+                 format_double(collected)});
+  }
 }
 
 }  // namespace sjs::sim

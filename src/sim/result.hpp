@@ -77,4 +77,13 @@ struct SimResult {
   std::string to_string() const;
 };
 
+/// Writes per-job outcomes as CSV ("id,outcome,completion,value_collected",
+/// %.17g doubles, outcome ∈ {pending,completed,expired}, completion empty for
+/// jobs that never finished). One canonical format shared by sjs_sim
+/// --outcomes-csv and the serving daemon's journal, so live-vs-replay
+/// fidelity can be checked with a byte diff (scripts/serve_smoke.sh).
+void save_outcomes_csv(const SimResult& result,
+                       const std::vector<Job>& jobs,
+                       const std::string& path);
+
 }  // namespace sjs::sim

@@ -34,6 +34,7 @@ Summary summarize(std::vector<double> samples) {
   s.median = quantile_sorted(samples, 0.5);
   s.p05 = quantile_sorted(samples, 0.05);
   s.p95 = quantile_sorted(samples, 0.95);
+  s.p99 = quantile_sorted(samples, 0.99);
   s.ci95_lo = s.mean - 1.959963984540054 * s.sem;
   s.ci95_hi = s.mean + 1.959963984540054 * s.sem;
   return s;

@@ -17,6 +17,7 @@ struct Summary {
   double median = 0.0;
   double p05 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;        // tail latency percentile (serving reports)
   double ci95_lo = 0.0;    // mean ± 1.96·sem
   double ci95_hi = 0.0;
 };

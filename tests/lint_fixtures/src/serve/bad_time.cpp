@@ -1,0 +1,19 @@
+// Fixture: the banned-time rule must cover src/serve/ too — the serving
+// stack takes an injected serve::Clock&, and only serve/clock.cpp (via an
+// audited suppression) may touch a real clock.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double stray_wall_clock_reads() {
+  // BAD: banned-time — a serve/ file reading the system clock directly.
+  const auto wall = std::chrono::system_clock::now().time_since_epoch();
+  // BAD: banned-time — POSIX clock read bypassing serve::Clock.
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::chrono::duration<double>(wall).count() +
+         static_cast<double>(ts.tv_sec);
+}
+
+}  // namespace fixture

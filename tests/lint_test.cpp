@@ -83,6 +83,15 @@ TEST(LintTest, BannedTimeFiresOnEverySource) {
   EXPECT_EQ(count_findings(r.output, "banned-time"), 4) << r.output;
 }
 
+TEST(LintTest, BannedTimeCoversServeDirectory) {
+  // The serving stack must take serve::Clock& everywhere; a stray direct
+  // clock read in src/serve/ (system_clock::now + clock_gettime) is flagged.
+  const auto r = run_lint(fixture_args(fx("src/serve/bad_time.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "banned-time", "serve/bad_time.cpp"), 2)
+      << r.output;
+}
+
 TEST(LintTest, FloatEqFiresOnLiteralAndTimeNamedOperands) {
   const auto r = run_lint(fixture_args(fx("src/jobs/bad_float_eq.cpp")));
   EXPECT_EQ(r.exit_code, 1);

@@ -1,0 +1,610 @@
+// Integration tests for the real-time admission service (src/serve/).
+//
+// The flagship test drives an AdmissionServer over a real loopback socket
+// under a FakeClock — fully deterministic, no wall-clock dependence — and
+// then proves the journal-replay contract: loading the journal directory as
+// an instance bundle and re-running it through a fresh engine + scheduler
+// reproduces the live session's outcomes, completion times, and captured
+// value BIT-EXACTLY. A second copy of the same scripted session must produce
+// a byte-identical journal (determinism across runs).
+//
+// The remaining tests cover the protocol-visible behaviours one at a time:
+// Thm. 3(3) admission rejection, max-in-flight shedding, cancel semantics,
+// QUERY/STATS, malformed-frame connection teardown, and a threaded
+// real-clock loadgen session (the TSan CI job runs this file).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jobs/bundle.hpp"
+#include "sched/factory.hpp"
+#include "serve/clock.hpp"
+#include "serve/journal.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sjs::serve::AdmissionServer;
+using sjs::serve::FakeClock;
+using sjs::serve::FrameDecoder;
+using sjs::serve::JobState;
+using sjs::serve::Message;
+using sjs::serve::MsgType;
+using sjs::serve::RejectReason;
+using sjs::serve::ServerConfig;
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::unique_ptr<sjs::sim::Scheduler> make_scheduler(const std::string& name,
+                                                    double c_lo, double c_hi) {
+  const auto lineup = sjs::sched::full_lineup(c_lo, c_hi);
+  const auto* factory = sjs::sched::find_factory(lineup, name);
+  SJS_CHECK_MSG(factory != nullptr, "unknown scheduler in test");
+  return factory->make();
+}
+
+/// A raw nonblocking loopback client. Lives in the same thread as the
+/// server: every await interleaves server.step(0) with socket reads, so the
+/// whole exchange is single-threaded and deterministic under FakeClock.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    SJS_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    SJS_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SJS_CHECK(::fcntl(fd_, F_SETFL, O_NONBLOCK) == 0);
+  }
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void send(const Message& m) { send_bytes(sjs::serve::encode_frame(m)); }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      SJS_CHECK_MSG(n > 0, "test client send failed");
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Drains readable bytes into the decoder; true if the peer closed.
+  bool read_socket() {
+    std::uint8_t buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+        Message m;
+        while (decoder_.next(m) == FrameDecoder::Status::kOk) {
+          inbox.push_back(m);
+        }
+        continue;
+      }
+      if (n == 0) return true;  // orderly close
+      return false;             // EAGAIN: nothing more right now
+    }
+  }
+
+  /// Steps the server until a message matching `pred` arrives; fails the
+  /// test (and returns a default Message) after `spins` fruitless cycles.
+  template <typename Pred>
+  Message await(AdmissionServer& server, Pred pred, int spins = 1000) {
+    for (int i = 0; i < spins; ++i) {
+      for (std::size_t j = scanned_; j < inbox.size(); ++j) {
+        if (pred(inbox[j])) {
+          scanned_ = j + 1;
+          return inbox[j];
+        }
+      }
+      scanned_ = inbox.size();
+      server.step(0);
+      read_socket();
+    }
+    ADD_FAILURE() << "no matching reply after " << spins << " spins";
+    return Message{};
+  }
+
+  Message await_seq(AdmissionServer& server, std::uint64_t seq) {
+    return await(server, [seq](const Message& m) { return m.seq == seq; });
+  }
+
+  std::vector<Message> inbox;
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::size_t scanned_ = 0;  // inbox prefix already handed out by await()
+};
+
+Message submit_msg(std::uint64_t seq, double workload, double rel_deadline,
+                   double value) {
+  Message m;
+  m.type = MsgType::kSubmit;
+  m.seq = seq;
+  m.a = workload;
+  m.b = rel_deadline;
+  m.c = value;
+  return m;
+}
+
+constexpr double kBandLo = 0.5;  // band floor below the unit capacity path:
+constexpr double kBandHi = 1.0;  // admission windows have real slack to cut
+
+ServerConfig scripted_config(const std::string& journal_dir) {
+  ServerConfig config;
+  config.scheduler_name = "V-Dover";
+  config.capacity = sjs::cap::CapacityProfile(1.0);
+  config.c_lo = kBandLo;
+  config.c_hi = kBandHi;
+  config.journal_dir = journal_dir;
+  return config;
+}
+
+/// What one scripted live session leaves behind, copied out before the
+/// server is destroyed so replay comparisons can run afterwards.
+struct SessionOutput {
+  sjs::sim::SimResult live;
+  std::vector<sjs::Job> jobs;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t notified_completed = 0;
+  std::uint64_t notified_expired = 0;
+};
+
+/// Drives one fixed 60-submission session (deterministic Rng shapes, every
+/// 10th submission deliberately inadmissible) against a FakeClock server,
+/// drains it, and returns the live result. Identical inputs every call —
+/// the determinism test runs it twice and diffs the journals.
+SessionOutput run_scripted_session(const std::string& journal_dir) {
+  FakeClock clock;
+  AdmissionServer server(scripted_config(journal_dir),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  const int port = server.start();
+  TestClient client(port);
+
+  sjs::Rng rng(4242);
+  SessionOutput out;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 60; ++i) {
+    // ~20 submissions per virtual second against unit capacity with mean
+    // workload 0.05: the processor saturates, so V-Dover must abandon work
+    // and both COMPLETED and EXPIRED notifications occur.
+    clock.advance(rng.exponential_rate(20.0));
+    const double workload = rng.exponential_mean(0.05);
+    const bool sabotage = (i % 10) == 9;
+    const double window = sabotage
+                              ? 0.5 * workload / kBandLo   // fails Thm. 3(3)
+                              : rng.uniform(1.05, 3.0) * workload / kBandLo;
+    const double value = workload * rng.uniform(1.0, 7.0);
+    client.send(submit_msg(++seq, workload, window, value));
+    const Message r = client.await_seq(server, seq);
+    if (sabotage) {
+      EXPECT_EQ(r.type, MsgType::kRejected);
+      EXPECT_EQ(r.code, static_cast<std::uint8_t>(RejectReason::kInadmissible));
+      ++out.rejected;
+    } else {
+      EXPECT_EQ(r.type, MsgType::kAccepted);
+      ++out.accepted;
+    }
+  }
+
+  // Let some backlog resolve in virtual time before draining.
+  clock.advance(0.5);
+  Message drain;
+  drain.type = MsgType::kDrain;
+  drain.seq = ++seq;
+  client.send(drain);
+  EXPECT_EQ(client.await_seq(server, seq).type, MsgType::kDraining);
+  while (server.step(0)) {
+    client.read_socket();
+  }
+  client.read_socket();
+
+  EXPECT_TRUE(server.finished());
+  for (const Message& m : client.inbox) {
+    if (m.type == MsgType::kCompleted) ++out.notified_completed;
+    if (m.type == MsgType::kExpired) ++out.notified_expired;
+  }
+  out.live = server.result();
+  out.jobs = server.instance().jobs();
+  return out;
+}
+
+void expect_bitwise_equal_results(const sjs::sim::SimResult& live,
+                                  const sjs::sim::SimResult& replay) {
+  // Exact, not approximate: the replay contract is bit-for-bit.
+  EXPECT_EQ(live.completed_value, replay.completed_value);
+  EXPECT_EQ(live.generated_value, replay.generated_value);
+  EXPECT_EQ(live.completed_count, replay.completed_count);
+  EXPECT_EQ(live.expired_count, replay.expired_count);
+  ASSERT_EQ(live.outcomes.size(), replay.outcomes.size());
+  for (std::size_t i = 0; i < live.outcomes.size(); ++i) {
+    EXPECT_EQ(live.outcomes[i], replay.outcomes[i]) << "job " << i;
+    // memcmp so NaN (expired jobs) compares equal to itself.
+    EXPECT_EQ(std::memcmp(&live.completion_times[i],
+                          &replay.completion_times[i], sizeof(double)),
+              0)
+        << "job " << i;
+    EXPECT_EQ(live.executed_work[i], replay.executed_work[i]) << "job " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole contract: journal replay is bit-exact.
+
+TEST(ServeTest, FakeClockSessionReplaysBitExactly) {
+  const std::string dir = fresh_dir("serve_replay");
+  const SessionOutput session = run_scripted_session(dir);
+
+  EXPECT_EQ(session.accepted, 54u);
+  EXPECT_EQ(session.rejected, 6u);
+  EXPECT_GT(session.notified_completed, 0u);
+  EXPECT_GT(session.notified_expired, 0u);
+  // Every accepted job was resolved and notified exactly once by the drain.
+  EXPECT_EQ(session.notified_completed + session.notified_expired,
+            session.accepted);
+  EXPECT_EQ(session.live.completed_count + session.live.expired_count,
+            session.accepted);
+
+  // The journal directory is a loadable bundle recording exactly the
+  // accepted jobs with their %.17g admission stamps.
+  const sjs::Instance replayed = sjs::load_instance_bundle(dir);
+  ASSERT_EQ(replayed.jobs().size(), session.jobs.size());
+  EXPECT_EQ(replayed.c_lo(), kBandLo);
+  EXPECT_EQ(replayed.c_hi(), kBandHi);
+  for (std::size_t i = 0; i < session.jobs.size(); ++i) {
+    EXPECT_EQ(replayed.jobs()[i].release, session.jobs[i].release);
+    EXPECT_EQ(replayed.jobs()[i].workload, session.jobs[i].workload);
+    EXPECT_EQ(replayed.jobs()[i].deadline, session.jobs[i].deadline);
+    EXPECT_EQ(replayed.jobs()[i].value, session.jobs[i].value);
+  }
+  const auto meta = sjs::serve::read_journal_meta(dir);
+  EXPECT_EQ(meta.at("scheduler"), "V-Dover");
+  EXPECT_TRUE(sjs::serve::read_journal_cancels(dir).empty());
+
+  // Replay through a fresh engine + scheduler: identical outcomes.
+  auto scheduler = make_scheduler(meta.at("scheduler"), replayed.c_lo(),
+                                  replayed.c_hi());
+  sjs::sim::Engine engine(replayed, *scheduler);
+  const sjs::sim::SimResult replay = engine.run_to_completion();
+  expect_bitwise_equal_results(session.live, replay);
+
+  // outcomes.csv written at drain must equal the one a replay would write —
+  // same check scripts/serve_smoke.sh applies to the installed binaries.
+  const std::string live_csv = slurp(dir + "/outcomes.csv");
+  const std::string replay_csv_path = fresh_dir("serve_replay_outcomes");
+  std::filesystem::create_directories(replay_csv_path);
+  sjs::sim::save_outcomes_csv(replay, replayed.jobs(),
+                              replay_csv_path + "/outcomes.csv");
+  EXPECT_FALSE(live_csv.empty());
+  EXPECT_EQ(live_csv, slurp(replay_csv_path + "/outcomes.csv"));
+}
+
+TEST(ServeTest, ScriptedSessionIsDeterministicAcrossRuns) {
+  const std::string dir_a = fresh_dir("serve_det_a");
+  const std::string dir_b = fresh_dir("serve_det_b");
+  const SessionOutput a = run_scripted_session(dir_a);
+  const SessionOutput b = run_scripted_session(dir_b);
+  expect_bitwise_equal_results(a.live, b.live);
+  // Byte-identical journals: admission stamps included.
+  for (const char* file : {"/jobs.csv", "/capacity.csv", "/band.csv",
+                           "/meta.csv", "/outcomes.csv"}) {
+    EXPECT_EQ(slurp(dir_a + file), slurp(dir_b + file)) << file;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-visible behaviours, one at a time.
+
+TEST(ServeTest, InadmissibleAndInvalidSubmitsAreRejected) {
+  FakeClock clock;
+  ServerConfig config = scripted_config("");
+  AdmissionServer server(config, make_scheduler("V-Dover", kBandLo, kBandHi),
+                         clock);
+  TestClient client(server.start());
+
+  // d − r < p / c_lo: workload 1 needs a window of at least 2 at c_lo = 0.5.
+  client.send(submit_msg(1, 1.0, 1.9, 1.0));
+  Message r = client.await_seq(server, 1);
+  EXPECT_EQ(r.type, MsgType::kRejected);
+  EXPECT_EQ(r.code, static_cast<std::uint8_t>(RejectReason::kInadmissible));
+
+  client.send(submit_msg(2, -1.0, 1.0, 1.0));
+  r = client.await_seq(server, 2);
+  EXPECT_EQ(r.type, MsgType::kRejected);
+  EXPECT_EQ(r.code, static_cast<std::uint8_t>(RejectReason::kInvalid));
+
+  client.send(submit_msg(3, 1.0, 2.5, 1.0));
+  EXPECT_EQ(client.await_seq(server, 3).type, MsgType::kAccepted);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected, 2u);
+}
+
+TEST(ServeTest, AdmissionCheckCanBeDisabled) {
+  FakeClock clock;
+  ServerConfig config = scripted_config("");
+  config.admission_check = false;
+  AdmissionServer server(config, make_scheduler("V-Dover", kBandLo, kBandHi),
+                         clock);
+  TestClient client(server.start());
+  client.send(submit_msg(1, 1.0, 1.9, 1.0));  // inadmissible, but accepted
+  EXPECT_EQ(client.await_seq(server, 1).type, MsgType::kAccepted);
+}
+
+TEST(ServeTest, OverInFlightLimitSheds) {
+  FakeClock clock;
+  ServerConfig config = scripted_config("");
+  config.max_in_flight = 2;
+  AdmissionServer server(config, make_scheduler("V-Dover", kBandLo, kBandHi),
+                         clock);
+  TestClient client(server.start());
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    client.send(submit_msg(seq, 0.5, 10.0, 1.0));
+    EXPECT_EQ(client.await_seq(server, seq).type, MsgType::kAccepted);
+  }
+  client.send(submit_msg(3, 0.5, 10.0, 1.0));
+  EXPECT_EQ(client.await_seq(server, 3).type, MsgType::kShed);
+
+  // Shedding is load-, not state-based: once a job resolves, capacity frees.
+  clock.advance(20.0);
+  client.send(submit_msg(4, 0.5, 10.0, 1.0));
+  EXPECT_EQ(client.await_seq(server, 4).type, MsgType::kAccepted);
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST(ServeTest, CancelSuppressesExpiryNotification) {
+  FakeClock clock;
+  const std::string dir = fresh_dir("serve_cancel");
+  AdmissionServer server(scripted_config(dir),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  TestClient client(server.start());
+
+  client.send(submit_msg(1, 1.0, 4.0, 1.0));
+  const Message accepted = client.await_seq(server, 1);
+  ASSERT_EQ(accepted.type, MsgType::kAccepted);
+
+  // A job only becomes cancellable once its release event has fired, which
+  // happens on the first pump strictly after the admission stamp.
+  clock.advance(0.5);
+  server.step(0);
+
+  Message cancel;
+  cancel.type = MsgType::kCancel;
+  cancel.seq = 2;
+  cancel.ticket = accepted.ticket;
+  client.send(cancel);
+  EXPECT_EQ(client.await_seq(server, 2).type, MsgType::kCancelled);
+
+  // Cancelling again (terminal job) fails.
+  cancel.seq = 3;
+  client.send(cancel);
+  EXPECT_EQ(client.await_seq(server, 3).type, MsgType::kCancelFailed);
+  // As does a ticket that never existed.
+  cancel.seq = 4;
+  cancel.ticket = 999;
+  client.send(cancel);
+  EXPECT_EQ(client.await_seq(server, 4).type, MsgType::kCancelFailed);
+
+  Message drain;
+  drain.type = MsgType::kDrain;
+  drain.seq = 5;
+  client.send(drain);
+  EXPECT_EQ(client.await_seq(server, 5).type, MsgType::kDraining);
+  while (server.step(0)) client.read_socket();
+  client.read_socket();
+
+  // The forced expiry stays internal: no kExpired reaches the client.
+  for (const Message& m : client.inbox) {
+    EXPECT_NE(m.type, MsgType::kExpired);
+    EXPECT_NE(m.type, MsgType::kCompleted);
+  }
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  // The journal records the cancel, marking the session non-replayable.
+  const auto cancels = sjs::serve::read_journal_cancels(dir);
+  ASSERT_EQ(cancels.size(), 1u);
+  EXPECT_EQ(cancels[0].second, static_cast<sjs::JobId>(accepted.ticket));
+}
+
+TEST(ServeTest, QueryAndStatsReportLiveState) {
+  FakeClock clock;
+  AdmissionServer server(scripted_config(""),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  TestClient client(server.start());
+
+  client.send(submit_msg(1, 1.0, 10.0, 2.0));
+  const Message accepted = client.await_seq(server, 1);
+  ASSERT_EQ(accepted.type, MsgType::kAccepted);
+
+  Message query;
+  query.type = MsgType::kQuery;
+  query.seq = 2;
+  query.ticket = accepted.ticket;
+  client.send(query);
+  Message qr = client.await_seq(server, 2);
+  ASSERT_EQ(qr.type, MsgType::kQueryReply);
+  EXPECT_TRUE(qr.code == static_cast<std::uint8_t>(JobState::kRunning) ||
+              qr.code == static_cast<std::uint8_t>(JobState::kQueued))
+      << static_cast<int>(qr.code);
+  EXPECT_GT(qr.a, 0.0);  // remaining work
+
+  clock.advance(5.0);  // unit capacity: workload 1 finishes well before 5
+  query.seq = 3;
+  client.send(query);
+  qr = client.await_seq(server, 3);
+  EXPECT_EQ(qr.code, static_cast<std::uint8_t>(JobState::kCompleted));
+
+  query.seq = 4;
+  query.ticket = 777;
+  client.send(query);
+  qr = client.await_seq(server, 4);
+  EXPECT_EQ(qr.code, static_cast<std::uint8_t>(JobState::kUnknown));
+
+  Message stats;
+  stats.type = MsgType::kStats;
+  stats.seq = 5;
+  client.send(stats);
+  const Message sr = client.await_seq(server, 5);
+  ASSERT_EQ(sr.type, MsgType::kStatsReply);
+  EXPECT_EQ(sr.stats.submitted, 1u);
+  EXPECT_EQ(sr.stats.accepted, 1u);
+  EXPECT_EQ(sr.stats.completed, 1u);
+  EXPECT_EQ(sr.stats.in_flight, 0u);
+  EXPECT_EQ(sr.stats.completed_value, 2.0);
+  EXPECT_GE(sr.stats.virtual_now, 1.0);
+}
+
+TEST(ServeTest, MalformedFrameKillsConnectionNotServer) {
+  FakeClock clock;
+  AdmissionServer server(scripted_config(""),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  const int port = server.start();
+
+  TestClient bad(port);
+  bad.send_bytes({0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00});
+  const Message err = bad.await(
+      server, [](const Message& m) { return m.type == MsgType::kError; });
+  EXPECT_EQ(err.code,
+            static_cast<std::uint8_t>(sjs::serve::ErrorCode::kMalformedFrame));
+  // The server hangs up on the offender...
+  bool closed = false;
+  for (int i = 0; i < 100 && !closed; ++i) {
+    server.step(0);
+    closed = bad.read_socket();
+  }
+  EXPECT_TRUE(closed);
+
+  // ...but keeps serving everyone else.
+  TestClient good(port);
+  good.send(submit_msg(1, 0.5, 5.0, 1.0));
+  EXPECT_EQ(good.await_seq(server, 1).type, MsgType::kAccepted);
+
+  // A client sending a server→client type is also cut off.
+  TestClient confused(port);
+  Message backwards;
+  backwards.type = MsgType::kAccepted;
+  backwards.seq = 9;
+  confused.send(backwards);
+  const Message err2 = confused.await(
+      server, [](const Message& m) { return m.type == MsgType::kError; });
+  EXPECT_EQ(err2.code,
+            static_cast<std::uint8_t>(sjs::serve::ErrorCode::kNotARequest));
+}
+
+TEST(ServeTest, SubmitsDuringDrainAreRefused) {
+  FakeClock clock;
+  AdmissionServer server(scripted_config(""),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  TestClient client(server.start());
+
+  // DRAIN and a SUBMIT in the same batch: the submit must see draining.
+  Message drain;
+  drain.type = MsgType::kDrain;
+  drain.seq = 1;
+  client.send(drain);
+  client.send(submit_msg(2, 0.5, 5.0, 1.0));
+  EXPECT_EQ(client.await_seq(server, 1).type, MsgType::kDraining);
+  const Message r = client.await_seq(server, 2);
+  EXPECT_EQ(r.type, MsgType::kRejected);
+  EXPECT_EQ(r.code, static_cast<std::uint8_t>(RejectReason::kDraining));
+  while (server.step(0)) client.read_socket();
+  EXPECT_TRUE(server.finished());
+  EXPECT_EQ(server.result().completed_count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Real clocks and real concurrency: server thread + loadgen thread over
+// loopback, then the same replay contract. TSan runs this too.
+
+TEST(ServeTest, RealClockLoadgenSessionReplays) {
+  const std::string dir = fresh_dir("serve_loadgen");
+  sjs::serve::SystemClock server_clock;
+  ServerConfig config = scripted_config(dir);
+  config.accel = 20.0;  // compress the virtual session into fractions of a s
+  AdmissionServer server(config, make_scheduler("V-Dover", kBandLo, kBandHi),
+                         server_clock);
+  const int port = server.start();
+  std::thread server_thread([&server] { server.run(); });
+
+  sjs::serve::LoadGenConfig load;
+  load.port = port;
+  load.duration_s = 0.3;
+  load.linger_s = 2.0;
+  load.arrival_rate = 200.0;
+  load.mean_workload = 0.02;
+  load.c_lo = kBandLo;
+  load.seed = 99;
+  load.send_drain = true;
+  sjs::serve::SystemClock client_clock;
+  const sjs::serve::LoadReport report =
+      sjs::serve::run_load(load, client_clock);
+  server_thread.join();
+
+  ASSERT_TRUE(server.finished());
+  EXPECT_TRUE(report.drain_acked);
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_EQ(report.submitted, report.accepted + report.rejected + report.shed);
+  // Drain resolves every admitted job, and the client saw each resolution.
+  EXPECT_EQ(report.completed + report.expired, report.accepted);
+  EXPECT_EQ(server.result().completed_count, report.completed);
+  EXPECT_EQ(server.result().expired_count, report.expired);
+  EXPECT_EQ(report.completed_value, server.result().completed_value);
+
+  // Same contract as the FakeClock test, now with wall-clock stamps.
+  const sjs::Instance replayed = sjs::load_instance_bundle(dir);
+  ASSERT_EQ(replayed.jobs().size(), report.accepted);
+  auto scheduler = make_scheduler("V-Dover", replayed.c_lo(), replayed.c_hi());
+  sjs::sim::Engine engine(replayed, *scheduler);
+  const sjs::sim::SimResult replay = engine.run_to_completion();
+  expect_bitwise_equal_results(server.result(), replay);
+}
+
+}  // namespace

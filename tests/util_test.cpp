@@ -268,6 +268,73 @@ TEST(Cli, BooleanExplicitFalse) {
   EXPECT_FALSE(flags.get_bool("verbose"));
 }
 
+TEST(Cli, MixedSyntaxAcrossAllTypes) {
+  // One invocation freely mixing --name=value and --name value, covering
+  // every registered flag type (the serving binaries are driven both ways).
+  CliFlags flags;
+  flags.add_double("rate", 1.0, "");
+  flags.add_int("port", 0, "");
+  flags.add_bool("drain", false, "");
+  flags.add_string("scheduler", "V-Dover", "");
+  flags.add_double_list("lambda", {1.0}, "");
+  const char* argv[] = {"prog",   "--rate=2.5", "--port", "7070",
+                        "--drain", "--scheduler", "EDF",  "--lambda=4,5"};
+  ASSERT_TRUE(flags.parse(8, const_cast<char**>(argv))) << flags.error();
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.5);
+  EXPECT_EQ(flags.get_int("port"), 7070);
+  EXPECT_TRUE(flags.get_bool("drain"));
+  EXPECT_EQ(flags.get_string("scheduler"), "EDF");
+  EXPECT_EQ(flags.get_double_list("lambda"), (std::vector<double>{4.0, 5.0}));
+}
+
+TEST(Cli, SpaceSyntaxForStringAndList) {
+  CliFlags flags;
+  flags.add_string("journal", "", "");
+  flags.add_double_list("c-hats", {}, "");
+  const char* argv[] = {"prog", "--journal", "/tmp/j", "--c-hats", "1,2,3"};
+  ASSERT_TRUE(flags.parse(5, const_cast<char**>(argv))) << flags.error();
+  EXPECT_EQ(flags.get_string("journal"), "/tmp/j");
+  EXPECT_EQ(flags.get_double_list("c-hats"),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Cli, EqualsValueMayContainEquals) {
+  // Only the first '=' splits name from value.
+  CliFlags flags;
+  flags.add_string("define", "", "");
+  const char* argv[] = {"prog", "--define=key=value"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_string("define"), "key=value");
+}
+
+TEST(Cli, BareBoolDoesNotConsumeNextFlag) {
+  // --drain is bare boolean syntax: the following --rate=9 must still parse
+  // as its own flag, not be swallowed as drain's value.
+  CliFlags flags;
+  flags.add_bool("drain", false, "");
+  flags.add_double("rate", 1.0, "");
+  const char* argv[] = {"prog", "--drain", "--rate=9"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv))) << flags.error();
+  EXPECT_TRUE(flags.get_bool("drain"));
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 9.0);
+}
+
+TEST(Cli, RepeatedFlagLastOneWins) {
+  CliFlags flags;
+  flags.add_int("seed", 1, "");
+  const char* argv[] = {"prog", "--seed=2", "--seed", "3"};
+  ASSERT_TRUE(flags.parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("seed"), 3);
+}
+
+TEST(Cli, BadBoolValueIsError) {
+  CliFlags flags;
+  flags.add_bool("drain", false, "");
+  const char* argv[] = {"prog", "--drain=yes"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(flags.error().find("bad value"), std::string::npos);
+}
+
 TEST(Cli, DefaultsSurviveNoArgs) {
   CliFlags flags;
   flags.add_double("x", 3.5, "");

@@ -365,6 +365,8 @@ void check_banned_time(const SourceFile& file, std::vector<Diagnostic>& diags) {
        "time(nullptr)"},
       {std::regex(R"(\bclock\s*\(\s*\))"), "clock()"},
       {std::regex(R"(\bgettimeofday\s*\()"), "gettimeofday()"},
+      {std::regex(R"(\bclock_gettime\s*\()"), "clock_gettime()"},
+      {std::regex(R"(\btimespec_get\s*\()"), "timespec_get()"},
   };
   for (std::size_t i = 0; i < file.code.size(); ++i) {
     const std::string& code = file.code[i];
@@ -507,7 +509,7 @@ void check_trace_exhaustive(const std::vector<SourceFile>& files,
 
 const std::set<std::string> kModuleDirs = {
     "util",  "stats",   "capacity", "jobs", "obs",  "sim",
-    "sched", "offline", "theory",   "mc",   "cloud"};
+    "sched", "offline", "theory",   "mc",   "cloud", "serve"};
 
 void check_include_hygiene(const SourceFile& file,
                            std::vector<Diagnostic>& diags) {

@@ -1,0 +1,151 @@
+// sjs_serve — real-time job-admission daemon (docs/serving.md).
+//
+// Listens on loopback for length-prefixed protocol frames, admits jobs into
+// a live sim::Engine driven by the chosen scheduler against wall-clock time
+// (optionally accelerated), journals every admission so the session replays
+// bit-exactly through sjs_sim, and drains gracefully on SIGINT/SIGTERM or a
+// client DRAIN request.
+//
+//   sjs_serve [--port=0] [--scheduler=V-Dover] [--journal=DIR]
+//             [--c-lo=1] [--c-hi=1] [--accel=1] [--max-in-flight=1024]
+//             [--no-admission-check] [--trace-ring=4096] [--metrics]
+//
+// The capacity profile is constant at c-hi for the session (a live service
+// observes its own rate; the declared band is what the algorithms consume).
+// Prints "LISTENING <port>" on stdout once ready — scripts wait for it.
+#include <csignal>
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "sched/factory.hpp"
+#include "serve/clock.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; the event loop wakes, drains
+// the pipe, and starts the graceful drain on the main thread.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sjs::CliFlags flags;
+  flags.add_int("port", 0, "loopback port to listen on (0 = ephemeral)");
+  flags.add_string("scheduler", "V-Dover",
+                   "scheduler name (see sjs_sim --list-schedulers)");
+  flags.add_string("journal", "",
+                   "journal directory — written as a replayable instance "
+                   "bundle (empty = no journal)");
+  flags.add_double("c-lo", 1.0, "declared band floor (admission + V-Dover)");
+  flags.add_double("c-hi", 1.0, "declared band ceiling = served rate");
+  flags.add_double("accel", 1.0, "virtual seconds per wall second");
+  flags.add_int("max-in-flight", 1024,
+                "admitted-but-unresolved job limit; beyond it submits SHED");
+  flags.add_bool("no-admission-check", false,
+                 "admit individually-inadmissible jobs too (Thm. 3(3) off)");
+  flags.add_int("trace-ring", 4096, "recent trace events kept (0 = off)");
+  flags.add_bool("metrics", false, "print the server.* metrics at drain");
+  if (!flags.parse(argc, argv)) {
+    if (!flags.error().empty()) {
+      std::fprintf(stderr, "%s\n", flags.error().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const double c_lo = flags.get_double("c-lo");
+  const double c_hi = flags.get_double("c-hi");
+  if (!(c_lo > 0.0) || c_hi < c_lo) {
+    std::fprintf(stderr, "need 0 < c-lo <= c-hi\n");
+    return 1;
+  }
+
+  const auto lineup = sjs::sched::full_lineup(c_lo, c_hi);
+  const auto* factory =
+      sjs::sched::find_factory(lineup, flags.get_string("scheduler"));
+  if (!factory) {
+    std::fprintf(stderr, "unknown scheduler \"%s\" — see sjs_sim "
+                 "--list-schedulers\n",
+                 flags.get_string("scheduler").c_str());
+    return 1;
+  }
+
+  sjs::serve::ServerConfig config;
+  config.scheduler_name = factory->name;
+  config.capacity = sjs::cap::CapacityProfile(c_hi);
+  config.c_lo = c_lo;
+  config.c_hi = c_hi;
+  config.port = static_cast<int>(flags.get_int("port"));
+  config.journal_dir = flags.get_string("journal");
+  config.accel = flags.get_double("accel");
+  config.max_in_flight =
+      static_cast<std::uint64_t>(flags.get_int("max-in-flight"));
+  config.admission_check = !flags.get_bool("no-admission-check");
+  config.trace_ring =
+      static_cast<std::size_t>(flags.get_int("trace-ring"));
+
+  sjs::obs::MetricsRegistry registry;
+  sjs::serve::SystemClock clock;
+  sjs::serve::AdmissionServer server(config, factory->make(), clock,
+                                     &registry);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  // Both ends nonblocking: the wake handler drains the pipe until EAGAIN,
+  // and the signal handler must never block on a full pipe.
+  for (int fd : g_signal_pipe) {
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  int port = 0;
+  try {
+    port = server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to start: %s\n", e.what());
+    return 1;
+  }
+  server.watch_shutdown_fd(g_signal_pipe[0]);
+  std::printf("LISTENING %d\n", port);
+  std::fflush(stdout);
+
+  server.run();
+
+  const auto& result = server.result();
+  std::printf("drained: %s\n", result.to_string().c_str());
+  const auto stats = server.stats();
+  std::printf("server: %llu submitted, %llu accepted, %llu rejected, "
+              "%llu shed, %llu completed, %llu expired, %llu cancelled\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.cancelled));
+  if (!config.journal_dir.empty()) {
+    std::printf("journal: %s (replay with sjs_sim --bundle=%s "
+                "--scheduler=\"%s\" --outcomes-csv=...)\n",
+                config.journal_dir.c_str(), config.journal_dir.c_str(),
+                config.scheduler_name.c_str());
+  }
+  if (flags.get_bool("metrics")) {
+    std::printf("\nmetrics:\n%s", registry.render().c_str());
+  }
+  return 0;
+}

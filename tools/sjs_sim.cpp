@@ -8,8 +8,13 @@
 // optimum.
 //
 //   sjs_sim --bundle=DIR [--scheduler=V-Dover] [--gantt] [--opt]
-//           [--trace-csv=out.csv] [--trace=FILE --trace-format=jsonl|chrome]
+//           [--trace-csv=out.csv] [--outcomes-csv=out.csv]
+//           [--trace=FILE --trace-format=jsonl|chrome]
 //           [--metrics] [--check-invariants] [--list-schedulers]
+//
+// A serving journal (sjs_serve --journal=DIR) is itself a bundle: replaying
+// it here with the journalled scheduler reproduces the live session's
+// outcomes bit-exactly (docs/serving.md).
 #include <cstdio>
 
 #include "jobs/bundle.hpp"
@@ -25,17 +30,6 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 
-namespace {
-
-std::vector<sjs::sched::NamedFactory> all_factories(double c_lo,
-                                                    double c_hi) {
-  auto lineup = sjs::sched::extended_lineup({c_lo, (c_lo + c_hi) / 2, c_hi});
-  lineup.push_back(sjs::sched::make_np_edf());
-  return lineup;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   sjs::CliFlags flags;
   flags.add_string("bundle", "", "instance bundle directory (required)");
@@ -47,6 +41,9 @@ int main(int argc, char** argv) {
                  "and the greedy offline approximation");
   flags.add_string("trace-csv", "",
                    "write the cumulative value trace to this CSV");
+  flags.add_string("outcomes-csv", "",
+                   "write per-job outcomes to this CSV (the serving smoke "
+                   "gate diffs this against a live session's journal)");
   flags.add_string("trace", "", "write the full engine event trace to FILE");
   flags.add_string("trace-format", "jsonl",
                    "trace file format: jsonl | chrome (chrome://tracing)");
@@ -64,7 +61,7 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("list-schedulers")) {
-    for (const auto& f : all_factories(1.0, 35.0)) {
+    for (const auto& f : sjs::sched::full_lineup(1.0, 35.0)) {
       std::printf("%s\n", f.name.c_str());
     }
     return 0;
@@ -91,11 +88,10 @@ int main(int argc, char** argv) {
                   ? "all jobs individually admissible"
                   : "contains inadmissible jobs");
 
-  const auto factories = all_factories(instance.c_lo(), instance.c_hi());
-  const sjs::sched::NamedFactory* chosen = nullptr;
-  for (const auto& f : factories) {
-    if (f.name == flags.get_string("scheduler")) chosen = &f;
-  }
+  const auto factories =
+      sjs::sched::full_lineup(instance.c_lo(), instance.c_hi());
+  const sjs::sched::NamedFactory* chosen =
+      sjs::sched::find_factory(factories, flags.get_string("scheduler"));
   if (!chosen) {
     std::fprintf(stderr, "unknown scheduler \"%s\" — use --list-schedulers\n",
                  flags.get_string("scheduler").c_str());
@@ -177,6 +173,13 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("gantt")) {
     std::printf("\n%s", sjs::sim::render_gantt(instance, result).c_str());
+  }
+
+  if (!flags.get_string("outcomes-csv").empty()) {
+    sjs::sim::save_outcomes_csv(result, instance.jobs(),
+                                flags.get_string("outcomes-csv"));
+    std::printf("outcomes written to %s\n",
+                flags.get_string("outcomes-csv").c_str());
   }
 
   if (!flags.get_string("trace-csv").empty()) {
