@@ -10,6 +10,10 @@
 #   4. replaying it through sjs_sim reproduces the live outcomes
 #      byte-identically (diff of outcomes.csv).
 #
+# The gate runs twice: once against the single-threaded server and once
+# against the sharded plane (--shards=4, sjs_load --connections=4), where
+# step 3/4 apply to EVERY per-shard bundle <journal>/shard<k> independently.
+#
 # Usage: scripts/serve_smoke.sh   (BUILD_DIR overrides ./build)
 set -euo pipefail
 
@@ -29,53 +33,88 @@ cleanup() {
 }
 trap cleanup EXIT
 
-JOURNAL="$WORK/journal"
-SERVER_LOG="$WORK/server.log"
+# replay_bundle <bundle_dir> <tag>: bundle is complete, parseable, and
+# replays through sjs_sim to a byte-identical outcomes.csv.
+replay_bundle() {
+  local bundle="$1" tag="$2"
+  for f in jobs.csv capacity.csv band.csv meta.csv outcomes.csv; do
+    [ -s "$bundle/$f" ] || { echo "FAIL($tag): bundle missing $f" >&2; exit 1; }
+  done
+  local scheduler
+  scheduler="$(awk -F, '$1 == "scheduler" { print $2 }' "$bundle/meta.csv")"
+  "$SIM" --bundle="$bundle" --scheduler="$scheduler" \
+    --outcomes-csv="$WORK/replay_$tag.csv" > "$WORK/replay_$tag.log"
+  diff "$bundle/outcomes.csv" "$WORK/replay_$tag.csv" || {
+    echo "FAIL($tag): replay outcomes differ from the live session" >&2
+    exit 1
+  }
+  echo "replay bit-exact: $tag"
+}
 
-# accel=20: two wall seconds of load span 40 virtual seconds, so plenty of
-# jobs resolve while the session is still live.
-"$SERVE" --port=0 --journal="$JOURNAL" --accel=20 --metrics \
-  > "$SERVER_LOG" 2>&1 &
-SERVER_PID=$!
+# smoke_phase <tag> <journal_dir> <extra serve flags...> -- <extra load flags...>
+smoke_phase() {
+  local tag="$1" journal="$2"
+  shift 2
+  local serve_flags=()
+  while [ "$1" != "--" ]; do serve_flags+=("$1"); shift; done
+  shift
+  local load_flags=("$@")
+  local server_log="$WORK/server_$tag.log"
 
-PORT=""
-for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "$SERVER_LOG")"
-  [ -n "$PORT" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG" >&2; exit 1; }
-  sleep 0.1
+  # accel=20: two wall seconds of load span 40 virtual seconds, so plenty of
+  # jobs resolve while the session is still live.
+  "$SERVE" --port=0 --journal="$journal" --accel=20 --metrics \
+    "${serve_flags[@]}" > "$server_log" 2>&1 &
+  SERVER_PID=$!
+
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "$server_log")"
+    [ -n "$port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$server_log" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server never reported LISTENING" >&2; exit 1; }
+  echo "[$tag] server up on port $port (pid $SERVER_PID)"
+
+  "$LOAD" --port="$port" --duration=2 --rate=200 --linger=1 --seed=7 \
+    "${load_flags[@]}"
+
+  echo "[$tag] sending SIGTERM"
+  kill -TERM "$SERVER_PID"
+  local status=0
+  wait "$SERVER_PID" || status=$?
+  SERVER_PID=""
+  cat "$server_log"
+  [ "$status" -eq 0 ] || {
+    echo "FAIL($tag): server exited $status after SIGTERM" >&2; exit 1; }
+
+  COMPLETED="$(sed -n 's/^server: .* \([0-9]*\) completed.*/\1/p' "$server_log")"
+  [ -n "$COMPLETED" ] && [ "$COMPLETED" -gt 0 ] || {
+    echo "FAIL($tag): no completed jobs in server summary" >&2; exit 1; }
+
+  local metric
+  metric="$(awk '/server\.jobs_completed:/ { print $2 }' "$server_log")"
+  [ -n "$metric" ] && awk -v m="$metric" 'BEGIN { exit !(m > 0) }' || {
+    echo "FAIL($tag): server.jobs_completed metric missing or zero" >&2
+    exit 1
+  }
+}
+
+# --- Phase 1: single-threaded AdmissionServer (the original gate) ----------
+smoke_phase single "$WORK/journal" --
+replay_bundle "$WORK/journal" single
+SINGLE_COMPLETED="$COMPLETED"
+
+# --- Phase 2: sharded plane, 4 shards x 4 loadgen connections --------------
+smoke_phase sharded "$WORK/journal4" --shards=4 -- --connections=4
+for k in 0 1 2 3; do
+  replay_bundle "$WORK/journal4/shard$k" "shard$k"
 done
-[ -n "$PORT" ] || { echo "server never reported LISTENING" >&2; exit 1; }
-echo "server up on port $PORT (pid $SERVER_PID)"
-
-"$LOAD" --port="$PORT" --duration=2 --rate=200 --linger=1 --seed=7
-
-echo "sending SIGTERM"
-kill -TERM "$SERVER_PID"
-SERVER_STATUS=0
-wait "$SERVER_PID" || SERVER_STATUS=$?
-SERVER_PID=""
-cat "$SERVER_LOG"
-[ "$SERVER_STATUS" -eq 0 ] || {
-  echo "FAIL: server exited $SERVER_STATUS after SIGTERM" >&2; exit 1; }
-
-COMPLETED="$(sed -n 's/^server: .* \([0-9]*\) completed.*/\1/p' "$SERVER_LOG")"
-[ -n "$COMPLETED" ] && [ "$COMPLETED" -gt 0 ] || {
-  echo "FAIL: no completed jobs in server summary" >&2; exit 1; }
-
-METRIC="$(awk '/server\.jobs_completed:/ { print $2 }' "$SERVER_LOG")"
-[ -n "$METRIC" ] && awk -v m="$METRIC" 'BEGIN { exit !(m > 0) }' || {
-  echo "FAIL: server.jobs_completed metric missing or zero" >&2; exit 1; }
-
-for f in jobs.csv capacity.csv band.csv meta.csv outcomes.csv; do
-  [ -s "$JOURNAL/$f" ] || { echo "FAIL: journal missing $f" >&2; exit 1; }
+# The per-shard drain lines prove every shard carried traffic.
+for k in 0 1 2 3; do
+  grep -q "^shard $k drained:" "$WORK/server_sharded.log" || {
+    echo "FAIL: no drain summary for shard $k" >&2; exit 1; }
 done
 
-SCHEDULER="$(awk -F, '$1 == "scheduler" { print $2 }' "$JOURNAL/meta.csv")"
-"$SIM" --bundle="$JOURNAL" --scheduler="$SCHEDULER" \
-  --outcomes-csv="$WORK/replay_outcomes.csv" > "$WORK/replay.log"
-cat "$WORK/replay.log"
-diff "$JOURNAL/outcomes.csv" "$WORK/replay_outcomes.csv" || {
-  echo "FAIL: replay outcomes differ from the live session" >&2; exit 1; }
-
-echo "PASS: clean SIGTERM drain, $COMPLETED jobs completed, replay bit-exact"
+echo "PASS: clean SIGTERM drains ($SINGLE_COMPLETED single / $COMPLETED sharded completed), all replays bit-exact"

@@ -1,0 +1,237 @@
+// conc::Channel<T> — bounded MPSC channel with two-phase sends and a
+// close/drain state machine, designed to compose with poll(2) event loops.
+//
+// This is the ONLY sanctioned cross-thread traffic primitive for the serving
+// plane (the raw-concurrency lint rule bans std::thread/std::mutex/atomics
+// in src/serve/ and src/sched/ outside src/conc/ and util/thread_pool).
+//
+// Shape: a fixed ring of `capacity` slots, preallocated at construction —
+// steady state allocates nothing as long as T's move assignment does not.
+// Many producers, ONE consumer.
+//
+// Two-phase send protocol:
+//
+//   reserve()        claims the next ring slot (kFull when `capacity`
+//                    reservations are unconsumed, kClosed after close()).
+//   commit(res, v)   publishes the value into the claimed slot.
+//   abort(res)       relinquishes the claim without publishing.
+//   try_send(v)      reserve+commit in one call (the common case).
+//
+// Reserving fixes the message's delivery position *before* the value is
+// built: the consumer receives messages in reservation order, never in
+// commit-completion order. This is the deterministic tie-break contract — a
+// slot committed late still delivers in its reserved position, and the
+// consumer waits (kEmpty) rather than reordering around an unresolved
+// reservation. An aborted reservation is skipped silently but still spends
+// its position.
+//
+// Close/drain state machine:
+//
+//   open ──close()──▶ closed ──(all slots consumed)──▶ drained
+//
+// close() only refuses NEW reservations; outstanding reservations may still
+// commit or abort, and everything already in the ring stays deliverable.
+// The consumer keeps popping until try_pop returns kDrained — that is the
+// barrier that makes "close, then join" lossless.
+//
+// Wakeups: the channel owns a WakeFd (eventfd, self-pipe fallback). Any
+// transition the consumer may be parked on (commit, abort, close) signals
+// it; the consumer registers wake_fd() in its poll set and must
+// drain_wakeups() then pop until kEmpty/kDrained on every wakeup. A pending
+// flag coalesces signals so steady-state cost is one atomic exchange per
+// send and one syscall per consumer sleep/wake cycle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "conc/wake_fd.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::conc {
+
+// Namespace-scope so call sites and tests can name them without spelling
+// the channel's value type.
+enum class SendStatus : std::uint8_t {
+  kOk,      ///< reservation claimed / message enqueued
+  kFull,    ///< `capacity` reservations are unconsumed — backpressure
+  kClosed,  ///< close() was called; no new sends
+};
+
+enum class PopStatus : std::uint8_t {
+  kOk,       ///< a message was delivered
+  kEmpty,    ///< nothing deliverable right now (open, or awaiting commits)
+  kDrained,  ///< closed AND every reservation resolved and consumed
+};
+
+template <typename T>
+class Channel {
+ public:
+  /// A claimed-but-unresolved slot. Resolve with commit() or abort()
+  /// exactly once; dropping a valid reservation wedges the consumer at its
+  /// position (checked in debug via outstanding accounting at destruction).
+  struct Reservation {
+    std::uint64_t seq = 0;
+    bool valid = false;
+  };
+
+  explicit Channel(std::size_t capacity) : slots_(capacity) {
+    SJS_CHECK_MSG(capacity > 0, "Channel capacity must be positive");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // --- producer side (any thread) ----------------------------------------
+
+  /// Claims the next delivery position.
+  SendStatus reserve(Reservation& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return SendStatus::kClosed;
+    if (tail_ - head_ >= slots_.size()) return SendStatus::kFull;
+    Slot& s = slot(tail_);
+    SJS_CHECK_MSG(s.state == SlotState::kEmpty, "Channel ring corrupted");
+    s.state = SlotState::kReserved;
+    out.seq = tail_++;
+    out.valid = true;
+    return SendStatus::kOk;
+  }
+
+  /// Publishes `value` at the reserved position and invalidates `res`.
+  void commit(Reservation& res, T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SJS_CHECK_MSG(res.valid, "commit on an invalid reservation");
+      Slot& s = slot(res.seq);
+      SJS_CHECK_MSG(s.state == SlotState::kReserved,
+                    "commit on an unreserved slot");
+      s.value = std::move(value);
+      s.state = SlotState::kReady;
+      res.valid = false;
+    }
+    signal_consumer();
+  }
+
+  /// Relinquishes the reservation; the position is skipped on delivery.
+  void abort(Reservation& res) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SJS_CHECK_MSG(res.valid, "abort on an invalid reservation");
+      Slot& s = slot(res.seq);
+      SJS_CHECK_MSG(s.state == SlotState::kReserved,
+                    "abort on an unreserved slot");
+      s.state = SlotState::kAborted;
+      res.valid = false;
+    }
+    // An abort at the head can unblock already-committed successors.
+    signal_consumer();
+  }
+
+  /// reserve + commit. kFull/kClosed leave `value` unsent.
+  SendStatus try_send(T value) {
+    Reservation res;
+    const SendStatus st = reserve(res);
+    if (st != SendStatus::kOk) return st;
+    commit(res, std::move(value));
+    return SendStatus::kOk;
+  }
+
+  /// Refuses new reservations. Idempotent; callable from any thread.
+  /// Outstanding reservations still resolve, queued messages still deliver.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    signal_consumer();
+  }
+
+  // --- consumer side (one thread) -----------------------------------------
+
+  /// Delivers the next message in reservation order. kEmpty while the head
+  /// position is an unresolved reservation (in-order delivery never skips
+  /// ahead of one).
+  PopStatus try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (head_ != tail_) {
+      Slot& s = slot(head_);
+      if (s.state == SlotState::kReady) {
+        out = std::move(s.value);
+        s.value = T{};
+        s.state = SlotState::kEmpty;
+        ++head_;
+        return PopStatus::kOk;
+      }
+      if (s.state == SlotState::kAborted) {
+        s.state = SlotState::kEmpty;
+        ++head_;
+        continue;
+      }
+      return PopStatus::kEmpty;  // kReserved: wait for the producer
+    }
+    return closed_ ? PopStatus::kDrained : PopStatus::kEmpty;
+  }
+
+  /// The fd to include in the consumer's poll set (readable on wakeup).
+  int wake_fd() const { return wake_.fd(); }
+
+  /// Consumes pending wakeups and re-arms signalling. Call on every poll
+  /// wakeup BEFORE popping: a message committed after the final kEmpty then
+  /// re-signals the fd, so no transition is ever missed.
+  void drain_wakeups() {
+    wake_.drain();
+    signal_pending_.store(false, std::memory_order_release);
+  }
+
+  // --- introspection (either side; values are instantaneous) ---------------
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// closed AND fully consumed — the terminal state.
+  bool drained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && head_ == tail_;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Unconsumed reservations (committed, aborted, or pending).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::size_t>(tail_ - head_);
+  }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kReserved, kReady, kAborted };
+
+  struct Slot {
+    T value{};
+    SlotState state = SlotState::kEmpty;
+  };
+
+  Slot& slot(std::uint64_t seq) { return slots_[seq % slots_.size()]; }
+
+  void signal_consumer() {
+    // Coalesce: only the first signal after a drain pays the syscall.
+    if (!signal_pending_.exchange(true, std::memory_order_acq_rel)) {
+      wake_.signal();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::uint64_t head_ = 0;  // next position to consume (absolute)
+  std::uint64_t tail_ = 0;  // next position to reserve (absolute)
+  bool closed_ = false;
+  std::atomic<bool> signal_pending_{false};
+  WakeFd wake_;
+};
+
+}  // namespace sjs::conc

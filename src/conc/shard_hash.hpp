@@ -1,0 +1,38 @@
+// Deterministic job→shard hashing for the sharded admission plane.
+//
+// The acceptor assigns every submission a dense global ticket (0, 1, 2, …)
+// and routes it to shard `shard_of(ticket, nshards)`. The mapping is part of
+// the serving contract: it is pure, documented, and pinned by golden-value
+// tests (tests/conc_test.cpp), so a journal set produced by an N-shard
+// session can be reasoned about — and re-partitioned — offline. Changing
+// this function is a format break for multi-shard journal sets.
+//
+// splitmix64 is Sebastiano Vigna's public-domain finalizer (the SplitMix64
+// generator's output stage): a fixed-point-free bijection on u64 with full
+// avalanche, so consecutive tickets scatter uniformly across shards instead
+// of striping — a burst of arrivals lands on distinct shards with high
+// probability even when nshards shares factors with the arrival pattern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sjs::conc {
+
+/// SplitMix64 finalizer: bijective, avalanching u64 → u64.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The job→shard map: splitmix64 over the global ticket, reduced mod N.
+constexpr std::size_t shard_of(std::uint64_t ticket, std::size_t nshards) {
+  return nshards <= 1
+             ? 0
+             : static_cast<std::size_t>(splitmix64(ticket) %
+                                        static_cast<std::uint64_t>(nshards));
+}
+
+}  // namespace sjs::conc

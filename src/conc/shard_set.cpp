@@ -1,0 +1,24 @@
+#include "conc/shard_set.hpp"
+
+#include "util/logging.hpp"
+
+namespace sjs::conc {
+
+void ShardSet::spawn(std::size_t n, std::function<void(std::size_t)> body) {
+  SJS_CHECK_MSG(threads_.empty(), "ShardSet::spawn called twice");
+  SJS_CHECK_MSG(n > 0, "ShardSet needs at least one shard");
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back(body, i);
+  }
+}
+
+void ShardSet::join() {
+  if (joined_) return;
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+}
+
+}  // namespace sjs::conc

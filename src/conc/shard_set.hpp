@@ -1,0 +1,49 @@
+// conc::ShardSet — the thread-lifecycle half of the sharded runtime.
+//
+// Owns N shard threads, each running a caller-provided body with its shard
+// index. Deliberately tiny: channels carry all data (conc/channel.hpp), so
+// the ShardSet only has to guarantee the lifecycle contract of the sharded
+// admission plane:
+//
+//   spawn(n, body)  starts shards 0..n-1, in index order.
+//   join()          joins shard 0, then 1, … — DETERMINISTIC drain order.
+//                   The caller closes each shard's input channel first
+//                   (also in shard order); a body exits when its input
+//                   drains, so join() is the barrier after which every
+//                   shard's journal and result are safe to read from the
+//                   joining thread.
+//
+// The destructor joins too (RAII), but a body that never observes its
+// channel close would hang it — always close inputs before teardown.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sjs::conc {
+
+class ShardSet {
+ public:
+  ShardSet() = default;
+  ~ShardSet() { join(); }
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  /// Starts `n` shard threads running body(shard_index). Call once.
+  void spawn(std::size_t n, std::function<void(std::size_t)> body);
+
+  /// Joins every shard in index order. Idempotent.
+  void join();
+
+  std::size_t size() const { return threads_.size(); }
+  bool joined() const { return joined_; }
+
+ private:
+  std::vector<std::thread> threads_;
+  bool joined_ = false;
+};
+
+}  // namespace sjs::conc

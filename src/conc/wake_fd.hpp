@@ -1,0 +1,45 @@
+// WakeFd — a poll(2)-composable wakeup primitive (eventfd / self-pipe).
+//
+// The channel subsystem needs a way for a producer thread to rouse a
+// consumer that is parked in poll(2) over sockets: the producer signals,
+// the consumer sees the fd readable alongside its other fds, drains it, and
+// services the channel. On Linux this is one eventfd; elsewhere it degrades
+// to a nonblocking self-pipe pair. Either way the contract is identical:
+//
+//   signal()  — async-signal-unsafe but thread-safe; edge-coalescing (many
+//               signals before a drain still cost one wakeup). Never blocks:
+//               a full pipe simply means a wakeup is already pending.
+//   fd()      — the readable end, registered with poll/select by the ONE
+//               consumer thread.
+//   drain()   — consumer-side: consumes every pending wakeup so the fd stops
+//               polling readable until the next signal().
+//
+// Level-triggered consumers must drain() before re-polling or they spin.
+#pragma once
+
+namespace sjs::conc {
+
+class WakeFd {
+ public:
+  /// Opens the eventfd (or pipe pair). Throws std::runtime_error on failure.
+  WakeFd();
+  ~WakeFd();
+
+  WakeFd(const WakeFd&) = delete;
+  WakeFd& operator=(const WakeFd&) = delete;
+
+  /// Makes fd() readable. Thread-safe, nonblocking, coalescing.
+  void signal();
+
+  /// The readable end for the consumer's poll set.
+  int fd() const { return read_fd_; }
+
+  /// Consumes all pending wakeups (consumer thread only).
+  void drain();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  // == read_fd_ when backed by an eventfd
+};
+
+}  // namespace sjs::conc

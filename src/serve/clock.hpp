@@ -15,6 +15,8 @@
 // served in seconds (load tests) or in real time (production).
 #pragma once
 
+#include <atomic>
+
 #include "util/logging.hpp"
 
 namespace sjs::serve {
@@ -34,22 +36,28 @@ class SystemClock : public Clock {
   double now() override;
 };
 
-/// Manually driven clock for deterministic tests. Starts at 0.
+/// Manually driven clock for deterministic tests. Starts at 0. now() is
+/// safe to call from shard threads while the test driver advances the clock
+/// (the sharded admission plane reads one shared FakeClock from N+1
+/// threads); advance()/set() stay single-writer.
 class FakeClock : public Clock {
  public:
-  double now() override { return now_; }
+  double now() override { return now_.load(std::memory_order_acquire); }
 
   void advance(double dt) {
     SJS_CHECK_MSG(dt >= 0.0, "FakeClock cannot go backwards");
-    now_ += dt;
+    now_.store(now_.load(std::memory_order_relaxed) + dt,
+               std::memory_order_release);
   }
   void set(double t) {
-    SJS_CHECK_MSG(t >= now_, "FakeClock cannot go backwards");
-    now_ = t;
+    SJS_CHECK_MSG(t >= now_.load(std::memory_order_relaxed),
+                  "FakeClock cannot go backwards");
+    now_.store(t, std::memory_order_release);
   }
 
  private:
-  double now_ = 0.0;
+  // sjs-lint: allow(raw-concurrency): single-writer test clock read by N shard threads; a channel round-trip per now() would serialise shards on the driver
+  std::atomic<double> now_{0.0};
 };
 
 /// Maps wall time onto virtual simulation time:
@@ -72,6 +80,16 @@ class ClockBridge {
     epoch_ = clock_->now();
     started_ = true;
   }
+
+  /// Anchors virtual 0 at an externally captured epoch. The sharded plane
+  /// reads the clock ONCE at server start and hands the same epoch to the
+  /// acceptor's and every shard's bridge, so "virtual now" is one global
+  /// timeline instead of N slightly-skewed ones.
+  void start_at(double epoch) {
+    epoch_ = epoch;
+    started_ = true;
+  }
+
   bool started() const { return started_; }
 
   /// Current virtual time (>= 0, non-decreasing).

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace sjs::serve {
@@ -49,38 +50,66 @@ int connect_loopback(int port) {
   return fd;
 }
 
-}  // namespace
-
-LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
-  const int fd = connect_loopback(config.port);
-  Rng rng(config.seed);
-  LoadReport report;
+/// Everything the generator tracks for one socket. The generator stays
+/// single-threaded: one poll set covers every connection, so adding
+/// connections exercises the SERVER's concurrency, not the client's.
+struct Conn {
+  int fd = -1;
+  bool closed = false;
   FrameDecoder decoder;
-  std::vector<std::uint8_t> obuf;   // unsent output, opos = sent prefix
+  std::vector<std::uint8_t> obuf;  // unsent output, opos = sent prefix
   std::size_t opos = 0;
   std::map<std::uint64_t, PendingSubmit> by_seq;     // awaiting ack
   std::map<std::uint64_t, PendingSubmit> by_ticket;  // awaiting completion
   std::vector<double> ack_lat;
   std::vector<double> done_lat;
+  ConnReport report;
+};
+
+}  // namespace
+
+LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
+  SJS_CHECK_MSG(config.connections >= 1, "loadgen needs >= 1 connection");
+  const auto nconn = static_cast<std::size_t>(config.connections);
+  std::vector<Conn> conns(nconn);
+  for (Conn& c : conns) c.fd = connect_loopback(config.port);
+
+  Rng rng(config.seed);
+  LoadReport report;
+  std::vector<double> all_ack;
+  std::vector<double> all_done;
 
   const double start = clock.now();
   const double submit_end = start + config.duration_s;
   const double hard_end = submit_end + config.linger_s;
   double next_submit = start + rng.exponential_rate(config.arrival_rate);
   std::uint64_t next_seq = 1;
+  std::uint64_t submit_index = 0;  // round-robin cursor over connections
   bool drain_sent = false;
-  bool closed = false;
 
-  auto queue_frame = [&](const Message& m) {
-    append_frame(obuf, m);
+  const auto open_count = [&] {
+    std::size_t n = 0;
+    for (const Conn& c : conns) n += c.closed ? 0 : 1;
+    return n;
+  };
+  const auto settled = [&] {
+    // drain acked, every completion resolved, every queued byte flushed.
+    if (!report.drain_acked) return false;
+    for (const Conn& c : conns) {
+      if (c.closed) continue;
+      if (!c.by_ticket.empty() || c.opos != c.obuf.size()) return false;
+    }
+    return true;
   };
 
-  while (!closed) {
+  while (open_count() > 0) {
     const double now = clock.now();
     if (now >= hard_end) break;
     // Open-loop pacing: emit every submission whose arrival instant has
-    // passed, regardless of what the server answered so far.
+    // passed, regardless of what the server answered so far. Submissions
+    // round-robin over the connections.
     while (!drain_sent && now >= next_submit && next_submit < submit_end) {
+      Conn& c = conns[submit_index++ % nconn];
       Message m;
       m.type = MsgType::kSubmit;
       m.seq = next_seq++;
@@ -88,17 +117,22 @@ LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
       const double slack = rng.uniform(config.slack_min, config.slack_max);
       m.b = slack * m.a / config.c_lo;
       m.c = m.a * rng.uniform(1.0, config.k);  // density in [1, k]
-      queue_frame(m);
-      by_seq[m.seq] = PendingSubmit{now, m.c};
-      ++report.submitted;
-      report.submitted_value += m.c;
       next_submit += rng.exponential_rate(config.arrival_rate);
+      if (c.closed) continue;  // its share of arrivals is simply lost
+      append_frame(c.obuf, m);
+      c.by_seq[m.seq] = PendingSubmit{now, m.c};
+      ++c.report.submitted;
+      report.submitted_value += m.c;
     }
     if (config.send_drain && !drain_sent && now >= submit_end) {
       Message m;
       m.type = MsgType::kDrain;
       m.seq = next_seq++;
-      queue_frame(m);
+      for (Conn& c : conns) {  // first open connection carries the DRAIN
+        if (c.closed) continue;
+        append_frame(c.obuf, m);
+        break;
+      }
       drain_sent = true;
     }
 
@@ -108,113 +142,151 @@ LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
                         : std::max(0.0, next_submit - now);
     if (next_submit >= submit_end && !config.send_drain) wait_s = 0.01;
     wait_s = std::min(wait_s, std::max(0.0, hard_end - now));
-    pollfd pfd{fd, POLLIN, 0};
-    if (opos < obuf.size()) pfd.events |= POLLOUT;
     const int timeout_ms =
         static_cast<int>(std::ceil(std::min(wait_s, 0.05) * 1000.0));
-    ::poll(&pfd, 1, timeout_ms);
-
-    if (pfd.revents & POLLOUT) {
-      while (opos < obuf.size()) {
-        const ssize_t n = ::send(fd, obuf.data() + opos, obuf.size() - opos,
-                                 MSG_NOSIGNAL);
-        if (n > 0) {
-          opos += static_cast<std::size_t>(n);
-        } else {
-          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-              errno != EINTR) {
-            closed = true;
-          }
-          break;
-        }
-      }
-      if (opos == obuf.size()) {
-        obuf.clear();
-        opos = 0;
-      }
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfd_conn;
+    pfds.reserve(nconn);
+    for (std::size_t i = 0; i < nconn; ++i) {
+      Conn& c = conns[i];
+      if (c.closed) continue;
+      pollfd pfd{c.fd, POLLIN, 0};
+      if (c.opos < c.obuf.size()) pfd.events |= POLLOUT;
+      pfds.push_back(pfd);
+      pfd_conn.push_back(i);
     }
-    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
-      std::uint8_t rbuf[4096];
-      while (true) {
-        const ssize_t n = ::recv(fd, rbuf, sizeof(rbuf), 0);
-        if (n > 0) {
-          decoder.feed(rbuf, static_cast<std::size_t>(n));
-          if (n < static_cast<ssize_t>(sizeof(rbuf))) break;
-        } else if (n == 0) {
-          closed = true;
-          break;
-        } else {
-          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-            closed = true;
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      Conn& c = conns[pfd_conn[p]];
+      const short revents = pfds[p].revents;
+      if (revents & POLLOUT) {
+        while (c.opos < c.obuf.size()) {
+          const ssize_t n = ::send(c.fd, c.obuf.data() + c.opos,
+                                   c.obuf.size() - c.opos, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.opos += static_cast<std::size_t>(n);
+          } else {
+            if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != EINTR) {
+              c.closed = true;
+            }
+            break;
           }
-          break;
+        }
+        if (c.opos == c.obuf.size()) {
+          c.obuf.clear();
+          c.opos = 0;
         }
       }
-      Message m;
-      while (decoder.next(m) == FrameDecoder::Status::kOk) {
-        const double t = clock.now();
-        switch (m.type) {
-          case MsgType::kAccepted: {
-            const auto it = by_seq.find(m.seq);
-            if (it != by_seq.end()) {
-              ack_lat.push_back(t - it->second.sent_at);
-              report.admitted_value += it->second.value;
-              by_ticket[m.ticket] = it->second;
-              by_seq.erase(it);
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        std::uint8_t rbuf[4096];
+        while (true) {
+          const ssize_t n = ::recv(c.fd, rbuf, sizeof(rbuf), 0);
+          if (n > 0) {
+            c.decoder.feed(rbuf, static_cast<std::size_t>(n));
+            if (n < static_cast<ssize_t>(sizeof(rbuf))) break;
+          } else if (n == 0) {
+            c.closed = true;
+            break;
+          } else {
+            if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+              c.closed = true;
             }
-            ++report.accepted;
             break;
           }
-          case MsgType::kRejected: {
-            const auto it = by_seq.find(m.seq);
-            if (it != by_seq.end()) {
-              ack_lat.push_back(t - it->second.sent_at);
-              by_seq.erase(it);
+        }
+        Message m;
+        while (c.decoder.next(m) == FrameDecoder::Status::kOk) {
+          const double t = clock.now();
+          switch (m.type) {
+            case MsgType::kAccepted: {
+              const auto it = c.by_seq.find(m.seq);
+              if (it != c.by_seq.end()) {
+                c.ack_lat.push_back(t - it->second.sent_at);
+                report.admitted_value += it->second.value;
+                c.by_ticket[m.ticket] = it->second;
+                c.by_seq.erase(it);
+              }
+              ++c.report.accepted;
+              break;
             }
-            ++report.rejected;
-            break;
-          }
-          case MsgType::kShed: {
-            const auto it = by_seq.find(m.seq);
-            if (it != by_seq.end()) {
-              ack_lat.push_back(t - it->second.sent_at);
-              by_seq.erase(it);
+            case MsgType::kRejected: {
+              const auto it = c.by_seq.find(m.seq);
+              if (it != c.by_seq.end()) {
+                c.ack_lat.push_back(t - it->second.sent_at);
+                c.by_seq.erase(it);
+              }
+              ++c.report.rejected;
+              break;
             }
-            ++report.shed;
-            break;
-          }
-          case MsgType::kCompleted: {
-            const auto it = by_ticket.find(m.ticket);
-            if (it != by_ticket.end()) {
-              done_lat.push_back(t - it->second.sent_at);
-              by_ticket.erase(it);
+            case MsgType::kShed: {
+              const auto it = c.by_seq.find(m.seq);
+              if (it != c.by_seq.end()) {
+                c.ack_lat.push_back(t - it->second.sent_at);
+                c.by_seq.erase(it);
+              }
+              ++c.report.shed;
+              break;
             }
-            ++report.completed;
-            report.completed_value += m.a;
-            break;
+            case MsgType::kCompleted: {
+              const auto it = c.by_ticket.find(m.ticket);
+              if (it != c.by_ticket.end()) {
+                c.done_lat.push_back(t - it->second.sent_at);
+                c.by_ticket.erase(it);
+              }
+              ++c.report.completed;
+              report.completed_value += m.a;
+              break;
+            }
+            case MsgType::kExpired: {
+              c.by_ticket.erase(m.ticket);
+              ++c.report.expired;
+              break;
+            }
+            case MsgType::kDraining:
+              report.drain_acked = true;
+              break;
+            default:
+              break;  // kQueryReply/kStatsReply/kCancelled: not used here
           }
-          case MsgType::kExpired: {
-            by_ticket.erase(m.ticket);
-            ++report.expired;
-            break;
-          }
-          case MsgType::kDraining:
-            report.drain_acked = true;
-            break;
-          default:
-            break;  // kQueryReply/kStatsReply/kCancelled: not used here
         }
       }
     }
     // After a drain ack, the server resolves everything immediately; once no
     // completions are outstanding there is nothing left to wait for.
-    if (report.drain_acked && by_ticket.empty() && opos == obuf.size()) break;
+    if (settled()) break;
   }
-  ::close(fd);
-  report.ack_latency = summarize(ack_lat);
-  report.completion_latency = summarize(done_lat);
+  for (Conn& c : conns) ::close(c.fd);
+
+  for (Conn& c : conns) {
+    c.report.ack_latency = summarize(c.ack_lat);
+    c.report.completion_latency = summarize(c.done_lat);
+    report.submitted += c.report.submitted;
+    report.accepted += c.report.accepted;
+    report.rejected += c.report.rejected;
+    report.shed += c.report.shed;
+    report.completed += c.report.completed;
+    report.expired += c.report.expired;
+    all_ack.insert(all_ack.end(), c.ack_lat.begin(), c.ack_lat.end());
+    all_done.insert(all_done.end(), c.done_lat.begin(), c.done_lat.end());
+    report.connections.push_back(std::move(c.report));
+  }
+  report.ack_latency = summarize(all_ack);
+  report.completion_latency = summarize(all_done);
   return report;
 }
+
+namespace {
+
+void append_latencies(std::ostringstream& os, const char* label,
+                      const Summary& s) {
+  if (s.count == 0) return;
+  os << "\n" << label << " (ms): p50 " << s.median * 1e3 << ", p95 "
+     << s.p95 * 1e3 << ", p99 " << s.p99 * 1e3 << ", max " << s.max * 1e3;
+}
+
+}  // namespace
 
 std::string LoadReport::to_string() const {
   std::ostringstream os;
@@ -232,6 +304,16 @@ std::string LoadReport::to_string() const {
     os << "\ncompletion latency (ms): p50 " << completion_latency.median * 1e3
        << ", p95 " << completion_latency.p95 * 1e3 << ", p99 "
        << completion_latency.p99 * 1e3;
+  }
+  if (connections.size() > 1) {
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      const ConnReport& c = connections[i];
+      os << "\nconn " << i << ": submitted " << c.submitted << ", accepted "
+         << c.accepted << ", rejected " << c.rejected << ", shed " << c.shed
+         << ", completed " << c.completed << ", expired " << c.expired;
+      append_latencies(os, "  ack latency", c.ack_latency);
+      append_latencies(os, "  completion latency", c.completion_latency);
+    }
   }
   return os.str();
 }

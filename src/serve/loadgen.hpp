@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/clock.hpp"
 #include "stats/summary.hpp"
@@ -31,6 +32,19 @@ struct LoadGenConfig {
   double k = 7.0;                ///< value density ~ U[1, k]
   std::uint64_t seed = 1;
   bool send_drain = false;       ///< send DRAIN after the last submission
+  int connections = 1;           ///< sockets; submissions round-robin over them
+};
+
+/// Per-connection slice of a load run (LoadReport::connections).
+struct ConnReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  Summary ack_latency;
+  Summary completion_latency;
 };
 
 struct LoadReport {
@@ -52,12 +66,17 @@ struct LoadReport {
 
   Summary ack_latency;         ///< wall s, SUBMIT → ACCEPTED/REJECTED/SHED
   Summary completion_latency;  ///< wall s, SUBMIT → COMPLETED
+  /// Per-connection breakdown, index = connection number (round-robin
+  /// position). Size = LoadGenConfig::connections.
+  std::vector<ConnReport> connections;
 
   std::string to_string() const;
 };
 
-/// Connects to 127.0.0.1:port and runs the configured load. Throws
-/// std::runtime_error when the connection cannot be established.
+/// Opens `config.connections` sockets to 127.0.0.1:port and runs the
+/// configured load round-robin over them (still single-threaded: one poll
+/// set, so extra connections stress the server, not the client). Throws
+/// std::runtime_error when a connection cannot be established.
 LoadReport run_load(const LoadGenConfig& config, Clock& clock);
 
 }  // namespace sjs::serve

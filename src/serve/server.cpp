@@ -41,6 +41,7 @@ AdmissionServer::AdmissionServer(ServerConfig config,
                 config_.c_hi > 0.0 ? config_.c_hi
                                    : config_.capacity.max_rate()),
       engine_(instance_, *scheduler_),
+      gate_(instance_.c_lo(), config_.admission_check, config_.max_in_flight),
       bridge_(clock, config_.accel),
       loop_(*this),
       metrics_(metrics) {
@@ -90,16 +91,6 @@ const std::string& AdmissionServer::journal_dir() const {
 
 std::vector<obs::TraceEvent> AdmissionServer::recent_trace() const {
   return ring_ ? ring_->events() : std::vector<obs::TraceEvent>{};
-}
-
-double AdmissionServer::stamp() {
-  double t = std::max(bridge_.virtual_now(), engine_.now());
-  if (t <= last_stamp_) {
-    t = std::nextafter(last_stamp_,
-                       std::numeric_limits<double>::infinity());
-  }
-  last_stamp_ = t;
-  return t;
 }
 
 void AdmissionServer::pump_engine() {
@@ -306,47 +297,25 @@ void AdmissionServer::handle_submit(int conn, const Message& m) {
   count(kCtrSubmitted);
   Message r;
   r.seq = m.seq;
-  if (draining_) {
+  const AdmissionGate::Decision verdict =
+      gate_.evaluate(m.a, m.b, m.c, bridge_.virtual_now(), engine_.now(),
+                     draining_, stats_.in_flight);
+  if (verdict.reply == MsgType::kRejected) {
     ++stats_.rejected;
     count(kCtrRejected);
     r.type = MsgType::kRejected;
-    r.code = static_cast<std::uint8_t>(RejectReason::kDraining);
+    r.code = static_cast<std::uint8_t>(verdict.reason);
     reply(conn, r);
     return;
   }
-  if (stats_.in_flight >= config_.max_in_flight) {
+  if (verdict.reply == MsgType::kShed) {
     ++stats_.shed;
     count(kCtrShed);
     r.type = MsgType::kShed;
     reply(conn, r);
     return;
   }
-  const double workload = m.a;
-  const double rel_deadline = m.b;
-  const double value = m.c;
-  Job job;
-  job.release = stamp();
-  job.workload = workload;
-  job.deadline = job.release + rel_deadline;
-  job.value = value;
-  if (!std::isfinite(workload) || !std::isfinite(rel_deadline) ||
-      !std::isfinite(value) || !job.valid()) {
-    ++stats_.rejected;
-    count(kCtrRejected);
-    r.type = MsgType::kRejected;
-    r.code = static_cast<std::uint8_t>(RejectReason::kInvalid);
-    reply(conn, r);
-    return;
-  }
-  if (config_.admission_check &&
-      !job.individually_admissible(instance_.c_lo())) {
-    ++stats_.rejected;
-    count(kCtrRejected);
-    r.type = MsgType::kRejected;
-    r.code = static_cast<std::uint8_t>(RejectReason::kInadmissible);
-    reply(conn, r);
-    return;
-  }
+  const Job& job = verdict.job;
   const JobId id = instance_.append_job(job);
   engine_.admit_live(id);
   if (journal_) journal_->record_admit(instance_.job(id));

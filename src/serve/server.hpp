@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/ring_buffer.hpp"
 #include "obs/trace_sink.hpp"
+#include "serve/admission.hpp"
 #include "serve/clock.hpp"
 #include "serve/event_loop.hpp"
 #include "serve/journal.hpp"
@@ -56,6 +57,12 @@ struct ServerConfig {
   std::size_t max_write_buffer = 1 << 18;
   bool admission_check = true;     ///< Thm. 3(3) rejection at the door
   std::size_t trace_ring = 0;      ///< >0: keep the last N trace events
+
+  // Sharded plane only (serve/sharded_server.hpp); AdmissionServer ignores
+  // these.
+  std::size_t shards = 1;              ///< engine shards behind the acceptor
+  std::size_t channel_capacity = 1024; ///< per-shard request channel slots
+  int shard_poll_ms = 50;              ///< shard idle-poll cap (wall ms)
 };
 
 class AdmissionServer final : public EventLoop::Handler {
@@ -142,8 +149,6 @@ class AdmissionServer final : public EventLoop::Handler {
   void handle_cancel(int conn, const Message& m);
   void handle_query(int conn, const Message& m);
   void reply(int conn, const Message& m);
-  /// Strictly-increasing virtual admission stamp.
-  double stamp();
   /// Advances virtual time to the bridge's now and ships notifications.
   void pump_engine();
   void dispatch_notifications();
@@ -157,6 +162,7 @@ class AdmissionServer final : public EventLoop::Handler {
   std::unique_ptr<sim::Scheduler> scheduler_;
   Instance instance_;
   sim::Engine engine_;
+  AdmissionGate gate_;
   ClockBridge bridge_;
   EventLoop loop_;
   std::unique_ptr<Journal> journal_;
@@ -172,7 +178,6 @@ class AdmissionServer final : public EventLoop::Handler {
   std::vector<Route> routes_;            // indexed by JobId
   std::vector<int> shutdown_fds_;
 
-  double last_stamp_ = -1.0;
   bool started_ = false;
   bool draining_ = false;
   bool finalized_ = false;

@@ -1,0 +1,315 @@
+#include "serve/shard_worker.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace sjs::serve {
+
+namespace {
+
+// Per-shard labels for the server.* family: shard k publishes
+// "<base>.shard<k>" into its own thread-local metrics shard. The plain
+// (unsuffixed) names are counted once by the acceptor, so a registry
+// snapshot shows both the rollup and the per-shard breakdown without
+// double counting.
+constexpr const char* kCtrAccepted = "server.jobs_accepted";
+constexpr const char* kCtrRejected = "server.jobs_rejected";
+constexpr const char* kCtrShed = "server.jobs_shed";
+constexpr const char* kCtrCompleted = "server.jobs_completed";
+constexpr const char* kCtrExpired = "server.jobs_expired";
+constexpr const char* kCtrCancelled = "server.jobs_cancelled";
+constexpr const char* kGaugeInFlightPeak = "server.in_flight_peak";
+
+}  // namespace
+
+ShardWorker::ShardWorker(const ServerConfig& config, std::size_t shard_index,
+                         std::unique_ptr<sim::Scheduler> scheduler,
+                         Clock& clock, obs::MetricsRegistry* metrics)
+    : config_(config),
+      shard_index_(shard_index),
+      scheduler_(std::move(scheduler)),
+      instance_(std::vector<Job>{}, config_.capacity,
+                config_.c_lo > 0.0 ? config_.c_lo
+                                   : config_.capacity.min_rate(),
+                config_.c_hi > 0.0 ? config_.c_hi
+                                   : config_.capacity.max_rate()),
+      engine_(instance_, *scheduler_),
+      gate_(instance_.c_lo(), config_.admission_check, config_.max_in_flight),
+      bridge_(clock, config_.accel),
+      metrics_(metrics),
+      requests_(config_.channel_capacity),
+      // Sized so a healthy plane never fills it: every request in the input
+      // channel yields at most one direct reply, and at most max_in_flight
+      // admitted jobs can have an unshipped terminal notification at once.
+      // push_reply still tolerates overflow (it waits) for the stalled-
+      // acceptor corner, where notifications can transiently exceed this.
+      replies_(config_.channel_capacity + config_.max_in_flight + 8),
+      metric_suffix_(".shard" + std::to_string(shard_index)) {
+  tee_.add(&notifications_);
+  if (!config_.journal_dir.empty()) {
+    Journal::Meta meta;
+    meta.scheduler = config_.scheduler_name;
+    meta.accel = config_.accel;
+    meta.admission_check = config_.admission_check;
+    const std::string dir =
+        (std::filesystem::path(config_.journal_dir) /
+         ("shard" + std::to_string(shard_index))).string();
+    journal_ = std::make_unique<Journal>(dir, instance_.capacity(),
+                                         instance_.c_lo(), instance_.c_hi(),
+                                         meta);
+  }
+}
+
+ShardWorker::~ShardWorker() = default;
+
+const std::string& ShardWorker::journal_dir() const {
+  static const std::string empty;
+  return journal_ ? journal_->dir() : empty;
+}
+
+void ShardWorker::run(double epoch) {
+  bridge_.start_at(epoch);
+  if (metrics_) {
+    // The metrics shard must belong to THIS thread; obtaining it in the
+    // constructor would alias the spawning thread's accumulator.
+    trace_bridge_ =
+        std::make_unique<obs::TraceMetricsBridge>(metrics_->local());
+    tee_.add(trace_bridge_.get());
+  }
+  engine_.attach_trace(&tee_);
+  engine_.begin_live();
+
+  while (true) {
+    pump_engine();
+    ShardRequest req;
+    bool drained = false;
+    while (true) {
+      const auto st = requests_.try_pop(req);
+      if (st == conc::PopStatus::kOk) {
+        handle(req);
+      } else {
+        drained = (st == conc::PopStatus::kDrained);
+        break;
+      }
+    }
+    if (drained) break;
+    pump_engine();
+    // Park until the next simulated event is due or the acceptor signals.
+    int timeout = config_.shard_poll_ms;
+    const double next = engine_.next_event_time();
+    if (std::isfinite(next)) {
+      const double wall_s = bridge_.wall_until(next);
+      const double ms = std::ceil(std::max(0.0, wall_s) * 1000.0);
+      timeout = static_cast<int>(
+          std::min<double>(ms, static_cast<double>(timeout)));
+    }
+    struct pollfd pfd;
+    pfd.fd = requests_.wake_fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    ::poll(&pfd, 1, timeout);
+    if ((pfd.revents & POLLIN) != 0) requests_.drain_wakeups();
+  }
+
+  pump_engine();
+  finalize();
+  replies_.close();
+}
+
+void ShardWorker::pump_engine() {
+  engine_.advance_to(std::max(bridge_.virtual_now(), engine_.now()));
+  dispatch_notifications();
+}
+
+void ShardWorker::handle(const ShardRequest& req) {
+  switch (req.kind) {
+    case ShardRequest::Kind::kSubmit:
+      handle_submit(req);
+      return;
+    case ShardRequest::Kind::kCancel:
+      handle_cancel(req);
+      return;
+    case ShardRequest::Kind::kQuery:
+      handle_query(req);
+      return;
+  }
+  SJS_CHECK_MSG(false, "unreachable: unknown ShardRequest kind");
+}
+
+void ShardWorker::handle_submit(const ShardRequest& req) {
+  ++stats_.submitted;
+  Message r;
+  r.seq = req.seq;
+  // Drain refusal happens at the acceptor (it stops forwarding before
+  // closing the channel), so draining is always false here.
+  const AdmissionGate::Decision verdict =
+      gate_.evaluate(req.workload, req.rel_deadline, req.value,
+                     bridge_.virtual_now(), engine_.now(),
+                     /*draining=*/false, stats_.in_flight);
+  if (verdict.reply == MsgType::kRejected) {
+    ++stats_.rejected;
+    count(kCtrRejected);
+    r.type = MsgType::kRejected;
+    r.code = static_cast<std::uint8_t>(verdict.reason);
+    push_reply(req.conn, req.gen, r);
+    return;
+  }
+  if (verdict.reply == MsgType::kShed) {
+    ++stats_.shed;
+    count(kCtrShed);
+    r.type = MsgType::kShed;
+    push_reply(req.conn, req.gen, r);
+    return;
+  }
+  const Job& job = verdict.job;
+  const JobId id = instance_.append_job(job);
+  engine_.admit_live(id);
+  if (journal_) journal_->record_admit(instance_.job(id));
+  Route route;
+  route.conn = req.conn;
+  route.gen = req.gen;
+  route.seq = req.seq;
+  route.ticket = req.ticket;
+  routes_.push_back(route);
+  tickets_.push_back(req.ticket);
+  by_ticket_[req.ticket] = id;
+  SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
+  ++stats_.accepted;
+  stats_.admitted_value += job.value;
+  ++stats_.in_flight;
+  in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
+  count(kCtrAccepted);
+  r.type = MsgType::kAccepted;
+  r.ticket = req.ticket;
+  r.a = job.release;
+  push_reply(req.conn, req.gen, r);
+}
+
+void ShardWorker::handle_cancel(const ShardRequest& req) {
+  Message r;
+  r.seq = req.seq;
+  r.ticket = req.ticket;
+  const auto it = by_ticket_.find(req.ticket);
+  const bool known =
+      it != by_ticket_.end() &&
+      !routes_[static_cast<std::size_t>(it->second)].cancelled;
+  if (known && engine_.cancel_live(it->second)) {
+    routes_[static_cast<std::size_t>(it->second)].cancelled = true;
+    ++stats_.cancelled;
+    count(kCtrCancelled);
+    if (journal_) journal_->record_cancel(engine_.now(), it->second);
+    r.type = MsgType::kCancelled;
+    push_reply(req.conn, req.gen, r);
+    // cancel_live raised a kExpire notification; translate it now so the
+    // in-flight count is current before the next admission decision.
+    dispatch_notifications();
+  } else {
+    r.type = MsgType::kCancelFailed;
+    push_reply(req.conn, req.gen, r);
+  }
+}
+
+void ShardWorker::handle_query(const ShardRequest& req) {
+  Message r;
+  r.type = MsgType::kQueryReply;
+  r.seq = req.seq;
+  r.ticket = req.ticket;
+  const auto it = by_ticket_.find(req.ticket);
+  if (it == by_ticket_.end()) {
+    r.code = static_cast<std::uint8_t>(JobState::kUnknown);
+  } else {
+    const JobId id = it->second;
+    if (engine_.is_completed(id)) {
+      r.code = static_cast<std::uint8_t>(JobState::kCompleted);
+    } else if (engine_.is_expired(id)) {
+      r.code = static_cast<std::uint8_t>(JobState::kExpired);
+    } else if (engine_.running() == id) {
+      r.code = static_cast<std::uint8_t>(JobState::kRunning);
+      r.a = engine_.remaining(id);
+    } else {
+      r.code = static_cast<std::uint8_t>(JobState::kQueued);
+      r.a = engine_.is_released(id) ? engine_.remaining(id)
+                                    : engine_.job(id).workload;
+    }
+  }
+  push_reply(req.conn, req.gen, r);
+}
+
+void ShardWorker::dispatch_notifications() {
+  for (const obs::TraceEvent& ev : notifications_.take()) {
+    const auto id = static_cast<std::size_t>(ev.job);
+    if (id >= routes_.size()) continue;
+    Route& route = routes_[id];
+    Message note;
+    note.ticket = route.ticket;
+    note.seq = route.seq;
+    if (ev.kind == obs::TraceKind::kComplete) {
+      ++stats_.completed;
+      stats_.completed_value += ev.a;
+      count(kCtrCompleted);
+      note.type = MsgType::kCompleted;
+      note.a = ev.a;
+      note.b = ev.time;
+    } else {
+      if (route.cancelled) {
+        // The client already got kCancelled; the forced expiry is internal.
+        --stats_.in_flight;
+        continue;
+      }
+      ++stats_.expired;
+      count(kCtrExpired);
+      note.type = MsgType::kExpired;
+      note.b = ev.time;
+    }
+    --stats_.in_flight;
+    // Ship unconditionally; the acceptor drops it if the connection died.
+    push_reply(route.conn, route.gen, note);
+  }
+}
+
+void ShardWorker::finalize() {
+  result_ = engine_.finish_live();
+  result_.scheduler_name = config_.scheduler_name;
+  dispatch_notifications();
+  if (journal_) {
+    save_outcomes_csv(result_, instance_.jobs(),
+                      (std::filesystem::path(journal_->dir()) /
+                       "outcomes.csv").string());
+    journal_->close();
+  }
+  stats_.virtual_now = engine_.now();
+  if (metrics_) {
+    metrics_->local().set_gauge(kGaugeInFlightPeak + metric_suffix_,
+                                static_cast<double>(in_flight_peak_));
+  }
+}
+
+void ShardWorker::push_reply(int conn, std::uint64_t gen, const Message& msg) {
+  ShardReply rep;
+  rep.conn = conn;
+  rep.gen = gen;
+  rep.msg = msg;
+  // The reply channel is sized for the steady state; it can only fill when
+  // the acceptor stops draining for a while. Waiting here is deadlock-free:
+  // the acceptor never blocks on our request channel (a full channel sheds),
+  // so it always returns to its poll loop and consumes replies.
+  while (true) {
+    const conc::SendStatus st = replies_.try_send(rep);
+    if (st == conc::SendStatus::kOk) return;
+    SJS_CHECK_MSG(st != conc::SendStatus::kClosed,
+                  "shard reply channel closed while serving");
+    ::poll(nullptr, 0, 1);
+  }
+}
+
+void ShardWorker::count(const char* name, double delta) {
+  if (metrics_) metrics_->local().count(name + metric_suffix_, delta);
+}
+
+}  // namespace sjs::serve

@@ -1,0 +1,168 @@
+// ShardWorker — one engine shard of the sharded admission plane.
+//
+// Each shard is the single-threaded AdmissionServer core with the socket
+// layer cut off: a private Instance + live-mode sim::Engine + scheduler +
+// AdmissionGate + ClockBridge + append-only Journal, owned exclusively by
+// one thread. The acceptor (serve/sharded_server.hpp) feeds it decoded
+// requests through a bounded conc::Channel<ShardRequest> and reads fully
+// formed protocol replies back from a conc::Channel<ShardReply>; the shard
+// never touches a socket and the acceptor never touches an engine, so the
+// only shared state in the whole plane is the two channels.
+//
+// Identity contract: a shard runs the IDENTICAL admission sequence as
+// AdmissionServer (both call AdmissionGate::evaluate, stamps consumed in
+// the same places), journals to its own bundle directory
+// (`<journal>/shard<k>`), and its journal replays bit-exactly through
+// `sjs_sim --bundle=<journal>/shard<k>` — per shard, independently.
+//
+// Tickets: the acceptor assigns dense global tickets and routes by
+// conc::shard_of(ticket, n). The shard maps global tickets to its dense
+// local JobIds (the journal speaks local ids, keeping each shard bundle
+// self-contained); every reply and notification carries the GLOBAL ticket.
+//
+// Lifecycle: run() serves until the request channel drains (the acceptor
+// closes it on DRAIN/SIGTERM), then finalises — Engine::finish_live,
+// final notifications, outcomes.csv, journal close — and closes the reply
+// channel. The acceptor joins the thread only after the reply channel
+// reports drained, so result()/instance()/stats() are safe to read
+// post-join without any further synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conc/channel.hpp"
+#include "jobs/instance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::serve {
+
+/// One decoded request forwarded from the acceptor to a shard. `conn`,
+/// `gen` and `seq` are opaque routing state echoed back in replies; the
+/// shard interprets only `kind`, `ticket` and the payload doubles.
+struct ShardRequest {
+  enum class Kind : std::uint8_t { kSubmit = 1, kCancel = 2, kQuery = 3 };
+  Kind kind = Kind::kSubmit;
+  int conn = -1;
+  std::uint64_t gen = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ticket = 0;   ///< global ticket (submit: acceptor-assigned)
+  double workload = 0.0;      ///< kSubmit: p
+  double rel_deadline = 0.0;  ///< kSubmit: d − r
+  double value = 0.0;         ///< kSubmit: v
+};
+
+/// A fully formed protocol message plus its connection route. The acceptor
+/// checks conn liveness/generation at send time (the shard cannot know).
+struct ShardReply {
+  int conn = -1;
+  std::uint64_t gen = 0;
+  Message msg;
+};
+
+class ShardWorker {
+ public:
+  /// `config.journal_dir`, when set, is the PLANE's journal root; shard k
+  /// journals to `<root>/shard<k>`. The clock is shared across the plane;
+  /// run() anchors this shard's bridge at the epoch captured once by the
+  /// acceptor. `metrics` may be nullptr.
+  ShardWorker(const ServerConfig& config, std::size_t shard_index,
+              std::unique_ptr<sim::Scheduler> scheduler, Clock& clock,
+              obs::MetricsRegistry* metrics);
+  ~ShardWorker();
+
+  conc::Channel<ShardRequest>& requests() { return requests_; }
+  conc::Channel<ShardReply>& replies() { return replies_; }
+
+  /// Thread body: serves until the request channel drains, finalises, then
+  /// closes the reply channel. `epoch` is the plane-wide clock reading.
+  void run(double epoch);
+
+  // Safe to read only after the owning thread has been joined:
+  const sim::SimResult& result() const { return result_; }
+  const Instance& instance() const { return instance_; }
+  const std::string& journal_dir() const;
+  const StatsBody& stats() const { return stats_; }
+  /// Global ticket for each local JobId (index = local id).
+  const std::vector<std::uint64_t>& tickets() const { return tickets_; }
+
+ private:
+  /// Where to route a job's COMPLETED/EXPIRED notification (local-id
+  /// indexed, global ticket remembered for the wire).
+  struct Route {
+    int conn = -1;
+    std::uint64_t gen = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t ticket = 0;
+    bool cancelled = false;
+  };
+
+  /// Captures kComplete/kExpire events raised inside the engine (same shape
+  /// as AdmissionServer's sink; per-shard, single-threaded).
+  class NotificationSink final : public obs::TraceSink {
+   public:
+    void record(const obs::TraceEvent& event) override {
+      if (event.kind == obs::TraceKind::kComplete ||
+          event.kind == obs::TraceKind::kExpire) {
+        pending_.push_back(event);
+      }
+    }
+    std::vector<obs::TraceEvent> take() { return std::move(pending_); }
+
+   private:
+    std::vector<obs::TraceEvent> pending_;
+  };
+
+  void handle(const ShardRequest& req);
+  void handle_submit(const ShardRequest& req);
+  void handle_cancel(const ShardRequest& req);
+  void handle_query(const ShardRequest& req);
+  /// Advances virtual time to the bridge's now and ships notifications.
+  void pump_engine();
+  void dispatch_notifications();
+  void finalize();
+  /// Commits a reply, waiting out transient fullness (see .cpp for why this
+  /// cannot deadlock).
+  void push_reply(int conn, std::uint64_t gen, const Message& msg);
+  void count(const char* name, double delta = 1.0);
+
+  ServerConfig config_;
+  std::size_t shard_index_;
+  std::unique_ptr<sim::Scheduler> scheduler_;
+  Instance instance_;
+  sim::Engine engine_;
+  AdmissionGate gate_;
+  ClockBridge bridge_;
+  std::unique_ptr<Journal> journal_;
+  obs::MetricsRegistry* metrics_;
+
+  NotificationSink notifications_;
+  obs::TeeSink tee_;
+  std::unique_ptr<obs::TraceMetricsBridge> trace_bridge_;
+
+  conc::Channel<ShardRequest> requests_;
+  conc::Channel<ShardReply> replies_;
+
+  std::vector<Route> routes_;                 // indexed by local JobId
+  std::map<std::uint64_t, JobId> by_ticket_;  // global → local
+  std::vector<std::uint64_t> tickets_;        // local → global
+
+  std::string metric_suffix_;  // ".shard<k>" — per-shard counter labels
+  StatsBody stats_{};
+  std::uint64_t in_flight_peak_ = 0;
+  sim::SimResult result_;
+};
+
+}  // namespace sjs::serve

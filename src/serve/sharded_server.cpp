@@ -1,0 +1,381 @@
+#include "serve/sharded_server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "conc/shard_hash.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::serve {
+
+namespace {
+
+// Plain server.* names — counted exactly once, by the acceptor (shards
+// publish only the ".shard<k>"-suffixed breakdowns; see shard_worker.cpp).
+constexpr const char* kCtrSubmitted = "server.jobs_submitted";
+constexpr const char* kCtrAccepted = "server.jobs_accepted";
+constexpr const char* kCtrRejected = "server.jobs_rejected";
+constexpr const char* kCtrShed = "server.jobs_shed";
+constexpr const char* kCtrCompleted = "server.jobs_completed";
+constexpr const char* kCtrExpired = "server.jobs_expired";
+constexpr const char* kCtrCancelled = "server.jobs_cancelled";
+constexpr const char* kCtrConnections = "server.connections";
+constexpr const char* kCtrMalformed = "server.malformed_frames";
+constexpr const char* kCtrOverflows = "server.write_overflows";
+constexpr const char* kGaugeInFlightPeak = "server.in_flight_peak";
+constexpr const char* kGaugeWriteBufPeak = "server.write_buffer_peak";
+
+}  // namespace
+
+ShardedAdmissionServer::ShardedAdmissionServer(ServerConfig config,
+                                               SchedulerFactory make_scheduler,
+                                               Clock& clock,
+                                               obs::MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      make_scheduler_(std::move(make_scheduler)),
+      clock_(&clock),
+      bridge_(clock, config_.accel),
+      loop_(*this),
+      metrics_(metrics) {
+  SJS_CHECK_MSG(config_.shards >= 1, "sharded server needs >= 1 shard");
+  SJS_CHECK_MSG(static_cast<bool>(make_scheduler_),
+                "sharded server needs a scheduler factory");
+  loop_.set_max_write_buffer(config_.max_write_buffer);
+}
+
+ShardedAdmissionServer::~ShardedAdmissionServer() {
+  // A still-serving plane must not hang the destructor: close the inputs so
+  // every shard body exits, and keep consuming replies so no shard can wait
+  // on a full reply channel meanwhile. ShardSet's destructor then joins.
+  for (auto& w : workers_) w->requests().close();
+  while (!all_replies_drained()) {
+    drain_replies();
+    ::poll(nullptr, 0, 1);
+  }
+}
+
+int ShardedAdmissionServer::start() {
+  SJS_CHECK_MSG(!started_, "ShardedAdmissionServer::start called twice");
+  workers_.reserve(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    workers_.push_back(std::make_unique<ShardWorker>(
+        config_, k, make_scheduler_(), *clock_, metrics_));
+    loop_.watch(workers_[k]->replies().wake_fd());
+  }
+  const int port = loop_.listen_loopback(config_.port);
+  // ONE clock read anchors the whole plane: the acceptor's bridge and every
+  // shard's bridge share this epoch, so virtual time is a single timeline.
+  const double epoch = clock_->now();
+  bridge_.start_at(epoch);
+  threads_.spawn(config_.shards,
+                 [this, epoch](std::size_t k) { workers_[k]->run(epoch); });
+  started_ = true;
+  return port;
+}
+
+void ShardedAdmissionServer::watch_shutdown_fd(int fd) {
+  shutdown_fds_.push_back(fd);
+  loop_.watch(fd);
+}
+
+bool ShardedAdmissionServer::step(int max_wait_ms) {
+  SJS_CHECK_MSG(started_, "ShardedAdmissionServer::step before start()");
+  if (finished_) return false;
+  drain_replies();
+  if (!joined_) {
+    loop_.poll_once(draining_ ? std::min(max_wait_ms, 10) : max_wait_ms);
+    drain_replies();
+    if (draining_ && all_replies_drained()) {
+      // Every shard has finalised and closed its reply channel, and every
+      // reply has been shipped or dropped — joining cannot block.
+      threads_.join();
+      joined_ = true;
+      for (const auto& w : workers_) {
+        stats_.virtual_now =
+            std::max(stats_.virtual_now, w->stats().virtual_now);
+      }
+    }
+  }
+  if (joined_) {
+    // Flush queued notifications/replies, then shut everything down. A peer
+    // that stops reading cannot wedge the drain: bounded spins, then drop.
+    if (loop_.writes_pending() && loop_.open_conn_count() > 0 &&
+        flush_spins_ < 200) {
+      ++flush_spins_;
+      loop_.poll_once(std::min(max_wait_ms, 10));
+    } else {
+      set_gauge(kGaugeInFlightPeak, static_cast<double>(in_flight_peak_));
+      set_gauge(kGaugeWriteBufPeak,
+                static_cast<double>(loop_.write_buffer_peak()));
+      loop_.shutdown();
+      finished_ = true;
+    }
+  }
+  return !finished_;
+}
+
+void ShardedAdmissionServer::run() {
+  while (step()) {
+  }
+}
+
+void ShardedAdmissionServer::request_drain() {
+  if (draining_) return;
+  draining_ = true;
+  loop_.stop_listening();
+  // Close the request channels in shard order — the deterministic half of
+  // the drain contract (ShardSet::join is the other half).
+  for (auto& w : workers_) w->requests().close();
+}
+
+StatsBody ShardedAdmissionServer::stats() {
+  StatsBody s = stats_;
+  if (!joined_) s.virtual_now = bridge_.virtual_now();
+  return s;
+}
+
+void ShardedAdmissionServer::drain_replies() {
+  for (auto& w : workers_) {
+    auto& ch = w->replies();
+    ch.drain_wakeups();
+    ShardReply rep;
+    while (ch.try_pop(rep) == conc::PopStatus::kOk) {
+      dispatch_reply(rep);
+    }
+  }
+}
+
+bool ShardedAdmissionServer::all_replies_drained() const {
+  for (const auto& w : workers_) {
+    if (!w->replies().drained()) return false;
+  }
+  return true;
+}
+
+void ShardedAdmissionServer::dispatch_reply(const ShardReply& rep) {
+  const Message& m = rep.msg;
+  switch (m.type) {
+    case MsgType::kAccepted:
+      ++stats_.accepted;
+      stats_.admitted_value += ticket_value_[m.ticket];
+      ++stats_.in_flight;
+      in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
+      count(kCtrAccepted);
+      break;
+    case MsgType::kRejected:
+      ++stats_.rejected;
+      count(kCtrRejected);
+      break;
+    case MsgType::kShed:  // per-shard max_in_flight backpressure
+      ++stats_.shed;
+      count(kCtrShed);
+      break;
+    case MsgType::kCompleted:
+      ++stats_.completed;
+      stats_.completed_value += m.a;
+      --stats_.in_flight;
+      count(kCtrCompleted);
+      break;
+    case MsgType::kExpired:
+      ++stats_.expired;
+      --stats_.in_flight;
+      count(kCtrExpired);
+      break;
+    case MsgType::kCancelled:
+      // The shard suppresses the cancellation's internal expiry, so this is
+      // the only in-flight decrement the acceptor will see for the job.
+      ++stats_.cancelled;
+      --stats_.in_flight;
+      count(kCtrCancelled);
+      break;
+    default:  // kCancelFailed, kQueryReply: no aggregate effect
+      break;
+  }
+  if (rep.conn >= 0 &&
+      static_cast<std::size_t>(rep.conn) < conn_gens_.size() &&
+      loop_.conn_open(rep.conn) &&
+      conn_gens_[static_cast<std::size_t>(rep.conn)] == rep.gen) {
+    reply(rep.conn, m);
+  }
+}
+
+void ShardedAdmissionServer::on_accept(int conn) {
+  const auto i = static_cast<std::size_t>(conn);
+  if (i >= decoders_.size()) {
+    decoders_.resize(i + 1);
+    conn_gens_.resize(i + 1, 0);
+  }
+  decoders_[i] = FrameDecoder{};
+  count(kCtrConnections);
+}
+
+void ShardedAdmissionServer::on_close(int conn, bool overflow) {
+  ++conn_gens_[static_cast<std::size_t>(conn)];
+  if (overflow) count(kCtrOverflows);
+}
+
+void ShardedAdmissionServer::on_wake(int fd) {
+  for (const int sfd : shutdown_fds_) {
+    if (fd == sfd) {
+      char buf[64];
+      while (::read(fd, buf, sizeof(buf)) > 0) {
+      }
+      request_drain();
+      return;
+    }
+  }
+  // A shard reply wake: re-arm it now (poll is level-triggered, so leaving
+  // the fd readable would spin); the pops happen in step()'s drain_replies.
+  for (auto& w : workers_) {
+    if (w->replies().wake_fd() == fd) {
+      w->replies().drain_wakeups();
+      return;
+    }
+  }
+}
+
+void ShardedAdmissionServer::on_data(int conn, const std::uint8_t* data,
+                                     std::size_t size) {
+  FrameDecoder& dec = decoders_[static_cast<std::size_t>(conn)];
+  dec.feed(data, size);
+  Message m;
+  while (true) {
+    const FrameDecoder::Status st = dec.next(m);
+    if (st == FrameDecoder::Status::kNeedMore) return;
+    if (st == FrameDecoder::Status::kMalformed) {
+      count(kCtrMalformed);
+      Message err;
+      err.type = MsgType::kError;
+      err.code = static_cast<std::uint8_t>(ErrorCode::kMalformedFrame);
+      reply(conn, err);
+      loop_.close_conn(conn);
+      return;
+    }
+    handle_message(conn, m);
+    if (!loop_.conn_open(conn)) return;
+  }
+}
+
+void ShardedAdmissionServer::handle_message(int conn, const Message& m) {
+  switch (m.type) {
+    case MsgType::kSubmit:
+      handle_submit(conn, m);
+      return;
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+      forward_by_ticket(conn, m);
+      return;
+    case MsgType::kStats: {
+      Message r;
+      r.type = MsgType::kStatsReply;
+      r.seq = m.seq;
+      r.stats = stats();
+      reply(conn, r);
+      return;
+    }
+    case MsgType::kDrain: {
+      Message r;
+      r.type = MsgType::kDraining;
+      r.seq = m.seq;
+      reply(conn, r);
+      request_drain();
+      return;
+    }
+    default: {
+      Message err;
+      err.type = MsgType::kError;
+      err.seq = m.seq;
+      err.code = static_cast<std::uint8_t>(ErrorCode::kNotARequest);
+      reply(conn, err);
+      loop_.close_conn(conn);
+      return;
+    }
+  }
+}
+
+void ShardedAdmissionServer::handle_submit(int conn, const Message& m) {
+  ++stats_.submitted;
+  count(kCtrSubmitted);
+  Message r;
+  r.seq = m.seq;
+  if (draining_) {
+    ++stats_.rejected;
+    count(kCtrRejected);
+    r.type = MsgType::kRejected;
+    r.code = static_cast<std::uint8_t>(RejectReason::kDraining);
+    reply(conn, r);
+    return;
+  }
+  // The next dense ticket decides the shard; the two-phase send means a
+  // full channel sheds WITHOUT consuming the ticket, keeping the
+  // ticket→shard map a pure function of the forwarded-submission index.
+  const std::uint64_t ticket = ticket_shard_.size();
+  const std::size_t k = conc::shard_of(ticket, workers_.size());
+  auto& ch = workers_[k]->requests();
+  conc::Channel<ShardRequest>::Reservation res;
+  if (ch.reserve(res) != conc::SendStatus::kOk) {  // kFull (or drain race)
+    ++stats_.shed;
+    count(kCtrShed);
+    r.type = MsgType::kShed;
+    reply(conn, r);
+    return;
+  }
+  ShardRequest req;
+  req.kind = ShardRequest::Kind::kSubmit;
+  req.conn = conn;
+  req.gen = conn_gens_[static_cast<std::size_t>(conn)];
+  req.seq = m.seq;
+  req.ticket = ticket;
+  req.workload = m.a;
+  req.rel_deadline = m.b;
+  req.value = m.c;
+  ch.commit(res, req);
+  ticket_shard_.push_back(static_cast<std::uint32_t>(k));
+  ticket_value_.push_back(m.c);
+}
+
+void ShardedAdmissionServer::forward_by_ticket(int conn, const Message& m) {
+  const bool known = m.ticket < ticket_shard_.size();
+  bool forwarded = false;
+  if (known) {
+    auto& ch = workers_[ticket_shard_[m.ticket]]->requests();
+    ShardRequest req;
+    req.kind = m.type == MsgType::kCancel ? ShardRequest::Kind::kCancel
+                                          : ShardRequest::Kind::kQuery;
+    req.conn = conn;
+    req.gen = conn_gens_[static_cast<std::size_t>(conn)];
+    req.seq = m.seq;
+    req.ticket = m.ticket;
+    forwarded = ch.try_send(req) == conc::SendStatus::kOk;
+  }
+  if (forwarded) return;
+  // Unknown ticket, full channel, or draining: answer locally — a cancel
+  // honestly fails, a query reads as unknown.
+  Message r;
+  r.seq = m.seq;
+  r.ticket = m.ticket;
+  if (m.type == MsgType::kCancel) {
+    r.type = MsgType::kCancelFailed;
+  } else {
+    r.type = MsgType::kQueryReply;
+    r.code = static_cast<std::uint8_t>(JobState::kUnknown);
+  }
+  reply(conn, r);
+}
+
+void ShardedAdmissionServer::reply(int conn, const Message& m) {
+  const std::vector<std::uint8_t> frame = encode_frame(m);
+  loop_.send(conn, frame.data(), frame.size());
+}
+
+void ShardedAdmissionServer::count(const char* name, double delta) {
+  if (metrics_) metrics_->local().count(name, delta);
+}
+
+void ShardedAdmissionServer::set_gauge(const char* name, double value) {
+  if (metrics_) metrics_->local().set_gauge(name, value);
+}
+
+}  // namespace sjs::serve

@@ -1,0 +1,146 @@
+// ShardedAdmissionServer — the sharded admission plane (docs/serving.md).
+//
+// One ACCEPTOR thread (the thread calling step()/run()) owns every socket
+// and all frame decoding; N SHARD threads (serve/shard_worker.hpp) each own
+// a private live-mode engine + scheduler + journal. The two sides meet only
+// at bounded conc::Channels:
+//
+//   acceptor ──ShardRequest──▶ shard k          (bounded MPSC, per shard)
+//   shard k  ──ShardReply────▶ acceptor         (per-shard reply channel)
+//
+// Routing is deterministic: the acceptor assigns each forwarded SUBMIT a
+// dense global ticket (0, 1, 2, …) and sends it to shard
+// conc::shard_of(ticket, N) — splitmix64 over the ticket, so the placement
+// of every job is a pure function of its submission index, replayable from
+// the journals alone. CANCEL/QUERY route by the same function of the
+// carried ticket. A SUBMIT that cannot be forwarded (request channel full)
+// is SHED and consumes NO ticket.
+//
+// Time: the acceptor reads the injected Clock exactly once at start() and
+// hands the same epoch to its own bridge and every shard's, so "virtual
+// now" is one global timeline across the plane.
+//
+// Drain (DRAIN request or watched shutdown fd): the acceptor stops
+// listening, refuses further submits, and closes every request channel in
+// shard order. Each shard finishes its backlog, journals outcomes, and
+// closes its reply channel; the acceptor keeps shipping notifications until
+// every reply channel reports drained, then joins the ShardSet (again in
+// shard order), flushes client sockets, and shuts down.
+//
+// Stats/metrics: the acceptor aggregates the plane-wide StatsBody from the
+// reply stream (kStats is answered locally, never forwarded), counts the
+// plain server.* metric names, and leaves "<name>.shard<k>" breakdowns to
+// the shards — a registry snapshot therefore carries both rollup and
+// per-shard series without double counting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conc/shard_set.hpp"
+#include "obs/metrics.hpp"
+#include "serve/clock.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/shard_worker.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sjs::serve {
+
+class ShardedAdmissionServer final : public EventLoop::Handler {
+ public:
+  /// Builds one fresh scheduler per shard (schedulers are single-engine by
+  /// contract, so they cannot be shared).
+  using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
+
+  ShardedAdmissionServer(ServerConfig config, SchedulerFactory make_scheduler,
+                         Clock& clock, obs::MetricsRegistry* metrics = nullptr);
+  ~ShardedAdmissionServer() override;
+
+  /// Binds the listener, captures the plane epoch, spawns the shards.
+  /// Returns the bound port.
+  int start();
+
+  /// One acceptor pump: poll sockets and reply channels (at most
+  /// `max_wait_ms`), dispatch. Returns false once fully drained.
+  bool step(int max_wait_ms = 50);
+
+  /// Serves until drained.
+  void run();
+
+  /// Graceful drain: stop accepting, refuse submits, close the request
+  /// channels in shard order. step() completes the shutdown.
+  void request_drain();
+
+  bool draining() const { return draining_; }
+  bool finished() const { return finished_; }
+
+  /// Plane-wide aggregate counters (also the body of STATS replies).
+  /// `virtual_now` is the acceptor bridge's reading (the shards' engines
+  /// trail it only by their undispatched backlog).
+  StatsBody stats();
+
+  int port() const { return loop_.port(); }
+  EventLoop& loop() { return loop_; }
+  std::size_t shard_count() const { return workers_.size(); }
+  /// Shard k's worker. Its result()/instance()/stats() are valid only after
+  /// finished().
+  const ShardWorker& shard(std::size_t k) const { return *workers_[k]; }
+  /// The journal ROOT (shard k writes `<root>/shard<k>`); empty when
+  /// journalling is off.
+  const std::string& journal_dir() const { return config_.journal_dir; }
+
+  /// Registers `fd` (e.g. a signal self-pipe) with the loop; when readable
+  /// the server drains it and initiates a drain.
+  void watch_shutdown_fd(int fd);
+
+  // EventLoop::Handler:
+  void on_accept(int conn) override;
+  void on_data(int conn, const std::uint8_t* data, std::size_t size) override;
+  void on_close(int conn, bool overflow) override;
+  void on_wake(int fd) override;
+
+ private:
+  void handle_message(int conn, const Message& m);
+  void handle_submit(int conn, const Message& m);
+  /// Routes kCancel/kQuery to the owning shard by ticket.
+  void forward_by_ticket(int conn, const Message& m);
+  void reply(int conn, const Message& m);
+  /// Pops every deliverable reply from every shard and dispatches it.
+  void drain_replies();
+  void dispatch_reply(const ShardReply& rep);
+  bool all_replies_drained() const;
+  void count(const char* name, double delta = 1.0);
+  void set_gauge(const char* name, double value);
+
+  ServerConfig config_;
+  SchedulerFactory make_scheduler_;
+  Clock* clock_;
+  ClockBridge bridge_;
+  EventLoop loop_;
+  obs::MetricsRegistry* metrics_;
+
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  conc::ShardSet threads_;
+
+  std::vector<FrameDecoder> decoders_;    // indexed by conn id
+  std::vector<std::uint64_t> conn_gens_;  // bumped on close
+  std::vector<std::uint32_t> ticket_shard_;  // indexed by global ticket
+  std::vector<double> ticket_value_;         // submit value, for stats
+  std::vector<int> shutdown_fds_;
+
+  bool started_ = false;
+  bool draining_ = false;
+  bool joined_ = false;
+  bool finished_ = false;
+  int flush_spins_ = 0;
+
+  StatsBody stats_{};
+  std::uint64_t in_flight_peak_ = 0;
+};
+
+}  // namespace sjs::serve

@@ -1,0 +1,15 @@
+// Fixture: raw-concurrency does NOT apply outside src/serve/ and
+// src/sched/ — conc/ is exactly where the primitives are supposed to live.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace sjs::conc {
+
+struct FixtureChannel {
+  std::mutex mu;
+  std::atomic<bool> pending{false};
+  std::thread consumer;
+};
+
+}  // namespace sjs::conc

@@ -1,0 +1,13 @@
+// Fixture: raw-concurrency — the rule covers src/sched/ too: schedulers run
+// inside a single-threaded engine, so any primitive here is a smell.
+#include <condition_variable>
+#include <thread>
+
+namespace sjs::sched {
+
+struct BadScheduler {
+  std::condition_variable cv_;
+  std::jthread helper_;
+};
+
+}  // namespace sjs::sched

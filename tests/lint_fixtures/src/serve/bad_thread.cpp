@@ -1,0 +1,24 @@
+// Fixture: raw-concurrency — raw primitives in src/serve/ must be flagged
+// (cross-thread traffic belongs behind conc::Channel / conc::ShardSet);
+// the suppressed member and the commented mention must stay silent.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace sjs::serve {
+
+struct BadPlane {
+  void spin() {
+    std::thread t([] {});
+    std::lock_guard<std::mutex> lock(mu_);
+    t.join();
+  }
+
+  // std::thread in a comment is fine.
+  std::mutex mu_;
+  std::atomic<int> counter_{0};
+  // sjs-lint: allow(raw-concurrency): fixture proves suppression works
+  std::atomic<bool> suppressed_{false};
+};
+
+}  // namespace sjs::serve

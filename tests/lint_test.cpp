@@ -130,6 +130,28 @@ TEST(LintTest, HeaderGuardFires) {
   EXPECT_EQ(count_findings(r.output, "header-guard"), 1) << r.output;
 }
 
+TEST(LintTest, RawConcurrencyFiresInServeAndSupportsSuppression) {
+  const auto r = run_lint(fixture_args(fx("src/serve/bad_thread.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // thread + lock_guard + mutex (same line) + mutex member + atomic member;
+  // the suppressed atomic and the comment mention stay silent.
+  EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 5) << r.output;
+  EXPECT_NE(r.output.find("conc::Channel"), std::string::npos) << r.output;
+}
+
+TEST(LintTest, RawConcurrencyCoversSchedDirectory) {
+  const auto r = run_lint(fixture_args(fx("src/sched/bad_condvar.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 2) << r.output;
+}
+
+TEST(LintTest, RawConcurrencyIgnoresConcDirectory) {
+  // conc/ is where the primitives are supposed to live — no findings there.
+  const auto r = run_lint(fixture_args(fx("src/conc/good_channel.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 0) << r.output;
+}
+
 TEST(LintTest, BadSuppressionFiresAndDoesNotSuppress) {
   const auto r = run_lint(fixture_args(fx("src/util/bad_suppression.cpp")));
   EXPECT_EQ(r.exit_code, 1);
@@ -151,7 +173,7 @@ TEST(LintTest, WholeFixtureTreeReportsEveryRule) {
   for (const char* rule :
        {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
         "float-type", "trace-exhaustive", "include-hygiene", "header-guard",
-        "bad-suppression"}) {
+        "raw-concurrency", "bad-suppression"}) {
     EXPECT_GE(count_findings(r.output, rule), 1) << rule << "\n" << r.output;
   }
 }
@@ -170,7 +192,8 @@ TEST(LintTest, ListRulesNamesAllRules) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
-        "float-type", "trace-exhaustive", "include-hygiene", "header-guard"}) {
+        "float-type", "trace-exhaustive", "include-hygiene", "header-guard",
+        "raw-concurrency"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

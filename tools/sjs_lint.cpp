@@ -31,6 +31,11 @@
 //                    "../"), headers must not include <iostream> or declare
 //                    file-scope `using namespace`
 //   header-guard     every header must open with #pragma once
+//   raw-concurrency  std::thread/mutex/atomic/condition_variable (and other
+//                    raw primitives) in src/serve/ or src/sched/ — cross-
+//                    thread traffic must flow through conc::Channel /
+//                    conc::ShardSet (src/conc/) or util/thread_pool so those
+//                    layers stay auditable single-threaded
 //   bad-suppression  an allow() comment with an unknown rule id or without
 //                    a reason (this rule itself cannot be suppressed)
 //
@@ -84,6 +89,9 @@ const std::vector<std::pair<const char*, const char*>> kRules = {
      "non-module-rooted include, <iostream> in a header, or file-scope "
      "using-namespace in a header"},
     {"header-guard", "header missing #pragma once"},
+    {"raw-concurrency",
+     "raw std::thread/mutex/atomic in serve//sched/ (use conc::Channel / "
+     "conc::ShardSet)"},
     {"bad-suppression", "malformed sjs-lint allow() comment"},
 };
 
@@ -508,8 +516,8 @@ void check_trace_exhaustive(const std::vector<SourceFile>& files,
 // ---------------------------------------------------------------------------
 
 const std::set<std::string> kModuleDirs = {
-    "util",  "stats",   "capacity", "jobs", "obs",  "sim",
-    "sched", "offline", "theory",   "mc",   "cloud", "serve"};
+    "util",  "stats",   "capacity", "jobs", "obs",   "sim",
+    "sched", "offline", "theory",   "mc",   "cloud", "serve", "conc"};
 
 void check_include_hygiene(const SourceFile& file,
                            std::vector<Diagnostic>& diags) {
@@ -567,6 +575,37 @@ void check_header_guard(const SourceFile& file,
          "header is missing `#pragma once` (double inclusion would be an "
          "ODR hazard)",
          diags);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-concurrency
+// ---------------------------------------------------------------------------
+
+// The sharded admission plane's thread-safety argument is structural: every
+// cross-thread interaction flows through conc::Channel / conc::ShardSet
+// (src/conc/), so serve/ and sched/ code can be audited as single-threaded.
+// A raw primitive smuggled into either layer silently reopens the data-race
+// surface the TSan CI job is meant to have closed — it must either move
+// behind conc/ or carry an audited suppression.
+void check_raw_concurrency(const SourceFile& file,
+                           std::vector<Diagnostic>& diags) {
+  if (!path_in(file.rel, "serve") && !path_in(file.rel, "sched")) return;
+  static const std::regex prim_re(
+      R"(\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|atomic(?:_flag|_ref)?|lock_guard|unique_lock|scoped_lock|shared_lock|counting_semaphore|binary_semaphore|latch|barrier|future|promise|async)\b)");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& code = file.code[i];
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), prim_re);
+         it != std::sregex_iterator(); ++it) {
+      report(file, i + 1, static_cast<std::size_t>(it->position()) + 1,
+             "raw-concurrency",
+             "std::" + (*it)[1].str() +
+                 " in src/serve//src/sched/: cross-thread traffic must flow "
+                 "through conc::Channel / conc::ShardSet (src/conc/) or "
+                 "util/thread_pool so the layer stays auditable "
+                 "single-threaded",
+             diags);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -687,6 +726,7 @@ int main(int argc, char** argv) {
     check_float_type(file, diags);
     check_include_hygiene(file, diags);
     check_header_guard(file, diags);
+    check_raw_concurrency(file, diags);
   }
   check_trace_exhaustive(files, diags);
 

@@ -2,12 +2,15 @@
 //
 //   sjs_load --port=PORT [--duration=2] [--rate=200] [--mean-workload=0.02]
 //            [--c-lo=1] [--slack-min=1.05] [--slack-max=4] [--k=7]
-//            [--seed=1] [--drain] [--linger=2]
+//            [--seed=1] [--drain] [--linger=2] [--connections=1]
 //
 // Submits jobs at Poisson arrival instants regardless of server responses
 // (open loop — the regime where SHED backpressure is actually exercised),
 // then reports admission/completion counts, captured-value percentage, and
-// ack/completion latency percentiles. With --drain it asks the server to
+// ack/completion latency percentiles. With --connections=N the arrival
+// stream round-robins over N sockets (one poll set, still single-threaded)
+// and the report adds per-connection counts and percentiles — the shape
+// that exercises sjs_serve --shards=N. With --drain it asks the server to
 // drain after the last submission and waits for the final notifications.
 #include <cstdio>
 
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   flags.add_bool("drain", false, "request a server drain when done");
   flags.add_double("linger", 2.0,
                    "wall seconds to wait for notifications after submitting");
+  flags.add_int("connections", 1,
+                "sockets to open; submissions round-robin over them");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -54,6 +59,11 @@ int main(int argc, char** argv) {
   config.k = flags.get_double("k");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.send_drain = flags.get_bool("drain");
+  config.connections = static_cast<int>(flags.get_int("connections"));
+  if (config.connections < 1) {
+    std::fprintf(stderr, "need --connections >= 1\n");
+    return 1;
+  }
 
   sjs::serve::SystemClock clock;
   try {

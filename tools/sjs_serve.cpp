@@ -9,6 +9,13 @@
 //   sjs_serve [--port=0] [--scheduler=V-Dover] [--journal=DIR]
 //             [--c-lo=1] [--c-hi=1] [--accel=1] [--max-in-flight=1024]
 //             [--no-admission-check] [--trace-ring=4096] [--metrics]
+//             [--shards=1] [--channel-capacity=1024]
+//
+// --shards=N with N >= 2 runs the sharded admission plane (an acceptor
+// thread + N engine shards behind bounded channels, docs/serving.md): jobs
+// route by splitmix64 over their dense global ticket, each shard journals
+// its own replayable bundle to <journal>/shard<k>, and --max-in-flight
+// applies per shard. N = 1 keeps the classic single-threaded server.
 //
 // The capacity profile is constant at c-hi for the session (a live service
 // observes its own rate; the declared band is what the algorithms consume).
@@ -22,6 +29,7 @@
 #include "sched/factory.hpp"
 #include "serve/clock.hpp"
 #include "serve/server.hpp"
+#include "serve/sharded_server.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -54,6 +62,10 @@ int main(int argc, char** argv) {
                  "admit individually-inadmissible jobs too (Thm. 3(3) off)");
   flags.add_int("trace-ring", 4096, "recent trace events kept (0 = off)");
   flags.add_bool("metrics", false, "print the server.* metrics at drain");
+  flags.add_int("shards", 1,
+                "engine shards (>= 2 enables the sharded admission plane)");
+  flags.add_int("channel-capacity", 1024,
+                "per-shard request channel slots (sharded plane only)");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -92,11 +104,17 @@ int main(int argc, char** argv) {
   config.admission_check = !flags.get_bool("no-admission-check");
   config.trace_ring =
       static_cast<std::size_t>(flags.get_int("trace-ring"));
+  const std::int64_t shards = flags.get_int("shards");
+  if (shards < 1) {
+    std::fprintf(stderr, "need --shards >= 1\n");
+    return 1;
+  }
+  config.shards = static_cast<std::size_t>(shards);
+  config.channel_capacity =
+      static_cast<std::size_t>(flags.get_int("channel-capacity"));
 
   sjs::obs::MetricsRegistry registry;
   sjs::serve::SystemClock clock;
-  sjs::serve::AdmissionServer server(config, factory->make(), clock,
-                                     &registry);
 
   if (::pipe(g_signal_pipe) != 0) {
     std::perror("pipe");
@@ -113,36 +131,71 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
-  int port = 0;
-  try {
-    port = server.start();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "failed to start: %s\n", e.what());
-    return 1;
-  }
-  server.watch_shutdown_fd(g_signal_pipe[0]);
-  std::printf("LISTENING %d\n", port);
-  std::fflush(stdout);
+  const auto print_stats = [](const sjs::serve::StatsBody& stats) {
+    std::printf("server: %llu submitted, %llu accepted, %llu rejected, "
+                "%llu shed, %llu completed, %llu expired, %llu cancelled\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.cancelled));
+  };
 
-  server.run();
+  if (config.shards >= 2) {
+    sjs::serve::ShardedAdmissionServer server(
+        config, [&] { return factory->make(); }, clock, &registry);
+    int port = 0;
+    try {
+      port = server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to start: %s\n", e.what());
+      return 1;
+    }
+    server.watch_shutdown_fd(g_signal_pipe[0]);
+    std::printf("LISTENING %d\n", port);
+    std::fflush(stdout);
 
-  const auto& result = server.result();
-  std::printf("drained: %s\n", result.to_string().c_str());
-  const auto stats = server.stats();
-  std::printf("server: %llu submitted, %llu accepted, %llu rejected, "
-              "%llu shed, %llu completed, %llu expired, %llu cancelled\n",
-              static_cast<unsigned long long>(stats.submitted),
-              static_cast<unsigned long long>(stats.accepted),
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.shed),
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.expired),
-              static_cast<unsigned long long>(stats.cancelled));
-  if (!config.journal_dir.empty()) {
-    std::printf("journal: %s (replay with sjs_sim --bundle=%s "
-                "--scheduler=\"%s\" --outcomes-csv=...)\n",
-                config.journal_dir.c_str(), config.journal_dir.c_str(),
-                config.scheduler_name.c_str());
+    server.run();
+
+    for (std::size_t k = 0; k < server.shard_count(); ++k) {
+      std::printf("shard %zu drained: %s\n", k,
+                  server.shard(k).result().to_string().c_str());
+    }
+    print_stats(server.stats());
+    if (!config.journal_dir.empty()) {
+      std::printf("journal: %s (per-shard bundles; replay shard k with "
+                  "sjs_sim --bundle=%s/shard<k> --scheduler=\"%s\" "
+                  "--outcomes-csv=...)\n",
+                  config.journal_dir.c_str(), config.journal_dir.c_str(),
+                  config.scheduler_name.c_str());
+    }
+  } else {
+    sjs::serve::AdmissionServer server(config, factory->make(), clock,
+                                       &registry);
+    int port = 0;
+    try {
+      port = server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to start: %s\n", e.what());
+      return 1;
+    }
+    server.watch_shutdown_fd(g_signal_pipe[0]);
+    std::printf("LISTENING %d\n", port);
+    std::fflush(stdout);
+
+    server.run();
+
+    const auto& result = server.result();
+    std::printf("drained: %s\n", result.to_string().c_str());
+    print_stats(server.stats());
+    if (!config.journal_dir.empty()) {
+      std::printf("journal: %s (replay with sjs_sim --bundle=%s "
+                  "--scheduler=\"%s\" --outcomes-csv=...)\n",
+                  config.journal_dir.c_str(), config.journal_dir.c_str(),
+                  config.scheduler_name.c_str());
+    }
   }
   if (flags.get_bool("metrics")) {
     std::printf("\nmetrics:\n%s", registry.render().c_str());
