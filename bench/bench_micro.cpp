@@ -296,7 +296,91 @@ void BM_EngineTimerChurn(benchmark::State& state) {
   state.counters["slab_slots"] = slab_slots;
   state.counters["dead_peak"] = dead_peak;
 }
-BENCHMARK(BM_EngineTimerChurn)->Arg(64)->Arg(512);
+BENCHMARK(BM_EngineTimerChurn)->Arg(64)->Arg(512)->Arg(2048);
+
+// Holds `target` timers live at every instant: each fire re-arms itself and
+// rotates (cancel + re-arm) one pseudo-random other timer. This is the
+// standing-occupancy regime BM_EngineTimerChurn never reaches (its slab
+// stays at a handful of slots): arm/cancel/fire against a population of
+// `target` pending timers, where the wheel's O(1) bucket operations beat the
+// old heap's O(log n) sift plus O(n) compaction sweeps.
+class StandingTimerScheduler final : public sjs::sim::Scheduler {
+ public:
+  StandingTimerScheduler(std::size_t target, double horizon, double step)
+      : target_(target), horizon_(horizon), step_(step) {}
+
+  void on_start(sjs::sim::Engine& engine) override {
+    ids_.assign(target_, sjs::sim::kNoTimer);
+    for (std::size_t i = 0; i < target_; ++i) {
+      ids_[i] = engine.set_timer(jitter(), sjs::kNoJob,
+                                 static_cast<int>(i));
+    }
+  }
+  void on_timer(sjs::sim::Engine& engine, sjs::JobId, int tag) override {
+    const auto self = static_cast<std::size_t>(tag);
+    if (engine.now() >= horizon_) {
+      ids_[self] = sjs::sim::kNoTimer;  // drain: stop re-arming
+      return;
+    }
+    ids_[self] =
+        engine.set_timer(engine.now() + jitter(), sjs::kNoJob, tag);
+    const std::size_t other = next() % target_;
+    if (other != self && ids_[other] != sjs::sim::kNoTimer) {
+      engine.cancel_timer(ids_[other]);
+      ids_[other] = engine.set_timer(engine.now() + jitter(), sjs::kNoJob,
+                                     static_cast<int>(other));
+    }
+  }
+  void on_release(sjs::sim::Engine&, sjs::JobId) override {}
+  void on_complete(sjs::sim::Engine&, sjs::JobId) override {}
+  void on_expire(sjs::sim::Engine&, sjs::JobId, bool) override {}
+  std::string name() const override { return "standing-timer"; }
+
+ private:
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  double jitter() {
+    return step_ * (0.5 + static_cast<double>(next() % 1024) / 1024.0);
+  }
+
+  std::size_t target_;
+  double horizon_;
+  double step_;
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+  std::vector<sjs::sim::TimerId> ids_;
+};
+
+void BM_EngineTimerOccupancy(benchmark::State& state) {
+  // arg = standing timer occupancy. Each timer fires ~8 times before the
+  // horizon, so one run is ~8 * occupancy fires and ~3x that many
+  // arm/cancel operations, all against an occupancy-deep pending set.
+  const auto occupancy = static_cast<std::size_t>(state.range(0));
+  auto profile = make_profile(16);
+  const double span = profile.breakpoints().back();
+  sjs::Rng rng(11);
+  auto jobs = sjs::gen::generate_small_random_jobs(4, span, 7.0, 1.0, 2.0,
+                                                   rng);
+  sjs::Instance instance(jobs, profile);
+  std::uint64_t timers = 0;
+  double slab_slots = 0.0;
+  for (auto _ : state) {
+    StandingTimerScheduler scheduler(occupancy, span, span / 8.0);
+    sjs::sim::Engine engine(instance, scheduler);
+    auto result = engine.run_to_completion();
+    timers += result.timers_armed;
+    slab_slots = std::max(slab_slots,
+                          static_cast<double>(result.timer_slab_slots));
+    benchmark::DoNotOptimize(result.events_processed);
+  }
+  state.counters["timers/s"] = benchmark::Counter(
+      static_cast<double>(timers), benchmark::Counter::kIsRate);
+  state.counters["slab_slots"] = slab_slots;
+}
+BENCHMARK(BM_EngineTimerOccupancy)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_ExactOffline(benchmark::State& state) {
   sjs::Rng rng(6);

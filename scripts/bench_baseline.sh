@@ -73,6 +73,9 @@ cmake --build "${BUILD_DIR}" --target bench_micro
 
 if [[ "${SMOKE:-0}" == "1" ]]; then
   out="${BUILD_DIR}/bench_micro_smoke.json"
+  # The BM_Engine prefix deliberately covers the timer-wheel benches too
+  # (BM_EngineTimerChurn, BM_EngineTimerOccupancy) so every CI run leaves an
+  # inspectable wheel-vs-heap datapoint in the artifact.
   "./${BUILD_DIR}/bench/bench_micro" \
     --benchmark_filter='BM_Capacity|BM_Engine|BM_FullSimulation|BM_ReadyQueue' \
     --benchmark_min_time=0.01 \

@@ -38,6 +38,9 @@ Journal::Journal(const std::string& dir, const cap::CapacityProfile& capacity,
       std::make_unique<CsvWriter>((fs::path(dir) / "cancels.csv").string());
   cancels_csv_->write_row({"time", "ticket"});
   cancels_csv_->flush();
+  if (!jobs_csv_->ok() || !cancels_csv_->ok()) {
+    throw std::runtime_error("journal header write failed in " + dir);
+  }
 }
 
 void Journal::record_admit(const Job& job) {
@@ -46,20 +49,37 @@ void Journal::record_admit(const Job& job) {
   jobs_csv_->write_row_numeric({static_cast<double>(job.id), job.release,
                             job.workload, job.deadline, job.value});
   jobs_csv_->flush();
+  // An ofstream swallows short writes and ENOSPC into its failbit; a row the
+  // client was promised durable must not vanish silently, so surface the
+  // stream state as the append's result.
+  if (!jobs_csv_->ok()) {
+    throw std::runtime_error("journal append failed (jobs.csv in " + dir_ +
+                             "): disk full or I/O error");
+  }
   ++admit_rows_;
 }
 
 void Journal::record_cancel(double time, JobId job) {
   cancels_csv_->write_row_numeric({time, static_cast<double>(job)});
   cancels_csv_->flush();
+  if (!cancels_csv_->ok()) {
+    throw std::runtime_error("journal append failed (cancels.csv in " + dir_ +
+                             "): disk full or I/O error");
+  }
   ++cancel_rows_;
 }
 
 void Journal::close() {
   if (jobs_csv_) jobs_csv_->flush();
   if (cancels_csv_) cancels_csv_->flush();
+  const bool failed = (jobs_csv_ && !jobs_csv_->ok()) ||
+                      (cancels_csv_ && !cancels_csv_->ok());
   jobs_csv_.reset();
   cancels_csv_.reset();
+  if (failed) {
+    throw std::runtime_error("journal close failed in " + dir_ +
+                             ": disk full or I/O error");
+  }
 }
 
 std::map<std::string, std::string> read_journal_meta(const std::string& dir) {

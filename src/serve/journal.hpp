@@ -48,13 +48,17 @@ class Journal {
           double c_lo, double c_hi, const Meta& meta);
 
   /// Appends one admitted job and flushes the row (an admission the client
-  /// saw ACCEPTED for must be on disk before the next poll).
+  /// saw ACCEPTED for must be on disk before the next poll). Throws
+  /// std::runtime_error if the write or flush fails (short write, ENOSPC):
+  /// a silently dropped row would break the replay-parity guarantee, so the
+  /// session must fail loudly instead.
   void record_admit(const Job& job);
 
-  /// Appends one cancellation.
+  /// Appends one cancellation. Throws on write failure like record_admit.
   void record_cancel(double time, JobId job);
 
-  /// Flushes and closes the writers (also done by the destructor).
+  /// Flushes and closes the writers (the destructor also flushes, but only
+  /// close() reports failure). Throws if the final flush fails.
   void close();
 
   const std::string& dir() const { return dir_; }

@@ -76,8 +76,6 @@ LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
 
   Rng rng(config.seed);
   LoadReport report;
-  std::vector<double> all_ack;
-  std::vector<double> all_done;
 
   const double start = clock.now();
   const double submit_end = start + config.duration_s;
@@ -259,6 +257,8 @@ LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
   }
   for (Conn& c : conns) ::close(c.fd);
 
+  std::vector<std::vector<double>> ack_samples;
+  std::vector<std::vector<double>> done_samples;
   for (Conn& c : conns) {
     c.report.ack_latency = summarize(c.ack_lat);
     c.report.completion_latency = summarize(c.done_lat);
@@ -268,13 +268,25 @@ LoadReport run_load(const LoadGenConfig& config, Clock& clock) {
     report.shed += c.report.shed;
     report.completed += c.report.completed;
     report.expired += c.report.expired;
-    all_ack.insert(all_ack.end(), c.ack_lat.begin(), c.ack_lat.end());
-    all_done.insert(all_done.end(), c.done_lat.begin(), c.done_lat.end());
+    ack_samples.push_back(std::move(c.ack_lat));
+    done_samples.push_back(std::move(c.done_lat));
     report.connections.push_back(std::move(c.report));
   }
-  report.ack_latency = summarize(all_ack);
-  report.completion_latency = summarize(all_done);
+  report.ack_latency = merge_latency_samples(ack_samples);
+  report.completion_latency = merge_latency_samples(done_samples);
   return report;
+}
+
+Summary merge_latency_samples(
+    const std::vector<std::vector<double>>& per_conn) {
+  std::size_t total = 0;
+  for (const auto& samples : per_conn) total += samples.size();
+  std::vector<double> pooled;
+  pooled.reserve(total);
+  for (const auto& samples : per_conn) {
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+  }
+  return summarize(std::move(pooled));
 }
 
 namespace {

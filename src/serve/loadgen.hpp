@@ -73,6 +73,13 @@ struct LoadReport {
   std::string to_string() const;
 };
 
+/// Merges per-connection latency samples into the pooled Summary the merged
+/// report carries: quantiles are recomputed over the union of the raw
+/// samples, never averaged across per-connection summaries — averaging a
+/// fast connection's p99 with a slow one's understates the tail exactly when
+/// the skew matters. Exposed so the pooling rule is testable on its own.
+Summary merge_latency_samples(const std::vector<std::vector<double>>& per_conn);
+
 /// Opens `config.connections` sockets to 127.0.0.1:port and runs the
 /// configured load round-robin over them (still single-threaded: one poll
 /// set, so extra connections stress the server, not the client). Throws

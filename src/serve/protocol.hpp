@@ -60,7 +60,8 @@ enum class JobState : std::uint8_t {
 
 enum class ErrorCode : std::uint8_t {
   kMalformedFrame = 1,
-  kNotARequest = 2,   ///< client sent a server→client message type
+  kNotARequest = 2,    ///< client sent a server→client message type
+  kJournalFailed = 3,  ///< journal append failed; session is draining
 };
 
 /// Per-connection server counters carried by kStatsReply.

@@ -197,7 +197,11 @@ void AdmissionServer::finalize() {
     save_outcomes_csv(result_, instance_.jobs(),
                       (std::filesystem::path(journal_->dir()) /
                        "outcomes.csv").string());
-    journal_->close();
+    try {
+      journal_->close();
+    } catch (const std::exception& e) {
+      if (journal_error_.empty()) journal_error_ = e.what();
+    }
   }
   finalized_ = true;
 }
@@ -318,17 +322,34 @@ void AdmissionServer::handle_submit(int conn, const Message& m) {
   const Job& job = verdict.job;
   const JobId id = instance_.append_job(job);
   engine_.admit_live(id);
-  if (journal_) journal_->record_admit(instance_.job(id));
   Route route;
   route.conn = conn;
   route.gen = conn_gens_[static_cast<std::size_t>(conn)];
   route.seq = m.seq;
   routes_.push_back(route);
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
-  ++stats_.accepted;
-  stats_.admitted_value += job.value;
   ++stats_.in_flight;
   in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
+  if (journal_) {
+    try {
+      journal_->record_admit(instance_.job(id));
+    } catch (const std::exception& e) {
+      // The admit cannot be made durable, so the client must not see
+      // ACCEPTED: withdraw the job, report the failure, and fail the session
+      // via a graceful drain (sjs_serve exits non-zero on journal_error()).
+      journal_error_ = e.what();
+      routes_[static_cast<std::size_t>(id)].cancelled = true;
+      engine_.cancel_live(id);
+      r.type = MsgType::kError;
+      r.code = static_cast<std::uint8_t>(ErrorCode::kJournalFailed);
+      reply(conn, r);
+      dispatch_notifications();
+      request_drain();
+      return;
+    }
+  }
+  ++stats_.accepted;
+  stats_.admitted_value += job.value;
   count(kCtrAccepted);
   r.type = MsgType::kAccepted;
   r.ticket = static_cast<std::uint64_t>(id);
@@ -347,7 +368,22 @@ void AdmissionServer::handle_cancel(int conn, const Message& m) {
     routes_[m.ticket].cancelled = true;
     ++stats_.cancelled;
     count(kCtrCancelled);
-    if (journal_) journal_->record_cancel(engine_.now(), id);
+    if (journal_) {
+      try {
+        journal_->record_cancel(engine_.now(), id);
+      } catch (const std::exception& e) {
+        // The cancel took effect in the engine but is not durable: the
+        // journal replay would disagree with the live session, so fail the
+        // session rather than pretend the record exists.
+        journal_error_ = e.what();
+        r.type = MsgType::kError;
+        r.code = static_cast<std::uint8_t>(ErrorCode::kJournalFailed);
+        reply(conn, r);
+        dispatch_notifications();
+        request_drain();
+        return;
+      }
+    }
     r.type = MsgType::kCancelled;
     reply(conn, r);
     // cancel_live raised a kExpire notification; translate it now so the

@@ -105,6 +105,10 @@ class AdmissionServer final : public EventLoop::Handler {
   EventLoop& loop() { return loop_; }
   const Instance& instance() const { return instance_; }
   const std::string& journal_dir() const;
+  /// Non-empty once a journal append has failed. The failing request was
+  /// answered with ERROR(kJournalFailed) and the session began draining;
+  /// callers (sjs_serve) should exit non-zero after the drain completes.
+  const std::string& journal_error() const { return journal_error_; }
   /// The ring of recent trace events (empty unless trace_ring > 0).
   std::vector<obs::TraceEvent> recent_trace() const;
 
@@ -166,6 +170,7 @@ class AdmissionServer final : public EventLoop::Handler {
   ClockBridge bridge_;
   EventLoop loop_;
   std::unique_ptr<Journal> journal_;
+  std::string journal_error_;  ///< first append failure; see journal_error()
   obs::MetricsRegistry* metrics_;
 
   NotificationSink notifications_;

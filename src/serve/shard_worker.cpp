@@ -167,10 +167,17 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
     push_reply(req.conn, req.gen, r);
     return;
   }
+  if (!journal_error_.empty()) {
+    // A previous append failed; this shard admits nothing more (the plane
+    // drains, sjs_serve exits non-zero).
+    r.type = MsgType::kError;
+    r.code = static_cast<std::uint8_t>(ErrorCode::kJournalFailed);
+    push_reply(req.conn, req.gen, r);
+    return;
+  }
   const Job& job = verdict.job;
   const JobId id = instance_.append_job(job);
   engine_.admit_live(id);
-  if (journal_) journal_->record_admit(instance_.job(id));
   Route route;
   route.conn = req.conn;
   route.gen = req.gen;
@@ -180,10 +187,26 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
   tickets_.push_back(req.ticket);
   by_ticket_[req.ticket] = id;
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
-  ++stats_.accepted;
-  stats_.admitted_value += job.value;
   ++stats_.in_flight;
   in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
+  if (journal_) {
+    try {
+      journal_->record_admit(instance_.job(id));
+    } catch (const std::exception& e) {
+      // The admit cannot be made durable, so the client must not see
+      // ACCEPTED: withdraw the job and report the failure.
+      journal_error_ = e.what();
+      routes_[static_cast<std::size_t>(id)].cancelled = true;
+      engine_.cancel_live(id);
+      r.type = MsgType::kError;
+      r.code = static_cast<std::uint8_t>(ErrorCode::kJournalFailed);
+      push_reply(req.conn, req.gen, r);
+      dispatch_notifications();
+      return;
+    }
+  }
+  ++stats_.accepted;
+  stats_.admitted_value += job.value;
   count(kCtrAccepted);
   r.type = MsgType::kAccepted;
   r.ticket = req.ticket;
@@ -203,7 +226,18 @@ void ShardWorker::handle_cancel(const ShardRequest& req) {
     routes_[static_cast<std::size_t>(it->second)].cancelled = true;
     ++stats_.cancelled;
     count(kCtrCancelled);
-    if (journal_) journal_->record_cancel(engine_.now(), it->second);
+    if (journal_) {
+      try {
+        journal_->record_cancel(engine_.now(), it->second);
+      } catch (const std::exception& e) {
+        if (journal_error_.empty()) journal_error_ = e.what();
+        r.type = MsgType::kError;
+        r.code = static_cast<std::uint8_t>(ErrorCode::kJournalFailed);
+        push_reply(req.conn, req.gen, r);
+        dispatch_notifications();
+        return;
+      }
+    }
     r.type = MsgType::kCancelled;
     push_reply(req.conn, req.gen, r);
     // cancel_live raised a kExpire notification; translate it now so the
@@ -281,7 +315,11 @@ void ShardWorker::finalize() {
     save_outcomes_csv(result_, instance_.jobs(),
                       (std::filesystem::path(journal_->dir()) /
                        "outcomes.csv").string());
-    journal_->close();
+    try {
+      journal_->close();
+    } catch (const std::exception& e) {
+      if (journal_error_.empty()) journal_error_ = e.what();
+    }
   }
   stats_.virtual_now = engine_.now();
   if (metrics_) {

@@ -94,6 +94,10 @@ class ShardWorker {
   const sim::SimResult& result() const { return result_; }
   const Instance& instance() const { return instance_; }
   const std::string& journal_dir() const;
+  /// Non-empty once a journal append failed on this shard. The failing
+  /// request (and every later submit) was answered ERROR(kJournalFailed);
+  /// callers should exit non-zero after the drain.
+  const std::string& journal_error() const { return journal_error_; }
   const StatsBody& stats() const { return stats_; }
   /// Global ticket for each local JobId (index = local id).
   const std::vector<std::uint64_t>& tickets() const { return tickets_; }
@@ -146,6 +150,7 @@ class ShardWorker {
   AdmissionGate gate_;
   ClockBridge bridge_;
   std::unique_ptr<Journal> journal_;
+  std::string journal_error_;  ///< first append failure; see journal_error()
   obs::MetricsRegistry* metrics_;
 
   NotificationSink notifications_;

@@ -53,9 +53,7 @@ void Engine::rewind() {
   heap_.clear();
   next_seq_ = 0;
   dead_events_ = 0;
-  timer_slots_.clear();
-  free_timer_slots_.clear();
-  live_timers_ = 0;
+  wheel_.clear();
   cursor_.reset();
   in_callback_ = false;
   live_ = false;
@@ -63,12 +61,14 @@ void Engine::rewind() {
 
 void Engine::push_event(double time, EventType type, JobId jid,
                         std::uint64_t id) {
+  SJS_CHECK_MSG(type != EventType::kTimer,
+                "timer events go through the wheel, not push_event");
   const Event event{time, type, next_seq_++, jid, id};
   // Live-admitted releases/expiries arrive after the static side was sealed,
   // so they use the heap; side placement never changes the merged pop order
   // (pop_event compares fronts under the total order on Event).
   const bool volatile_side =
-      type == EventType::kCompletion || type == EventType::kTimer ||
+      type == EventType::kCompletion ||
       (live_ && (type == EventType::kRelease || type == EventType::kExpiry));
   if (volatile_side) {
     heap_.push_back(event);
@@ -85,11 +85,33 @@ void Engine::push_event(double time, EventType type, JobId jid,
 }
 
 Engine::Event Engine::pop_event() {
-  // Merge-pop: whichever front is smaller under Event's total order. The
-  // two sides never tie — seq numbers are globally unique.
+  // Three-way merge-pop: static cursor, completion heap, timer wheel —
+  // whichever front is smallest under Event's total order. The sides never
+  // tie: seq numbers are globally unique.
   const bool has_static = static_cursor_ < static_events_.size();
-  if (!heap_.empty() &&
-      (!has_static || static_events_[static_cursor_] > heap_.front())) {
+  const Event* best = has_static ? &static_events_[static_cursor_] : nullptr;
+  bool from_heap = false;
+  if (!heap_.empty() && (best == nullptr || *best > heap_.front())) {
+    best = &heap_.front();
+    from_heap = true;
+  }
+  double wheel_time = 0.0;
+  std::uint64_t wheel_seq = 0;
+  if (wheel_.peek(wheel_time, wheel_seq)) {
+    const Event wheel_front{wheel_time, EventType::kTimer, wheel_seq, kNoJob,
+                            0};
+    if (best == nullptr || *best > wheel_front) {
+      const TimerWheel::Fired fired = wheel_.pop();
+      // Event::id carries the tag in the low 32 bits and a tombstone flag in
+      // bit 32 (a cancelled timer still pops as a dead event — see the
+      // subdivision argument in sim/timer_wheel.hpp). The slot is freed.
+      const std::uint64_t id =
+          static_cast<std::uint32_t>(fired.tag) |
+          (fired.live ? 0ull : (1ull << 32));
+      return Event{fired.time, EventType::kTimer, fired.seq, fired.job, id};
+    }
+  }
+  if (from_heap) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
     const Event event = heap_.back();
     heap_.pop_back();
@@ -99,37 +121,35 @@ Engine::Event Engine::pop_event() {
 }
 
 double Engine::peek_event_time() const {
-  const bool has_static = static_cursor_ < static_events_.size();
-  if (!heap_.empty() &&
-      (!has_static || static_events_[static_cursor_] > heap_.front())) {
-    return heap_.front().time;
+  // Only the minimum timestamp is needed here, and the three fronts carry
+  // exact (same-path) doubles, so a plain min over times matches the full
+  // Event-order merge in pop_event.
+  double t = std::numeric_limits<double>::infinity();
+  if (static_cursor_ < static_events_.size()) {
+    t = static_events_[static_cursor_].time;
   }
-  if (has_static) return static_events_[static_cursor_].time;
-  return std::numeric_limits<double>::infinity();
-}
-
-void Engine::free_timer_slot(std::uint32_t slot) {
-  TimerSlot& s = timer_slots_[slot];
-  s.live = false;
-  ++s.generation;
-  free_timer_slots_.push_back(slot);
-  --live_timers_;
+  if (!heap_.empty()) t = std::min(t, heap_.front().time);
+  double wheel_time = 0.0;
+  std::uint64_t wheel_seq = 0;
+  if (wheel_.peek(wheel_time, wheel_seq)) t = std::min(t, wheel_time);
+  return t;
 }
 
 void Engine::maybe_compact_heap() {
-  if (heap_.size() < kCompactionMinEvents ||
-      dead_events_ * 2 <= heap_.size()) {
+  // The volatile side is the completion heap plus the wheel's queued nodes —
+  // the same population the single pre-wheel heap held, so the trigger fires
+  // at the same instants as before the split (digest-neutral by replication).
+  const std::size_t volatile_size = heap_.size() + wheel_.pending_count();
+  if (volatile_size < kCompactionMinEvents ||
+      dead_events_ * 2 <= volatile_size) {
     return;
   }
   std::erase_if(heap_, [&](const Event& e) {
-    if (e.type == EventType::kTimer) {
-      return timer_slots_[timer_slot_of(e.id)].generation !=
-             timer_generation_of(e.id);
-    }
     if (e.type == EventType::kCompletion) return e.id != dispatch_epoch_;
     return false;
   });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  wheel_.purge_dead();
   dead_events_ = 0;
   ++result_.heap_compactions;
 }
@@ -233,41 +253,23 @@ void Engine::run(JobId id) {
 TimerId Engine::set_timer(double t, JobId jid, int tag) {
   SJS_CHECK_MSG(in_callback_, "set_timer() outside a scheduler callback");
   SJS_CHECK_MSG(t >= now_ - 1e-12, "timer in the past: " << t << " < " << now_);
-  std::uint32_t slot;
-  if (!free_timer_slots_.empty()) {
-    slot = free_timer_slots_.back();
-    free_timer_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(timer_slots_.size());
-    timer_slots_.push_back(TimerSlot{});
-  }
-  TimerSlot& s = timer_slots_[slot];
-  s.job = jid;
-  s.tag = tag;
-  s.live = true;
-  ++live_timers_;
+  // The global seq keeps wheel entries totally ordered against the other two
+  // event sides exactly as when timers shared the heap.
+  const TimerId id = wheel_.arm(std::max(t, now_), jid, tag, next_seq_++);
   ++result_.timers_armed;
   result_.timer_slab_peak =
-      std::max<std::uint64_t>(result_.timer_slab_peak, live_timers_);
-  // Ids are (generation << 32) | (slot + 1); the +1 keeps every id distinct
-  // from kNoTimer regardless of generation.
-  const TimerId id =
-      (static_cast<TimerId>(s.generation) << 32) | (slot + 1ull);
-  push_event(std::max(t, now_), EventType::kTimer, jid, id);
+      std::max<std::uint64_t>(result_.timer_slab_peak, wheel_.live_count());
+  result_.event_heap_peak = std::max<std::uint64_t>(
+      result_.event_heap_peak, pending_events());
   return id;
 }
 
 void Engine::cancel_timer(TimerId id) {
   if (id == kNoTimer) return;
-  const std::uint64_t slot_plus_one = id & 0xffffffffull;
-  SJS_CHECK_MSG(slot_plus_one >= 1 && slot_plus_one <= timer_slots_.size(),
-                "cancel_timer: corrupted TimerId " << id << " (slab has "
-                    << timer_slots_.size() << " slots)");
-  const std::uint32_t slot = timer_slot_of(id);
-  TimerSlot& s = timer_slots_[slot];
-  if (!s.live || s.generation != timer_generation_of(id)) return;  // stale
-  free_timer_slot(slot);
-  ++dead_events_;  // its heap event is now dead weight
+  // O(1): frees the slab slot; the queued node stays as a tombstone (stale
+  // ids are a tolerated no-op; corrupted ids fail a check inside the wheel).
+  if (!wheel_.cancel(id)) return;
+  ++dead_events_;  // its queued node is now dead weight
   result_.event_heap_dead_peak =
       std::max<std::uint64_t>(result_.event_heap_dead_peak, dead_events_);
   maybe_compact_heap();
@@ -317,17 +319,17 @@ void Engine::handle_release(const Event& event) {
 }
 
 void Engine::handle_timer(const Event& event) {
-  const std::uint32_t slot = timer_slot_of(event.id);
-  TimerSlot& s = timer_slots_[slot];
-  if (s.generation != timer_generation_of(event.id)) {
-    // Cancelled (the slot may even have been reused since): dead event.
+  if ((event.id >> 32) != 0) {
+    // Cancelled before firing (a wheel tombstone): dead event, counted when
+    // the cancel happened. Popping it still advanced the clock — the
+    // digest-relevant side effect the tombstone exists to preserve.
     --dead_events_;
     return;
   }
-  SJS_CHECK_MSG(s.live, "timer slab resurrected freed id " << event.id);
-  const JobId jid = s.job;
-  const int tag = s.tag;
-  free_timer_slot(slot);  // fires exactly once; the id is now stale
+  // The slot was freed in pop_event; the id is already stale and the timer
+  // fires exactly once.
+  const JobId jid = event.job;
+  const int tag = static_cast<int>(static_cast<std::uint32_t>(event.id));
   // Guard: timers reference queue membership that only matters for live jobs;
   // a timer outliving its job (completed early, or expired at the same
   // instant) must not resurrect it.
@@ -402,6 +404,9 @@ void Engine::process_event(const Event& event) {
 void Engine::step_event() {
   const Event event = pop_event();
   now_ = std::max(now_, event.time);
+  // Safe exactly here: the pop removed the global minimum, so no pending
+  // wheel entry is earlier than now_ — the precondition for cascading.
+  wheel_.advance_clock(now_);
   advance_execution(now_);
   ++result_.events_processed;
 
@@ -416,7 +421,10 @@ void Engine::harvest_result() {
   for (std::size_t i = 0; i < instance_->size(); ++i) {
     result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
   }
-  result_.timer_slab_slots = timer_slots_.size();
+  result_.timer_slab_slots = wheel_.slab_size();
+  result_.timer_cascades = wheel_.cascades();
+  result_.timer_cascade_entries = wheel_.cascaded_entries();
+  result_.timer_bucket_peak = wheel_.bucket_peak();
   const Scheduler::QueueStats queue_stats = scheduler_->queue_stats();
   result_.queue_peak = queue_stats.peak;
   result_.queue_slots = queue_stats.slots;

@@ -13,14 +13,15 @@
 // "now" during a release handler fires immediately after it.
 //
 // Stale events are handled by lazy invalidation: each dispatch bumps an epoch
-// counter recorded in completion events, and timers live in a slab of
-// reusable slots whose ids carry a generation stamp — cancelling or firing a
-// timer frees its slot and bumps the generation, so any event or handle still
-// holding the old id decodes to a mismatched generation and is discarded.
-// Dead events left in the priority heap by either mechanism are reclaimed
-// lazily: when they outnumber the live events the heap is compacted in one
-// O(n) pass. Both structures are therefore bounded by the number of
-// *simultaneously pending* timers/dispatches, not by the totals over the run.
+// counter recorded in completion events, and timers live in sim::TimerWheel —
+// a hierarchical wheel over virtual time whose slab slots carry a generation
+// stamp, so cancelling or firing a timer frees its slot in O(1) and bumps the
+// generation, and any event or handle still holding the old id decodes to a
+// mismatched generation and is discarded. Dead events left queued by either
+// mechanism are reclaimed lazily: when they outnumber the live events the
+// volatile side is compacted in one O(n) pass. Both structures are therefore
+// bounded by the number of *simultaneously pending* timers/dispatches, not by
+// the totals over the run.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include "obs/trace_sink.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/timer_wheel.hpp"
 #include "util/fp.hpp"
 
 namespace sjs::sim {
@@ -173,16 +175,17 @@ class Engine {
 
   // --- Hot-path occupancy introspection (tests, benches, gauges) ---
 
-  /// Timers currently armed (slab slots in use).
-  std::size_t live_timer_count() const { return live_timers_; }
+  /// Timers currently armed (wheel slab slots in use).
+  std::size_t live_timer_count() const { return wheel_.live_count(); }
   /// Distinct slab slots ever allocated this run (bounded by the peak of
   /// live_timer_count, NOT by the total number of set_timer calls).
-  std::size_t timer_slab_size() const { return timer_slots_.size(); }
-  /// Events currently pending (static queue + volatile heap), dead ones
-  /// included.
+  std::size_t timer_slab_size() const { return wheel_.slab_size(); }
+  /// Events currently pending (static queue + volatile heap + timer wheel),
+  /// dead ones included.
   std::size_t queued_event_count() const { return pending_events(); }
-  /// Dead (cancelled/stale) events currently in the volatile heap; lazy
-  /// compaction keeps this at most max(kCompactionMinEvents, half the heap).
+  /// Dead events currently queued on the volatile side (stale completions in
+  /// the heap + cancelled-timer tombstones in the wheel); lazy compaction
+  /// keeps this at most max(kCompactionMinEvents, half the volatile side).
   std::size_t dead_event_count() const { return dead_events_; }
 
   /// Compaction is skipped below this heap size: tiny heaps make the dead
@@ -211,7 +214,7 @@ class Engine {
     EventType type;
     std::uint64_t seq;     // FIFO tie-break within the same (time, type)
     JobId job = kNoJob;
-    std::uint64_t id = 0;  // dispatch epoch (completion) or timer id
+    std::uint64_t id = 0;  // dispatch epoch (completion) or timer tag
 
     bool operator>(const Event& other) const {
       if (fp::exact_ne(time, other.time)) return time > other.time;
@@ -219,25 +222,6 @@ class Engine {
       return seq > other.seq;
     }
   };
-
-  /// One slab slot. `generation` stamps the slot's current incarnation; ids
-  /// handed out by set_timer embed it, so a handle outliving the timer can
-  /// never act on a reused slot. `live` distinguishes an armed slot from a
-  /// freed one awaiting reuse (generation match with live == false would mean
-  /// the slab resurrected a freed id — checked fatal in handle_timer).
-  struct TimerSlot {
-    JobId job = kNoJob;
-    int tag = 0;
-    std::uint32_t generation = 0;
-    bool live = false;
-  };
-
-  static std::uint32_t timer_slot_of(TimerId id) {
-    return static_cast<std::uint32_t>(id & 0xffffffffull) - 1;
-  }
-  static std::uint32_t timer_generation_of(TimerId id) {
-    return static_cast<std::uint32_t>(id >> 32);
-  }
 
   /// Records one trace event at `now_`; compiles to a null check when no
   /// sink is attached (the zero-cost disabled path).
@@ -259,9 +243,6 @@ class Engine {
   void harvest_result();
   /// Rewinds all per-run state (capacities of every container are kept).
   void rewind();
-  /// Frees a slab slot: bumps the generation (invalidating outstanding ids)
-  /// and returns the slot to the free list.
-  void free_timer_slot(std::uint32_t slot);
   /// Purges dead events once they outnumber the live ones (amortized O(1)
   /// per event; total order on events makes the rebuild order-neutral).
   void maybe_compact_heap();
@@ -290,7 +271,8 @@ class Engine {
   std::vector<bool> released_;
 
   std::size_t pending_events() const {
-    return heap_.size() + (static_events_.size() - static_cursor_);
+    return heap_.size() + (static_events_.size() - static_cursor_) +
+           wheel_.pending_count();
   }
 
   /// The event queue is split in two by churn profile; pop_event compares
@@ -304,20 +286,21 @@ class Engine {
   std::size_t static_cursor_ = 0;
   bool static_sealed_ = false;
 
-  /// Volatile side: timers and completions, the entries schedulers churn
-  /// (cancel/re-arm every event in LLF/V-Dover). A binary min-heap
-  /// (std::push_heap/pop_heap with greater<>) — an explicit container
-  /// instead of std::priority_queue so dead events can be purged in place;
-  /// the total order on Event makes compaction order-neutral. Keeping only
-  /// the high-churn types here caps its size near the live-timer count
-  /// instead of the whole run's event population.
+  /// Volatile side, completions: a binary min-heap (std::push_heap/pop_heap
+  /// with greater<>) — an explicit container instead of std::priority_queue
+  /// so dead (stale-epoch) events can be purged in place; the total order on
+  /// Event makes compaction order-neutral. In live mode the heap also takes
+  /// the late-arriving release/expiry events.
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   std::size_t dead_events_ = 0;   // dead entries currently in heap_
 
-  std::vector<TimerSlot> timer_slots_;
-  std::vector<std::uint32_t> free_timer_slots_;
-  std::size_t live_timers_ = 0;
+  /// Volatile side, timers: the hierarchical wheel — amortized O(1)
+  /// arm/cancel, pops in exact (time, seq) order (sim/timer_wheel.hpp).
+  /// pop_event merges its front with the other two sides under the total
+  /// order on Event, so the merged pop sequence is identical to the old
+  /// single heap's.
+  TimerWheel wheel_;
 
   mutable cap::CapacityProfile::Cursor cursor_;  // mutable: amortized-O(1)
                                                  // lookups from const queries

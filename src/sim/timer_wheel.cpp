@@ -1,0 +1,269 @@
+#include "sim/timer_wheel.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace sjs::sim {
+
+TimerWheel::TimerWheel() { clear(); }
+
+void TimerWheel::clear() {
+  slab_.clear();
+  free_slots_.clear();
+  live_count_ = 0;
+  nodes_.clear();
+  free_nodes_.clear();
+  pending_count_ = 0;
+  cur_key_ = 0;
+  head_.fill(kNil);
+  count_.fill(0);
+  bits_.fill(0);
+  word_mask_ = 0;
+  min_node_ = kNil;
+  min_dirty_ = false;
+  cascades_ = 0;
+  cascaded_entries_ = 0;
+  bucket_peak_ = 0;
+}
+
+std::uint64_t TimerWheel::key_of(double time) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(time));
+  std::memcpy(&bits, &time, sizeof(bits));
+  // -0.0 and +0.0 are the same instant; canonicalise so the key stays
+  // monotone over the engine's non-negative clock.
+  if (bits == 0x8000000000000000ull) bits = 0;
+  SJS_CHECK_MSG(bits <= 0x7ff0000000000000ull,
+                "TimerWheel: negative or NaN time " << time);
+  return bits;
+}
+
+void TimerWheel::advance_clock(double now) {
+  const std::uint64_t key = key_of(now);
+  if (key <= cur_key_) return;
+  if (((key ^ cur_key_) >> 8) == 0) {
+    // The clock moved within one level-0 bucket span: level-0 slots are
+    // already exact instants, nothing can need finer placement.
+    cur_key_ = key;
+    return;
+  }
+  advance_slow(key);
+}
+
+std::uint32_t TimerWheel::bucket_of(std::uint64_t key) const {
+  const std::uint64_t diff = key ^ cur_key_;
+  if (diff == 0) {
+    return static_cast<std::uint32_t>(key & 0xffu);
+  }
+  const int level = (63 - std::countl_zero(diff)) >> 3;
+  const auto slot =
+      static_cast<std::uint32_t>((key >> (level * 8)) & 0xffu);
+  return static_cast<std::uint32_t>(level) * kSlotsPerLevel + slot;
+}
+
+void TimerWheel::link(std::uint32_t node, std::uint32_t bucket) {
+  Node& n = nodes_[node];
+  n.bucket = static_cast<std::uint16_t>(bucket);
+  n.prev = kNil;
+  n.next = head_[bucket];
+  if (n.next != kNil) nodes_[n.next].prev = node;
+  head_[bucket] = node;
+  bits_[bucket >> 6] |= 1ull << (bucket & 63u);
+  word_mask_ |= 1u << (bucket >> 6);
+  ++count_[bucket];
+  bucket_peak_ = std::max<std::uint64_t>(bucket_peak_, count_[bucket]);
+}
+
+void TimerWheel::unlink(std::uint32_t node) {
+  Node& n = nodes_[node];
+  const std::uint32_t bucket = n.bucket;
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_[bucket] = n.next;
+  }
+  if (n.next != kNil) nodes_[n.next].prev = n.prev;
+  if (head_[bucket] == kNil) {
+    bits_[bucket >> 6] &= ~(1ull << (bucket & 63u));
+    if (bits_[bucket >> 6] == 0) word_mask_ &= ~(1u << (bucket >> 6));
+  }
+  --count_[bucket];
+}
+
+void TimerWheel::free_node(std::uint32_t node) {
+  free_nodes_.push_back(node);
+  --pending_count_;
+}
+
+TimerId TimerWheel::arm(double time, JobId job, int tag, std::uint64_t seq) {
+  const std::uint64_t key = key_of(time);
+  SJS_CHECK_MSG(key >= cur_key_,
+                "TimerWheel: arm at " << time << " behind the wheel clock");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(Slot{});
+  }
+  Slot& s = slab_[slot];
+  s.job = job;
+  s.tag = tag;
+  s.live = true;
+  ++live_count_;
+  // Ids are (generation << 32) | (slot + 1); the +1 keeps every id distinct
+  // from kNoTimer regardless of generation.
+  const TimerId id =
+      (static_cast<TimerId>(s.generation) << 32) | (slot + 1ull);
+
+  std::uint32_t node;
+  if (!free_nodes_.empty()) {
+    node = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    node = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  Node& n = nodes_[node];
+  n.time = time;
+  n.key = key;
+  n.seq = seq;
+  n.id = id;
+  ++pending_count_;
+  link(node, bucket_of(key));
+  if (!min_dirty_) {
+    // seq is strictly increasing, so an equal-key arm never displaces the
+    // cached minimum (the earlier seq pops first).
+    if (min_node_ == kNil || key < nodes_[min_node_].key) min_node_ = node;
+  }
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const std::uint64_t slot_plus_one = id & 0xffffffffull;
+  SJS_CHECK_MSG(slot_plus_one >= 1 && slot_plus_one <= slab_.size(),
+                "cancel_timer: corrupted TimerId " << id << " (slab has "
+                    << slab_.size() << " slots)");
+  const std::uint32_t slot = slot_of_id(id);
+  Slot& s = slab_[slot];
+  if (!s.live || s.generation != generation_of_id(id)) return false;  // stale
+  s.live = false;
+  ++s.generation;
+  free_slots_.push_back(slot);
+  --live_count_;
+  // The queued node stays as a tombstone: it pops (or is purged) at the same
+  // instant the dead heap event used to, keeping the engine's execution
+  // subdivision — and therefore the replay digest — byte-identical.
+  return true;
+}
+
+void TimerWheel::find_min() const {
+  if (word_mask_ == 0) {
+    min_node_ = kNil;
+    min_dirty_ = false;
+    return;
+  }
+  const int word = std::countr_zero(word_mask_);
+  const std::uint64_t occupied = bits_[word];
+  const auto bucket =
+      static_cast<std::uint32_t>(word * 64 + std::countr_zero(occupied));
+  // Linear scan of the one bucket that can hold the minimum (see the level
+  // invariant in the header). At level 0 all keys in a bucket are identical,
+  // so this picks the minimum seq — the digest order.
+  std::uint32_t best = head_[bucket];
+  for (std::uint32_t i = nodes_[best].next; i != kNil; i = nodes_[i].next) {
+    const Node& a = nodes_[i];
+    const Node& b = nodes_[best];
+    if (a.key < b.key || (a.key == b.key && a.seq < b.seq)) best = i;
+  }
+  min_node_ = best;
+  min_dirty_ = false;
+}
+
+TimerWheel::Fired TimerWheel::pop() {
+  SJS_CHECK_MSG(pending_count_ > 0, "TimerWheel::pop on an empty wheel");
+  if (min_dirty_ || min_node_ == kNil) find_min();
+  const std::uint32_t node = min_node_;
+  const Node& n = nodes_[node];
+  Fired fired{n.time, n.seq, kNoJob, 0, false};
+  const std::uint32_t slot = slot_of_id(n.id);
+  Slot& s = slab_[slot];
+  if (s.generation == generation_of_id(n.id)) {
+    SJS_CHECK_MSG(s.live, "timer slab resurrected freed id " << n.id);
+    fired.job = s.job;
+    fired.tag = s.tag;
+    fired.live = true;
+    // Fires exactly once: free the slot, invalidating the outstanding id.
+    s.live = false;
+    ++s.generation;
+    free_slots_.push_back(slot);
+    --live_count_;
+  }
+  unlink(node);
+  free_node(node);
+  min_node_ = kNil;
+  min_dirty_ = true;
+  return fired;
+}
+
+void TimerWheel::advance_slow(std::uint64_t key) {
+  const std::uint64_t diff = key ^ cur_key_;
+  const int level = (63 - std::countl_zero(diff)) >> 3;
+  const auto slot = static_cast<std::uint32_t>((key >> (level * 8)) & 0xffu);
+  const auto bucket =
+      static_cast<std::uint32_t>(level) * kSlotsPerLevel + slot;
+  std::uint32_t chain = head_[bucket];
+  cur_key_ = key;
+  if (chain == kNil) return;
+  // Detach the whole bucket, then relink each node against the new clock.
+  // Every node here agrees with the new clock on bytes >= `level`, so each
+  // lands strictly below — a node cascades at most kLevels - 1 times total.
+  head_[bucket] = kNil;
+  bits_[bucket >> 6] &= ~(1ull << (bucket & 63u));
+  if (bits_[bucket >> 6] == 0) word_mask_ &= ~(1u << (bucket >> 6));
+  count_[bucket] = 0;
+  ++cascades_;
+  while (chain != kNil) {
+    const std::uint32_t node = chain;
+    chain = nodes_[node].next;
+    link(node, bucket_of(nodes_[node].key));
+    ++cascaded_entries_;
+  }
+}
+
+std::size_t TimerWheel::purge_dead() {
+  std::size_t purged = 0;
+  // Visit only occupied buckets via the occupancy bitmaps: compaction fires
+  // when tombstones dominate a *small* volatile side, so the population is
+  // typically a few buckets out of 2048.
+  for (int word = 0; word < kLevels * 4; ++word) {
+    std::uint64_t occupied = bits_[word];
+    while (occupied != 0) {
+      const int bit = std::countr_zero(occupied);
+      occupied &= occupied - 1;
+      const auto bucket = static_cast<std::uint32_t>(word * 64 + bit);
+      std::uint32_t node = head_[bucket];
+      while (node != kNil) {
+        const std::uint32_t next = nodes_[node].next;
+        const TimerId id = nodes_[node].id;
+        const Slot& s = slab_[slot_of_id(id)];
+        if (s.generation != generation_of_id(id)) {
+          unlink(node);
+          free_node(node);
+          ++purged;
+        }
+        node = next;
+      }
+    }
+  }
+  if (purged > 0) {
+    min_node_ = kNil;
+    min_dirty_ = true;
+  }
+  return purged;
+}
+
+}  // namespace sjs::sim

@@ -1,0 +1,216 @@
+// Hierarchical timer wheel over virtual time — the timer backend of the
+// engine's volatile event side (docs/performance.md, "The timer wheel").
+//
+// The wheel replaces the binary heap for EventType::kTimer entries: arming
+// and cancelling become amortized O(1) instead of O(log n). It is two
+// structures:
+//
+//  * a generation-stamped **slab** of timer slots — the PR2 id scheme,
+//    unchanged: ids are (generation << 32) | (slot + 1), a cancel or fire
+//    frees the slot and bumps the generation, slots are recycled LIFO;
+//  * a pool of queued **nodes** (one per set_timer call), bucketed by the
+//    wheel, each carrying the (time, seq) order key and its TimerId.
+//
+// A cancel frees only the slab slot; the queued node stays in its bucket and
+// later pops as a *stale* entry (generation mismatch), exactly like the dead
+// events the heap used to carry. This is deliberate and digest-critical: the
+// engine subdivides the running job's execution integral at every popped
+// event's timestamp, dead or live, so eagerly unlinking a cancelled timer
+// would shift downstream floating-point sums by ulps and change completion
+// instants. Dead nodes are reclaimed by the engine's lazy compaction
+// (purge_dead) on the same trigger as before.
+//
+// Layout. A timer's instant is keyed by the raw bit pattern of its `double`
+// time: for non-negative IEEE-754 doubles the bit pattern is monotone in the
+// value, so integer order on keys IS the engine's order on times (the
+// sanctioned exact comparison — same contract as fp::exact_eq). The 64-bit
+// key is split into 8 levels of one byte each; level L, slot S holds nodes
+// whose key agrees with the wheel clock `cur_key_` on all bytes above L and
+// has byte L == S. Each bucket is an intrusive doubly-linked list threaded
+// through the node pool; per-level 256-bit occupancy bitmaps make find-min a
+// handful of word scans.
+//
+// Invariant (restored by every clock advance): at level L >= 1 every
+// occupied slot is strictly greater than byte L of cur_key_, and nodes in
+// one bucket agree with cur_key_ on all bytes above L. Hence the bucket at
+// the lowest occupied slot of the lowest non-empty level contains the global
+// minimum key, and a linear scan of that one bucket (min (key, seq)) yields
+// the exact pop candidate. At level 0 all nodes in one bucket share the
+// *identical* bit pattern — the same double — so the (time, seq) order the
+// engine's digest depends on is reproduced exactly.
+//
+// Cascading happens on clock advance, not on demand: when the engine's clock
+// moves from key A to key B (only ever forward, and only after every node
+// with key < B has been popped), the highest differing byte h between A and
+// B names the single bucket (h, byte_h(B)) that can hold nodes now due for
+// finer placement; its nodes are relinked against B and strictly descend in
+// level, so each node cascades at most 7 times over its lifetime.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "jobs/job.hpp"
+#include "sim/scheduler.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::sim {
+
+class TimerWheel {
+ public:
+  /// A popped timer node: everything the engine needs to build the kTimer
+  /// event. `live` is false for a tombstone (the timer was cancelled and its
+  /// slot possibly reused since) — the engine pops it as a dead event, like
+  /// the stale heap entries it replaces. The node, and for live pops the
+  /// slab slot, are already freed when this is returned.
+  struct Fired {
+    double time;
+    std::uint64_t seq;
+    JobId job;
+    int tag;
+    bool live;
+  };
+
+  static constexpr int kLevels = 8;
+  static constexpr int kSlotsPerLevel = 256;
+
+  TimerWheel();
+
+  /// Arms a timer at `time` (>= the last advance_clock instant, non-negative,
+  /// not NaN) carrying (job, tag). `seq` is the engine's global event
+  /// sequence number — it must be strictly increasing across calls; it is
+  /// the tie-break among timers at the identical instant.
+  TimerId arm(double time, JobId job, int tag, std::uint64_t seq);
+
+  /// Cancels a pending timer: O(1) — frees the slab slot (bumping the
+  /// generation) but leaves the queued node in place as a tombstone. Returns
+  /// false (no-op) for a stale id — already fired, already cancelled, slot
+  /// since reused. A corrupted id (slot index never allocated) fails an
+  /// SJS_CHECK.
+  bool cancel(TimerId id);
+
+  /// The pop candidate's (time, seq) without removing it; false when no
+  /// nodes (live or tombstone) are queued. Amortized O(1): the minimum is
+  /// cached and only recomputed after the cached node leaves the wheel.
+  bool peek(double& time, std::uint64_t& seq) const {
+    if (pending_count_ == 0) return false;
+    if (min_dirty_ || min_node_ == kNil) find_min();
+    const Node& n = nodes_[min_node_];
+    time = n.time;
+    seq = n.seq;
+    return true;
+  }
+
+  /// Removes and returns the minimum-(key, seq) node. Wheel must not be
+  /// empty (peek first).
+  Fired pop();
+
+  /// Advances the wheel clock to `now` (monotone; the engine calls this with
+  /// its own clock, after every node earlier than `now` has been popped) and
+  /// cascades the one bucket the advance exposes.
+  void advance_clock(double now);
+
+  /// Unlinks and frees every tombstone node (the wheel half of the engine's
+  /// lazy dead-event compaction). O(pending_count). Returns the number
+  /// purged.
+  std::size_t purge_dead();
+
+  /// Rewinds to an empty wheel at clock 0, keeping slab/pool capacity
+  /// (engine reuse across Monte-Carlo runs).
+  void clear();
+
+  /// Timers currently armed (live slab slots).
+  std::size_t live_count() const { return live_count_; }
+  /// Queued nodes, tombstones included — the wheel's share of the engine's
+  /// pending-event population.
+  std::size_t pending_count() const { return pending_count_; }
+  /// Distinct slab slots ever allocated (bounded by peak live_count).
+  std::size_t slab_size() const { return slab_.size(); }
+
+  // --- Occupancy / churn statistics (engine.timer.* gauges) ---
+
+  /// Cascade operations performed (clock advances that relinked a bucket).
+  std::uint64_t cascades() const { return cascades_; }
+  /// Nodes moved by cascades (each node can cascade at most 7 times).
+  std::uint64_t cascaded_entries() const { return cascaded_entries_; }
+  /// Peak nodes simultaneously in any single bucket.
+  std::uint64_t bucket_peak() const { return bucket_peak_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One slab slot — the id scheme's ground truth (PR2 semantics).
+  struct Slot {
+    JobId job = kNoJob;
+    int tag = 0;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  /// One queued node. `id` resolves liveness against the slab at pop time:
+  /// a generation mismatch means the timer was cancelled after queuing.
+  struct Node {
+    double time = 0.0;
+    std::uint64_t key = 0;
+    std::uint64_t seq = 0;
+    TimerId id = kNoTimer;
+    std::uint32_t next = kNil;   // intrusive bucket list links
+    std::uint32_t prev = kNil;
+    std::uint16_t bucket = 0;    // level * kSlotsPerLevel + slot, while queued
+  };
+
+  static std::uint32_t slot_of_id(TimerId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffull) - 1;
+  }
+  static std::uint32_t generation_of_id(TimerId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Monotone key of a non-negative time; canonicalises -0.0 and rejects
+  /// negative/NaN times (SJS_CHECK). +infinity is a valid far-future key.
+  static std::uint64_t key_of(double time);
+
+  /// Bucket index (level * 256 + slot) for `key` relative to cur_key_.
+  std::uint32_t bucket_of(std::uint64_t key) const;
+
+  void link(std::uint32_t node, std::uint32_t bucket);
+  void unlink(std::uint32_t node);
+  void free_node(std::uint32_t node);
+  /// Out-of-line half of advance_clock: cascades the bucket a cross-byte
+  /// clock advance exposes.
+  void advance_slow(std::uint64_t key);
+  /// Recomputes the cached minimum by scanning the occupancy bitmaps.
+  void find_min() const;
+
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::size_t pending_count_ = 0;
+
+  std::uint64_t cur_key_ = 0;
+
+  std::array<std::uint32_t, kLevels * kSlotsPerLevel> head_;
+  std::array<std::uint32_t, kLevels * kSlotsPerLevel> count_;
+  // One 256-bit occupancy bitmap per level, 4 words each. Word index order is
+  // (level, slot) lexicographic, so the lowest set bit across all words names
+  // the minimum-holding bucket directly.
+  std::array<std::uint64_t, kLevels * 4> bits_;
+  // Summary: bit w set iff bits_[w] != 0 — find_min in two countr_zero steps.
+  std::uint32_t word_mask_ = 0;
+
+  // Cached pop candidate (node index), recomputed lazily.
+  mutable std::uint32_t min_node_ = kNil;
+  mutable bool min_dirty_ = false;
+
+  std::uint64_t cascades_ = 0;
+  std::uint64_t cascaded_entries_ = 0;
+  std::uint64_t bucket_peak_ = 0;
+};
+
+}  // namespace sjs::sim

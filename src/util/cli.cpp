@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -169,6 +170,39 @@ const std::string& CliFlags::get_string(const std::string& name) const {
 const std::vector<double>& CliFlags::get_double_list(
     const std::string& name) const {
   return find(name, Type::kDoubleList)->list;
+}
+
+bool CliFlags::require_positive(const std::string& name) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("flag not registered: " + name);
+  }
+  const Flag& flag = it->second;
+  std::ostringstream os;
+  switch (flag.type) {
+    case Type::kDouble:
+      if (std::isfinite(flag.d) && flag.d > 0.0) return true;
+      os << "--" << name << " must be a positive finite number (got "
+         << flag.d << ")";
+      break;
+    case Type::kInt:
+      if (flag.i > 0) return true;
+      os << "--" << name << " must be >= 1 (got " << flag.i << ")";
+      break;
+    default:
+      throw std::logic_error("flag is not numeric: " + name);
+  }
+  error_ = os.str();
+  return false;
+}
+
+bool CliFlags::require_at_least(const std::string& name, std::int64_t min) {
+  const Flag* flag = find(name, Type::kInt);
+  if (flag->i >= min) return true;
+  std::ostringstream os;
+  os << "--" << name << " must be >= " << min << " (got " << flag->i << ")";
+  error_ = os.str();
+  return false;
 }
 
 std::string CliFlags::usage(const std::string& program) const {

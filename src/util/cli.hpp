@@ -37,6 +37,15 @@ class CliFlags {
   const std::string& get_string(const std::string& name) const;
   const std::vector<double>& get_double_list(const std::string& name) const;
 
+  /// Post-parse validation: false (recording a message in error()) unless
+  /// the named double/int flag is strictly positive; doubles must also be
+  /// finite (a --accel=inf or =nan would silently wedge a clock bridge).
+  bool require_positive(const std::string& name);
+  /// Post-parse validation for int flags: false (recording a message in
+  /// error()) unless the value is >= min. Use require_at_least(name, 0) to
+  /// reject negatives on a count that may legitimately be zero.
+  bool require_at_least(const std::string& name, std::int64_t min);
+
   const std::string& error() const { return error_; }
   std::string usage(const std::string& program) const;
 

@@ -26,6 +26,12 @@ class CsvWriter {
 
   void flush() { out_.flush(); }
 
+  /// False once any write or flush has failed (short write, ENOSPC, closed
+  /// descriptor). std::ofstream swallows I/O errors into the stream state;
+  /// durability-sensitive callers (serve::Journal) must check this after
+  /// flushing instead of assuming the row reached the disk.
+  bool ok() const { return out_.good(); }
+
  private:
   std::ofstream out_;
 };

@@ -152,6 +152,15 @@ TEST(LintTest, RawConcurrencyIgnoresConcDirectory) {
   EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 0) << r.output;
 }
 
+TEST(LintTest, TimerWheelBypassFiresOnDirectTimerPushes) {
+  const auto r = run_lint(fixture_args(fx("src/sim/bad_timer_push.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // push_back + emplace_back of a kTimer event; the non-timer push, the
+  // push-free kTimer mention, and the suppressed push stay silent.
+  EXPECT_EQ(count_findings(r.output, "timer-wheel-bypass"), 2) << r.output;
+  EXPECT_NE(r.output.find("Engine::set_timer"), std::string::npos) << r.output;
+}
+
 TEST(LintTest, BadSuppressionFiresAndDoesNotSuppress) {
   const auto r = run_lint(fixture_args(fx("src/util/bad_suppression.cpp")));
   EXPECT_EQ(r.exit_code, 1);
@@ -173,7 +182,7 @@ TEST(LintTest, WholeFixtureTreeReportsEveryRule) {
   for (const char* rule :
        {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
         "float-type", "trace-exhaustive", "include-hygiene", "header-guard",
-        "raw-concurrency", "bad-suppression"}) {
+        "raw-concurrency", "timer-wheel-bypass", "bad-suppression"}) {
     EXPECT_GE(count_findings(r.output, rule), 1) << rule << "\n" << r.output;
   }
 }
@@ -193,7 +202,7 @@ TEST(LintTest, ListRulesNamesAllRules) {
   for (const char* rule :
        {"unordered-iter", "ordered-set-hot-path", "banned-time", "float-eq",
         "float-type", "trace-exhaustive", "include-hygiene", "header-guard",
-        "raw-concurrency"}) {
+        "raw-concurrency", "timer-wheel-bypass"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

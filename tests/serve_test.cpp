@@ -18,8 +18,11 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <csignal>
 
 #include <cmath>
 #include <cstring>
@@ -605,6 +608,131 @@ TEST(ServeTest, RealClockLoadgenSessionReplays) {
   sjs::sim::Engine engine(replayed, *scheduler);
   const sjs::sim::SimResult replay = engine.run_to_completion();
   expect_bitwise_equal_results(server.result(), replay);
+}
+
+// ---------------------------------------------------------------------------
+// Journal durability: a failed append must surface, not silently drop rows.
+
+TEST(JournalTest, AppendFailureThrowsInsteadOfSilentLoss) {
+  const std::string dir = fresh_dir("journal_enospc");
+  sjs::serve::Journal journal(dir, sjs::cap::CapacityProfile(1.0), kBandLo,
+                              kBandHi, {"V-Dover", 1.0, true});
+
+  // Cap the process file size so the next flush past the cap fails with
+  // EFBIG — the same silent-failbit path a short write or ENOSPC takes.
+  // SIGXFSZ must be ignored or the kernel kills the process instead.
+  struct sigaction ignore_xfsz {};
+  ignore_xfsz.sa_handler = SIG_IGN;
+  struct sigaction old_xfsz {};
+  ASSERT_EQ(::sigaction(SIGXFSZ, &ignore_xfsz, &old_xfsz), 0);
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  const rlimit tiny{256, old_limit.rlim_max};
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  sjs::Job job;
+  job.id = 0;
+  job.release = 0.25;
+  job.workload = 1.0;
+  job.deadline = 4.0;
+  job.value = 2.0;
+  bool threw = false;
+  std::string what;
+  for (int i = 0; i < 64 && !threw; ++i) {
+    job.id = i;
+    try {
+      journal.record_admit(job);
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      what = e.what();
+    }
+  }
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(::sigaction(SIGXFSZ, &old_xfsz, nullptr), 0);
+  EXPECT_TRUE(threw) << "journal swallowed a failed append";
+  EXPECT_NE(what.find("journal append failed"), std::string::npos) << what;
+}
+
+TEST(ServeTest, JournalFailureFailsSessionCleanly) {
+  const std::string dir = fresh_dir("serve_journal_fail");
+  FakeClock clock;
+  AdmissionServer server(scripted_config(dir),
+                         make_scheduler("V-Dover", kBandLo, kBandHi), clock);
+  TestClient client(server.start());
+
+  // One healthy admission first: the failure path must not corrupt it.
+  client.send(submit_msg(1, 0.5, 5.0, 1.0));
+  EXPECT_EQ(client.await_seq(server, 1).type, MsgType::kAccepted);
+
+  struct sigaction ignore_xfsz {};
+  ignore_xfsz.sa_handler = SIG_IGN;
+  struct sigaction old_xfsz {};
+  ASSERT_EQ(::sigaction(SIGXFSZ, &ignore_xfsz, &old_xfsz), 0);
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  const rlimit tiny{128, old_limit.rlim_max};
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  // Submit until an append fails. The client must see ERROR(kJournalFailed),
+  // never an ACCEPTED whose journal row was silently dropped.
+  std::uint64_t seq = 1;
+  Message failed{};
+  for (int i = 0; i < 64; ++i) {
+    clock.advance(0.01);
+    client.send(submit_msg(++seq, 0.5, 5.0, 1.0));
+    const Message r = client.await_seq(server, seq);
+    if (r.type == MsgType::kError) {
+      failed = r;
+      break;
+    }
+    ASSERT_EQ(r.type, MsgType::kAccepted);
+  }
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(::sigaction(SIGXFSZ, &old_xfsz, nullptr), 0);
+
+  ASSERT_EQ(failed.type, MsgType::kError);
+  EXPECT_EQ(failed.code,
+            static_cast<std::uint8_t>(sjs::serve::ErrorCode::kJournalFailed));
+  EXPECT_FALSE(server.journal_error().empty());
+  // The failure initiated a drain on its own — no DRAIN frame was sent.
+  EXPECT_TRUE(server.draining());
+  while (server.step(0)) client.read_socket();
+  EXPECT_TRUE(server.finished());
+}
+
+// ---------------------------------------------------------------------------
+// Pooled latency merge: quantiles come from the union of samples, never from
+// averaging per-connection summaries.
+
+TEST(LoadGen, MergedLatencyPoolsSamplesAcrossConnections) {
+  // Two heavily skewed connections: one fast (1ms-ish), one slow (100ms-ish)
+  // with the same sample count. Averaging the per-connection p99s would
+  // report ~50ms; the pooled tail must sit in the slow group.
+  std::vector<double> fast;
+  std::vector<double> slow;
+  for (int i = 0; i < 99; ++i) {
+    fast.push_back(1e-3 + static_cast<double>(i) * 1e-6);
+    slow.push_back(0.1 + static_cast<double>(i) * 1e-4);
+  }
+  const sjs::Summary fast_sum = sjs::summarize(fast);
+  const sjs::Summary slow_sum = sjs::summarize(slow);
+  const sjs::Summary merged =
+      sjs::serve::merge_latency_samples({fast, slow});
+
+  EXPECT_EQ(merged.count, fast.size() + slow.size());
+  EXPECT_EQ(merged.min, fast.front());
+  EXPECT_EQ(merged.max, slow.back());
+  // Pooled p99 ≈ the slow group's tail, far above the average of the two
+  // per-connection p99s.
+  EXPECT_GT(merged.p99, 0.1);
+  EXPECT_GT(merged.p99, 1.5 * 0.5 * (fast_sum.p99 + slow_sum.p99));
+  // p50 of the pool straddles the groups; each group's own median does not.
+  EXPECT_GT(merged.median, fast_sum.median);
+  EXPECT_LT(merged.median, slow_sum.median);
+
+  // Degenerate shapes stay well-defined.
+  EXPECT_EQ(sjs::serve::merge_latency_samples({}).count, 0u);
+  EXPECT_EQ(sjs::serve::merge_latency_samples({{}, {2.5}}).count, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Edge-case and differential tests for sim::TimerWheel — the hierarchical
+// wheel backing the volatile event side (docs/performance.md, "The timer
+// wheel"). The digest-critical contract under test: cancelled timers pop as
+// tombstones at their original (time, seq) position, pop order is exactly
+// min (key, seq) with key the monotone bit pattern of the time, and
+// cascading never reorders or drops a node.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/timer_wheel.hpp"
+
+namespace sjs::sim {
+namespace {
+
+// Pops everything due at or before `target`, advancing the wheel clock to
+// each popped instant first (the engine's calling convention: the clock
+// never jumps past an unpopped node). Leaves the clock at `target`.
+std::vector<TimerWheel::Fired> pop_through(TimerWheel& wheel, double target) {
+  std::vector<TimerWheel::Fired> fired;
+  double t = 0.0;
+  std::uint64_t seq = 0;
+  while (wheel.peek(t, seq) && t <= target) {
+    wheel.advance_clock(t);
+    fired.push_back(wheel.pop());
+  }
+  wheel.advance_clock(target);
+  return fired;
+}
+
+TEST(TimerWheel, ExactInstantExpiryVsCancelCollision) {
+  TimerWheel wheel;
+  // Three timers at the identical instant; the middle one is cancelled
+  // before any fire. The tombstone must still pop, in seq position.
+  const TimerId a = wheel.arm(1.0, 10, 1, 1);
+  const TimerId b = wheel.arm(1.0, 11, 2, 2);
+  const TimerId c = wheel.arm(1.0, 12, 3, 3);
+  ASSERT_NE(a, kNoTimer);
+  EXPECT_TRUE(wheel.cancel(b));
+  EXPECT_FALSE(wheel.cancel(b));  // second cancel of the same id is stale
+  EXPECT_EQ(wheel.live_count(), 2u);
+  EXPECT_EQ(wheel.pending_count(), 3u);
+
+  const auto fired = pop_through(wheel, 1.0);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].seq, 1u);
+  EXPECT_TRUE(fired[0].live);
+  EXPECT_EQ(fired[0].job, 10);
+  EXPECT_EQ(fired[1].seq, 2u);
+  EXPECT_FALSE(fired[1].live);  // the tombstone keeps its order slot
+  EXPECT_EQ(fired[2].seq, 3u);
+  EXPECT_TRUE(fired[2].live);
+  EXPECT_EQ(fired[2].tag, 3);
+
+  // Cancelling after the fire is stale too — the slot was freed by pop().
+  EXPECT_FALSE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(c));
+
+  // Arming at the exact current clock instant is legal and fires
+  // immediately on the next sweep.
+  const TimerId d = wheel.arm(1.0, 13, 4, 4);
+  (void)d;
+  const auto again = pop_through(wheel, 1.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].seq, 4u);
+  EXPECT_TRUE(again[0].live);
+}
+
+TEST(TimerWheel, CancelAfterCascadeRemainsTombstone) {
+  TimerWheel wheel;
+  // A far-future timer lands in a high level at arm time. Advancing the
+  // clock most of the way there forces it to cascade down; a cancel AFTER
+  // the cascade must still tombstone it (the node moved buckets, the slab
+  // slot did not move).
+  const TimerId far = wheel.arm(1e6, 42, 7, 1);
+  wheel.arm(2e6, 43, 8, 2);  // stays live, pops after the target window
+
+  pop_through(wheel, 999999.0);  // crosses several key bytes -> cascades
+  EXPECT_GT(wheel.cascades(), 0u);
+  EXPECT_GT(wheel.cascaded_entries(), 0u);
+
+  EXPECT_TRUE(wheel.cancel(far));
+  const auto fired = pop_through(wheel, 1e6);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].time, 1e6);
+  EXPECT_EQ(fired[0].seq, 1u);
+  EXPECT_FALSE(fired[0].live);
+  EXPECT_FALSE(wheel.cancel(far));
+
+  const auto rest = pop_through(wheel, 2e6);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].job, 43);
+  EXPECT_TRUE(rest[0].live);
+  EXPECT_EQ(wheel.pending_count(), 0u);
+  EXPECT_EQ(wheel.live_count(), 0u);
+}
+
+TEST(TimerWheel, FarFutureAndOverflowKeysOrderCorrectly) {
+  TimerWheel wheel;
+  const double inf = std::numeric_limits<double>::infinity();
+  // Keys spanning the full exponent range, armed out of order. +inf is a
+  // valid far-future sentinel and must sort after every finite time.
+  wheel.arm(inf, 1, 0, 1);
+  wheel.arm(1e300, 2, 0, 2);
+  wheel.arm(5e-324, 3, 0, 3);  // smallest subnormal
+  wheel.arm(0.0, 4, 0, 4);
+  wheel.arm(-0.0, 5, 0, 5);  // canonicalised to +0.0, ordered by seq
+
+  std::vector<std::uint64_t> order;
+  for (const auto& f : pop_through(wheel, inf)) order.push_back(f.seq);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 5, 3, 2, 1}));
+  EXPECT_EQ(wheel.pending_count(), 0u);
+
+  // The wheel clock is now at +inf's key; clear() must fully rewind.
+  wheel.clear();
+  wheel.arm(0.5, 6, 0, 6);
+  const auto fired = pop_through(wheel, 1.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].seq, 6u);
+}
+
+// Reference model: a plain vector popped by min (time, seq). For
+// non-negative doubles this is the same order as the wheel's bit-pattern
+// keys, so any divergence is a wheel bug.
+struct RefEntry {
+  double time;
+  std::uint64_t seq;
+  JobId job;
+  int tag;
+  bool live;
+  TimerId id;
+};
+
+std::size_t ref_min(const std::vector<RefEntry>& ref) {
+  std::size_t best = ref.size();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (best == ref.size() || ref[i].time < ref[best].time ||
+        (ref[i].time == ref[best].time && ref[i].seq < ref[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(TimerWheel, RandomizedDifferentialAgainstReferenceModel) {
+  TimerWheel wheel;
+  std::vector<RefEntry> ref;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  double clock = 0.0;
+  std::uint64_t seq = 0;
+  JobId job = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint64_t op = next() % 100;
+    if (op < 55 || ref.empty()) {
+      // Arm: usually a random future offset; sometimes exactly `clock` or a
+      // duplicate of an armed instant to force same-bucket collisions.
+      double time = clock + static_cast<double>(next() % 4096) * 0.37;
+      const std::uint64_t mode = next() % 8;
+      if (mode == 0) time = clock;
+      if (mode == 1 && !ref.empty()) time = ref[next() % ref.size()].time;
+      if (time < clock) time = clock;
+      const int tag = static_cast<int>(next() % 4);
+      const TimerId id = wheel.arm(time, job, tag, ++seq);
+      ref.push_back(RefEntry{time, seq, job, tag, true, id});
+      ++job;
+    } else if (op < 75) {
+      // Cancel a random still-armed timer (tombstones it in the model).
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].live) live.push_back(i);
+      }
+      if (!live.empty()) {
+        RefEntry& e = ref[live[next() % live.size()]];
+        EXPECT_TRUE(wheel.cancel(e.id));
+        EXPECT_FALSE(wheel.cancel(e.id));
+        e.live = false;
+      }
+    } else if (op < 95) {
+      // Sweep: pop everything due up to a random target, comparing each
+      // fired node against the model's minimum.
+      const double target = clock + static_cast<double>(next() % 512) * 0.91;
+      double t = 0.0;
+      std::uint64_t s = 0;
+      while (wheel.peek(t, s) && t <= target) {
+        const std::size_t m = ref_min(ref);
+        ASSERT_LT(m, ref.size());
+        ASSERT_EQ(t, ref[m].time);
+        ASSERT_EQ(s, ref[m].seq);
+        wheel.advance_clock(t);
+        const TimerWheel::Fired f = wheel.pop();
+        ASSERT_EQ(f.time, ref[m].time);
+        ASSERT_EQ(f.seq, ref[m].seq);
+        ASSERT_EQ(f.live, ref[m].live);
+        if (f.live) {
+          ASSERT_EQ(f.job, ref[m].job);
+          ASSERT_EQ(f.tag, ref[m].tag);
+        }
+        ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(m));
+      }
+      wheel.advance_clock(target);
+      clock = target;
+      // Nothing due remains in the model either.
+      const std::size_t m = ref_min(ref);
+      if (m < ref.size()) {
+        ASSERT_GT(ref[m].time, target);
+      }
+    } else {
+      // Lazy compaction: purge tombstones from both sides.
+      const std::size_t purged = wheel.purge_dead();
+      std::size_t expect = 0;
+      for (const RefEntry& e : ref) expect += e.live ? 0 : 1;
+      ASSERT_EQ(purged, expect);
+      ref.erase(std::remove_if(ref.begin(), ref.end(),
+                               [](const RefEntry& e) { return !e.live; }),
+                ref.end());
+    }
+    ASSERT_EQ(wheel.pending_count(), ref.size());
+    std::size_t live = 0;
+    for (const RefEntry& e : ref) live += e.live ? 1 : 0;
+    ASSERT_EQ(wheel.live_count(), live);
+  }
+
+  // Drain to empty; the tail must come out in model order too.
+  while (!ref.empty()) {
+    const std::size_t m = ref_min(ref);
+    double t = 0.0;
+    std::uint64_t s = 0;
+    ASSERT_TRUE(wheel.peek(t, s));
+    ASSERT_EQ(t, ref[m].time);
+    ASSERT_EQ(s, ref[m].seq);
+    wheel.advance_clock(t);
+    const TimerWheel::Fired f = wheel.pop();
+    ASSERT_EQ(f.live, ref[m].live);
+    ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(m));
+  }
+  EXPECT_EQ(wheel.pending_count(), 0u);
+  EXPECT_EQ(wheel.live_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sjs::sim

@@ -399,6 +399,52 @@ TEST(Cli, WrongTypeAccessThrows) {
   EXPECT_THROW(flags.get_double("nope"), std::logic_error);
 }
 
+TEST(Cli, RequirePositiveRejectsZeroNegativeAndNonFinite) {
+  CliFlags flags;
+  flags.add_double("accel", 1.0, "");
+  flags.add_int("max-in-flight", 1024, "");
+
+  const char* bad_zero[] = {"prog", "--accel=0"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(bad_zero)));
+  EXPECT_FALSE(flags.require_positive("accel"));
+  EXPECT_NE(flags.error().find("--accel"), std::string::npos);
+
+  const char* bad_neg[] = {"prog", "--max-in-flight=-3"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(bad_neg)));
+  EXPECT_FALSE(flags.require_positive("max-in-flight"));
+  EXPECT_NE(flags.error().find("--max-in-flight"), std::string::npos);
+
+  const char* bad_inf[] = {"prog", "--accel=inf"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(bad_inf)));
+  EXPECT_FALSE(flags.require_positive("accel"));
+
+  const char* good[] = {"prog", "--accel=2.5", "--max-in-flight=1"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(good)));
+  EXPECT_TRUE(flags.require_positive("accel"));
+  EXPECT_TRUE(flags.require_positive("max-in-flight"));
+}
+
+TEST(Cli, RequireAtLeastValidatesIntLowerBound) {
+  CliFlags flags;
+  flags.add_int("trace-ring", 4096, "");
+  const char* neg[] = {"prog", "--trace-ring=-1"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(neg)));
+  EXPECT_FALSE(flags.require_at_least("trace-ring", 0));
+  EXPECT_NE(flags.error().find("--trace-ring"), std::string::npos);
+
+  const char* zero[] = {"prog", "--trace-ring=0"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(zero)));
+  EXPECT_TRUE(flags.require_at_least("trace-ring", 0));
+}
+
+TEST(Cli, RequireHelpersRejectUnregisteredOrNonNumeric) {
+  CliFlags flags;
+  flags.add_string("name", "x", "");
+  EXPECT_THROW(flags.require_positive("nope"), std::logic_error);
+  EXPECT_THROW(flags.require_positive("name"), std::logic_error);
+  EXPECT_THROW(flags.require_at_least("name", 0), std::logic_error);
+}
+
 TEST(ParseDoubleList, HandlesEmptyAndMalformed) {
   EXPECT_TRUE(parse_double_list("").empty());
   EXPECT_EQ(parse_double_list("1,2"), (std::vector<double>{1, 2}));

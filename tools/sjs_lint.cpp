@@ -36,6 +36,11 @@
 //                    thread traffic must flow through conc::Channel /
 //                    conc::ShardSet (src/conc/) or util/thread_pool so those
 //                    layers stay auditable single-threaded
+//   timer-wheel-bypass
+//                    a kTimer event pushed into an event queue directly in
+//                    src/sim/ — timers must be armed through the wheel
+//                    (Engine::set_timer) so its generation-stamped slab owns
+//                    the cancel/tombstone lifecycle
 //   bad-suppression  an allow() comment with an unknown rule id or without
 //                    a reason (this rule itself cannot be suppressed)
 //
@@ -92,6 +97,9 @@ const std::vector<std::pair<const char*, const char*>> kRules = {
     {"raw-concurrency",
      "raw std::thread/mutex/atomic in serve//sched/ (use conc::Channel / "
      "conc::ShardSet)"},
+    {"timer-wheel-bypass",
+     "kTimer event pushed past the timer wheel in sim/ (use "
+     "Engine::set_timer)"},
     {"bad-suppression", "malformed sjs-lint allow() comment"},
 };
 
@@ -609,6 +617,38 @@ void check_raw_concurrency(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: timer-wheel-bypass
+// ---------------------------------------------------------------------------
+
+// Timer events must enter the engine through TimerWheel::arm (wrapped by
+// Engine::set_timer): a kTimer event pushed straight into the static queue
+// or the completion heap bypasses the wheel's generation-stamped slab, so
+// cancel_timer could not tombstone it and the lazy dead-event compaction
+// accounting would drift — both are digest-visible failures. The wheel's
+// own implementation files are the one place allowed to queue timer nodes.
+void check_timer_wheel_bypass(const SourceFile& file,
+                              std::vector<Diagnostic>& diags) {
+  if (!path_in(file.rel, "sim")) return;
+  if (file.rel.rfind("src/sim/timer_wheel.", 0) == 0) return;
+  static const std::regex push_re(
+      R"(\b(push_event|push_back|emplace_back|push_heap|emplace|insert)\s*\()");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& code = file.code[i];
+    if (code.find("kTimer") == std::string::npos) continue;
+    std::smatch m;
+    if (std::regex_search(code, m, push_re)) {
+      report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
+             "timer-wheel-bypass",
+             "kTimer event pushed into an event queue directly; timers must "
+             "be armed through Engine::set_timer so the wheel's "
+             "generation-stamped slab (sim/timer_wheel.hpp) owns the "
+             "cancel/tombstone lifecycle the replay digest depends on",
+             diags);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -727,6 +767,7 @@ int main(int argc, char** argv) {
     check_include_hygiene(file, diags);
     check_header_guard(file, diags);
     check_raw_concurrency(file, diags);
+    check_timer_wheel_bypass(file, diags);
   }
   check_trace_exhaustive(files, diags);
 

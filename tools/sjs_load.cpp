@@ -46,6 +46,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--port is required\n");
     return 1;
   }
+  if (!flags.require_positive("duration") ||
+      !flags.require_positive("rate") ||
+      !flags.require_positive("mean-workload") ||
+      !flags.require_positive("c-lo") ||
+      !flags.require_positive("connections")) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
 
   sjs::serve::LoadGenConfig config;
   config.port = static_cast<int>(flags.get_int("port"));
@@ -60,10 +68,6 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.send_drain = flags.get_bool("drain");
   config.connections = static_cast<int>(flags.get_int("connections"));
-  if (config.connections < 1) {
-    std::fprintf(stderr, "need --connections >= 1\n");
-    return 1;
-  }
 
   sjs::serve::SystemClock clock;
   try {

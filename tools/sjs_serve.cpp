@@ -80,6 +80,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need 0 < c-lo <= c-hi\n");
     return 1;
   }
+  // Reject zero/negative (and non-finite) numeric flags up front: a bad
+  // --accel wedges the clock bridge, a zero --max-in-flight sheds every
+  // submit, a zero --channel-capacity deadlocks the sharded plane.
+  if (!flags.require_positive("accel") ||
+      !flags.require_positive("max-in-flight") ||
+      !flags.require_positive("channel-capacity") ||
+      !flags.require_positive("shards") ||
+      !flags.require_at_least("trace-ring", 0)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
 
   const auto lineup = sjs::sched::full_lineup(c_lo, c_hi);
   const auto* factory =
@@ -104,12 +115,7 @@ int main(int argc, char** argv) {
   config.admission_check = !flags.get_bool("no-admission-check");
   config.trace_ring =
       static_cast<std::size_t>(flags.get_int("trace-ring"));
-  const std::int64_t shards = flags.get_int("shards");
-  if (shards < 1) {
-    std::fprintf(stderr, "need --shards >= 1\n");
-    return 1;
-  }
-  config.shards = static_cast<std::size_t>(shards);
+  config.shards = static_cast<std::size_t>(flags.get_int("shards"));
   config.channel_capacity =
       static_cast<std::size_t>(flags.get_int("channel-capacity"));
 
@@ -143,6 +149,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.cancelled));
   };
 
+  bool journal_failed = false;
   if (config.shards >= 2) {
     sjs::serve::ShardedAdmissionServer server(
         config, [&] { return factory->make(); }, clock, &registry);
@@ -162,6 +169,11 @@ int main(int argc, char** argv) {
     for (std::size_t k = 0; k < server.shard_count(); ++k) {
       std::printf("shard %zu drained: %s\n", k,
                   server.shard(k).result().to_string().c_str());
+      if (!server.shard(k).journal_error().empty()) {
+        std::fprintf(stderr, "shard %zu journal failure: %s\n", k,
+                     server.shard(k).journal_error().c_str());
+        journal_failed = true;
+      }
     }
     print_stats(server.stats());
     if (!config.journal_dir.empty()) {
@@ -189,6 +201,11 @@ int main(int argc, char** argv) {
 
     const auto& result = server.result();
     std::printf("drained: %s\n", result.to_string().c_str());
+    if (!server.journal_error().empty()) {
+      std::fprintf(stderr, "journal failure: %s\n",
+                   server.journal_error().c_str());
+      journal_failed = true;
+    }
     print_stats(server.stats());
     if (!config.journal_dir.empty()) {
       std::printf("journal: %s (replay with sjs_sim --bundle=%s "
@@ -200,5 +217,5 @@ int main(int argc, char** argv) {
   if (flags.get_bool("metrics")) {
     std::printf("\nmetrics:\n%s", registry.render().c_str());
   }
-  return 0;
+  return journal_failed ? 1 : 0;
 }
