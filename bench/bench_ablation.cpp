@@ -20,6 +20,7 @@
 #include "sched/factory.hpp"
 #include "theory/ratios.hpp"
 #include "util/cli.hpp"
+#include "util/fp.hpp"
 
 namespace {
 
@@ -158,7 +159,7 @@ int main(int argc, char** argv) {
       sjs::gen::JobGenParams shape;
       shape.horizon = horizon;
       std::vector<sjs::Job> jobs;
-      if (spread == 0.0) {
+      if (sjs::fp::is_zero(spread)) {
         shape.lambda = mean_lambda;
         jobs = sjs::gen::generate_jobs(shape, rng);
       } else {

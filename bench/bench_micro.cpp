@@ -14,6 +14,7 @@
 
 #include "capacity/capacity_process.hpp"
 #include "conc/channel.hpp"
+#include "lint/analyzer.hpp"
 #include "jobs/workload_gen.hpp"
 #include "offline/exact.hpp"
 #include "offline/feasibility.hpp"
@@ -473,5 +474,28 @@ void BM_ChannelThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(moved));
 }
 BENCHMARK(BM_ChannelThroughput)->Arg(256)->Arg(4096);
+
+void BM_LintFullTree(benchmark::State& state) {
+  // Cold full-tree static analysis: every src/tools/bench file lexed,
+  // indexed, and pushed through the cross-TU phase (call graph, taint
+  // propagation, include cycles) with no on-disk cache. This is the
+  // worst-case latency of the CI lint job on a cache miss; the BENCH target
+  // keeps it under ~5 s so the gate never becomes the slow part of CI.
+  sjs::lint::AnalyzerOptions options;
+  options.root = SJS_SOURCE_ROOT;
+  options.inputs = {SJS_SOURCE_ROOT "/src", SJS_SOURCE_ROOT "/tools",
+                    SJS_SOURCE_ROOT "/bench"};
+  std::size_t files = 0;
+  std::size_t diags = 0;
+  for (auto _ : state) {
+    const sjs::lint::AnalyzerResult result = sjs::lint::run_analyzer(options);
+    files = result.files_analyzed;
+    diags = result.diags.size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["files"] = static_cast<double>(files);
+  state.counters["diags"] = static_cast<double>(diags);
+}
+BENCHMARK(BM_LintFullTree)->Unit(benchmark::kMillisecond);
 
 }  // namespace

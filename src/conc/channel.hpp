@@ -134,6 +134,7 @@ class Channel {
   SendStatus try_send(T value) {
     Reservation res;
     const SendStatus st = reserve(res);
+    // sjs-lint: allow(channel-discipline): failure-branch return — a failed reserve() claims no slot (res stays invalid), so there is nothing to resolve.
     if (st != SendStatus::kOk) return st;
     commit(res, std::move(value));
     return SendStatus::kOk;

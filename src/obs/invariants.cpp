@@ -56,6 +56,7 @@ void InvariantChecker::fail(const TraceEvent& event, const std::string& what) {
                                                      << "]: " << what);
   }
   if (violations_.size() < options_.max_violations) {
+    // sjs-lint: allow(alloc-in-hot-path): failure path only; fires once when an invariant is already broken
     violations_.push_back(InvariantViolation{what, event});
   } else {
     ++suppressed_violations_;

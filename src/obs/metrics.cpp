@@ -55,6 +55,7 @@ MetricsRegistry::Shard& MetricsRegistry::local() {
   const auto it = cache.find(id_);
   if (it != cache.end()) return *it->second;
   std::lock_guard<std::mutex> lock(mu_);
+  // sjs-lint: allow(alloc-in-hot-path): once per thread at first use; steady state takes the thread-local fast path
   shards_.push_back(std::unique_ptr<Shard>(new Shard(this)));
   Shard* shard = shards_.back().get();
   cache.emplace(id_, shard);

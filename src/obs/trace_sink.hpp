@@ -29,6 +29,7 @@ class TraceSink {
 /// Unbounded in-memory sink — the input both exporters consume.
 class VectorTraceSink : public TraceSink {
  public:
+  // sjs-lint: allow(alloc-in-hot-path): capture sink for tests/offline analysis; production runs use counting sinks
   void record(const TraceEvent& event) override { events_.push_back(event); }
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
@@ -44,6 +45,7 @@ class TeeSink : public TraceSink {
   TeeSink() = default;
   explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
 
+  // sjs-lint: allow(alloc-in-hot-path): setup-time wiring; add() is never called after the run starts
   void add(TraceSink* sink) { sinks_.push_back(sink); }
   std::size_t sink_count() const { return sinks_.size(); }
 

@@ -20,12 +20,15 @@ bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
   std::vector<std::pair<double, double>> load;  // (deadline, remaining)
   load.reserve(admitted_.size() + 2);
   admitted_.for_each_unordered([&](const ReadyQueue::Entry& e) {
+    // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
     load.emplace_back(e.key, engine.remaining(e.id));
   });
   if (engine.running() != kNoJob) {
+    // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
     load.emplace_back(engine.job(engine.running()).deadline,
                       engine.remaining(engine.running()));
   }
+  // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
   load.emplace_back(engine.job(candidate).deadline,
                     engine.remaining(candidate));
   std::sort(load.begin(), load.end());

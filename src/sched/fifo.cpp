@@ -18,6 +18,7 @@ void FifoScheduler::dispatch_next(sim::Engine& engine) {
 }
 
 void FifoScheduler::on_release(sim::Engine& engine, JobId job) {
+  // sjs-lint: allow(alloc-in-hot-path): amortized growth to queue high-water; capacity is retained across episodes
   queue_.push_back(job);
   if (queue_.size() > peak_) peak_ = queue_.size();
   dispatch_next(engine);

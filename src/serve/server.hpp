@@ -139,6 +139,7 @@ class AdmissionServer final : public EventLoop::Handler {
     void record(const obs::TraceEvent& event) override {
       if (event.kind == obs::TraceKind::kComplete ||
           event.kind == obs::TraceKind::kExpire) {
+        // sjs-lint: allow(alloc-in-hot-path): notification queue drained every loop turn; capacity retained after drain
         pending_.push_back(event);
       }
     }

@@ -73,12 +73,14 @@ const std::string& ShardWorker::journal_dir() const {
   return journal_ ? journal_->dir() : empty;
 }
 
+// sjs-hot-path-root
 void ShardWorker::run(double epoch) {
   bridge_.start_at(epoch);
   if (metrics_) {
     // The metrics shard must belong to THIS thread; obtaining it in the
     // constructor would alias the spawning thread's accumulator.
     trace_bridge_ =
+        // sjs-lint: allow(alloc-in-hot-path): once at thread start, before the shard loop begins
         std::make_unique<obs::TraceMetricsBridge>(metrics_->local());
     tee_.add(trace_bridge_.get());
   }
@@ -183,7 +185,9 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
   route.gen = req.gen;
   route.seq = req.seq;
   route.ticket = req.ticket;
+  // sjs-lint: allow(alloc-in-hot-path): per-job bookkeeping amortized to the shard's live-set high-water
   routes_.push_back(route);
+  // sjs-lint: allow(alloc-in-hot-path): per-job bookkeeping amortized to the shard's live-set high-water
   tickets_.push_back(req.ticket);
   by_ticket_[req.ticket] = id;
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);

@@ -120,6 +120,7 @@ class ShardWorker {
     void record(const obs::TraceEvent& event) override {
       if (event.kind == obs::TraceKind::kComplete ||
           event.kind == obs::TraceKind::kExpire) {
+        // sjs-lint: allow(alloc-in-hot-path): notification queue drained every loop turn; capacity retained after drain
         pending_.push_back(event);
       }
     }

@@ -40,6 +40,7 @@ void Engine::rewind() {
   completion_pending_ = false;
 
   const std::size_t n = instance_->size();
+  // sjs-lint: allow(alloc-in-hot-path): episode reset path (rewind), not the steady-state event loop
   remaining_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     remaining_[i] = instance_->jobs()[i].workload;
@@ -71,6 +72,7 @@ void Engine::push_event(double time, EventType type, JobId jid,
       type == EventType::kCompletion ||
       (live_ && (type == EventType::kRelease || type == EventType::kExpiry));
   if (volatile_side) {
+    // sjs-lint: allow(alloc-in-hot-path): event queue amortized to episode high-water; zero-alloc PR target: pre-reserve
     heap_.push_back(event);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
   } else {
@@ -78,6 +80,7 @@ void Engine::push_event(double time, EventType type, JobId jid,
     // are never cancelled; they go to the sort-once static queue.
     SJS_CHECK_MSG(!static_sealed_,
                   "static-type event pushed after the queue was sealed");
+    // sjs-lint: allow(alloc-in-hot-path): event queue amortized to episode high-water; zero-alloc PR target: pre-reserve
     static_events_.push_back(event);
   }
   result_.event_heap_peak = std::max<std::uint64_t>(
@@ -194,6 +197,7 @@ void Engine::advance_execution(double t) {
           fp::exact_eq(schedule.back().end, last_advance_)) {
         schedule.back().end = t;
       } else {
+        // sjs-lint: allow(alloc-in-hot-path): completion records amortized to job count; zero-alloc PR target: pre-reserve
         schedule.push_back(ExecutionSlice{last_advance_, t, running_});
       }
     }
@@ -401,6 +405,7 @@ void Engine::process_event(const Event& event) {
   }
 }
 
+// sjs-hot-path-root
 void Engine::step_event() {
   const Event event = pop_event();
   now_ = std::max(now_, event.time);
@@ -417,6 +422,7 @@ void Engine::step_event() {
 
 void Engine::harvest_result() {
   result_.outcomes = outcomes_;
+  // sjs-lint: allow(alloc-in-hot-path): end-of-run result harvesting, after the event loop has drained
   result_.executed_work.resize(instance_->size());
   for (std::size_t i = 0; i < instance_->size(); ++i) {
     result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
@@ -447,6 +453,7 @@ void Engine::begin_live() {
   // A live session normally starts empty, but admit any pre-loaded jobs so a
   // warm-started instance behaves like the equivalent replay.
   for (const Job& j : instance_->jobs()) {
+    // sjs-lint: allow(alloc-in-hot-path): live-session setup (begin_live), before steady-state admission
     result_.release_times.push_back(j.release);
     push_event(j.release, EventType::kRelease, j.id, 0);
     push_event(j.deadline, EventType::kExpiry, j.id, 0);
@@ -482,11 +489,16 @@ void Engine::admit_live(JobId id) {
   SJS_CHECK_MSG(j.release >= now_ - 1e-12,
                 "admit_live in the past: release " << j.release << " < now "
                     << now_);
+  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
   remaining_.push_back(j.workload);
+  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
   outcomes_.push_back(JobOutcome::kPending);
+  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
   released_.push_back(false);
   result_.generated_value += j.value;
+  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
   result_.completion_times.push_back(std::numeric_limits<double>::quiet_NaN());
+  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
   result_.release_times.push_back(j.release);
   push_event(j.release, EventType::kRelease, id, 0);
   push_event(j.deadline, EventType::kExpiry, id, 0);

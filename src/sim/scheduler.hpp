@@ -33,22 +33,27 @@ class Scheduler {
   virtual void on_start(Engine& /*engine*/) {}
 
   /// Job release interrupt: `job` has just been released.
+  // sjs-hot-path-root
   virtual void on_release(Engine& engine, JobId job) = 0;
 
   /// Completion interrupt: the running job finished by its deadline. The
   /// engine has already stopped it (nothing is running).
+  // sjs-hot-path-root
   virtual void on_complete(Engine& engine, JobId job) = 0;
 
   /// Failure/expiry interrupt: `job` reached its deadline uncompleted.
   /// `was_running` distinguishes the paper's "failure" interrupt (job died on
   /// the processor) from a queued job silently expiring. The engine has
   /// already idled the processor if the job was running.
+  // sjs-hot-path-root
   virtual void on_expire(Engine& engine, JobId job, bool was_running) = 0;
 
   /// A timer armed via Engine::set_timer fired. `tag` is scheduler-defined.
+  // sjs-hot-path-root
   virtual void on_timer(Engine& /*engine*/, JobId /*job*/, int /*tag*/) {}
 
   /// Capacity-change interrupt (only delivered when wants_capacity_events()).
+  // sjs-hot-path-root
   virtual void on_capacity_change(Engine& /*engine*/) {}
 
   /// Opt-in to capacity-change interrupts (observable online: the scheduler

@@ -93,6 +93,7 @@ void TimerWheel::unlink(std::uint32_t node) {
 }
 
 void TimerWheel::free_node(std::uint32_t node) {
+  // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
   free_nodes_.push_back(node);
   --pending_count_;
 }
@@ -107,6 +108,7 @@ TimerId TimerWheel::arm(double time, JobId job, int tag, std::uint64_t seq) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
+    // sjs-lint: allow(alloc-in-hot-path): slab growth until pool high-water, then nodes come from the free list
     slab_.push_back(Slot{});
   }
   Slot& s = slab_[slot];
@@ -125,6 +127,7 @@ TimerId TimerWheel::arm(double time, JobId job, int tag, std::uint64_t seq) {
     free_nodes_.pop_back();
   } else {
     node = static_cast<std::uint32_t>(nodes_.size());
+    // sjs-lint: allow(alloc-in-hot-path): slab growth until pool high-water, then nodes come from the free list
     nodes_.push_back(Node{});
   }
   Node& n = nodes_[node];
@@ -152,6 +155,7 @@ bool TimerWheel::cancel(TimerId id) {
   if (!s.live || s.generation != generation_of_id(id)) return false;  // stale
   s.live = false;
   ++s.generation;
+  // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
   free_slots_.push_back(slot);
   --live_count_;
   // The queued node stays as a tombstone: it pops (or is purged) at the same
@@ -199,6 +203,7 @@ TimerWheel::Fired TimerWheel::pop() {
     // Fires exactly once: free the slot, invalidating the outstanding id.
     s.live = false;
     ++s.generation;
+    // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
     free_slots_.push_back(slot);
     --live_count_;
   }

@@ -1,0 +1,123 @@
+// Global operator new/delete interposition for AllocProbe. Defining these
+// signatures here overrides the C++ runtime's weak definitions for every
+// translation unit of the linking binary — which is exactly why this file is
+// packaged as its own static library and linked only into test executables
+// that want allocation accounting.
+#include "util/alloc_probe.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  // operator new must return a distinct pointer even for size 0.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded);
+  if (p != nullptr) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+}  // namespace
+
+namespace sjs::util {
+
+std::uint64_t AllocProbe::count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AllocProbe::bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+void AllocProbe::reset() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sjs::util
+
+// --- interposed allocation functions ----------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+// Test-only global operator-new interposition counter — the runtime twin of
+// sjs_lint's alloc-in-hot-path rule. The matching alloc_probe.cpp replaces
+// the global allocation functions for the WHOLE binary it is linked into, so
+// it lives in its own static library (sjs_alloc_probe) that only opted-in
+// test executables link; nothing in vdover depends on it.
+//
+// Usage in a ratchet test:
+//
+//   util::AllocProbe::reset();
+//   ... steady-state region under test ...
+//   EXPECT_LE(util::AllocProbe::count(), kBaseline);
+//
+// Counting is a relaxed atomic increment per allocation — cheap enough to
+// leave armed for a whole test binary, but the counters are process-global:
+// serialize regions of interest (gtest runs tests sequentially, which is
+// enough) and do not expect exact counts across threads you do not control.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sjs::util {
+
+class AllocProbe {
+ public:
+  /// Number of successful allocations (any operator new flavor) since the
+  /// last reset().
+  static std::uint64_t count();
+
+  /// Total bytes requested by those allocations.
+  static std::uint64_t bytes();
+
+  /// Zero both counters.
+  static void reset();
+};
+
+}  // namespace sjs::util

@@ -1,0 +1,25 @@
+// Mini-project for the indexer / call-graph internals test: qualified
+// names through namespace + class scopes, a qualified call for resolution
+// narrowing, a cross-file call (free_fn, defined in graph/util.cpp), and
+// per-body alloc facts.
+#include <vector>
+
+namespace mini {
+
+void free_fn();
+
+struct Engine {
+  void helper() { data_.push_back(1); }
+
+  void tick() {}
+
+  void step() {
+    helper();
+    Engine::tick();
+    free_fn();
+  }
+
+  std::vector<int> data_;
+};
+
+}  // namespace mini

@@ -1,0 +1,17 @@
+// Second TU of the mini-project: the cross-file callee, with an alloc and a
+// banned read so reachability facts can be asserted end to end.
+#include <chrono>
+
+namespace mini {
+
+double wall_now() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void free_fn() {
+  int* scratch = new int(3);
+  delete scratch;
+}
+
+}  // namespace mini

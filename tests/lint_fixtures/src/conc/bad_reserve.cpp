@@ -1,0 +1,54 @@
+// Fixture: two-phase channel discipline. A reserve with no commit/abort at
+// all fires; a return between reserve and its resolution fires unless it is
+// the failure branch of a status check wrapping the reserve call itself; an
+// audited allow() silences the separated-status-check idiom.
+namespace fixture {
+
+struct Reservation {
+  bool valid = false;
+};
+
+struct Chan {
+  int reserve(Reservation& res);
+  void commit(Reservation& res, int value);
+  void abort(Reservation& res);
+};
+
+// BAD: channel-discipline (return between reserve and commit; the reserve
+// is not inside the if's parens, so the analyzer cannot see the pairing).
+int leaky(Chan& ch) {
+  Reservation res;
+  const int st = ch.reserve(res);
+  if (st != 0) return st;
+  ch.commit(res, 1);
+  return 0;
+}
+
+// BAD: channel-discipline (no commit/abort anywhere in the function).
+int never_resolves(Chan& ch) {
+  Reservation res;
+  ch.reserve(res);
+  return 0;
+}
+
+// OK: the failure branch lives inside the status-check block.
+int disciplined(Chan& ch) {
+  Reservation res;
+  if (ch.reserve(res) != 0) {
+    return -1;
+  }
+  ch.commit(res, 2);
+  return 0;
+}
+
+// OK: same shape as leaky, but carries the audited suppression.
+int audited(Chan& ch) {
+  Reservation res;
+  const int st = ch.reserve(res);
+  // sjs-lint: allow(channel-discipline): fixture: failure-branch return, the failed reserve claimed nothing
+  if (st != 0) return st;
+  ch.commit(res, 3);
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: half of a jobs <-> obs module include cycle (see
+// obs/cycle_d.hpp) with an audited suppression at the anchor ("jobs" <
+// "obs", and this is the only jobs -> obs edge) — must stay silent.
+#pragma once
+
+// sjs-lint: allow(include-cycle): fixture: transitional cycle, tracked for the interface-header split
+#include "obs/cycle_d.hpp"
+
+namespace fixture {
+struct CycleC {};
+}  // namespace fixture

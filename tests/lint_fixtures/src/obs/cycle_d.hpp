@@ -1,0 +1,10 @@
+// Fixture: half of a jobs <-> obs module include cycle (see
+// jobs/cycle_c.hpp). The anchor is on the jobs side and carries an audited
+// suppression, so the cycle reports nothing.
+#pragma once
+
+#include "jobs/cycle_c.hpp"
+
+namespace fixture {
+struct CycleD {};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: half of a sim <-> sched module include cycle (see
+// sim/cycle_a.hpp). BAD: include-cycle, anchored here ("sched" < "sim").
+#pragma once
+
+#include "sim/cycle_a.hpp"
+
+namespace fixture {
+struct CycleB {};
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: allocation-capable operations reachable from a
+// `// sjs-hot-path-root` annotation. One reachable alloc fires; an audited
+// per-site allow() silences its site; an audited allow() on a call line cuts
+// that edge (cold path); an unreachable function never fires.
+#include <vector>
+
+namespace fixture {
+
+struct HotLoop {
+  std::vector<int> buf;
+
+  // BAD: alloc-in-hot-path (reachable from spin()).
+  void helper_allocates() { buf.push_back(1); }
+
+  void audited_alloc() {
+    // sjs-lint: allow(alloc-in-hot-path): fixture: buffer pre-sized in setup, push never reallocates
+    buf.push_back(2);
+  }
+
+  // Never reported: the call edge into it is an audited cold path.
+  void cold_setup() { buf.resize(64); }
+
+  // sjs-hot-path-root
+  void spin() {
+    helper_allocates();
+    audited_alloc();
+    // sjs-lint: allow(alloc-in-hot-path): fixture: init-only edge, runs before the loop
+    cold_setup();
+  }
+};
+
+// Never reported: not reachable from any root.
+void unreachable_alloc(std::vector<int>& v) { v.push_back(3); }
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: a three-deep call chain reaching a direct clock read. The read
+// itself is a banned-time finding; every unsuppressed caller up the chain is
+// a transitive-banned-time finding, and an audited allow() on a call line
+// both silences that edge and stops the taint from climbing past it.
+#include <chrono>
+
+namespace fixture {
+
+double read_clock_directly() {
+  // BAD: banned-time (direct steady_clock::now) — and the taint seed.
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// BAD: transitive-banned-time (calls read_clock_directly).
+double middle_layer() { return read_clock_directly(); }
+
+// BAD: transitive-banned-time (reaches the read through middle_layer).
+double top_layer() { return middle_layer(); }
+
+double audited_top() {
+  // sjs-lint: allow(transitive-banned-time): fixture: sanctioned seam — callers treat this as injected time
+  return middle_layer();
+}
+
+// Must stay silent: the audited edge above cut the propagation.
+double above_audited() { return audited_top(); }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: half of a sim <-> sched module include cycle (see
+// sched/cycle_b.hpp). The diagnostic anchors at the lexicographically
+// smallest module in the cycle, so it is reported from the sched side.
+#pragma once
+
+#include "sched/cycle_b.hpp"
+
+namespace fixture {
+struct CycleA {};
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: lexer corner cases. Every banned token below lives inside a raw
+// string, a spliced string, or a spliced // comment — none may fire. The one
+// real finding (a float-eq after the raw strings) proves the lexer resyncs.
+namespace fixture {
+
+// Multi-line raw string: the body spans physical lines and contains banned
+// tokens, quotes, and comment markers.
+const char* kDoc = R"(
+  calling std::rand() or time(nullptr) in here is just prose
+  so is "std::random_device" and // this is not a comment
+)";
+
+// Custom-delimiter raw string: an embedded )" must not close it.
+const char* kTricky = R"sep(
+  body with )" inside, plus clock_gettime( and steady_clock::now
+)sep";
+
+// Encoding-prefixed raw string.
+const char* kPrefixed = u8R"(gettimeofday( lives here)";
+
+// A // comment continued by a line splice swallows the next physical line \
+std::random_device this_line_is_still_comment;
+
+const char* kSpliced = "a string with time(nullptr) that continues \
+onto this line with std::rand() still inside the literal";
+
+// Sentinel: exactly one real diagnostic in this file.
+bool sentinel(double x) { return x == 1.25; }  // BAD: float-eq
+
+}  // namespace fixture

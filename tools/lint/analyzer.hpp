@@ -1,0 +1,40 @@
+// Orchestration: file loading, the phase-1/phase-2 split, caching, and
+// output ordering. The CLI (tools/sjs_lint.cpp) is a thin argv shim over
+// this; tests link it directly.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/cache.hpp"
+#include "lint/rules.hpp"
+
+namespace sjs::lint {
+
+struct AnalyzerOptions {
+  std::filesystem::path root = ".";
+  std::vector<std::filesystem::path> inputs;  // files or directories
+  std::filesystem::path cache_path;           // empty: no cache
+};
+
+struct AnalyzerResult {
+  // Sorted by (file, line, col, rule) — the stable output order.
+  std::vector<Diagnostic> diags;
+  // Full alloc-in-hot-path work-list, suppressed entries included
+  // (--report=alloc; the artifact the zero-alloc refactor PRs burn down).
+  std::vector<AllocReportEntry> alloc_report;
+  std::size_t files_analyzed = 0;
+  std::size_t cache_hits = 0;
+  // Set when an input path could not be read (the CLI exits 2).
+  std::vector<std::string> io_errors;
+};
+
+// Runs both phases over every lintable file under the inputs (default:
+// <root>/src).
+AnalyzerResult run_analyzer(const AnalyzerOptions& options);
+
+// True for the extensions the linter consumes (.cpp/.hpp/.h/.cc).
+bool lintable(const std::filesystem::path& p);
+
+}  // namespace sjs::lint

@@ -1,0 +1,56 @@
+// On-disk symbol-index cache for phase 1.
+//
+// Keyed on (relative path, FNV-1a content hash) — deliberately content-based
+// rather than mtime-based so the cache is sound under checkout churn, CI
+// restores, and clock skew. A hit replays both the serialized FileIndex and
+// the file's phase-1 diagnostics; a miss (new file, edited file, or a cache
+// written by a different rule-set version) falls through to a fresh index.
+// Suppression tables and bad-suppression checks are always recomputed from
+// the source — they are cheap and the graph rules consult them per edge.
+//
+// The store is a single text file; unreadable or version-mismatched caches
+// are ignored wholesale (never an error: the cache is an accelerator, not a
+// correctness input).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/index.hpp"
+
+namespace sjs::lint {
+
+struct CacheEntry {
+  std::uint64_t hash = 0;
+  FileIndex index;
+  // Phase-1 diagnostics (file field stores rel; rewritten to the
+  // command-line path on replay).
+  std::vector<Diagnostic> diags;
+};
+
+class IndexCache {
+ public:
+  // Loads the store at `path`. Missing/corrupt/old-version files yield an
+  // empty cache.
+  void load(const std::filesystem::path& path);
+
+  // Entry for `rel` if present with a matching hash, else nullptr.
+  const CacheEntry* lookup(const std::string& rel, std::uint64_t hash) const;
+
+  void store(const std::string& rel, CacheEntry entry);
+
+  // Writes every stored entry back to `path`. Best-effort: failures are
+  // reported on stderr but never fail the lint run.
+  void save(const std::filesystem::path& path) const;
+
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace sjs::lint

@@ -1,0 +1,77 @@
+#include "lint/call_graph.hpp"
+
+namespace sjs::lint {
+
+namespace {
+
+// `qualified` ends with the written chain `qual` on a `::` boundary:
+// qual "Engine::run" matches "sjs::sim::Engine::run" but not
+// "sjs::sim::MultiEngine::run".
+bool qualified_suffix_match(const std::string& qualified,
+                            const std::string& qual) {
+  if (qualified.size() < qual.size()) return false;
+  if (qualified.compare(qualified.size() - qual.size(), qual.size(), qual) !=
+      0) {
+    return false;
+  }
+  if (qualified.size() == qual.size()) return true;
+  const std::size_t cut = qualified.size() - qual.size();
+  return cut >= 2 && qualified[cut - 1] == ':' && qualified[cut - 2] == ':';
+}
+
+}  // namespace
+
+const std::vector<std::size_t>& CallGraph::named(
+    const std::string& name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = by_name.find(name);
+  return it == by_name.end() ? kEmpty : it->second;
+}
+
+CallGraph build_call_graph(const std::vector<FileIndex>& indices) {
+  CallGraph g;
+  for (std::size_t f = 0; f < indices.size(); ++f) {
+    for (const FunctionDef& fn : indices[f].funcs) {
+      g.by_name[fn.name].push_back(g.nodes.size());
+      g.nodes.push_back({&fn, f});
+    }
+  }
+  g.out.resize(g.nodes.size());
+  g.in.resize(g.nodes.size());
+  for (std::size_t caller = 0; caller < g.nodes.size(); ++caller) {
+    const FunctionDef& fn = *g.nodes[caller].def;
+    for (const CallSite& call : fn.calls) {
+      const auto it = g.by_name.find(call.name);
+      if (it == g.by_name.end()) continue;
+      for (const std::size_t callee : it->second) {
+        if (!call.qual.empty() &&
+            !qualified_suffix_match(g.nodes[callee].def->qualified,
+                                    call.qual)) {
+          continue;
+        }
+        const std::size_t e = g.edges.size();
+        g.edges.push_back({caller, callee, &call});
+        g.out[caller].push_back(e);
+        g.in[callee].push_back(e);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> Reachability::chain_to_seed(const CallGraph& g,
+                                                     std::size_t node,
+                                                     bool forward) const {
+  std::vector<std::size_t> chain;
+  std::size_t n = node;
+  chain.push_back(n);
+  while (via_edge[n] != kUnreached) {
+    const CallGraph::Edge& e = g.edges[via_edge[n]];
+    n = forward ? e.caller : e.callee;
+    chain.push_back(n);
+    if (chain.size() > g.nodes.size()) break;  // defensive: no cycles expected
+  }
+  return chain;
+}
+
+}  // namespace sjs::lint

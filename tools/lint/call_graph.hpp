@@ -1,0 +1,97 @@
+// Phase two, part one: the cross-TU call graph.
+//
+// Nodes are every FunctionDef from every indexed file; edges are resolved
+// by name. Resolution is deliberately an over-approximation (no types, no
+// overload sets): a call site `x.foo(...)` gains an edge to EVERY indexed
+// function named `foo`; a written qualifier (`Engine::run(...)`) narrows
+// the candidate set to functions whose qualified name ends with that
+// chain. Unresolvable names (std::, libc, macros) produce no edges — their
+// effects are captured instead by the per-body fact lists (allocs, banned)
+// the indexer recorded.
+//
+// Over-approximation direction matters: for taint/reachability rules it
+// can only create extra findings (answered with audited suppressions),
+// never hide one — the failure mode a structural gate must not have.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace sjs::lint {
+
+struct CallGraph {
+  struct Node {
+    const FunctionDef* def = nullptr;
+    std::size_t file = 0;  // index into the FileIndex vector
+  };
+  struct Edge {
+    std::size_t caller = 0;
+    std::size_t callee = 0;
+    const CallSite* site = nullptr;  // the call site in the caller
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  std::vector<std::vector<std::size_t>> out;  // node -> edge ids (caller side)
+  std::vector<std::vector<std::size_t>> in;   // node -> edge ids (callee side)
+  std::map<std::string, std::vector<std::size_t>> by_name;
+
+  // All node ids whose function name matches `name`.
+  const std::vector<std::size_t>& named(const std::string& name) const;
+};
+
+// Builds nodes from every function in `indices` and resolves every call
+// site. Node and edge order is deterministic (file order, then body order).
+CallGraph build_call_graph(const std::vector<FileIndex>& indices);
+
+// Breadth-first reachability over the call graph with parent tracking.
+//
+//   forward = true   follow caller -> callee edges (what can this reach?)
+//   forward = false  follow callee -> caller edges (who can reach this?)
+//
+// `blocked_edge(edge_id)` vetoes traversal of individual edges (used for
+// audited cold-path suppressions). Returns, for every node, the edge id by
+// which it was first reached (or kUnreached).
+struct Reachability {
+  static constexpr std::size_t kUnreached = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> via_edge;  // node -> edge used to reach it
+  std::vector<bool> reached;
+
+  // Hops from `node` back to the nearest seed, seed first.
+  std::vector<std::size_t> chain_to_seed(const CallGraph& g,
+                                         std::size_t node,
+                                         bool forward) const;
+};
+
+template <typename BlockedFn>
+Reachability propagate(const CallGraph& g, const std::vector<std::size_t>& seeds,
+                       bool forward, BlockedFn blocked_edge) {
+  Reachability r;
+  r.via_edge.assign(g.nodes.size(), Reachability::kUnreached);
+  r.reached.assign(g.nodes.size(), false);
+  std::vector<std::size_t> queue;
+  for (const std::size_t s : seeds) {
+    if (s < g.nodes.size() && !r.reached[s]) {
+      r.reached[s] = true;
+      queue.push_back(s);
+    }
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t n = queue[qi];
+    const auto& adj = forward ? g.out[n] : g.in[n];
+    for (const std::size_t e : adj) {
+      const std::size_t next = forward ? g.edges[e].callee : g.edges[e].caller;
+      if (r.reached[next] || blocked_edge(e)) continue;
+      r.reached[next] = true;
+      r.via_edge[next] = e;
+      queue.push_back(next);
+    }
+  }
+  return r;
+}
+
+}  // namespace sjs::lint

@@ -1,0 +1,30 @@
+// Diagnostic type and the rule registry for sjs_lint.
+//
+// Rule ids are stable: they appear in suppression comments in the source
+// tree, so renaming one silently disables every existing suppression.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sjs::lint {
+
+struct Diagnostic {
+  std::string file;  // path as given on the command line (relative to root)
+  std::size_t line = 0;
+  std::size_t col = 1;
+  std::string rule;
+  std::string message;
+  // Call-chain notes for the graph rules (one entry per hop). Printed as
+  // `note:` follow-up lines under --explain=<rule>.
+  std::vector<std::string> chain;
+};
+
+// id -> one-line description, in the order --list-rules prints them.
+const std::vector<std::pair<const char*, const char*>>& rule_table();
+
+bool is_known_rule(const std::string& id);
+
+}  // namespace sjs::lint

@@ -1,0 +1,274 @@
+#include "lint/source.hpp"
+
+#include <fstream>
+#include <regex>
+
+namespace fs = std::filesystem;
+
+namespace sjs::lint {
+
+namespace {
+
+// The suppression-comment marker. Assembled from pieces so the analyzer's
+// own sources (which are linted) do not themselves contain a parsable
+// marker inside string literals.
+const std::string kMarker = std::string("sjs-lint") + ":";
+
+// Lexer state carried across physical lines.
+enum class LexState {
+  kCode,
+  kBlockComment,   // inside /* ... */
+  kLineComment,    // a // comment continued by a trailing line splice
+  kString,         // inside "..." continued by a trailing line splice
+  kChar,           // inside '...' continued by a trailing line splice
+  kRawString,      // inside R"delim( ... )delim"
+};
+
+bool ends_with_odd_backslashes(const std::string& line) {
+  std::size_t n = 0;
+  for (auto it = line.rbegin(); it != line.rend() && *it == '\\'; ++it) ++n;
+  return (n % 2) == 1;
+}
+
+}  // namespace
+
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  LexState state = LexState::kCode;
+  std::string raw_delim;  // the `delim` of the active raw string
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::size_t i = 0;
+    // Resume a multi-line construct.
+    if (state == LexState::kLineComment) {
+      // A // comment spliced onto this line swallows it whole (and keeps
+      // swallowing while the splices continue).
+      if (!ends_with_odd_backslashes(line)) state = LexState::kCode;
+      out.push_back(std::move(code));
+      continue;
+    }
+    while (i < line.size()) {
+      if (state == LexState::kBlockComment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          state = LexState::kCode;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (state == LexState::kRawString) {
+        const std::string close = ")" + raw_delim + "\"";
+        if (line.compare(i, close.size(), close) == 0) {
+          i += close.size();
+          code[i - 1] = '"';  // keep the closing quote, like plain strings
+          state = LexState::kCode;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (state == LexState::kString || state == LexState::kChar) {
+        const char quote = state == LexState::kString ? '"' : '\'';
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          code[i] = quote;
+          state = LexState::kCode;
+        }
+        ++i;
+        continue;
+      }
+      // state == kCode
+      if (line.compare(i, 2, "//") == 0) {
+        // Rest of the physical line is comment; a trailing splice continues
+        // it onto the next physical line ([lex.phases]: splicing happens
+        // before comments are recognized).
+        if (ends_with_odd_backslashes(line)) state = LexState::kLineComment;
+        i = line.size();
+        break;
+      }
+      if (line.compare(i, 2, "/*") == 0) {
+        state = LexState::kBlockComment;
+        i += 2;
+        continue;
+      }
+      // Raw string literal: R"delim( ... )delim". Only recognized when the
+      // R is not the tail of a longer identifier (operatoR" is not a thing,
+      // but LR"/uR"/UR"/u8R" prefixes are).
+      if (line[i] == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
+        const bool prefixed =
+            i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                      line[i - 1] == '_');
+        // Allow encoding prefixes (L, u, U, u8) but not arbitrary idents.
+        const bool encoding_prefix =
+            prefixed && i >= 1 &&
+            (line[i - 1] == 'L' || line[i - 1] == 'u' || line[i - 1] == 'U' ||
+             (i >= 2 && line[i - 1] == '8' && line[i - 2] == 'u'));
+        if (!prefixed || encoding_prefix) {
+          std::size_t d = i + 2;  // after R"
+          std::string delim;
+          while (d < line.size() && line[d] != '(' && delim.size() < 16) {
+            delim.push_back(line[d]);
+            ++d;
+          }
+          if (d < line.size() && line[d] == '(') {
+            code[i] = 'R';
+            code[i + 1] = '"';
+            raw_delim = delim;
+            state = LexState::kRawString;
+            i = d + 1;
+            continue;
+          }
+        }
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        code[i] = quote;
+        state = quote == '"' ? LexState::kString : LexState::kChar;
+        ++i;
+        continue;
+      }
+      code[i] = line[i];
+      ++i;
+    }
+    // End of physical line: plain strings/chars only continue via splice;
+    // without one the (ill-formed) literal is closed so one bad line cannot
+    // poison the rest of the file.
+    if ((state == LexState::kString || state == LexState::kChar) &&
+        !ends_with_odd_backslashes(line)) {
+      state = LexState::kCode;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::uint64_t content_hash(const std::vector<std::string>& raw) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  for (const std::string& line : raw) {
+    for (const char c : line) mix(static_cast<unsigned char>(c));
+    mix('\n');
+  }
+  return h;
+}
+
+void collect_suppressions(SourceFile& file, std::vector<Diagnostic>& diags) {
+  static const std::regex allow_re(
+      std::string("sjs-lint") + R"(:\s*allow\(([A-Za-z0-9_-]*)\)\s*(:?)\s*(.*))");
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& line = file.raw[i];
+    if (line.find(kMarker) == std::string::npos) continue;
+    std::smatch m;
+    if (!std::regex_search(line, m, allow_re)) {
+      diags.push_back({file.path, i + 1, line.find(kMarker) + 1,
+                       "bad-suppression",
+                       "unparsable sjs-lint comment; expected "
+                       "`// " + kMarker + " allow(<rule>): <reason>`",
+                       {}});
+      continue;
+    }
+    const std::string rule = m[1];
+    const bool has_colon = m[2].length() > 0;
+    const std::string reason = m[3];
+    if (!is_known_rule(rule)) {
+      diags.push_back({file.path, i + 1, 1, "bad-suppression",
+                       "allow() names unknown rule '" + rule + "'",
+                       {}});
+      continue;
+    }
+    const bool has_reason =
+        has_colon && reason.find_first_not_of(" \t") != std::string::npos;
+    if (!has_reason) {
+      diags.push_back({file.path, i + 1, 1, "bad-suppression",
+                       "allow(" + rule + ") needs a reason: `// " + kMarker +
+                           " allow(" + rule + "): <why this is safe>`",
+                       {}});
+      continue;
+    }
+    file.allows[i + 1].push_back({rule, true});
+  }
+}
+
+bool is_suppressed(const SourceFile& file, std::size_t line,
+                   const std::string& rule) {
+  for (std::size_t l : {line, line > 1 ? line - 1 : line}) {
+    const auto it = file.allows.find(l);
+    if (it == file.allows.end()) continue;
+    for (const Suppression& s : it->second) {
+      if (s.rule == rule) return true;
+    }
+  }
+  return false;
+}
+
+void report(const SourceFile& file, std::size_t line, std::size_t col,
+            const std::string& rule, const std::string& message,
+            std::vector<Diagnostic>& diags) {
+  if (is_suppressed(file, line, rule)) return;
+  diags.push_back({file.path, line, col, rule, message, {}});
+}
+
+std::optional<SourceFile> load_file(const fs::path& path,
+                                    const fs::path& root) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  SourceFile file;
+  file.path = path.generic_string();
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  file.rel = ec ? path.generic_string() : rel.generic_string();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw.push_back(line);
+  }
+  file.hash = content_hash(file.raw);
+  file.code = strip_comments(file.raw);
+  return file;
+}
+
+bool path_in(const std::string& rel, const char* dir) {
+  return rel.rfind(std::string("src/") + dir + "/", 0) == 0;
+}
+
+bool is_header(const std::string& rel) {
+  return rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+}
+
+bool is_hot_path_dir(const std::string& rel) {
+  return path_in(rel, "sched") || path_in(rel, "sim") || path_in(rel, "mc") ||
+         path_in(rel, "cloud");
+}
+
+bool is_rng_or_logging(const std::string& rel) {
+  return rel.rfind("src/util/rng", 0) == 0 ||
+         rel.rfind("src/util/logging", 0) == 0;
+}
+
+std::string module_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) == 0) {
+    const std::size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) return rel.substr(4, slash - 4);
+    return "";
+  }
+  if (rel.rfind("tools/lint/", 0) == 0) return "lint";
+  if (rel.rfind("tools/", 0) == 0) return "tools";
+  if (rel.rfind("bench/", 0) == 0) return "bench";
+  return "";
+}
+
+std::string include_module(const std::string& include_path) {
+  const std::size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return "";
+  return include_path.substr(0, slash);
+}
+
+}  // namespace sjs::lint

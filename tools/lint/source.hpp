@@ -1,0 +1,84 @@
+// Source model for the sjs_lint analyzer library.
+//
+// A SourceFile is the unit every rule consumes: raw lines for suppression
+// and include scanning, comment/string-blanked "code" lines for token rules
+// (columns are preserved so diagnostics point at real coordinates), the
+// parsed suppression table, and a content hash that keys the on-disk symbol
+// index cache (tools/lint/cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+
+namespace sjs::lint {
+
+struct Suppression {
+  std::string rule;
+  bool has_reason = false;
+};
+
+struct SourceFile {
+  std::string path;  // path as given on the command line (for reporting)
+  std::string rel;   // normalized path relative to the lint root
+  std::uint64_t hash = 0;          // FNV-1a over the raw bytes
+  std::vector<std::string> raw;    // raw lines, 0-based
+  std::vector<std::string> code;   // comments and string contents blanked
+  // line (1-based) -> suppressions written on that line
+  std::map<std::size_t, std::vector<Suppression>> allows;
+};
+
+// Blanks comments and string/char literal contents while preserving column
+// positions, so rules never fire inside comments or literals and matches
+// report real coordinates. Handles:
+//   - `//` and `/* */` (multi-line) comments
+//   - string/char literals with escape sequences
+//   - raw string literals `R"delim( ... )delim"`, including multi-line
+//     bodies and bodies containing `//`, `"`, or banned tokens
+//   - line splices: a backslash-newline continues a `//` comment (and a
+//     string literal) onto the next physical line
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw);
+
+// FNV-1a 64-bit over the file's raw line contents (newline-normalized, so
+// the hash is stable across CRLF checkouts). Cache key material only.
+std::uint64_t content_hash(const std::vector<std::string>& raw);
+
+// Parses every suppression comment in the file into file.allows. Malformed
+// forms are reported immediately as `bad-suppression`.
+void collect_suppressions(SourceFile& file, std::vector<Diagnostic>& diags);
+
+// A diagnostic on line L is suppressed by a valid allow(rule) on line L or
+// L-1 (the conventional "comment above" position).
+bool is_suppressed(const SourceFile& file, std::size_t line,
+                   const std::string& rule);
+
+// Appends the diagnostic unless suppressed.
+void report(const SourceFile& file, std::size_t line, std::size_t col,
+            const std::string& rule, const std::string& message,
+            std::vector<Diagnostic>& diags);
+
+// Loads and lexes a file. Returns nullopt when unreadable.
+std::optional<SourceFile> load_file(const std::filesystem::path& path,
+                                    const std::filesystem::path& root);
+
+// --- path classification helpers shared by the rules ------------------------
+
+bool path_in(const std::string& rel, const char* dir);
+bool is_header(const std::string& rel);
+bool is_hot_path_dir(const std::string& rel);
+bool is_rng_or_logging(const std::string& rel);
+
+// Top-level module of a file ("sched" for src/sched/edf.cpp, "lint" for
+// tools/lint/lexer.cpp, "tools"/"bench" otherwise). Empty for files outside
+// any recognized root.
+std::string module_of(const std::string& rel);
+
+// Module a quoted include path belongs to ("sim" for "sim/engine.hpp").
+std::string include_module(const std::string& include_path);
+
+}  // namespace sjs::lint

@@ -1,14 +1,18 @@
-// sjs_lint — repo-specific determinism/contract linter.
+// sjs_lint — repo-specific determinism/contract analyzer (CLI).
 //
-// A self-contained token/regex scanner (no libclang) that enforces the
-// invariants the replay-digest gate depends on *before* code reaches the
-// gate. The rules are deliberately narrow: each one encodes a way a change
-// has broken (or could silently break) byte-identical replay digests or the
-// scheduler correctness contract. See docs/static-analysis.md for the
-// rationale behind every rule.
+// This file is the thin argv shim over the two-phase analyzer library in
+// tools/lint/: a lexer (raw strings, splices, comment/string blanking), a
+// per-file declaration/definition indexer, the quoted-include graph, a
+// name-resolved cross-TU call graph, and a taint-propagation engine that
+// the graph rules run on. Phase 1 (per-file token/regex rules) depends only
+// on a file's bytes and is cached on disk keyed by content hash; phase 2
+// (cross-TU rules) is recomputed from the indices every run. See
+// docs/static-analysis.md for the architecture and the rationale behind
+// every rule.
 //
-// Rules (ids are stable; suppress with `// sjs-lint: allow(<id>): <reason>`
-// on the offending line or the line above — the reason is mandatory):
+// Rules (ids are stable; suppress with an `sjs-lint` comment of the form
+// `allow(<id>): <reason>` on the offending line or the line above — the
+// reason is mandatory):
 //
 //   unordered-iter   iteration over std::unordered_{map,set,multimap,multiset}
 //                    in sched/, sim/, mc/, cloud/ — iteration order is
@@ -43,652 +47,61 @@
 //                    the cancel/tombstone lifecycle
 //   bad-suppression  an allow() comment with an unknown rule id or without
 //                    a reason (this rule itself cannot be suppressed)
+//   transitive-banned-time
+//                    the function's call closure reaches a banned clock/
+//                    entropy read (the seam the per-file rule cannot see);
+//                    util/rng and serve/clock.* are the sanctioned sinks
+//   alloc-in-hot-path
+//                    an allocation-capable operation (new/make_unique/
+//                    push_back/resize/std::function...) in a function
+//                    reachable from a `// sjs-hot-path-root` annotation
+//   channel-discipline
+//                    a conc::Channel::reserve whose enclosing function has a
+//                    token-level path that leaves without commit/abort —
+//                    an unresolved reservation wedges the consumer
+//   include-cycle    a cycle in the module-level quoted-include graph
 //
 // Output: clickable `file:line:col: error: [rule] message` lines by default;
 // `--format=github` (or GITHUB_ACTIONS=true in the environment) switches to
-// GitHub workflow-annotation commands. Exit status is the number of
-// diagnostics capped at 1 — i.e. 0 iff the tree is clean.
+// GitHub workflow-annotation commands. `--explain=<rule>` adds `note:` lines
+// carrying the call chain behind every diagnostic of that rule. Exit status
+// is the number of diagnostics capped at 1 — i.e. 0 iff the tree is clean.
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <optional>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/analyzer.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Diagnostics
-// ---------------------------------------------------------------------------
-
-struct Diagnostic {
-  std::string file;  // path as given on the command line (relative to root)
-  std::size_t line = 0;
-  std::size_t col = 1;
-  std::string rule;
-  std::string message;
-};
-
-const std::vector<std::pair<const char*, const char*>> kRules = {
-    {"unordered-iter",
-     "iteration over unordered containers in scheduler/engine/MC hot paths"},
-    {"ordered-set-hot-path",
-     "std::set/multiset keyed on double in sched//sim/ (use sched::ReadyQueue)"},
-    {"banned-time",
-     "wall-clock / ambient randomness outside util/rng and util/logging"},
-    {"float-eq", "raw ==/!= on floating-point values (use util/fp.hpp)"},
-    {"float-type", "float type in simulation code (double-only state)"},
-    {"trace-exhaustive",
-     "TraceKind enumerator unhandled by the Chrome exporter"},
-    {"include-hygiene",
-     "non-module-rooted include, <iostream> in a header, or file-scope "
-     "using-namespace in a header"},
-    {"header-guard", "header missing #pragma once"},
-    {"raw-concurrency",
-     "raw std::thread/mutex/atomic in serve//sched/ (use conc::Channel / "
-     "conc::ShardSet)"},
-    {"timer-wheel-bypass",
-     "kTimer event pushed past the timer wheel in sim/ (use "
-     "Engine::set_timer)"},
-    {"bad-suppression", "malformed sjs-lint allow() comment"},
-};
-
-bool is_known_rule(const std::string& id) {
-  for (const auto& [name, desc] : kRules) {
-    if (id == name) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Source model: raw lines, comment-stripped code lines, suppression table
-// ---------------------------------------------------------------------------
-
-struct Suppression {
-  std::string rule;
-  bool has_reason = false;
-};
-
-struct SourceFile {
-  std::string path;       // as passed (for reporting)
-  std::string rel;        // normalized path relative to the lint root
-  std::vector<std::string> raw;   // raw lines, 0-based
-  std::vector<std::string> code;  // comments and string contents blanked
-  // line (1-based) -> suppressions written on that line
-  std::map<std::size_t, std::vector<Suppression>> allows;
-};
-
-// Blanks comments and string/char literal contents while preserving column
-// positions, so regex matches report real coordinates and never fire inside
-// comments or literals. Handles // and /* */ (multi-line) plus basic escape
-// sequences; raw strings are treated as plain strings (good enough: the rules
-// never need to see string contents).
-std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    std::size_t i = 0;
-    while (i < line.size()) {
-      if (in_block) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;  // rest is comment
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block = true;
-        i += 2;
-        continue;
-      }
-      if (line[i] == '"' || line[i] == '\'') {
-        const char quote = line[i];
-        code[i] = quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            code[i] = quote;
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      code[i] = line[i];
-      ++i;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
-
-// Parses every `sjs-lint: allow(rule)[: reason]` comment in the file.
-// Malformed forms are reported immediately as `bad-suppression`.
-void collect_suppressions(SourceFile& file, std::vector<Diagnostic>& diags) {
-  static const std::regex allow_re(
-      R"(sjs-lint:\s*allow\(([A-Za-z0-9_-]*)\)\s*(:?)\s*(.*))");
-  for (std::size_t i = 0; i < file.raw.size(); ++i) {
-    const std::string& line = file.raw[i];
-    if (line.find("sjs-lint:") == std::string::npos) continue;
-    std::smatch m;
-    if (!std::regex_search(line, m, allow_re)) {
-      diags.push_back({file.path, i + 1, line.find("sjs-lint:") + 1,
-                       "bad-suppression",
-                       "unparsable sjs-lint comment; expected "
-                       "`// sjs-lint: allow(<rule>): <reason>`"});
-      continue;
-    }
-    const std::string rule = m[1];
-    const bool has_colon = m[2].length() > 0;
-    const std::string reason = m[3];
-    if (!is_known_rule(rule)) {
-      diags.push_back({file.path, i + 1, 1, "bad-suppression",
-                       "allow() names unknown rule '" + rule + "'"});
-      continue;
-    }
-    const bool has_reason =
-        has_colon && reason.find_first_not_of(" \t") != std::string::npos;
-    if (!has_reason) {
-      diags.push_back({file.path, i + 1, 1, "bad-suppression",
-                       "allow(" + rule +
-                           ") needs a reason: `// sjs-lint: allow(" + rule +
-                           "): <why this is safe>`"});
-      continue;
-    }
-    file.allows[i + 1].push_back({rule, true});
-  }
-}
-
-// A diagnostic on line L is suppressed by a valid allow(rule) on line L or
-// L-1 (the conventional "comment above" position).
-bool is_suppressed(const SourceFile& file, std::size_t line,
-                   const std::string& rule) {
-  for (std::size_t l : {line, line > 1 ? line - 1 : line}) {
-    const auto it = file.allows.find(l);
-    if (it == file.allows.end()) continue;
-    for (const Suppression& s : it->second) {
-      if (s.rule == rule) return true;
-    }
-  }
-  return false;
-}
-
-void report(const SourceFile& file, std::size_t line, std::size_t col,
-            const std::string& rule, const std::string& message,
-            std::vector<Diagnostic>& diags) {
-  if (is_suppressed(file, line, rule)) return;
-  diags.push_back({file.path, line, col, rule, message});
-}
-
-// ---------------------------------------------------------------------------
-// Path classification
-// ---------------------------------------------------------------------------
-
-bool path_in(const std::string& rel, const char* dir) {
-  return rel.rfind(std::string("src/") + dir + "/", 0) == 0;
-}
-
-bool is_header(const std::string& rel) {
-  return rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
-}
-
-bool is_hot_path_dir(const std::string& rel) {
-  return path_in(rel, "sched") || path_in(rel, "sim") || path_in(rel, "mc") ||
-         path_in(rel, "cloud");
-}
-
-bool is_rng_or_logging(const std::string& rel) {
-  return rel.rfind("src/util/rng", 0) == 0 ||
-         rel.rfind("src/util/logging", 0) == 0;
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unordered-iter
-// ---------------------------------------------------------------------------
-
-void check_unordered_iter(const SourceFile& file,
-                          std::vector<Diagnostic>& diags) {
-  if (!is_hot_path_dir(file.rel)) return;
-  // Pass 1: names declared (locals or members) with an unordered type.
-  static const std::regex decl_re(
-      R"((?:std::)?unordered_(?:map|set|multimap|multiset)\s*<)");
-  static const std::regex name_re(R"(>\s*&?\s*([A-Za-z_][A-Za-z0-9_]*)\s*[;={(])");
-  std::set<std::string> unordered_names;
-  for (const std::string& code : file.code) {
-    std::smatch m;
-    if (!std::regex_search(code, m, decl_re)) continue;
-    // Find the declared name after the closing template bracket.
-    std::smatch n;
-    std::string tail = code.substr(static_cast<std::size_t>(m.position()));
-    if (std::regex_search(tail, n, name_re)) {
-      unordered_names.insert(n[1]);
-    }
-  }
-  // Pass 2: range-for over an unordered-typed name or inline unordered
-  // expression, and explicit .begin()/.cbegin() iteration.
-  static const std::regex range_for_re(
-      R"(for\s*\(.*:\s*([A-Za-z_][A-Za-z0-9_.\->]*)\s*\))");
-  static const std::regex begin_re(
-      R"(([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?begin\s*\()");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    std::smatch m;
-    if (std::regex_search(code, m, range_for_re)) {
-      std::string target = m[1];
-      // Last path component of `a.b->c` chains.
-      const std::size_t cut = target.find_last_of(".>");
-      std::string leaf = cut == std::string::npos ? target : target.substr(cut + 1);
-      if (unordered_names.count(leaf) || unordered_names.count(target) ||
-          code.find("unordered_") != std::string::npos) {
-        report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
-               "unordered-iter",
-               "range-for over unordered container '" + target +
-                   "': iteration order is implementation-defined and leaks "
-                   "into schedule decisions / replay digests; use an ordered "
-                   "container or sort the keys first",
-               diags);
-      }
-    }
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), begin_re);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1];
-      if (unordered_names.count(name)) {
-        report(file, i + 1, static_cast<std::size_t>(it->position()) + 1,
-               "unordered-iter",
-               "iterator walk over unordered container '" + name +
-                   "': iteration order is implementation-defined; use an "
-                   "ordered container or sort the keys first",
-               diags);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: ordered-set-hot-path
-// ---------------------------------------------------------------------------
-
-// std::set / std::multiset keyed on double (including pair<double, ...>) in
-// the scheduler/engine hot paths: every insert/erase is a node allocation
-// plus a pointer-chasing rebalance, and erase-by-value needs the exact key.
-// sched::ReadyQueue provides the same deterministic (key, id) pop order over
-// flat storage with O(log n) erase-by-id and no per-operation allocation.
-void check_ordered_set_hot_path(const SourceFile& file,
-                                std::vector<Diagnostic>& diags) {
-  if (!path_in(file.rel, "sched") && !path_in(file.rel, "sim")) return;
-  static const std::regex ordered_set_re(
-      R"((?:std::)?(?:multi)?set\s*<\s*(?:(?:std::)?pair\s*<\s*double\b|double\b))");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    for (auto it =
-             std::sregex_iterator(code.begin(), code.end(), ordered_set_re);
-         it != std::sregex_iterator(); ++it) {
-      const auto pos = static_cast<std::size_t>(it->position());
-      // std::regex (ECMAScript) has no lookbehind: drop matches that are the
-      // tail of a longer identifier (unordered_set, flat_set, ...).
-      if (pos > 0 &&
-          (std::isalnum(static_cast<unsigned char>(code[pos - 1])) ||
-           code[pos - 1] == '_')) {
-        continue;
-      }
-      report(file, i + 1, pos + 1, "ordered-set-hot-path",
-             "ordered std::set/std::multiset keyed on double in a "
-             "scheduler/engine hot path allocates a node per insert and "
-             "rebalances on every churn; use sched::ReadyQueue "
-             "(sched/ready_queue.hpp) — same deterministic (key, id) order "
-             "over flat storage with O(log n) erase-by-id",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-time
-// ---------------------------------------------------------------------------
-
-void check_banned_time(const SourceFile& file, std::vector<Diagnostic>& diags) {
-  if (is_rng_or_logging(file.rel)) return;
-  struct Banned {
-    std::regex re;
-    const char* what;
-  };
-  static const std::vector<Banned> banned = {
-      {std::regex(R"((?:std::)?\brand\s*\()"), "std::rand()"},
-      {std::regex(R"((?:std::)?\bsrand\s*\()"), "std::srand()"},
-      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
-      {std::regex(R"(\b\w*_clock\s*::\s*now\b)"), "std::chrono::*_clock::now"},
-      {std::regex(R"(\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))"),
-       "time(nullptr)"},
-      {std::regex(R"(\bclock\s*\(\s*\))"), "clock()"},
-      {std::regex(R"(\bgettimeofday\s*\()"), "gettimeofday()"},
-      {std::regex(R"(\bclock_gettime\s*\()"), "clock_gettime()"},
-      {std::regex(R"(\btimespec_get\s*\()"), "timespec_get()"},
-  };
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    for (const Banned& b : banned) {
-      std::smatch m;
-      if (std::regex_search(code, m, b.re)) {
-        report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
-               "banned-time",
-               std::string(b.what) +
-                   " is nondeterministic; all randomness/time must flow "
-                   "through the seeded sjs::Rng (util/rng.hpp)",
-               diags);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: float-eq
-// ---------------------------------------------------------------------------
-
-// Flags `==`/`!=` where an operand is a floating-point literal or an
-// identifier with a time-like name. Exact comparison of derived doubles is
-// almost always a determinism bug (two algebraically equal expressions need
-// not be bit-equal); where exactness IS the contract (digest folding,
-// piecewise boundaries), util/fp.hpp names that intent.
-void check_float_eq(const SourceFile& file, std::vector<Diagnostic>& diags) {
-  static const std::regex fp_lit_cmp(
-      R"(([0-9]+\.[0-9]+(?:[eE][+-]?[0-9]+)?f?\s*(?:==|!=))|((?:==|!=)\s*[0-9]+\.[0-9]+(?:[eE][+-]?[0-9]+)?f?))");
-  static const std::regex time_cmp(
-      R"(([A-Za-z_][A-Za-z0-9_]*)\s*(?:==|!=)\s*([A-Za-z_][A-Za-z0-9_.]*)\b)");
-  static const std::regex time_name(
-      R"(^(?:.*_time|time_?[a-z]*|now|t_now|deadline|deadline_|expiry|expiry_|last_advance_)$)");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    std::smatch m;
-    if (std::regex_search(code, m, fp_lit_cmp)) {
-      report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
-             "float-eq",
-             "raw ==/!= against a floating-point literal; use "
-             "sjs::fp::is_zero / sjs::fp::exact_eq / sjs::fp::near "
-             "(util/fp.hpp) so the comparison's intent is explicit",
-             diags);
-      continue;  // one report per line is enough
-    }
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), time_cmp);
-         it != std::sregex_iterator(); ++it) {
-      const std::string lhs = (*it)[1];
-      std::string rhs = (*it)[2];
-      const std::size_t cut = rhs.find_last_of('.');
-      if (cut != std::string::npos) rhs = rhs.substr(cut + 1);
-      if (std::regex_match(lhs, time_name) || std::regex_match(rhs, time_name)) {
-        report(file, i + 1, static_cast<std::size_t>(it->position()) + 1,
-               "float-eq",
-               "raw ==/!= on simulation-time operands ('" + lhs + "' vs '" +
-                   (*it)[2].str() +
-                   "'); use sjs::fp::exact_eq/near (util/fp.hpp) to name "
-                   "whether exact bit-equality is the contract",
-               diags);
-        break;
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: float-type
-// ---------------------------------------------------------------------------
-
-void check_float_type(const SourceFile& file, std::vector<Diagnostic>& diags) {
-  static const std::regex float_re(R"(\bfloat\b)");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(file.code[i], m, float_re)) {
-      report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
-             "float-type",
-             "`float` in simulation code: state and signatures are "
-             "double-only (float truncation shifts event timestamps and "
-             "breaks replay digests); use double",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: trace-exhaustive (cross-file)
-// ---------------------------------------------------------------------------
-
-void check_trace_exhaustive(const std::vector<SourceFile>& files,
-                            std::vector<Diagnostic>& diags) {
-  const SourceFile* enum_file = nullptr;
-  const SourceFile* exporter = nullptr;
-  for (const SourceFile& f : files) {
-    if (f.rel == "src/obs/trace_event.hpp") enum_file = &f;
-    if (f.rel == "src/obs/exporters.cpp") exporter = &f;
-  }
-  if (enum_file == nullptr || exporter == nullptr) return;
-
-  // Collect enumerators of `enum class TraceKind`.
-  std::vector<std::pair<std::string, std::size_t>> kinds;  // name, decl line
-  bool in_enum = false;
-  static const std::regex enum_open(R"(enum\s+class\s+TraceKind\b)");
-  static const std::regex member_re(R"(^\s*(k[A-Za-z0-9_]+)\s*(?:=[^,]*)?,?)");
-  for (std::size_t i = 0; i < enum_file->code.size(); ++i) {
-    const std::string& code = enum_file->code[i];
-    if (!in_enum) {
-      if (std::regex_search(code, enum_open)) in_enum = true;
-      continue;
-    }
-    if (code.find('}') != std::string::npos) break;
-    std::smatch m;
-    if (std::regex_search(code, m, member_re)) kinds.emplace_back(m[1], i + 1);
-  }
-
-  // Every kind must appear as `TraceKind::kX` somewhere in the exporter.
-  std::ostringstream joined;
-  for (const auto& [kind, decl_line] : kinds) {
-    const std::string needle = "TraceKind::" + kind;
-    bool handled = false;
-    for (const std::string& code : exporter->code) {
-      if (code.find(needle) != std::string::npos) {
-        handled = true;
-        break;
-      }
-    }
-    if (!handled) {
-      report(*exporter, 1, 1, "trace-exhaustive",
-             "TraceKind::" + kind + " (declared at " + enum_file->path + ":" +
-                 std::to_string(decl_line) +
-                 ") is not handled by the Chrome exporter; every event kind "
-                 "must be routed (or explicitly ignored) in the switch",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: include-hygiene
-// ---------------------------------------------------------------------------
-
-const std::set<std::string> kModuleDirs = {
-    "util",  "stats",   "capacity", "jobs", "obs",   "sim",
-    "sched", "offline", "theory",   "mc",   "cloud", "serve", "conc"};
-
-void check_include_hygiene(const SourceFile& file,
-                           std::vector<Diagnostic>& diags) {
-  static const std::regex quoted_re(R"(^\s*#\s*include\s*"([^"]+)\")");
-  static const std::regex angled_re(R"(^\s*#\s*include\s*<([^>]+)>)");
-  static const std::regex using_ns_re(R"(^\s*using\s+namespace\s+)");
-  const bool header = is_header(file.rel);
-  for (std::size_t i = 0; i < file.raw.size(); ++i) {
-    const std::string& line = file.raw[i];
-    std::smatch m;
-    if (std::regex_search(line, m, quoted_re)) {
-      const std::string inc = m[1];
-      const std::size_t slash = inc.find('/');
-      const std::string top =
-          slash == std::string::npos ? std::string() : inc.substr(0, slash);
-      if (inc.rfind("../", 0) == 0 || slash == std::string::npos ||
-          kModuleDirs.count(top) == 0) {
-        report(file, i + 1, 1, "include-hygiene",
-               "quoted include \"" + inc +
-                   "\" must be module-rooted (e.g. \"util/rng.hpp\"); "
-                   "relative and bare includes break when files move and "
-                   "defeat include-what-you-use auditing",
-               diags);
-      }
-    } else if (header && std::regex_search(line, m, angled_re)) {
-      if (std::string(m[1]) == "iostream") {
-        report(file, i + 1, 1, "include-hygiene",
-               "<iostream> in a header drags the static iostream "
-               "constructors into every TU; include <ostream>/<istream> in "
-               "the header and <iostream> only in .cpp files",
-               diags);
-      }
-    }
-    if (header && std::regex_search(file.code[i], using_ns_re)) {
-      report(file, i + 1, 1, "include-hygiene",
-             "file-scope `using namespace` in a header pollutes every "
-             "includer; qualify names instead",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: header-guard
-// ---------------------------------------------------------------------------
-
-void check_header_guard(const SourceFile& file,
-                        std::vector<Diagnostic>& diags) {
-  if (!is_header(file.rel)) return;
-  static const std::regex pragma_once_re(R"(^\s*#\s*pragma\s+once\b)");
-  for (const std::string& line : file.code) {
-    if (std::regex_search(line, pragma_once_re)) return;
-  }
-  report(file, 1, 1, "header-guard",
-         "header is missing `#pragma once` (double inclusion would be an "
-         "ODR hazard)",
-         diags);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: raw-concurrency
-// ---------------------------------------------------------------------------
-
-// The sharded admission plane's thread-safety argument is structural: every
-// cross-thread interaction flows through conc::Channel / conc::ShardSet
-// (src/conc/), so serve/ and sched/ code can be audited as single-threaded.
-// A raw primitive smuggled into either layer silently reopens the data-race
-// surface the TSan CI job is meant to have closed — it must either move
-// behind conc/ or carry an audited suppression.
-void check_raw_concurrency(const SourceFile& file,
-                           std::vector<Diagnostic>& diags) {
-  if (!path_in(file.rel, "serve") && !path_in(file.rel, "sched")) return;
-  static const std::regex prim_re(
-      R"(\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|atomic(?:_flag|_ref)?|lock_guard|unique_lock|scoped_lock|shared_lock|counting_semaphore|binary_semaphore|latch|barrier|future|promise|async)\b)");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), prim_re);
-         it != std::sregex_iterator(); ++it) {
-      report(file, i + 1, static_cast<std::size_t>(it->position()) + 1,
-             "raw-concurrency",
-             "std::" + (*it)[1].str() +
-                 " in src/serve//src/sched/: cross-thread traffic must flow "
-                 "through conc::Channel / conc::ShardSet (src/conc/) or "
-                 "util/thread_pool so the layer stays auditable "
-                 "single-threaded",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: timer-wheel-bypass
-// ---------------------------------------------------------------------------
-
-// Timer events must enter the engine through TimerWheel::arm (wrapped by
-// Engine::set_timer): a kTimer event pushed straight into the static queue
-// or the completion heap bypasses the wheel's generation-stamped slab, so
-// cancel_timer could not tombstone it and the lazy dead-event compaction
-// accounting would drift — both are digest-visible failures. The wheel's
-// own implementation files are the one place allowed to queue timer nodes.
-void check_timer_wheel_bypass(const SourceFile& file,
-                              std::vector<Diagnostic>& diags) {
-  if (!path_in(file.rel, "sim")) return;
-  if (file.rel.rfind("src/sim/timer_wheel.", 0) == 0) return;
-  static const std::regex push_re(
-      R"(\b(push_event|push_back|emplace_back|push_heap|emplace|insert)\s*\()");
-  for (std::size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& code = file.code[i];
-    if (code.find("kTimer") == std::string::npos) continue;
-    std::smatch m;
-    if (std::regex_search(code, m, push_re)) {
-      report(file, i + 1, static_cast<std::size_t>(m.position()) + 1,
-             "timer-wheel-bypass",
-             "kTimer event pushed into an event queue directly; timers must "
-             "be armed through Engine::set_timer so the wheel's "
-             "generation-stamped slab (sim/timer_wheel.hpp) owns the "
-             "cancel/tombstone lifecycle the replay digest depends on",
-             diags);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-std::optional<SourceFile> load_file(const fs::path& path,
-                                    const fs::path& root) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  SourceFile file;
-  file.path = path.generic_string();
-  std::error_code ec;
-  const fs::path rel = fs::relative(path, root, ec);
-  file.rel = ec ? path.generic_string() : rel.generic_string();
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    file.raw.push_back(line);
-  }
-  file.code = strip_comments(file.raw);
-  return file;
-}
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
-}
-
 void usage() {
-  std::fprintf(stderr,
-               "usage: sjs_lint [--root <dir>] [--format=plain|github] "
-               "[--list-rules] [paths...]\n"
-               "  Lints .cpp/.hpp files (default: <root>/src). Paths may be "
-               "files or directories.\n");
+  std::fprintf(
+      stderr,
+      "usage: sjs_lint [--root <dir>] [--format=plain|github] [--list-rules]\n"
+      "                [--cache=<file>] [--explain=<rule>] [--report=alloc]\n"
+      "                [paths...]\n"
+      "  Lints .cpp/.hpp files (default: <root>/src). Paths may be files or\n"
+      "  directories; suppression paths in diagnostics are relative to\n"
+      "  --root.\n"
+      "  --cache=<file>    reuse per-file symbol indices across runs (keyed\n"
+      "                    on content hashes; safe under any edit)\n"
+      "  --explain=<rule>  print the call chain behind each <rule> finding\n"
+      "  --report=alloc    print the full allocation-in-hot-path work-list\n"
+      "                    (audited suppressions included) and exit 0\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  using sjs::lint::AnalyzerOptions;
+  using sjs::lint::Diagnostic;
+
+  AnalyzerOptions options;
   std::string format = "plain";
-  std::vector<fs::path> inputs;
+  std::string explain;
+  bool report_alloc = false;
   if (const char* env = std::getenv("GITHUB_ACTIONS");
       env != nullptr && std::strcmp(env, "true") == 0) {
     format = "github";
@@ -700,8 +113,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--list-rules") {
-      for (const auto& [name, desc] : kRules) {
-        std::printf("%-18s %s\n", name, desc);
+      for (const auto& [name, desc] : sjs::lint::rule_table()) {
+        std::printf("%-22s %s\n", name, desc);
       }
       return 0;
     }
@@ -710,7 +123,7 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
-      root = argv[++i];
+      options.root = argv[++i];
       continue;
     }
     if (arg.rfind("--format=", 0) == 0) {
@@ -722,62 +135,55 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    inputs.emplace_back(arg);
-  }
-  if (inputs.empty()) inputs.push_back(root / "src");
-
-  std::vector<fs::path> paths;
-  for (const fs::path& input : inputs) {
-    std::error_code ec;
-    if (fs::is_directory(input, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(input)) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          paths.push_back(entry.path());
-        }
+    if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_path = arg.substr(8);
+      continue;
+    }
+    if (arg.rfind("--explain=", 0) == 0) {
+      explain = arg.substr(10);
+      if (!sjs::lint::is_known_rule(explain)) {
+        std::fprintf(stderr, "sjs_lint: --explain names unknown rule '%s'\n",
+                     explain.c_str());
+        return 2;
       }
-    } else if (fs::is_regular_file(input, ec)) {
-      paths.push_back(input);
-    } else {
-      std::fprintf(stderr, "sjs_lint: cannot read %s\n",
-                   input.generic_string().c_str());
+      continue;
+    }
+    if (arg == "--report=alloc") {
+      report_alloc = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "sjs_lint: unknown option '%s'\n", arg.c_str());
+      usage();
       return 2;
     }
+    options.inputs.emplace_back(arg);
   }
-  std::sort(paths.begin(), paths.end());
 
-  std::vector<SourceFile> files;
-  std::vector<Diagnostic> diags;
-  for (const fs::path& p : paths) {
-    auto file = load_file(p, root);
-    if (!file) {
-      std::fprintf(stderr, "sjs_lint: cannot read %s\n",
-                   p.generic_string().c_str());
-      return 2;
+  const sjs::lint::AnalyzerResult result = sjs::lint::run_analyzer(options);
+  for (const std::string& err : result.io_errors) {
+    std::fprintf(stderr, "sjs_lint: cannot read %s\n", err.c_str());
+  }
+  if (!result.io_errors.empty()) return 2;
+
+  if (report_alloc) {
+    for (const auto& e : result.alloc_report) {
+      std::printf("%s:%zu: %s in '%s'%s  chain: %s\n", e.file.c_str(), e.line,
+                  e.op.c_str(), e.function.c_str(),
+                  e.suppressed ? " [suppressed]" : "", e.chain.c_str());
     }
-    collect_suppressions(*file, diags);
-    files.push_back(std::move(*file));
+    std::fprintf(stderr,
+                 "sjs_lint: %zu hot-path allocation site(s) (%zu suppressed) "
+                 "in %zu file(s)\n",
+                 result.alloc_report.size(),
+                 static_cast<std::size_t>(std::count_if(
+                     result.alloc_report.begin(), result.alloc_report.end(),
+                     [](const auto& e) { return e.suppressed; })),
+                 result.files_analyzed);
+    return 0;
   }
 
-  for (const SourceFile& file : files) {
-    check_unordered_iter(file, diags);
-    check_ordered_set_hot_path(file, diags);
-    check_banned_time(file, diags);
-    check_float_eq(file, diags);
-    check_float_type(file, diags);
-    check_include_hygiene(file, diags);
-    check_header_guard(file, diags);
-    check_raw_concurrency(file, diags);
-    check_timer_wheel_bypass(file, diags);
-  }
-  check_trace_exhaustive(files, diags);
-
-  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a,
-                                           const Diagnostic& b) {
-    return std::tie(a.file, a.line, a.col, a.rule) <
-           std::tie(b.file, b.line, b.col, b.rule);
-  });
-
-  for (const Diagnostic& d : diags) {
+  for (const Diagnostic& d : result.diags) {
     if (format == "github") {
       std::printf("::error file=%s,line=%zu,col=%zu,title=sjs_lint %s::%s\n",
                   d.file.c_str(), d.line, d.col, d.rule.c_str(),
@@ -786,10 +192,15 @@ int main(int argc, char** argv) {
       std::printf("%s:%zu:%zu: error: [%s] %s\n", d.file.c_str(), d.line,
                   d.col, d.rule.c_str(), d.message.c_str());
     }
+    if (!explain.empty() && d.rule == explain) {
+      for (const std::string& hop : d.chain) {
+        std::printf("    note: %s\n", hop.c_str());
+      }
+    }
   }
-  if (!diags.empty()) {
+  if (!result.diags.empty()) {
     std::fprintf(stderr, "sjs_lint: %zu diagnostic(s) in %zu file(s)\n",
-                 diags.size(), files.size());
+                 result.diags.size(), result.files_analyzed);
     return 1;
   }
   return 0;
