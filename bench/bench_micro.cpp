@@ -24,6 +24,7 @@
 #include "serve/protocol.hpp"
 #include "serve/shard_worker.hpp"
 #include "sim/engine.hpp"
+#include "util/alloc_probe.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -180,6 +181,68 @@ BENCHMARK(BM_FullSimulationReuse)
     ->Args({1, 1000})
     ->Args({2, 1000})
     ->Args({4, 1000});
+
+void BM_LiveSteadyState(benchmark::State& state) {
+  // The sjs_serve steady state without sockets: one warmed live-mode
+  // session, pre-sized the way AdmissionServer::start() pre-sizes from
+  // --max-in-flight, admitting one job and advancing virtual time per
+  // iteration. Live ids are dense (never reused), so the pre-size covers
+  // the whole fixed-length session; after the warm-up batch every structure
+  // is at its high water and the loop body must perform zero heap
+  // allocations. The interposed AllocProbe counts the loop's allocations
+  // and reports them as allocs_per_op so the claim is pinned in the
+  // benchmark output itself, not just in hotpath_test.
+  const int scheduler_index = static_cast<int>(state.range(0));
+  auto factories = sjs::sched::extended_lineup({10.5});
+  const auto& factory = factories[static_cast<std::size_t>(scheduler_index)];
+  state.SetLabel(factory.name);
+
+  constexpr std::size_t kWarmup = 256;
+  constexpr double kDt = 0.1;  // arrival spacing: ~75% load at capacity 4
+  const std::size_t total =
+      kWarmup + static_cast<std::size_t>(state.max_iterations);
+  sjs::Instance instance({}, sjs::cap::CapacityProfile(4.0));
+  instance.reserve_jobs(total);
+  auto scheduler = factory.make();
+  sjs::sim::Engine engine(instance, *scheduler);
+  engine.reserve_live(total);
+  engine.begin_live();
+
+  double now = 0.0;
+  std::size_t phase = 0;
+  const auto admit_one = [&] {
+    static constexpr double kWorkloads[] = {0.1, 0.3, 0.5};
+    now += kDt;
+    sjs::Job job;
+    job.release = now;
+    job.workload = kWorkloads[phase];
+    job.deadline = now + 5.0;
+    job.value = job.workload * 12.0;
+    phase = (phase + 1) % 3;
+    engine.admit_live(instance.append_job(job));
+    engine.advance_to(now);
+  };
+  for (std::size_t i = 0; i < kWarmup; ++i) admit_one();
+
+  sjs::util::AllocProbe::reset();
+  for (auto _ : state) {
+    admit_one();
+  }
+  const auto allocs = static_cast<double>(sjs::util::AllocProbe::count());
+  benchmark::DoNotOptimize(engine.now());
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(allocs, benchmark::Counter::kAvgIterations);
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+// Fixed iteration count: the session length must be known up front so the
+// pre-size covers it (exactly how --max-in-flight bounds a serve session's
+// live window). V-Dover, EDF, and LLF cover the three queue profiles.
+BENCHMARK(BM_LiveSteadyState)
+    ->Iterations(100000)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 void BM_ReadyQueueChurn(benchmark::State& state) {
   // The scheduler-queue hot loop in isolation: a deterministic interleaving

@@ -75,9 +75,12 @@ if [[ "${SMOKE:-0}" == "1" ]]; then
   out="${BUILD_DIR}/bench_micro_smoke.json"
   # The BM_Engine prefix deliberately covers the timer-wheel benches too
   # (BM_EngineTimerChurn, BM_EngineTimerOccupancy) so every CI run leaves an
-  # inspectable wheel-vs-heap datapoint in the artifact.
+  # inspectable wheel-vs-heap datapoint in the artifact. BM_LiveSteadyState
+  # rides along so each CI artifact also records allocs_per_op for the warmed
+  # live session (must be 0; it runs a fixed iteration count, so min_time
+  # does not shorten it).
   "./${BUILD_DIR}/bench/bench_micro" \
-    --benchmark_filter='BM_Capacity|BM_Engine|BM_FullSimulation|BM_ReadyQueue' \
+    --benchmark_filter='BM_Capacity|BM_Engine|BM_FullSimulation|BM_LiveSteadyState|BM_ReadyQueue' \
     --benchmark_min_time=0.01 \
     --benchmark_format=json \
     --benchmark_out="${out}"

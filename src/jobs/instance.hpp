@@ -72,6 +72,11 @@ class Instance {
   /// no references into the job vector across calls).
   JobId append_job(Job job);
 
+  /// Pre-sizes the job vector (live boot: --max-in-flight admissions fit
+  /// without reallocation, part of the serve plane's zero-alloc steady
+  /// state).
+  void reserve_jobs(std::size_t n) { jobs_.reserve(n); }
+
   /// Serializes jobs to CSV ("id,release,workload,deadline,value").
   void save_jobs(const std::string& path) const;
 

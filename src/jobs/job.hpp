@@ -8,8 +8,31 @@
 
 namespace sjs {
 
-using JobId = std::int32_t;
+// A JobId is a 64-bit handle: the low 32 bits name a slot in the engine's
+// job slab (sim::JobTable), the high 32 bits carry a generation stamp so a
+// reused slot invalidates stale handles (the same idiom as the timer slab's
+// TimerId). On the replay and live-admission paths the generation is always
+// zero and ids are dense slot indices — numerically identical to the old
+// 32-bit ids, which keeps every tie-break, trace payload, and digest fold
+// byte-stable across the widening.
+using JobId = std::int64_t;
 inline constexpr JobId kNoJob = -1;
+
+/// Slot index (low 32 bits) of a job handle.
+constexpr std::uint32_t job_slot(JobId id) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id));
+}
+
+/// Generation stamp (high 32 bits) of a job handle.
+constexpr std::uint32_t job_generation(JobId id) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id) >> 32);
+}
+
+/// Assembles a handle from slot + generation (generation 0 = dense id).
+constexpr JobId make_job_id(std::uint32_t slot, std::uint32_t generation) {
+  return static_cast<JobId>((static_cast<std::uint64_t>(generation) << 32) |
+                            slot);
+}
 
 struct Job {
   JobId id = kNoJob;

@@ -90,6 +90,10 @@ McOutcome run_monte_carlo(const McConfig& config,
                         static_cast<double>(r.timer_slab_peak));
         shard.set_gauge(obs::kGaugeTimerSlabSlots,
                         static_cast<double>(r.timer_slab_slots));
+        shard.set_gauge(obs::kGaugeJobSlabPeak,
+                        static_cast<double>(r.job_slab_peak));
+        shard.set_gauge(obs::kGaugeJobSlabSlots,
+                        static_cast<double>(r.job_slab_slots));
         shard.set_gauge(obs::kGaugeEventHeapPeak,
                         static_cast<double>(r.event_heap_peak));
         shard.set_gauge(obs::kGaugeEventHeapDeadPeak,

@@ -6,6 +6,7 @@
 
 #include "util/logging.hpp"
 #include "util/fp.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::obs {
 
@@ -56,8 +57,9 @@ void InvariantChecker::fail(const TraceEvent& event, const std::string& what) {
                                                      << "]: " << what);
   }
   if (violations_.size() < options_.max_violations) {
-    // sjs-lint: allow(alloc-in-hot-path): failure path only; fires once when an invariant is already broken
-    violations_.push_back(InvariantViolation{what, event});
+    // Failure path only: fires when an invariant is already broken, so the
+    // zero-allocation steady-state claim is unaffected.
+    util::append(violations_, InvariantViolation{what, event});
   } else {
     ++suppressed_violations_;
   }
@@ -103,7 +105,7 @@ void InvariantChecker::close_slice(std::int32_t server, double t,
       profile_for(server).work(std::max(0.0, slice.start), std::max(0.0, t));
 }
 
-void InvariantChecker::on_release(const TraceEvent& event) {
+void InvariantChecker::check_release(const TraceEvent& event) {
   const auto idx = static_cast<std::size_t>(event.job);
   if (event.job < 0 || idx >= released_.size()) {
     fail(event, "release of unknown job id");
@@ -124,7 +126,7 @@ void InvariantChecker::on_release(const TraceEvent& event) {
   }
 }
 
-void InvariantChecker::on_dispatch(const TraceEvent& event) {
+void InvariantChecker::check_dispatch(const TraceEvent& event) {
   const auto idx = static_cast<std::size_t>(event.job);
   if (event.job < 0 || idx >= released_.size()) {
     fail(event, "dispatch of unknown job id");
@@ -145,7 +147,7 @@ void InvariantChecker::on_dispatch(const TraceEvent& event) {
   open_[event.server] = OpenSlice{event.job, event.time};
 }
 
-void InvariantChecker::on_complete(const TraceEvent& event) {
+void InvariantChecker::check_complete(const TraceEvent& event) {
   const auto idx = static_cast<std::size_t>(event.job);
   if (event.job < 0 || idx >= released_.size()) {
     fail(event, "completion of unknown job id");
@@ -177,7 +179,7 @@ void InvariantChecker::on_complete(const TraceEvent& event) {
   }
 }
 
-void InvariantChecker::on_expire(const TraceEvent& event) {
+void InvariantChecker::check_expire(const TraceEvent& event) {
   const auto idx = static_cast<std::size_t>(event.job);
   if (event.job < 0 || idx >= released_.size()) {
     fail(event, "expiry of unknown job id");
@@ -204,7 +206,7 @@ void InvariantChecker::on_expire(const TraceEvent& event) {
   }
 }
 
-void InvariantChecker::on_note(const TraceEvent& event) {
+void InvariantChecker::check_note(const TraceEvent& event) {
   const auto code = static_cast<int>(event.a);
   const auto idx = static_cast<std::size_t>(event.job);
   if (event.job < 0 || idx >= zero_laxity_tested_.size()) return;
@@ -232,7 +234,7 @@ void InvariantChecker::on_note(const TraceEvent& event) {
   }
 }
 
-void InvariantChecker::on_run_end(const TraceEvent& event) {
+void InvariantChecker::check_run_end(const TraceEvent& event) {
   run_ended_ = true;
   // I7: value accounting.
   const double value_tol =
@@ -297,10 +299,10 @@ void InvariantChecker::record(const TraceEvent& event) {
       }
       break;
     case TraceKind::kRelease:
-      on_release(event);
+      check_release(event);
       break;
     case TraceKind::kDispatch:
-      on_dispatch(event);
+      check_dispatch(event);
       break;
     case TraceKind::kPreempt:
       close_slice(event.server, event.time, event.job);
@@ -309,10 +311,10 @@ void InvariantChecker::record(const TraceEvent& event) {
       close_slice(event.server, event.time, kNoJob);
       break;
     case TraceKind::kComplete:
-      on_complete(event);
+      check_complete(event);
       break;
     case TraceKind::kExpire:
-      on_expire(event);
+      check_expire(event);
       break;
     case TraceKind::kTimer:
       break;
@@ -336,10 +338,10 @@ void InvariantChecker::record(const TraceEvent& event) {
       close_slice(static_cast<std::int32_t>(event.a), event.time, event.job);
       break;
     case TraceKind::kNote:
-      on_note(event);
+      check_note(event);
       break;
     case TraceKind::kRunEnd:
-      on_run_end(event);
+      check_run_end(event);
       break;
   }
 }

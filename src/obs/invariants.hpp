@@ -93,12 +93,12 @@ class InvariantChecker : public TraceSink {
   /// `expected` != kNoJob asserts which job the slice must hold.
   void close_slice(std::int32_t server, double t, JobId expected);
 
-  void on_release(const TraceEvent& event);
-  void on_dispatch(const TraceEvent& event);
-  void on_complete(const TraceEvent& event);
-  void on_expire(const TraceEvent& event);
-  void on_note(const TraceEvent& event);
-  void on_run_end(const TraceEvent& event);
+  void check_release(const TraceEvent& event);
+  void check_dispatch(const TraceEvent& event);
+  void check_complete(const TraceEvent& event);
+  void check_expire(const TraceEvent& event);
+  void check_note(const TraceEvent& event);
+  void check_run_end(const TraceEvent& event);
 
   struct OpenSlice {
     JobId job;

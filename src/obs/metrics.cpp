@@ -1,10 +1,13 @@
 #include "obs/metrics.hpp"
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::obs {
 
@@ -17,23 +20,40 @@ std::uint64_t next_registry_id() {
 
 MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
 
-void MetricsRegistry::Shard::count(const std::string& name, double delta) {
-  counters_[name] += delta;
+void MetricsRegistry::Shard::count(std::string_view name, double delta) {
+  // Heterogeneous lookup: the steady-state path (key already present) never
+  // builds a std::string. The insert is first-use setup.
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+    return;
+  }
+  counters_.emplace(std::string(name), delta);
 }
 
-void MetricsRegistry::Shard::set_gauge(const std::string& name, double value) {
-  gauges_[name] = value;
+void MetricsRegistry::Shard::set_gauge(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+    return;
+  }
+  gauges_.emplace(std::string(name), value);
 }
 
-void MetricsRegistry::Shard::observe(const std::string& name, double value) {
-  distributions_[name].add(value);
+void MetricsRegistry::Shard::observe(std::string_view name, double value) {
+  auto dist = distributions_.find(name);
+  if (dist == distributions_.end()) {
+    dist = distributions_.emplace(std::string(name), Welford{}).first;
+  }
+  dist->second.add(value);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     const auto spec = owner_->histogram_specs_.find(name);
     if (spec == owner_->histogram_specs_.end()) return;
     it = histograms_
-             .emplace(name, Histogram(spec->second.lo, spec->second.hi,
-                                      spec->second.bins))
+             .emplace(std::string(name),
+                      Histogram(spec->second.lo, spec->second.hi,
+                                spec->second.bins))
              .first;
   }
   it->second.add(value);
@@ -55,8 +75,10 @@ MetricsRegistry::Shard& MetricsRegistry::local() {
   const auto it = cache.find(id_);
   if (it != cache.end()) return *it->second;
   std::lock_guard<std::mutex> lock(mu_);
-  // sjs-lint: allow(alloc-in-hot-path): once per thread at first use; steady state takes the thread-local fast path
-  shards_.push_back(std::unique_ptr<Shard>(new Shard(this)));
+  // Once per (thread, registry) at first use; every later call takes the
+  // thread-local cache fast path above, so the steady state never reaches
+  // this allocation.
+  util::append(shards_, util::alloc_unique<Shard>(this));
   Shard* shard = shards_.back().get();
   cache.emplace(id_, shard);
   return *shard;
@@ -117,21 +139,40 @@ std::string MetricsSnapshot::render() const {
   return os.str();
 }
 
+namespace {
+// Pre-joined "trace.<kind>" counter names, indexed by TraceKind. Keeping the
+// table static makes the per-event counter bump string-free (the old
+// std::string("trace.") + kind_name(...) concatenation allocated per event).
+constexpr const char* kTraceCounterName[] = {
+    "trace.run_start", "trace.release", "trace.dispatch",
+    "trace.preempt",   "trace.idle",    "trace.complete",
+    "trace.expire",    "trace.timer",   "trace.capacity_change",
+    "trace.migrate",   "trace.note",    "trace.run_end",
+};
+static_assert(sizeof(kTraceCounterName) / sizeof(kTraceCounterName[0]) ==
+              static_cast<std::size_t>(TraceKind::kRunEnd) + 1);
+}  // namespace
+
 void TraceMetricsBridge::record(const TraceEvent& event) {
-  shard_->count(std::string("trace.") + kind_name(event.kind));
+  shard_->count(kTraceCounterName[static_cast<std::size_t>(event.kind)]);
+  constexpr double kUnseen = std::numeric_limits<double>::quiet_NaN();
   switch (event.kind) {
-    case TraceKind::kRelease:
-      release_time_[event.job] = event.time;
-      deadline_[event.job] = event.b;
+    case TraceKind::kRelease: {
+      const auto slot = static_cast<std::size_t>(job_slot(event.job));
+      util::grow_to_index_fill(release_time_, slot, kUnseen);
+      util::grow_to_index_fill(deadline_, slot, kUnseen);
+      release_time_[slot] = event.time;
+      deadline_[slot] = event.b;
       break;
+    }
     case TraceKind::kComplete: {
-      const auto rel = release_time_.find(event.job);
-      if (rel != release_time_.end()) {
-        shard_->observe("job.response_time", event.time - rel->second);
+      const auto slot = static_cast<std::size_t>(job_slot(event.job));
+      if (slot < release_time_.size() && !std::isnan(release_time_[slot])) {
+        shard_->observe("job.response_time", event.time - release_time_[slot]);
       }
-      const auto dl = deadline_.find(event.job);
-      if (dl != deadline_.end()) {
-        shard_->observe("job.slack_at_completion", dl->second - event.time);
+      if (slot < deadline_.size() && !std::isnan(deadline_[slot])) {
+        shard_->observe("job.slack_at_completion",
+                        deadline_[slot] - event.time);
       }
       break;
     }

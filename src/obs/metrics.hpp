@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/trace_sink.hpp"
@@ -43,26 +44,32 @@ class MetricsRegistry {
   MetricsRegistry();
 
   /// Per-thread accumulator. Obtained via MetricsRegistry::local(); all
-  /// update methods are lock-free (the shard is thread-private).
+  /// update methods are lock-free (the shard is thread-private). Names are
+  /// taken as string_view and looked up heterogeneously, so repeated updates
+  /// of an existing metric never materialise a std::string — the only
+  /// allocation is the first-use key insert (setup).
   class Shard {
    public:
+    /// Construct via MetricsRegistry::local(); public only so the registry
+    /// can route construction through the audited util allocation helper.
+    explicit Shard(const MetricsRegistry* owner) : owner_(owner) {}
+
     /// Adds `delta` to a monotone counter.
-    void count(const std::string& name, double delta = 1.0);
+    void count(std::string_view name, double delta = 1.0);
     /// Sets a gauge (merged across shards by maximum).
-    void set_gauge(const std::string& name, double value);
+    void set_gauge(std::string_view name, double value);
     /// Feeds a sample into a distribution (streaming mean/variance/min/max),
     /// and into its histogram when binning was declared for `name`.
-    void observe(const std::string& name, double value);
+    void observe(std::string_view name, double value);
 
    private:
     friend class MetricsRegistry;
-    explicit Shard(const MetricsRegistry* owner) : owner_(owner) {}
 
     const MetricsRegistry* owner_;
-    std::map<std::string, double> counters_;
-    std::map<std::string, double> gauges_;
-    std::map<std::string, Welford> distributions_;
-    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, double, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> gauges_;
+    std::map<std::string, Welford, std::less<>> distributions_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
   };
 
   /// Declares histogram binning for distribution `name`. Must be called
@@ -93,7 +100,7 @@ class MetricsRegistry {
   const std::uint64_t id_;  // distinguishes registries in thread-local caches
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::map<std::string, HistogramSpec> histogram_specs_;
+  std::map<std::string, HistogramSpec, std::less<>> histogram_specs_;
 };
 
 // Hot-path occupancy metric names fed from SimResult by the engine's
@@ -111,6 +118,14 @@ inline constexpr const char* kGaugeEventHeapDeadPeak =
 inline constexpr const char* kCounterTimersArmed = "engine.timers_armed";
 inline constexpr const char* kCounterHeapCompactions =
     "engine.heap_compactions";
+
+// Job-slab occupancy (sim::JobTable, the SoA per-job state store). Peak is
+// the live-job high-water mark of a run; slots the slot-array length — the
+// storage actually reserved. On dense (replay) runs slots == the instance
+// size; on live admission runs both are bounded by the in-flight high-water,
+// never by how many jobs the session admitted in total.
+inline constexpr const char* kGaugeJobSlabPeak = "engine.job_slab_peak";
+inline constexpr const char* kGaugeJobSlabSlots = "engine.job_slab_slots";
 
 // Timer-wheel churn (sim::TimerWheel, the kTimer backend of the volatile
 // event side). Cascades count clock advances that relinked a bucket;
@@ -144,8 +159,10 @@ class TraceMetricsBridge : public TraceSink {
 
  private:
   MetricsRegistry::Shard* shard_;
-  std::map<JobId, double> release_time_;
-  std::map<JobId, double> deadline_;
+  // Per-job release/deadline stamps, indexed by job slot (dense vectors, not
+  // maps: the per-event path must not allocate node storage). NaN = unseen.
+  std::vector<double> release_time_;
+  std::vector<double> deadline_;
 };
 
 }  // namespace sjs::obs

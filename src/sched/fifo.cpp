@@ -2,25 +2,25 @@
 
 namespace sjs::sched {
 
+void FifoScheduler::on_start(sim::Engine& engine) {
+  queue_.reserve(engine.job_capacity_hint());
+}
+
 void FifoScheduler::dispatch_next(sim::Engine& engine) {
   if (engine.running() != kNoJob) return;  // non-preemptive
   while (!queue_.empty()) {
-    const JobId next = queue_.front();
+    const JobId next = queue_.pop().id;
     if (!engine.is_live(next)) {
       // Expired while waiting (on_expire also purges; this is defensive).
-      queue_.pop_front();
       continue;
     }
-    queue_.pop_front();
     engine.run(next);
     return;
   }
 }
 
 void FifoScheduler::on_release(sim::Engine& engine, JobId job) {
-  // sjs-lint: allow(alloc-in-hot-path): amortized growth to queue high-water; capacity is retained across episodes
-  queue_.push_back(job);
-  if (queue_.size() > peak_) peak_ = queue_.size();
+  queue_.push(engine.job(job).release, job);
   dispatch_next(engine);
 }
 
@@ -30,12 +30,7 @@ void FifoScheduler::on_complete(sim::Engine& engine, JobId /*job*/) {
 
 void FifoScheduler::on_expire(sim::Engine& engine, JobId job,
                               bool /*was_running*/) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (*it == job) {
-      queue_.erase(it);
-      break;
-    }
-  }
+  queue_.erase(job);
   dispatch_next(engine);
 }
 

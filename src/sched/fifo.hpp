@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "sched/ready_queue.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -13,21 +13,25 @@ namespace sjs::sched {
 
 class FifoScheduler : public sim::Scheduler {
  public:
+  void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
   void on_complete(sim::Engine& engine, JobId job) override;
   void on_expire(sim::Engine& engine, JobId job, bool was_running) override;
-  /// FIFO keeps a plain deque (no keyed ordering to accelerate); it still
-  /// reports its occupancy high-water so `sched.queue.peak` is comparable
-  /// across the whole lineup. Slot accounting stays 0: the deque's storage
-  /// is not the flat entry layout the gauge describes.
-  QueueStats queue_stats() const override { return {peak_, 0}; }
+  QueueStats queue_stats() const override {
+    return {queue_.peak(), queue_.slots()};
+  }
   std::string name() const override { return "FIFO"; }
 
  private:
   void dispatch_next(sim::Engine& engine);
 
-  std::deque<JobId> queue_;
-  std::uint64_t peak_ = 0;
+  /// Arrival order as a keyed queue: (release time, id) min-first. Releases
+  /// pop from the engine in (time, seq) order and seq order equals id order
+  /// at equal times, so lexicographic (release, id) order IS the order the
+  /// old std::deque accumulated — pop-for-pop identical (digest-gated),
+  /// while gaining O(log n) erase and the allocation-free recycled storage
+  /// every other scheduler already has.
+  ReadyQueue queue_;
 };
 
 }  // namespace sjs::sched

@@ -3,7 +3,7 @@
 namespace sjs::sched {
 
 void GreedyScheduler::on_start(sim::Engine& engine) {
-  ready_.reserve(engine.job_count());
+  ready_.reserve(engine.job_capacity_hint());
 }
 
 double GreedyScheduler::priority(const sim::Engine& engine, JobId job) const {

@@ -15,7 +15,7 @@ constexpr double kLaxityEps = 1e-9;
 void LlfScheduler::on_start(sim::Engine& engine) {
   if (c_est_ <= 0.0) c_est_ = engine.c_lo();
   SJS_CHECK_MSG(quantum_ > 0.0, "LLF quantum must be positive");
-  ready_.reserve(engine.job_count());
+  ready_.reserve(engine.job_capacity_hint());
 }
 
 void LlfScheduler::arm_crossing_timer(sim::Engine& engine) {

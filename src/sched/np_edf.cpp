@@ -3,7 +3,7 @@
 namespace sjs::sched {
 
 void NonPreemptiveEdfScheduler::on_start(sim::Engine& engine) {
-  ready_.reserve(engine.job_count());
+  ready_.reserve(engine.job_capacity_hint());
 }
 
 void NonPreemptiveEdfScheduler::dispatch_if_idle(sim::Engine& engine) {

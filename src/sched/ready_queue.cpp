@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::sched {
 
@@ -42,6 +43,11 @@ ReadyQueue::ReadyQueue(QueueOrder order) : order_(order) {
     pool.positions.pop_back();
     pos_.clear();
   }
+  if (!pool.entries.empty()) {
+    scratch_ = std::move(pool.entries.back());
+    pool.entries.pop_back();
+    scratch_.clear();
+  }
 }
 
 ReadyQueue::~ReadyQueue() {
@@ -50,6 +56,10 @@ ReadyQueue::~ReadyQueue() {
     heap_.clear();
     pool.entries.push_back(std::move(heap_));
   }
+  if (scratch_.capacity() > 0 && pool.entries.size() < kRecyclerCap) {
+    scratch_.clear();
+    pool.entries.push_back(std::move(scratch_));
+  }
   if (pos_.capacity() > 0 && pool.positions.size() < kRecyclerCap) {
     pos_.clear();
     pool.positions.push_back(std::move(pos_));
@@ -57,9 +67,14 @@ ReadyQueue::~ReadyQueue() {
 }
 
 void ReadyQueue::reserve(std::size_t id_bound) {
-  // sjs-lint: allow(alloc-in-hot-path): this IS the pre-sizing remedy: reserve() grows tables before the hot loop
-  if (pos_.size() < id_bound) pos_.resize(id_bound, kNpos);
+  // This IS the pre-sizing remedy: grow every table before the hot loop.
+  // The scratch is included so all buffers a queue donates to the recycler
+  // have capacity >= id_bound — whichever buffer the next same-sized queue
+  // adopts, its own reserve() is then a no-op (the zero-allocation warmed
+  // steady state depends on this interchangeability).
+  if (pos_.size() < id_bound) util::grow_fill(pos_, id_bound, kNpos);
   heap_.reserve(id_bound);
+  scratch_.reserve(id_bound);
 }
 
 void ReadyQueue::clear() {
@@ -80,12 +95,12 @@ const ReadyQueue::Entry& ReadyQueue::top() const {
 void ReadyQueue::push(double key, JobId id) {
   SJS_CHECK_MSG(id >= 0, "ReadyQueue::push of invalid job " << id);
   const auto idx = static_cast<std::size_t>(id);
-  // sjs-lint: allow(alloc-in-hot-path): amortized doubling to live-set high-water; capacity retained, then no-op
-  if (idx >= pos_.size()) pos_.resize(idx + 1, kNpos);
+  // Amortized doubling to the live-set high-water; reserve() pre-sizes both
+  // tables, so a warmed steady state never grows them.
+  util::grow_to_index_fill(pos_, idx, kNpos);
   SJS_CHECK_MSG(pos_[idx] == kNpos,
                 "ReadyQueue::push of already-queued job " << id);
-  // sjs-lint: allow(alloc-in-hot-path): amortized doubling to live-set high-water; capacity retained, then no-op
-  heap_.push_back(Entry{key, id});
+  util::append(heap_, Entry{key, id});
   pos_[idx] = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
   peak_ = std::max<std::uint64_t>(peak_, heap_.size());

@@ -6,8 +6,25 @@
 #include "obs/trace_event.hpp"
 #include "theory/ratios.hpp"
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::sched {
+
+namespace {
+
+// Thread-local recycler for the regular-interval log (the ReadyQueue buffer
+// idiom, sched/ready_queue.cpp): the Monte-Carlo driver and the steady-state
+// replay ratchet construct one fresh scheduler per run on the same thread, so
+// donating the destroyed scheduler's interval buffer and adopting it in the
+// next keeps interval logging allocation-free across cells.
+constexpr std::size_t kIntervalRecyclerCap = 4;
+
+std::vector<std::vector<RegularInterval>>& interval_recycler() {
+  thread_local std::vector<std::vector<RegularInterval>> pool;
+  return pool;
+}
+
+}  // namespace
 
 VDoverScheduler::VDoverScheduler(const VDoverOptions& options)
     : c_est_(options.capacity_estimate),
@@ -33,6 +50,20 @@ VDoverScheduler::VDoverScheduler(const VDoverOptions& options)
     os << ")";
     display_name_ = os.str();
   }
+  auto& pool = interval_recycler();
+  if (!pool.empty()) {
+    intervals_ = std::move(pool.back());
+    pool.pop_back();
+    intervals_.clear();
+  }
+}
+
+VDoverScheduler::~VDoverScheduler() {
+  auto& pool = interval_recycler();
+  if (intervals_.capacity() > 0 && pool.size() < kIntervalRecyclerCap) {
+    intervals_.clear();
+    pool.push_back(std::move(intervals_));
+  }
 }
 
 std::string VDoverScheduler::name() const { return display_name_; }
@@ -56,14 +87,15 @@ void VDoverScheduler::on_start(sim::Engine& engine) {
     }
   }
   SJS_CHECK_MSG(beta_ > 1.0, "β must exceed 1 (Lemma 1 needs β − 1 > 0)");
-  const std::size_t n = engine.job_count();
+  const std::size_t n = engine.job_capacity_hint();
   qedf_.reserve(n);
   qother_.reserve(n);
   qsupp_.reserve(n);
-  qedf_meta_.assign(n, QedfMeta{});
-  ocl_timer_.assign(n, sim::kNoTimer);
-  abandoned_.assign(n, false);
-  ocl_scheduled_.assign(n, false);
+  // One regular interval closes per completion, so the hint also bounds the
+  // Lemma-1 interval log for a bounded-in-flight session.
+  intervals_.reserve(n);
+  // Per-job lanes (Qedf metadata, 0cl timers, flags) are slab lanes the
+  // engine already sized in rewind()/admit_live — nothing to grow here.
 }
 
 void VDoverScheduler::maybe_open_interval(double now) {
@@ -76,8 +108,8 @@ void VDoverScheduler::close_interval(double now) {
   if (!interval_open_) return;
   interval_open_ = false;
   current_interval_.end = now;
-  // sjs-lint: allow(alloc-in-hot-path): interval log bounded by capacity breakpoints; amortized to that bound
-  intervals_.push_back(current_interval_);
+  // Growth to the recycled buffer's high-water (see interval_recycler).
+  util::append(intervals_, current_interval_);
 }
 
 double VDoverScheduler::privileged_value(const sim::Engine& engine) const {
@@ -99,13 +131,13 @@ void VDoverScheduler::insert_other(sim::Engine& engine, JobId job) {
   // (fires right after the current handler returns).
   const double t_0cl =
       engine.job(job).deadline - engine.remaining(job) / c_est_;
-  ocl_timer_[static_cast<std::size_t>(job)] =
+  engine.job_state().ocl_timer(job) =
       engine.set_timer(std::max(engine.now(), t_0cl), job, /*tag=*/0);
 }
 
 void VDoverScheduler::remove_other(sim::Engine& engine, JobId job) {
   qother_.erase(job);
-  auto& timer = ocl_timer_[static_cast<std::size_t>(job)];
+  sim::TimerId& timer = engine.job_state().ocl_timer(job);
   engine.cancel_timer(timer);
   timer = sim::kNoTimer;
 }
@@ -114,22 +146,8 @@ void VDoverScheduler::insert_supp(sim::Engine& engine, JobId job) {
   qsupp_.push(engine.job(job).deadline, job);
 }
 
-void VDoverScheduler::ensure_job_tables(JobId job) {
-  const auto need = static_cast<std::size_t>(job) + 1;
-  if (qedf_meta_.size() >= need) return;
-  // sjs-lint: allow(alloc-in-hot-path): grows id-indexed tables to max job id once; steady state is a no-op check
-  qedf_meta_.resize(need, QedfMeta{});
-  // sjs-lint: allow(alloc-in-hot-path): grows id-indexed tables to max job id once; steady state is a no-op check
-  ocl_timer_.resize(need, sim::kNoTimer);
-  // sjs-lint: allow(alloc-in-hot-path): grows id-indexed tables to max job id once; steady state is a no-op check
-  abandoned_.resize(need, false);
-  // sjs-lint: allow(alloc-in-hot-path): grows id-indexed tables to max job id once; steady state is a no-op check
-  ocl_scheduled_.resize(need, false);
-}
-
 // Procedure B — job release handler.
 void VDoverScheduler::on_release(sim::Engine& engine, JobId job) {
-  ensure_job_tables(job);
   switch (flag_) {
     case Flag::kIdle: {
       engine.run(job);
@@ -147,8 +165,7 @@ void VDoverScheduler::on_release(sim::Engine& engine, JobId job) {
         // EDF preemption without overload: the preempted job becomes
         // "recently EDF-scheduled" (B.7–B.9).
         qedf_.push(running.deadline, curr);
-        qedf_meta_[static_cast<std::size_t>(curr)] =
-            QedfMeta{engine.now(), cslack_};
+        engine.job_state().qedf_meta(curr) = sim::QedfMeta{engine.now(), cslack_};
         const double tc_arr = tc(engine, job);
         engine.run(job);
         // [reconstruction] The paper's B.8–9 are OCR-garbled; by symmetry
@@ -180,7 +197,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
   const double now = engine.now();
   if (!qedf_.empty() && !qother_.empty()) {
     const auto [d_edf, t_edf] = qedf_.top();
-    const auto& meta = qedf_meta_[static_cast<std::size_t>(t_edf)];
+    const sim::QedfMeta& meta = engine.job_state().qedf_meta(t_edf);
     cslack_ = meta.cslack_insert - (now - meta.t_insert);  // C.3
     const auto [d_other, t_other] = qother_.top();
     if (d_other < d_edf && cslack_ >= tc(engine, t_other)) {  // C.5
@@ -207,7 +224,7 @@ void VDoverScheduler::completion_or_failure(sim::Engine& engine) {
   }
   if (!qedf_.empty()) {  // C.13–15
     const JobId t_edf = qedf_.pop().id;
-    const auto& meta = qedf_meta_[static_cast<std::size_t>(t_edf)];
+    const sim::QedfMeta meta = engine.job_state().qedf_meta(t_edf);
     engine.run(t_edf);
     maybe_open_interval(now);
     cslack_ = meta.cslack_insert - (now - meta.t_insert);
@@ -236,7 +253,7 @@ void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
   engine.note(job, obs::kNoteZeroLaxityTest, privileged);
   if (urgent_value > beta_ * privileged) {  // D.1
     ++stats_.ocl_scheduled;
-    ocl_scheduled_[static_cast<std::size_t>(job)] = true;
+    engine.job_state().set_ocl_scheduled(job, true);
     engine.note(job, obs::kNoteOclScheduled);
     remove_other(engine, job);
     const JobId prev = engine.running();
@@ -258,7 +275,7 @@ void VDoverScheduler::zero_laxity(sim::Engine& engine, JobId job) {
       ++stats_.labeled_supplement;
       engine.note(job, obs::kNoteSupplement);
     } else {
-      abandoned_[static_cast<std::size_t>(job)] = true;
+      engine.job_state().set_abandoned(job, true);
       ++stats_.abandoned;
       engine.note(job, obs::kNoteAbandon);
     }
@@ -273,7 +290,7 @@ void VDoverScheduler::on_complete(sim::Engine& engine, JobId job) {
   } else if (interval_open_) {
     // Regular completion inside the open regular interval (Sec. III-E).
     current_interval_.regval += value;
-    if (ocl_scheduled_[static_cast<std::size_t>(job)]) {
+    if (engine.job_state().ocl_scheduled(job)) {
       current_interval_.clval += value;
     }
     // Definition 6: the interval ends at the first completion of a regular
@@ -291,7 +308,7 @@ void VDoverScheduler::on_expire(sim::Engine& engine, JobId job,
   // first, so the timer event is still pending here and would otherwise
   // leave ocl_timer_ pointing at a fired id once the engine swallows it).
   // Cancelling an already-dead id is a generation-checked no-op.
-  auto& timer = ocl_timer_[static_cast<std::size_t>(job)];
+  sim::TimerId& timer = engine.job_state().ocl_timer(job);
   engine.cancel_timer(timer);
   timer = sim::kNoTimer;
   if (was_running) {
@@ -312,7 +329,7 @@ void VDoverScheduler::on_expire(sim::Engine& engine, JobId job,
 
 void VDoverScheduler::on_timer(sim::Engine& engine, JobId job, int tag) {
   if (tag != 0) return;
-  ocl_timer_[static_cast<std::size_t>(job)] = sim::kNoTimer;
+  engine.job_state().ocl_timer(job) = sim::kNoTimer;
   ++stats_.zero_laxity_interrupts;
   zero_laxity(engine, job);
 }
@@ -328,7 +345,7 @@ void VDoverScheduler::on_capacity_change(sim::Engine& engine) {
   // after this handler and mutates qother_ — and its (deadline, id) order
   // keeps timer arming order, hence the digest, stable.
   qother_.for_each_ordered([&](const ReadyQueue::Entry& e) {
-    auto& timer = ocl_timer_[static_cast<std::size_t>(e.id)];
+    sim::TimerId& timer = engine.job_state().ocl_timer(e.id);
     engine.cancel_timer(timer);
     const double t_0cl = e.key - engine.remaining(e.id) / c_est_;
     timer = engine.set_timer(std::max(engine.now(), t_0cl), e.id, /*tag=*/0);

@@ -92,6 +92,7 @@ struct RegularInterval {
 class VDoverScheduler : public sim::Scheduler {
  public:
   explicit VDoverScheduler(const VDoverOptions& options = {});
+  ~VDoverScheduler() override;
 
   void on_start(sim::Engine& engine) override;
   void on_release(sim::Engine& engine, JobId job) override;
@@ -123,11 +124,6 @@ class VDoverScheduler : public sim::Scheduler {
  private:
   enum class Flag : std::uint8_t { kIdle, kReg, kSupp };
 
-  struct QedfMeta {
-    double t_insert = 0.0;
-    double cslack_insert = 0.0;
-  };
-
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   /// Conservative remaining processing time t_c(T, c_est) = p_rem / c_est.
@@ -138,12 +134,6 @@ class VDoverScheduler : public sim::Scheduler {
   double claxity(const sim::Engine& engine, JobId job) const {
     return engine.claxity(job, c_est_);
   }
-
-  /// Grows the per-job state tables through `job`. A batch run sizes them
-  /// once in on_start; live admission (Engine::admit_live) appends jobs
-  /// after on_start, so first contact in on_release extends them instead.
-  /// Growth is value-preserving, hence replay-neutral.
-  void ensure_job_tables(JobId job);
 
   /// Inserts a regular job into Qother and arms its 0cl timer at
   /// d − p_rem/c_est (fires immediately when already non-positive).
@@ -184,12 +174,15 @@ class VDoverScheduler : public sim::Scheduler {
   ReadyQueue qother_;
   /// Keyed by (deadline, id), max-first: latest deadline first.
   ReadyQueue qsupp_{QueueOrder::kMaxFirst};
-  std::vector<QedfMeta> qedf_meta_;      // indexed by JobId
-  std::vector<sim::TimerId> ocl_timer_;  // indexed by JobId
-  std::vector<bool> abandoned_;          // Dover mode, indexed by JobId
-  std::vector<bool> ocl_scheduled_;      // indexed by JobId
+  // Per-job lanes (Qedf metadata, 0cl timer handles, abandoned/0cl-scheduled
+  // flags) live in the engine's job slab (sim::JobTable), not here: the slab
+  // is owned by the engine and survives warmed across runs, so a fresh
+  // scheduler performs no per-job table allocation — part of the
+  // zero-allocation steady state (tests/hotpath_test.cpp).
 
-  // Regular-interval instrumentation (Sec. III-E).
+  // Regular-interval instrumentation (Sec. III-E). The buffer is adopted
+  // from / donated to a thread-local recycler (the ReadyQueue idiom), so
+  // per-cell scheduler churn reuses interval storage allocation-free.
   std::vector<RegularInterval> intervals_;
   bool interval_open_ = false;
   RegularInterval current_interval_;

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/vec.hpp"
+
 namespace sjs::serve {
 
 namespace {
@@ -55,7 +57,7 @@ int EventLoop::listen_loopback(int port) {
   return port_;
 }
 
-void EventLoop::watch(int fd) { watched_.push_back(fd); }
+void EventLoop::watch(int fd) { util::append(watched_, fd); }
 
 bool EventLoop::send(int conn, const std::uint8_t* data, std::size_t size) {
   if (!conn_open(conn)) return false;
@@ -110,36 +112,37 @@ void EventLoop::shutdown() {
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (conns_[i].open) {
       ::close(conns_[i].fd);
-      conns_[i] = Conn{};
+      conns_[i].fd = -1;
+      conns_[i].wbuf.clear();
+      conns_[i].wpos = 0;
+      conns_[i].open = false;
     }
   }
   watched_.clear();
 }
 
 int EventLoop::poll_once(int timeout_ms) {
-  std::vector<pollfd> fds;
-  // Parallel index map: fds[i] belongs to conn ids_[i] (or a special slot).
-  std::vector<int> ids;
+  // Member scratch: clear() keeps capacity, so rebuilding the poll set each
+  // cycle stops allocating once the fd high-water is reached. fds[i] belongs
+  // to conn ids[i] (or a special slot).
+  std::vector<pollfd>& fds = fds_scratch_;
+  std::vector<int>& ids = ids_scratch_;
+  fds.clear();
+  ids.clear();
   if (listen_fd_ >= 0) {
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    fds.push_back({listen_fd_, POLLIN, 0});
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    ids.push_back(-1);
+    util::append(fds, pollfd{listen_fd_, POLLIN, 0});
+    util::append(ids, -1);
   }
   for (int w : watched_) {
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    fds.push_back({w, POLLIN, 0});
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    ids.push_back(-2);
+    util::append(fds, pollfd{w, POLLIN, 0});
+    util::append(ids, -2);
   }
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (!conns_[i].open) continue;
     short ev = POLLIN;
     if (conns_[i].wpos < conns_[i].wbuf.size()) ev |= POLLOUT;
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    fds.push_back({conns_[i].fd, ev, 0});
-    // sjs-lint: allow(alloc-in-hot-path): poll scratch list; clear() keeps capacity, so growth stops at fd high-water
-    ids.push_back(static_cast<int>(i));
+    util::append(fds, pollfd{conns_[i].fd, ev, 0});
+    util::append(ids, static_cast<int>(i));
   }
   const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
   if (n <= 0) return 0;
@@ -185,8 +188,9 @@ void EventLoop::accept_new() {
     }
     if (conn < 0) {
       conn = static_cast<int>(conns_.size());
-      // sjs-lint: allow(alloc-in-hot-path): per-connection accept path, not per-request steady state
-      conns_.emplace_back();
+      // Per-connection accept path, not per-request steady state; slots are
+      // reused after close, so growth stops at the concurrency high-water.
+      util::append_emplace(conns_);
     }
     Conn& c = conns_[static_cast<std::size_t>(conn)];
     c.fd = fd;
@@ -242,7 +246,12 @@ void EventLoop::flush_conn(int conn) {
 void EventLoop::drop_conn(int conn, bool overflow) {
   Conn& c = conns_[static_cast<std::size_t>(conn)];
   ::close(c.fd);
-  c = Conn{};
+  // Field-wise reset, not `c = Conn{}`: the write buffer keeps its capacity
+  // for the next connection that reuses this slot.
+  c.fd = -1;
+  c.wbuf.clear();
+  c.wpos = 0;
+  c.open = false;
   handler_->on_close(conn, overflow);
 }
 

@@ -12,6 +12,8 @@
 // (serve::AdmissionServer); the loop deals in raw bytes only.
 #pragma once
 
+#include <poll.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -98,6 +100,10 @@ class EventLoop {
   int port_ = 0;
   std::vector<Conn> conns_;
   std::vector<int> watched_;
+  // poll_once scratch (member, not local: capacity persists across cycles,
+  // so a warmed loop builds its poll set without allocating).
+  std::vector<pollfd> fds_scratch_;
+  std::vector<int> ids_scratch_;
   std::size_t max_write_buffer_ = 1 << 18;
   std::uint64_t bytes_in_ = 0;
   std::uint64_t bytes_out_ = 0;

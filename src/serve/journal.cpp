@@ -46,8 +46,9 @@ Journal::Journal(const std::string& dir, const cap::CapacityProfile& capacity,
 void Journal::record_admit(const Job& job) {
   // Same row layout and %.17g formatting as Instance::save_jobs, so the
   // bundle loader reconstructs the admitted stream bit-exactly.
-  jobs_csv_->write_row_numeric({static_cast<double>(job.id), job.release,
-                            job.workload, job.deadline, job.value});
+  const double row[] = {static_cast<double>(job.id), job.release, job.workload,
+                        job.deadline, job.value};
+  jobs_csv_->write_row_numeric(row, 5);
   jobs_csv_->flush();
   // An ofstream swallows short writes and ENOSPC into its failbit; a row the
   // client was promised durable must not vanish silently, so surface the
@@ -60,7 +61,8 @@ void Journal::record_admit(const Job& job) {
 }
 
 void Journal::record_cancel(double time, JobId job) {
-  cancels_csv_->write_row_numeric({time, static_cast<double>(job)});
+  const double row[] = {time, static_cast<double>(job)};
+  cancels_csv_->write_row_numeric(row, 2);
   cancels_csv_->flush();
   if (!cancels_csv_->ok()) {
     throw std::runtime_error("journal append failed (cancels.csv in " + dir_ +

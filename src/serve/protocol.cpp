@@ -7,27 +7,29 @@ namespace sjs::serve {
 
 namespace {
 
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-  // sjs-lint: allow(alloc-in-hot-path): encodes into a caller-owned buffer the framing layer pre-reserves
-  out.push_back(v);
+// Raw-pointer little-endian writers: the encoder targets a caller-owned
+// buffer of at least kMaxFrame bytes, so encoding never allocates.
+inline std::uint8_t* put_u8(std::uint8_t* out, std::uint8_t v) {
+  *out++ = v;
+  return out;
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+inline std::uint8_t* put_u32(std::uint8_t* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    // sjs-lint: allow(alloc-in-hot-path): encodes into a caller-owned buffer the framing layer pre-reserves
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    *out++ = static_cast<std::uint8_t>(v >> (8 * i));
   }
+  return out;
 }
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+inline std::uint8_t* put_u64(std::uint8_t* out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    // sjs-lint: allow(alloc-in-hot-path): encodes into a caller-owned buffer the framing layer pre-reserves
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    *out++ = static_cast<std::uint8_t>(v >> (8 * i));
   }
+  return out;
 }
 
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
+inline std::uint8_t* put_f64(std::uint8_t* out, double v) {
+  return put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
 class Reader {
@@ -86,22 +88,23 @@ std::size_t body_size(MsgType type) {
   return static_cast<std::size_t>(-1);
 }
 
-void append_frame(std::vector<std::uint8_t>& out, const Message& m) {
+std::size_t encode_frame_into(std::uint8_t* out, const Message& m) {
+  const std::uint8_t* const start = out;
   const std::size_t payload = kMinPayload + body_size(m.type);
-  put_u32(out, static_cast<std::uint32_t>(payload));
-  put_u8(out, static_cast<std::uint8_t>(m.type));
-  put_u64(out, m.seq);
+  out = put_u32(out, static_cast<std::uint32_t>(payload));
+  out = put_u8(out, static_cast<std::uint8_t>(m.type));
+  out = put_u64(out, m.seq);
   switch (m.type) {
     case MsgType::kSubmit:
-      put_f64(out, m.a);
-      put_f64(out, m.b);
-      put_f64(out, m.c);
+      out = put_f64(out, m.a);
+      out = put_f64(out, m.b);
+      out = put_f64(out, m.c);
       break;
     case MsgType::kCancel:
     case MsgType::kQuery:
     case MsgType::kCancelled:
     case MsgType::kCancelFailed:
-      put_u64(out, m.ticket);
+      out = put_u64(out, m.ticket);
       break;
     case MsgType::kStats:
     case MsgType::kDrain:
@@ -109,46 +112,55 @@ void append_frame(std::vector<std::uint8_t>& out, const Message& m) {
     case MsgType::kDraining:
       break;
     case MsgType::kAccepted:
-      put_u64(out, m.ticket);
-      put_f64(out, m.a);
+      out = put_u64(out, m.ticket);
+      out = put_f64(out, m.a);
       break;
     case MsgType::kRejected:
     case MsgType::kError:
-      put_u8(out, m.code);
+      out = put_u8(out, m.code);
       break;
     case MsgType::kCompleted:
-      put_u64(out, m.ticket);
-      put_f64(out, m.a);
-      put_f64(out, m.b);
+      out = put_u64(out, m.ticket);
+      out = put_f64(out, m.a);
+      out = put_f64(out, m.b);
       break;
     case MsgType::kExpired:
-      put_u64(out, m.ticket);
-      put_f64(out, m.b);
+      out = put_u64(out, m.ticket);
+      out = put_f64(out, m.b);
       break;
     case MsgType::kQueryReply:
-      put_u64(out, m.ticket);
-      put_u8(out, m.code);
-      put_f64(out, m.a);
+      out = put_u64(out, m.ticket);
+      out = put_u8(out, m.code);
+      out = put_f64(out, m.a);
       break;
     case MsgType::kStatsReply:
-      put_u64(out, m.stats.submitted);
-      put_u64(out, m.stats.accepted);
-      put_u64(out, m.stats.rejected);
-      put_u64(out, m.stats.shed);
-      put_u64(out, m.stats.completed);
-      put_u64(out, m.stats.expired);
-      put_u64(out, m.stats.cancelled);
-      put_u64(out, m.stats.in_flight);
-      put_f64(out, m.stats.virtual_now);
-      put_f64(out, m.stats.admitted_value);
-      put_f64(out, m.stats.completed_value);
+      out = put_u64(out, m.stats.submitted);
+      out = put_u64(out, m.stats.accepted);
+      out = put_u64(out, m.stats.rejected);
+      out = put_u64(out, m.stats.shed);
+      out = put_u64(out, m.stats.completed);
+      out = put_u64(out, m.stats.expired);
+      out = put_u64(out, m.stats.cancelled);
+      out = put_u64(out, m.stats.in_flight);
+      out = put_f64(out, m.stats.virtual_now);
+      out = put_f64(out, m.stats.admitted_value);
+      out = put_f64(out, m.stats.completed_value);
       break;
   }
+  return static_cast<std::size_t>(out - start);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Message& m) {
+  std::uint8_t buf[kMaxFrame];
+  const std::size_t n = encode_frame_into(buf, m);
+  // insert() grows to the send-buffer high-water; per-message steady state
+  // reuses retained capacity.
+  out.insert(out.end(), buf, buf + n);
 }
 
 std::vector<std::uint8_t> encode_frame(const Message& m) {
   std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeader + kMinPayload + body_size(m.type));
+  out.reserve(kMaxFrame);
   append_frame(out, m);
   return out;
 }

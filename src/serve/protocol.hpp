@@ -98,9 +98,17 @@ struct Message {
 inline constexpr std::size_t kMinPayload = 9;    // type + seq
 inline constexpr std::size_t kMaxPayload = 128;
 inline constexpr std::size_t kFrameHeader = 4;   // the u32 length prefix
+/// Upper bound on one encoded frame — the size for stack reply buffers.
+inline constexpr std::size_t kMaxFrame = kFrameHeader + kMaxPayload;
 
 /// Body size (after type+seq) for a message type; SIZE_MAX for unknown.
 std::size_t body_size(MsgType type);
+
+/// Serializes one message (length prefix + payload) into `out`, which must
+/// hold at least kMaxFrame bytes. Returns the number of bytes written. This
+/// is the zero-allocation encoder the serve hot path uses with a stack
+/// buffer; the vector overloads below layer on top of it.
+std::size_t encode_frame_into(std::uint8_t* out, const Message& m);
 
 /// Serializes one message, appending the length prefix and payload to `out`.
 void append_frame(std::vector<std::uint8_t>& out, const Message& m);
@@ -124,6 +132,16 @@ class FrameDecoder {
   void feed(const std::uint8_t* data, std::size_t size);
   Status next(Message& out);
   const std::string& error() const { return error_; }
+
+  /// Returns the decoder to its initial state while keeping the byte
+  /// buffer's capacity — connection-slot reuse must not re-grow to the
+  /// previous connection's high-water from scratch.
+  void reset() {
+    buf_.clear();
+    pos_ = 0;
+    broken_ = false;
+    error_.clear();
+  }
 
  private:
   std::vector<std::uint8_t> buf_;

@@ -45,6 +45,7 @@ AdmissionServer::AdmissionServer(ServerConfig config,
       bridge_(clock, config_.accel),
       loop_(*this),
       metrics_(metrics) {
+  if (metrics_) shard_ = &metrics_->local();
   loop_.set_max_write_buffer(config_.max_write_buffer);
   tee_.add(&notifications_);
   if (config_.trace_ring > 0) {
@@ -73,6 +74,16 @@ int AdmissionServer::start() {
                                          meta);
   }
   const int port = loop_.listen_loopback(config_.port);
+  // Pre-size everything the per-request path touches from --max-in-flight:
+  // the warmed steady state then performs zero heap allocations (pinned by
+  // tests/hotpath_test.cpp). Sessions admitting more than max_in_flight jobs
+  // in TOTAL still grow the dense per-job tables past the pre-size — that
+  // growth is amortized, not per-request (see Engine::reserve_live).
+  const auto n = static_cast<std::size_t>(config_.max_in_flight);
+  instance_.reserve_jobs(n);
+  engine_.reserve_live(n);
+  routes_.reserve(n);
+  notifications_.reserve(n);
   engine_.begin_live();
   bridge_.start();
   started_ = true;
@@ -80,7 +91,7 @@ int AdmissionServer::start() {
 }
 
 void AdmissionServer::watch_shutdown_fd(int fd) {
-  shutdown_fds_.push_back(fd);
+  util::append(shutdown_fds_, fd);
   loop_.watch(fd);
 }
 
@@ -99,7 +110,11 @@ void AdmissionServer::pump_engine() {
 }
 
 void AdmissionServer::dispatch_notifications() {
-  for (const obs::TraceEvent& ev : notifications_.take()) {
+  // Index-based drain: handlers reached from reply() never append, but the
+  // copy per entry keeps this robust if that ever changes, and clear() at
+  // the end retains the queue's capacity for the next pump cycle.
+  for (std::size_t i = 0; i < notifications_.size(); ++i) {
+    const obs::TraceEvent ev = notifications_[i];
     const auto id = static_cast<std::size_t>(ev.job);
     if (id >= routes_.size()) continue;
     Route& route = routes_[id];
@@ -130,6 +145,7 @@ void AdmissionServer::dispatch_notifications() {
       reply(route.conn, note);
     }
   }
+  notifications_.clear();
 }
 
 bool AdmissionServer::step(int max_wait_ms) {
@@ -213,14 +229,13 @@ StatsBody AdmissionServer::stats() const {
 }
 
 void AdmissionServer::on_accept(int conn) {
+  // Per-connection slot setup on accept, not per-request steady state; the
+  // tables grow to the concurrent-connection high-water. reset() (not
+  // re-assignment) keeps the recycled decoder's buffer capacity.
   const auto i = static_cast<std::size_t>(conn);
-  if (i >= decoders_.size()) {
-    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
-    decoders_.resize(i + 1);
-    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
-    conn_gens_.resize(i + 1, 0);
-  }
-  decoders_[i] = FrameDecoder{};
+  util::grow_to_index(decoders_, i);
+  util::grow_to_index_fill(conn_gens_, i, std::uint64_t{0});
+  decoders_[i].reset();
   count(kCtrConnections);
 }
 
@@ -328,8 +343,9 @@ void AdmissionServer::handle_submit(int conn, const Message& m) {
   route.conn = conn;
   route.gen = conn_gens_[static_cast<std::size_t>(conn)];
   route.seq = m.seq;
-  // sjs-lint: allow(alloc-in-hot-path): reply buffer amortized per connection; capacity retained between requests
-  routes_.push_back(route);
+  // Growth-to-high-water: reserve(max_in_flight) at start() covers the
+  // steady state; only sessions exceeding that total keep growing.
+  util::append(routes_, route);
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
   ++stats_.in_flight;
   in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
@@ -422,16 +438,19 @@ void AdmissionServer::handle_query(int conn, const Message& m) {
 }
 
 void AdmissionServer::reply(int conn, const Message& m) {
-  const std::vector<std::uint8_t> frame = encode_frame(m);
-  loop_.send(conn, frame.data(), frame.size());
+  // Stack-encoded frame: the per-reply path allocates nothing (the loop's
+  // send buffer retains its capacity between requests).
+  std::uint8_t frame[kMaxFrame];
+  const std::size_t n = encode_frame_into(frame, m);
+  loop_.send(conn, frame, n);
 }
 
 void AdmissionServer::count(const char* name, double delta) {
-  if (metrics_) metrics_->local().count(name, delta);
+  if (shard_) shard_->count(name, delta);
 }
 
 void AdmissionServer::set_gauge(const char* name, double value) {
-  if (metrics_) metrics_->local().set_gauge(name, value);
+  if (shard_) shard_->set_gauge(name, value);
 }
 
 }  // namespace sjs::serve

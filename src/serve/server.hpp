@@ -42,6 +42,7 @@
 #include "sim/engine.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::serve {
 
@@ -134,16 +135,24 @@ class AdmissionServer final : public EventLoop::Handler {
 
   /// Captures kComplete/kExpire events raised inside the engine so the pump
   /// can translate them into client notifications after advance_to returns.
+  /// Drained in place (index + clear) rather than by move-returning the
+  /// vector: a move would strip the retained capacity and force a fresh
+  /// allocation on the next pump cycle.
   class NotificationSink final : public obs::TraceSink {
    public:
     void record(const obs::TraceEvent& event) override {
       if (event.kind == obs::TraceKind::kComplete ||
           event.kind == obs::TraceKind::kExpire) {
-        // sjs-lint: allow(alloc-in-hot-path): notification queue drained every loop turn; capacity retained after drain
-        pending_.push_back(event);
+        // Drained every loop turn; growth stops at the per-turn high-water.
+        util::append(pending_, event);
       }
     }
-    std::vector<obs::TraceEvent> take() { return std::move(pending_); }
+    std::size_t size() const { return pending_.size(); }
+    const obs::TraceEvent& operator[](std::size_t i) const {
+      return pending_[i];
+    }
+    void clear() { pending_.clear(); }
+    void reserve(std::size_t n) { pending_.reserve(n); }
 
    private:
     std::vector<obs::TraceEvent> pending_;
@@ -173,6 +182,7 @@ class AdmissionServer final : public EventLoop::Handler {
   std::unique_ptr<Journal> journal_;
   std::string journal_error_;  ///< first append failure; see journal_error()
   obs::MetricsRegistry* metrics_;
+  obs::MetricsRegistry::Shard* shard_ = nullptr;  ///< cached local() shard
 
   NotificationSink notifications_;
   std::unique_ptr<obs::RingTraceBuffer> ring_;

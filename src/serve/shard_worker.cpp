@@ -50,7 +50,14 @@ ShardWorker::ShardWorker(const ServerConfig& config, std::size_t shard_index,
       // push_reply still tolerates overflow (it waits) for the stalled-
       // acceptor corner, where notifications can transiently exceed this.
       replies_(config_.channel_capacity + config_.max_in_flight + 8),
-      metric_suffix_(".shard" + std::to_string(shard_index)) {
+      metric_suffix_(".shard" + std::to_string(shard_index)),
+      ctr_accepted_(kCtrAccepted + metric_suffix_),
+      ctr_rejected_(kCtrRejected + metric_suffix_),
+      ctr_shed_(kCtrShed + metric_suffix_),
+      ctr_completed_(kCtrCompleted + metric_suffix_),
+      ctr_expired_(kCtrExpired + metric_suffix_),
+      ctr_cancelled_(kCtrCancelled + metric_suffix_),
+      gauge_in_flight_peak_(kGaugeInFlightPeak + metric_suffix_) {
   tee_.add(&notifications_);
   if (!config_.journal_dir.empty()) {
     Journal::Meta meta;
@@ -79,12 +86,21 @@ void ShardWorker::run(double epoch) {
   if (metrics_) {
     // The metrics shard must belong to THIS thread; obtaining it in the
     // constructor would alias the spawning thread's accumulator.
-    trace_bridge_ =
-        // sjs-lint: allow(alloc-in-hot-path): once at thread start, before the shard loop begins
-        std::make_unique<obs::TraceMetricsBridge>(metrics_->local());
+    shard_ = &metrics_->local();
+    trace_bridge_ = util::alloc_unique<obs::TraceMetricsBridge>(*shard_);
     tee_.add(trace_bridge_.get());
   }
   engine_.attach_trace(&tee_);
+  // Pre-size the per-job tables for a full live set; growth past the
+  // admitted high-water is amortized (the dense local-id tables keep every
+  // job ever admitted, not just the in-flight set).
+  const auto n = static_cast<std::size_t>(config_.max_in_flight);
+  instance_.reserve_jobs(n);
+  engine_.reserve_live(n);
+  routes_.reserve(n);
+  tickets_.reserve(n);
+  by_ticket_.reserve(n);
+  notifications_.reserve(n);
   engine_.begin_live();
 
   while (true) {
@@ -156,7 +172,7 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
                      /*draining=*/false, stats_.in_flight);
   if (verdict.reply == MsgType::kRejected) {
     ++stats_.rejected;
-    count(kCtrRejected);
+    count(ctr_rejected_);
     r.type = MsgType::kRejected;
     r.code = static_cast<std::uint8_t>(verdict.reason);
     push_reply(req.conn, req.gen, r);
@@ -164,7 +180,7 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
   }
   if (verdict.reply == MsgType::kShed) {
     ++stats_.shed;
-    count(kCtrShed);
+    count(ctr_shed_);
     r.type = MsgType::kShed;
     push_reply(req.conn, req.gen, r);
     return;
@@ -185,11 +201,11 @@ void ShardWorker::handle_submit(const ShardRequest& req) {
   route.gen = req.gen;
   route.seq = req.seq;
   route.ticket = req.ticket;
-  // sjs-lint: allow(alloc-in-hot-path): per-job bookkeeping amortized to the shard's live-set high-water
-  routes_.push_back(route);
-  // sjs-lint: allow(alloc-in-hot-path): per-job bookkeeping amortized to the shard's live-set high-water
-  tickets_.push_back(req.ticket);
-  by_ticket_[req.ticket] = id;
+  // Per-job bookkeeping: reserve() in run() covers the steady state, growth
+  // past the pre-size is amortized doubling.
+  util::append(routes_, route);
+  util::append(tickets_, req.ticket);
+  by_ticket_.put(req.ticket, id);
   SJS_CHECK(routes_.size() == static_cast<std::size_t>(id) + 1);
   ++stats_.in_flight;
   in_flight_peak_ = std::max(in_flight_peak_, stats_.in_flight);
@@ -222,17 +238,16 @@ void ShardWorker::handle_cancel(const ShardRequest& req) {
   Message r;
   r.seq = req.seq;
   r.ticket = req.ticket;
-  const auto it = by_ticket_.find(req.ticket);
+  const JobId id = by_ticket_.get(req.ticket, kNoJob);
   const bool known =
-      it != by_ticket_.end() &&
-      !routes_[static_cast<std::size_t>(it->second)].cancelled;
-  if (known && engine_.cancel_live(it->second)) {
-    routes_[static_cast<std::size_t>(it->second)].cancelled = true;
+      id != kNoJob && !routes_[static_cast<std::size_t>(id)].cancelled;
+  if (known && engine_.cancel_live(id)) {
+    routes_[static_cast<std::size_t>(id)].cancelled = true;
     ++stats_.cancelled;
-    count(kCtrCancelled);
+    count(ctr_cancelled_);
     if (journal_) {
       try {
-        journal_->record_cancel(engine_.now(), it->second);
+        journal_->record_cancel(engine_.now(), id);
       } catch (const std::exception& e) {
         if (journal_error_.empty()) journal_error_ = e.what();
         r.type = MsgType::kError;
@@ -258,11 +273,10 @@ void ShardWorker::handle_query(const ShardRequest& req) {
   r.type = MsgType::kQueryReply;
   r.seq = req.seq;
   r.ticket = req.ticket;
-  const auto it = by_ticket_.find(req.ticket);
-  if (it == by_ticket_.end()) {
+  const JobId id = by_ticket_.get(req.ticket, kNoJob);
+  if (id == kNoJob) {
     r.code = static_cast<std::uint8_t>(JobState::kUnknown);
   } else {
-    const JobId id = it->second;
     if (engine_.is_completed(id)) {
       r.code = static_cast<std::uint8_t>(JobState::kCompleted);
     } else if (engine_.is_expired(id)) {
@@ -280,7 +294,10 @@ void ShardWorker::handle_query(const ShardRequest& req) {
 }
 
 void ShardWorker::dispatch_notifications() {
-  for (const obs::TraceEvent& ev : notifications_.take()) {
+  // Drained in place (push_reply never re-enters the sink); clear() at the
+  // end keeps the buffer's capacity for the next engine pump.
+  for (std::size_t i = 0; i < notifications_.size(); ++i) {
+    const obs::TraceEvent ev = notifications_[i];
     const auto id = static_cast<std::size_t>(ev.job);
     if (id >= routes_.size()) continue;
     Route& route = routes_[id];
@@ -290,7 +307,7 @@ void ShardWorker::dispatch_notifications() {
     if (ev.kind == obs::TraceKind::kComplete) {
       ++stats_.completed;
       stats_.completed_value += ev.a;
-      count(kCtrCompleted);
+      count(ctr_completed_);
       note.type = MsgType::kCompleted;
       note.a = ev.a;
       note.b = ev.time;
@@ -301,7 +318,7 @@ void ShardWorker::dispatch_notifications() {
         continue;
       }
       ++stats_.expired;
-      count(kCtrExpired);
+      count(ctr_expired_);
       note.type = MsgType::kExpired;
       note.b = ev.time;
     }
@@ -309,6 +326,7 @@ void ShardWorker::dispatch_notifications() {
     // Ship unconditionally; the acceptor drops it if the connection died.
     push_reply(route.conn, route.gen, note);
   }
+  notifications_.clear();
 }
 
 void ShardWorker::finalize() {
@@ -326,9 +344,9 @@ void ShardWorker::finalize() {
     }
   }
   stats_.virtual_now = engine_.now();
-  if (metrics_) {
-    metrics_->local().set_gauge(kGaugeInFlightPeak + metric_suffix_,
-                                static_cast<double>(in_flight_peak_));
+  if (shard_) {
+    shard_->set_gauge(gauge_in_flight_peak_,
+                      static_cast<double>(in_flight_peak_));
   }
 }
 
@@ -350,8 +368,8 @@ void ShardWorker::push_reply(int conn, std::uint64_t gen, const Message& msg) {
   }
 }
 
-void ShardWorker::count(const char* name, double delta) {
-  if (metrics_) metrics_->local().count(name + metric_suffix_, delta);
+void ShardWorker::count(const std::string& name, double delta) {
+  if (shard_) shard_->count(name, delta);
 }
 
 }  // namespace sjs::serve

@@ -29,7 +29,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +45,8 @@
 #include "sim/engine.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
+#include "util/flat_map.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::serve {
 
@@ -114,17 +115,23 @@ class ShardWorker {
   };
 
   /// Captures kComplete/kExpire events raised inside the engine (same shape
-  /// as AdmissionServer's sink; per-shard, single-threaded).
+  /// as AdmissionServer's sink; per-shard, single-threaded). Drained in
+  /// place (index + clear) so the buffer's capacity survives each loop turn;
+  /// a move-out take() would hand the capacity away every drain.
   class NotificationSink final : public obs::TraceSink {
    public:
     void record(const obs::TraceEvent& event) override {
       if (event.kind == obs::TraceKind::kComplete ||
           event.kind == obs::TraceKind::kExpire) {
-        // sjs-lint: allow(alloc-in-hot-path): notification queue drained every loop turn; capacity retained after drain
-        pending_.push_back(event);
+        util::append(pending_, event);
       }
     }
-    std::vector<obs::TraceEvent> take() { return std::move(pending_); }
+    std::size_t size() const { return pending_.size(); }
+    const obs::TraceEvent& operator[](std::size_t i) const {
+      return pending_[i];
+    }
+    void clear() { pending_.clear(); }
+    void reserve(std::size_t n) { pending_.reserve(n); }
 
    private:
     std::vector<obs::TraceEvent> pending_;
@@ -141,7 +148,8 @@ class ShardWorker {
   /// Commits a reply, waiting out transient fullness (see .cpp for why this
   /// cannot deadlock).
   void push_reply(int conn, std::uint64_t gen, const Message& msg);
-  void count(const char* name, double delta = 1.0);
+  /// `name` is one of the pre-suffixed ctr_* members below.
+  void count(const std::string& name, double delta = 1.0);
 
   ServerConfig config_;
   std::size_t shard_index_;
@@ -153,6 +161,9 @@ class ShardWorker {
   std::unique_ptr<Journal> journal_;
   std::string journal_error_;  ///< first append failure; see journal_error()
   obs::MetricsRegistry* metrics_;
+  /// This THREAD's metrics shard; obtained in run() (the constructor runs on
+  /// the spawning thread, whose shard must not be aliased here).
+  obs::MetricsRegistry::Shard* shard_ = nullptr;
 
   NotificationSink notifications_;
   obs::TeeSink tee_;
@@ -161,11 +172,20 @@ class ShardWorker {
   conc::Channel<ShardRequest> requests_;
   conc::Channel<ShardReply> replies_;
 
-  std::vector<Route> routes_;                 // indexed by local JobId
-  std::map<std::uint64_t, JobId> by_ticket_;  // global → local
-  std::vector<std::uint64_t> tickets_;        // local → global
+  std::vector<Route> routes_;           // indexed by local JobId
+  util::FlatU64Map by_ticket_;          // global ticket → local JobId
+  std::vector<std::uint64_t> tickets_;  // local → global
 
+  // Pre-suffixed ".shard<k>" metric names, built once in the constructor so
+  // the steady-state count() path never concatenates strings.
   std::string metric_suffix_;  // ".shard<k>" — per-shard counter labels
+  std::string ctr_accepted_;
+  std::string ctr_rejected_;
+  std::string ctr_shed_;
+  std::string ctr_completed_;
+  std::string ctr_expired_;
+  std::string ctr_cancelled_;
+  std::string gauge_in_flight_peak_;
   StatsBody stats_{};
   std::uint64_t in_flight_peak_ = 0;
   sim::SimResult result_;

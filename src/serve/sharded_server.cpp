@@ -7,6 +7,7 @@
 
 #include "conc/shard_hash.hpp"
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::serve {
 
@@ -42,6 +43,7 @@ ShardedAdmissionServer::ShardedAdmissionServer(ServerConfig config,
   SJS_CHECK_MSG(config_.shards >= 1, "sharded server needs >= 1 shard");
   SJS_CHECK_MSG(static_cast<bool>(make_scheduler_),
                 "sharded server needs a scheduler factory");
+  if (metrics_) shard_ = &metrics_->local();
   loop_.set_max_write_buffer(config_.max_write_buffer);
 }
 
@@ -65,6 +67,12 @@ int ShardedAdmissionServer::start() {
     loop_.watch(workers_[k]->replies().wake_fd());
   }
   const int port = loop_.listen_loopback(config_.port);
+  // Pre-size the acceptor's per-ticket tables for a full plane's worth of
+  // in-flight jobs; growth past this total is amortized, not per-request.
+  const std::size_t plane_in_flight =
+      static_cast<std::size_t>(config_.max_in_flight) * config_.shards;
+  ticket_shard_.reserve(plane_in_flight);
+  ticket_value_.reserve(plane_in_flight);
   // ONE clock read anchors the whole plane: the acceptor's bridge and every
   // shard's bridge share this epoch, so virtual time is a single timeline.
   const double epoch = clock_->now();
@@ -76,7 +84,7 @@ int ShardedAdmissionServer::start() {
 }
 
 void ShardedAdmissionServer::watch_shutdown_fd(int fd) {
-  shutdown_fds_.push_back(fd);
+  util::append(shutdown_fds_, fd);
   loop_.watch(fd);
 }
 
@@ -202,14 +210,13 @@ void ShardedAdmissionServer::dispatch_reply(const ShardReply& rep) {
 }
 
 void ShardedAdmissionServer::on_accept(int conn) {
+  // Per-connection slot setup on accept, not per-request steady state; the
+  // tables grow to the concurrent-connection high-water. reset() (not
+  // re-assignment) keeps the recycled decoder's buffer capacity.
   const auto i = static_cast<std::size_t>(conn);
-  if (i >= decoders_.size()) {
-    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
-    decoders_.resize(i + 1);
-    // sjs-lint: allow(alloc-in-hot-path): per-connection buffer setup on accept, not per-request steady state
-    conn_gens_.resize(i + 1, 0);
-  }
-  decoders_[i] = FrameDecoder{};
+  util::grow_to_index(decoders_, i);
+  util::grow_to_index_fill(conn_gens_, i, std::uint64_t{0});
+  decoders_[i].reset();
   count(kCtrConnections);
 }
 
@@ -334,10 +341,9 @@ void ShardedAdmissionServer::handle_submit(int conn, const Message& m) {
   req.rel_deadline = m.b;
   req.value = m.c;
   ch.commit(res, req);
-  // sjs-lint: allow(alloc-in-hot-path): pending-reply tracking amortized to in-flight high-water; zero-alloc PR target
-  ticket_shard_.push_back(static_cast<std::uint32_t>(k));
-  // sjs-lint: allow(alloc-in-hot-path): pending-reply tracking amortized to in-flight high-water; zero-alloc PR target
-  ticket_value_.push_back(m.c);
+  // Growth-to-high-water: reserve() at start() covers the steady state.
+  util::append(ticket_shard_, static_cast<std::uint32_t>(k));
+  util::append(ticket_value_, m.c);
 }
 
 void ShardedAdmissionServer::forward_by_ticket(int conn, const Message& m) {
@@ -370,16 +376,19 @@ void ShardedAdmissionServer::forward_by_ticket(int conn, const Message& m) {
 }
 
 void ShardedAdmissionServer::reply(int conn, const Message& m) {
-  const std::vector<std::uint8_t> frame = encode_frame(m);
-  loop_.send(conn, frame.data(), frame.size());
+  // Stack-encoded frame: the per-reply path allocates nothing (the loop's
+  // send buffer retains its capacity between requests).
+  std::uint8_t frame[kMaxFrame];
+  const std::size_t n = encode_frame_into(frame, m);
+  loop_.send(conn, frame, n);
 }
 
 void ShardedAdmissionServer::count(const char* name, double delta) {
-  if (metrics_) metrics_->local().count(name, delta);
+  if (shard_) shard_->count(name, delta);
 }
 
 void ShardedAdmissionServer::set_gauge(const char* name, double value) {
-  if (metrics_) metrics_->local().set_gauge(name, value);
+  if (shard_) shard_->set_gauge(name, value);
 }
 
 }  // namespace sjs::serve

@@ -123,6 +123,7 @@ class ShardedAdmissionServer final : public EventLoop::Handler {
   ClockBridge bridge_;
   EventLoop loop_;
   obs::MetricsRegistry* metrics_;
+  obs::MetricsRegistry::Shard* shard_ = nullptr;  ///< cached local() shard
 
   std::vector<std::unique_ptr<ShardWorker>> workers_;
   conc::ShardSet threads_;

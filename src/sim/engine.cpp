@@ -6,6 +6,7 @@
 
 #include "util/logging.hpp"
 #include "util/fp.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::sim {
 
@@ -39,14 +40,7 @@ void Engine::rewind() {
   dispatch_epoch_ = 0;
   completion_pending_ = false;
 
-  const std::size_t n = instance_->size();
-  // sjs-lint: allow(alloc-in-hot-path): episode reset path (rewind), not the steady-state event loop
-  remaining_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    remaining_[i] = instance_->jobs()[i].workload;
-  }
-  outcomes_.assign(n, JobOutcome::kPending);
-  released_.assign(n, false);
+  jobs_.bind_dense(instance_->jobs());
 
   static_events_.clear();
   static_cursor_ = 0;
@@ -72,16 +66,16 @@ void Engine::push_event(double time, EventType type, JobId jid,
       type == EventType::kCompletion ||
       (live_ && (type == EventType::kRelease || type == EventType::kExpiry));
   if (volatile_side) {
-    // sjs-lint: allow(alloc-in-hot-path): event queue amortized to episode high-water; zero-alloc PR target: pre-reserve
-    heap_.push_back(event);
+    // Growth to the episode high-water only; reserve_live pre-sizes this for
+    // the serve plane, so a warmed steady state never grows it.
+    util::append(heap_, event);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
   } else {
     // Releases, expiries, and capacity changes all arrive during setup and
     // are never cancelled; they go to the sort-once static queue.
     SJS_CHECK_MSG(!static_sealed_,
                   "static-type event pushed after the queue was sealed");
-    // sjs-lint: allow(alloc-in-hot-path): event queue amortized to episode high-water; zero-alloc PR target: pre-reserve
-    static_events_.push_back(event);
+    util::append(static_events_, event);
   }
   result_.event_heap_peak = std::max<std::uint64_t>(
       result_.event_heap_peak, pending_events());
@@ -159,25 +153,23 @@ void Engine::maybe_compact_heap() {
 
 double Engine::remaining(JobId id) const {
   SJS_CHECK_MSG(is_released(id), "remaining() on unreleased job " << id);
-  return remaining_[static_cast<std::size_t>(id)];
+  return jobs_.remaining(id);
 }
 
 bool Engine::is_released(JobId id) const {
-  return id >= 0 && static_cast<std::size_t>(id) < released_.size() &&
-         released_[static_cast<std::size_t>(id)];
+  return jobs_.released_checked(id);
 }
 
 bool Engine::is_completed(JobId id) const {
-  return outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kCompleted;
+  return jobs_.outcome(id) == JobOutcome::kCompleted;
 }
 
 bool Engine::is_expired(JobId id) const {
-  return outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kExpired;
+  return jobs_.outcome(id) == JobOutcome::kExpired;
 }
 
 bool Engine::is_live(JobId id) const {
-  return is_released(id) &&
-         outcomes_[static_cast<std::size_t>(id)] == JobOutcome::kPending;
+  return is_released(id) && jobs_.outcome(id) == JobOutcome::kPending;
 }
 
 void Engine::advance_execution(double t) {
@@ -186,7 +178,7 @@ void Engine::advance_execution(double t) {
   t = std::max(t, last_advance_);
   if (running_ != kNoJob && t > last_advance_) {
     const double executed = cursor_.work(last_advance_, t);
-    auto& rem = remaining_[static_cast<std::size_t>(running_)];
+    double& rem = jobs_.remaining(running_);
     rem = std::max(0.0, rem - executed);
     result_.busy_time += t - last_advance_;
     result_.executed_total += executed;
@@ -197,8 +189,7 @@ void Engine::advance_execution(double t) {
           fp::exact_eq(schedule.back().end, last_advance_)) {
         schedule.back().end = t;
       } else {
-        // sjs-lint: allow(alloc-in-hot-path): completion records amortized to job count; zero-alloc PR target: pre-reserve
-        schedule.push_back(ExecutionSlice{last_advance_, t, running_});
+        util::append(schedule, ExecutionSlice{last_advance_, t, running_});
       }
     }
   }
@@ -221,11 +212,9 @@ void Engine::run(JobId id) {
   advance_execution(now_);
   if (id == running_) return;
 
-  if (running_ != kNoJob &&
-      remaining_[static_cast<std::size_t>(running_)] > 0.0) {
+  if (running_ != kNoJob && jobs_.remaining(running_) > 0.0) {
     ++result_.preemptions;
-    trace(obs::TraceKind::kPreempt, running_,
-          remaining_[static_cast<std::size_t>(running_)]);
+    trace(obs::TraceKind::kPreempt, running_, jobs_.remaining(running_));
   }
   halt_running();
   if (id == kNoJob) {
@@ -236,12 +225,10 @@ void Engine::run(JobId id) {
   SJS_CHECK_MSG(is_live(id), "run() on non-live job " << id);
   running_ = id;
   ++result_.dispatches;
-  trace(obs::TraceKind::kDispatch, id,
-        remaining_[static_cast<std::size_t>(id)]);
+  trace(obs::TraceKind::kDispatch, id, jobs_.remaining(id));
 
   const Job& j = instance_->job(id);
-  const double completion =
-      cursor_.invert(now_, remaining_[static_cast<std::size_t>(id)]);
+  const double completion = cursor_.invert(now_, jobs_.remaining(id));
   if (completion <= j.deadline + deadline_eps(j.deadline)) {
     // Clamp to the deadline so a completion that lands "at" the deadline
     // sorts before the expiry event at the same timestamp.
@@ -285,18 +272,19 @@ void Engine::handle_completion(const Event& event) {
     return;
   }
   completion_pending_ = false;
-  const auto idx = static_cast<std::size_t>(event.job);
   // The inversion is exact; any residue is floating-point dust.
-  SJS_CHECK_MSG(remaining_[idx] < 1e-6 * std::max(1.0, instance_->job(event.job).workload),
-                "completion event with " << remaining_[idx] << " work left");
-  remaining_[idx] = 0.0;
-  outcomes_[idx] = JobOutcome::kCompleted;
+  SJS_CHECK_MSG(jobs_.remaining(event.job) <
+                    1e-6 * std::max(1.0, instance_->job(event.job).workload),
+                "completion event with " << jobs_.remaining(event.job)
+                                         << " work left");
+  jobs_.remaining(event.job) = 0.0;
+  jobs_.set_outcome(event.job, JobOutcome::kCompleted);
   halt_running();
 
   const Job& j = instance_->job(event.job);
   result_.completed_value += j.value;
   ++result_.completed_count;
-  result_.completion_times[idx] = now_;
+  result_.completion_times[job_slot(event.job)] = now_;
   result_.value_trace.append(now_, result_.completed_value);
   trace(obs::TraceKind::kComplete, event.job, j.value);
 
@@ -304,19 +292,18 @@ void Engine::handle_completion(const Event& event) {
 }
 
 void Engine::handle_expiry(const Event& event) {
-  const auto idx = static_cast<std::size_t>(event.job);
-  if (outcomes_[idx] != JobOutcome::kPending) return;  // already completed
-  outcomes_[idx] = JobOutcome::kExpired;
+  if (jobs_.outcome(event.job) != JobOutcome::kPending) return;  // completed
+  jobs_.set_outcome(event.job, JobOutcome::kExpired);
   ++result_.expired_count;
   const bool was_running = (running_ == event.job);
   if (was_running) halt_running();
-  trace(obs::TraceKind::kExpire, event.job, remaining_[idx],
+  trace(obs::TraceKind::kExpire, event.job, jobs_.remaining(event.job),
         was_running ? 1.0 : 0.0);
   scheduler_->on_expire(*this, event.job, was_running);
 }
 
 void Engine::handle_release(const Event& event) {
-  released_[static_cast<std::size_t>(event.job)] = true;
+  jobs_.set_released(event.job);
   const Job& j = instance_->job(event.job);
   trace(obs::TraceKind::kRelease, event.job, j.workload, j.deadline);
   scheduler_->on_release(*this, event.job);
@@ -342,16 +329,20 @@ void Engine::handle_timer(const Event& event) {
   scheduler_->on_timer(*this, jid, tag);
 }
 
-SimResult Engine::run_to_completion() {
-  result_ = SimResult{};
+const SimResult& Engine::run_to_completion() {
+  // clear() (not `result_ = SimResult{}`) keeps every per-job vector's
+  // capacity, so a warmed engine's replay performs no result allocations.
+  result_.clear();
   result_.scheduler_name = scheduler_->name();
   result_.generated_value = instance_->total_value();
   result_.completion_times.assign(instance_->size(),
                                   std::numeric_limits<double>::quiet_NaN());
   result_.release_times.reserve(instance_->size());
+  result_.value_trace.reserve(instance_->size());
+  static_events_.reserve(static_events_.size() + 2 * instance_->size());
 
   for (const Job& j : instance_->jobs()) {
-    result_.release_times.push_back(j.release);
+    util::append(result_.release_times, j.release);
     push_event(j.release, EventType::kRelease, j.id, 0);
     push_event(j.deadline, EventType::kExpiry, j.id, 0);
   }
@@ -421,12 +412,14 @@ void Engine::step_event() {
 }
 
 void Engine::harvest_result() {
-  result_.outcomes = outcomes_;
-  // sjs-lint: allow(alloc-in-hot-path): end-of-run result harvesting, after the event loop has drained
-  result_.executed_work.resize(instance_->size());
+  result_.outcomes = jobs_.outcome_lane();
+  util::grow(result_.executed_work, instance_->size());
+  const std::vector<double>& remaining = jobs_.remaining_lane();
   for (std::size_t i = 0; i < instance_->size(); ++i) {
-    result_.executed_work[i] = instance_->jobs()[i].workload - remaining_[i];
+    result_.executed_work[i] = instance_->jobs()[i].workload - remaining[i];
   }
+  result_.job_slab_peak = jobs_.peak();
+  result_.job_slab_slots = jobs_.slots();
   result_.timer_slab_slots = wheel_.slab_size();
   result_.timer_cascades = wheel_.cascades();
   result_.timer_cascade_entries = wheel_.cascaded_entries();
@@ -444,7 +437,7 @@ void Engine::harvest_result() {
 void Engine::begin_live() {
   SJS_CHECK_MSG(!live_ && !in_callback_, "begin_live: already live");
   live_ = true;
-  result_ = SimResult{};
+  result_.clear();
   result_.scheduler_name = scheduler_->name();
   result_.generated_value = instance_->total_value();
   result_.completion_times.assign(instance_->size(),
@@ -453,8 +446,7 @@ void Engine::begin_live() {
   // A live session normally starts empty, but admit any pre-loaded jobs so a
   // warm-started instance behaves like the equivalent replay.
   for (const Job& j : instance_->jobs()) {
-    // sjs-lint: allow(alloc-in-hot-path): live-session setup (begin_live), before steady-state admission
-    result_.release_times.push_back(j.release);
+    util::append(result_.release_times, j.release);
     push_event(j.release, EventType::kRelease, j.id, 0);
     push_event(j.deadline, EventType::kExpiry, j.id, 0);
   }
@@ -481,25 +473,22 @@ void Engine::begin_live() {
 
 void Engine::admit_live(JobId id) {
   SJS_CHECK_MSG(live_ && !in_callback_, "admit_live outside live mode");
-  const auto idx = static_cast<std::size_t>(id);
-  SJS_CHECK_MSG(idx == remaining_.size(),
+  SJS_CHECK_MSG(static_cast<std::size_t>(id) == jobs_.size(),
                 "admit_live out of order: job " << id << ", expected "
-                    << remaining_.size());
+                    << jobs_.size());
   const Job& j = instance_->job(id);
   SJS_CHECK_MSG(j.release >= now_ - 1e-12,
                 "admit_live in the past: release " << j.release << " < now "
                     << now_);
-  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
-  remaining_.push_back(j.workload);
-  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
-  outcomes_.push_back(JobOutcome::kPending);
-  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
-  released_.push_back(false);
+  // Dense append: live ids stay == admission order (journal local ids and
+  // the outcome CSV depend on it), so slots are never reused here. All
+  // growth is to reserve_live's pre-size in a bounded-in-flight session.
+  const JobId slab_id = jobs_.append_dense(j.workload);
+  SJS_CHECK_MSG(slab_id == id, "job slab out of sync with instance ids");
   result_.generated_value += j.value;
-  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
-  result_.completion_times.push_back(std::numeric_limits<double>::quiet_NaN());
-  // sjs-lint: allow(alloc-in-hot-path): per-admitted-job table growth, amortized; zero-alloc PR target: slab-reserve
-  result_.release_times.push_back(j.release);
+  util::append(result_.completion_times,
+               std::numeric_limits<double>::quiet_NaN());
+  util::append(result_.release_times, j.release);
   push_event(j.release, EventType::kRelease, id, 0);
   push_event(j.deadline, EventType::kExpiry, id, 0);
 }
@@ -539,7 +528,7 @@ double Engine::next_event_time() const {
   return peek_event_time();
 }
 
-SimResult Engine::finish_live() {
+const SimResult& Engine::finish_live() {
   SJS_CHECK_MSG(live_ && !in_callback_, "finish_live outside live mode");
   while (pending_events() > 0) {
     step_event();
@@ -547,6 +536,23 @@ SimResult Engine::finish_live() {
   harvest_result();
   live_ = false;
   return result_;
+}
+
+void Engine::reserve_live(std::size_t max_in_flight) {
+  live_reserve_ = max_in_flight;
+  jobs_.reserve(max_in_flight);
+  // Live releases/expiries go to the volatile heap: up to two events per
+  // in-flight job, plus the running job's completion.
+  heap_.reserve(2 * max_in_flight + 1);
+  // The static side only takes pre-loaded jobs and capacity breakpoints.
+  static_events_.reserve(2 * instance_->size() +
+                         instance_->capacity().breakpoints().size());
+  wheel_.reserve(max_in_flight);
+  result_.completion_times.reserve(max_in_flight);
+  result_.release_times.reserve(max_in_flight);
+  result_.outcomes.reserve(max_in_flight);
+  result_.executed_work.reserve(max_in_flight);
+  result_.value_trace.reserve(max_in_flight);
 }
 
 }  // namespace sjs::sim

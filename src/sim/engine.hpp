@@ -30,6 +30,7 @@
 #include "capacity/capacity_profile.hpp"
 #include "jobs/instance.hpp"
 #include "obs/trace_sink.hpp"
+#include "sim/job_table.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timer_wheel.hpp"
@@ -46,8 +47,11 @@ class Engine {
   Engine(const Instance& instance, Scheduler& scheduler);
 
   /// Runs the simulation to completion (all jobs completed or expired) and
-  /// returns the result.
-  SimResult run_to_completion();
+  /// returns the result. The reference stays valid until the next
+  /// run/reset; copy it (`SimResult r = engine.run_to_completion()`) to keep
+  /// it longer. Returning a reference — not a value — is what lets a warmed
+  /// engine replay with zero heap allocations (tests/hotpath_test.cpp).
+  const SimResult& run_to_completion();
 
   /// Rewinds the engine for another run over the same instance with a fresh
   /// scheduler, keeping every allocation (remaining/outcome/release tables,
@@ -105,10 +109,28 @@ class Engine {
 
   /// Fast-forwards through every remaining event (drain: the simulated
   /// backlog is resolved immediately in virtual time), harvests and returns
-  /// the result, and leaves live mode.
-  SimResult finish_live();
+  /// the result, and leaves live mode. Same reference lifetime as
+  /// run_to_completion().
+  const SimResult& finish_live();
 
   bool live_mode() const { return live_; }
+
+  /// Pre-sizes every structure that grows with in-flight population — the
+  /// job slab, both event-queue sides, the timer wheel's node slab, and the
+  /// result's per-job vectors — for `max_in_flight` simultaneous jobs, so a
+  /// warmed live session performs zero heap allocations in steady state
+  /// (the serve plane calls this at boot with --max-in-flight). Sessions
+  /// admitting more than `max_in_flight` jobs *in total* still grow the
+  /// dense per-admitted-job tables past the pre-size (amortized, documented
+  /// in docs/performance.md).
+  void reserve_live(std::size_t max_in_flight);
+
+  /// Bound schedulers should size their per-job structures for in
+  /// on_start(): the static job count on replay runs, or the reserve_live()
+  /// pre-size in a live session (where job_count() is still 0 at start).
+  std::size_t job_capacity_hint() const {
+    return std::max(job_count(), live_reserve_);
+  }
 
   // -------------------------------------------------------------------------
 
@@ -151,6 +173,14 @@ class Engine {
   double claxity(JobId id, double c_est) const {
     return job(id).deadline - now_ - remaining(id) / c_est;
   }
+
+  /// The structure-of-arrays job slab backing every per-job lane. Schedulers
+  /// own their lanes (V-Dover's Qedf metadata / 0cl timers / flags, EDF-AC's
+  /// admission scratch) and read/write them through this reference; the
+  /// ground-truth lanes (remaining, outcome, released) are engine-owned —
+  /// schedulers must only read those, via the query surface above.
+  JobTable& job_state() { return jobs_; }
+  const JobTable& job_state() const { return jobs_; }
 
   // --- Commands available to schedulers (only valid inside callbacks) ---
 
@@ -266,9 +296,8 @@ class Engine {
   /// to count the event as dead the moment a preemption invalidates it.
   bool completion_pending_ = false;
 
-  std::vector<double> remaining_;
-  std::vector<JobOutcome> outcomes_;
-  std::vector<bool> released_;
+  /// Per-job ground truth + scheduler lanes, one SoA slab (sim/job_table.hpp).
+  JobTable jobs_;
 
   std::size_t pending_events() const {
     return heap_.size() + (static_events_.size() - static_cursor_) +
@@ -308,6 +337,7 @@ class Engine {
   bool in_callback_ = false;
   bool live_ = false;  // live admission mode (begin_live..finish_live)
   bool record_schedule_ = false;
+  std::size_t live_reserve_ = 0;  // reserve_live() pre-size (capacity hint)
   obs::TraceSink* sink_ = nullptr;
   SimResult result_;
 };

@@ -18,6 +18,38 @@ std::vector<double> SimResult::response_times() const {
   return out;
 }
 
+void SimResult::clear() {
+  scheduler_name.clear();
+  completed_value = 0.0;
+  generated_value = 0.0;
+  completed_count = 0;
+  expired_count = 0;
+  outcomes.clear();
+  executed_work.clear();
+  completion_times.clear();
+  release_times.clear();
+  value_trace.clear();
+  schedule.clear();
+  dispatches = 0;
+  preemptions = 0;
+  events_processed = 0;
+  busy_time = 0.0;
+  executed_total = 0.0;
+  timers_armed = 0;
+  timer_slab_peak = 0;
+  timer_slab_slots = 0;
+  event_heap_peak = 0;
+  event_heap_dead_peak = 0;
+  heap_compactions = 0;
+  timer_cascades = 0;
+  timer_cascade_entries = 0;
+  timer_bucket_peak = 0;
+  queue_peak = 0;
+  queue_slots = 0;
+  job_slab_peak = 0;
+  job_slab_slots = 0;
+}
+
 double SimResult::mean_response_time() const {
   const auto responses = response_times();
   if (responses.empty()) return 0.0;

@@ -77,6 +77,16 @@ struct SimResult {
   std::uint64_t queue_peak = 0;    ///< summed per-queue occupancy high-water
   std::uint64_t queue_slots = 0;   ///< entry storage reserved across queues
 
+  // Job-slab occupancy (sim::JobTable — same shape as the timer-slab pair).
+  std::uint64_t job_slab_peak = 0;   ///< peak simultaneously-tracked jobs
+  std::uint64_t job_slab_slots = 0;  ///< distinct slab slots populated
+
+  /// Rewinds every field to its default while keeping the capacity of every
+  /// vector and the value trace — the engine-reuse path: `result_.clear()`
+  /// instead of `result_ = SimResult{}` is what makes a warmed engine's
+  /// replay allocation-free (tests/hotpath_test.cpp ratchets it to zero).
+  void clear();
+
   std::string to_string() const;
 };
 

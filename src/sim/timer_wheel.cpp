@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::sim {
 
@@ -93,8 +94,9 @@ void TimerWheel::unlink(std::uint32_t node) {
 }
 
 void TimerWheel::free_node(std::uint32_t node) {
-  // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
-  free_nodes_.push_back(node);
+  // Free-list push: growth stops at the pool high-water (reserve() pre-sizes
+  // it for live mode).
+  util::append(free_nodes_, node);
   --pending_count_;
 }
 
@@ -108,8 +110,7 @@ TimerId TimerWheel::arm(double time, JobId job, int tag, std::uint64_t seq) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
-    // sjs-lint: allow(alloc-in-hot-path): slab growth until pool high-water, then nodes come from the free list
-    slab_.push_back(Slot{});
+    util::append(slab_, Slot{});
   }
   Slot& s = slab_[slot];
   s.job = job;
@@ -127,8 +128,7 @@ TimerId TimerWheel::arm(double time, JobId job, int tag, std::uint64_t seq) {
     free_nodes_.pop_back();
   } else {
     node = static_cast<std::uint32_t>(nodes_.size());
-    // sjs-lint: allow(alloc-in-hot-path): slab growth until pool high-water, then nodes come from the free list
-    nodes_.push_back(Node{});
+    util::append(nodes_, Node{});
   }
   Node& n = nodes_[node];
   n.time = time;
@@ -155,8 +155,7 @@ bool TimerWheel::cancel(TimerId id) {
   if (!s.live || s.generation != generation_of_id(id)) return false;  // stale
   s.live = false;
   ++s.generation;
-  // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
-  free_slots_.push_back(slot);
+  util::append(free_slots_, slot);
   --live_count_;
   // The queued node stays as a tombstone: it pops (or is purged) at the same
   // instant the dead heap event used to, keeping the engine's execution
@@ -203,8 +202,7 @@ TimerWheel::Fired TimerWheel::pop() {
     // Fires exactly once: free the slot, invalidating the outstanding id.
     s.live = false;
     ++s.generation;
-    // sjs-lint: allow(alloc-in-hot-path): free-list push: nodes recycle, so growth stops at the pool high-water
-    free_slots_.push_back(slot);
+    util::append(free_slots_, slot);
     --live_count_;
   }
   unlink(node);

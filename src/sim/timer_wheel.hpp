@@ -122,6 +122,15 @@ class TimerWheel {
   /// (engine reuse across Monte-Carlo runs).
   void clear();
 
+  /// Pre-sizes the slab and node pool for `n` simultaneously armed timers
+  /// (live boot: Engine::reserve_live — zero-alloc steady state).
+  void reserve(std::size_t n) {
+    slab_.reserve(n);
+    free_slots_.reserve(n);
+    nodes_.reserve(n);
+    free_nodes_.reserve(n);
+  }
+
   /// Timers currently armed (live slab slots).
   std::size_t live_count() const { return live_count_; }
   /// Queued nodes, tombstones included — the wheel's share of the engine's

@@ -24,6 +24,19 @@ class StepFunction {
   /// Appends a step at time t (must be >= the last breakpoint).
   void append(double t, double value);
 
+  /// Empties the series, keeping breakpoint storage (engine-reuse path).
+  void clear() {
+    times_.clear();
+    values_.clear();
+    before_ = 0.0;
+  }
+
+  /// Pre-sizes breakpoint storage for `n` appends.
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+
   double value_at(double t) const;
   double before() const { return before_; }
   std::size_t size() const { return times_.size(); }

@@ -5,6 +5,9 @@
 // that want allocation accounting.
 #include "util/alloc_probe.hpp"
 
+#include <execinfo.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -14,12 +17,38 @@ namespace {
 std::atomic<std::uint64_t> g_count{0};
 std::atomic<std::uint64_t> g_bytes{0};
 
+// SJS_ALLOC_PROBE_TRACE=<n> in the environment: dump a raw backtrace to
+// stderr for the first n allocations after each reset() — the fastest way
+// to name the site behind a failing zero-allocation ratchet without a
+// debugger. Read once, lazily; never allocates on the trace path itself.
+int trace_budget() {
+  static const int budget = [] {
+    const char* env = std::getenv("SJS_ALLOC_PROBE_TRACE");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return budget;
+}
+
+std::atomic<int> g_traced{0};
+
+void maybe_trace() noexcept {
+  const int budget = trace_budget();
+  if (budget <= 0) return;
+  if (g_traced.fetch_add(1, std::memory_order_relaxed) >= budget) return;
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  // backtrace_symbols allocates; backtrace_symbols_fd does not.
+  backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  ::write(STDERR_FILENO, "----\n", 5);
+}
+
 void* counted_alloc(std::size_t size) noexcept {
   // operator new must return a distinct pointer even for size 0.
   void* p = std::malloc(size == 0 ? 1 : size);
   if (p != nullptr) {
     g_count.fetch_add(1, std::memory_order_relaxed);
     g_bytes.fetch_add(size, std::memory_order_relaxed);
+    maybe_trace();
   }
   return p;
 }
@@ -50,6 +79,7 @@ std::uint64_t AllocProbe::bytes() {
 void AllocProbe::reset() {
   g_count.store(0, std::memory_order_relaxed);
   g_bytes.store(0, std::memory_order_relaxed);
+  g_traced.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sjs::util

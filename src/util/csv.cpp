@@ -38,10 +38,17 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
 }
 
 void CsvWriter::write_row_numeric(const std::vector<double>& fields) {
-  std::vector<std::string> row;
-  row.reserve(fields.size());
-  for (double v : fields) row.push_back(format_double(v));
-  write_row(row);
+  write_row_numeric(fields.data(), fields.size());
+}
+
+void CsvWriter::write_row_numeric(const double* fields, std::size_t count) {
+  char buf[32];
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i) out_.put(',');
+    const int n = std::snprintf(buf, sizeof(buf), "%.17g", fields[i]);
+    out_.write(buf, n);
+  }
+  out_.put('\n');
 }
 
 std::vector<std::vector<std::string>> read_csv(const std::string& path) {

@@ -24,6 +24,12 @@ class CsvWriter {
   /// Convenience: formats doubles with full round-trip precision.
   void write_row_numeric(const std::vector<double>& fields);
 
+  /// Allocation-free variant for steady-state writers (serve::Journal):
+  /// formats each value with snprintf into a stack buffer and streams it
+  /// straight out — no temporary vector or std::string per row. Numeric
+  /// fields never need RFC 4180 escaping.
+  void write_row_numeric(const double* fields, std::size_t count);
+
   void flush() { out_.flush(); }
 
   /// False once any write or flush has failed (short write, ENOSPC, closed

@@ -1,0 +1,106 @@
+// FlatU64Map — open-addressing u64 -> i64 hash map for hot-path id routing.
+//
+// Replaces std::map/std::unordered_map on steady-state paths where node
+// churn would allocate per insert (e.g. the shard workers' ticket -> JobId
+// route table). Design points:
+//
+//   * power-of-two table, linear probing, splitmix64 finalizer as the hash
+//     (the same mixer the shard router pins — good avalanche on sequential
+//     tickets);
+//   * insert-or-assign and find only — no erase (tickets are never
+//     reassigned), which keeps probing tombstone-free;
+//   * reserve(n) pre-sizes for n entries at <= 50% load; growth beyond the
+//     pre-size rehashes geometrically (growth-to-high-water, not
+//     per-operation — the zero-alloc ratchet tests pin this at runtime);
+//   * clear() keeps capacity for reuse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sjs::util {
+
+class FlatU64Map {
+ public:
+  FlatU64Map() = default;
+
+  /// Pre-sizes the table so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < 2 * n) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Inserts or overwrites. Amortized O(1); allocates only when the table
+  /// grows past its high-water capacity.
+  void put(std::uint64_t key, std::int64_t value) {
+    if (slots_.empty() || 2 * (size_ + 1) > slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    Slot& slot = probe(key);
+    if (!slot.used) {
+      slot.used = true;
+      slot.key = key;
+      ++size_;
+    }
+    slot.value = value;
+  }
+
+  /// Returns the mapped value or `missing` when absent.
+  std::int64_t get(std::uint64_t key, std::int64_t missing) const {
+    if (slots_.empty()) return missing;
+    const Slot& slot = const_cast<FlatU64Map*>(this)->probe(key);
+    return slot.used ? slot.value : missing;
+  }
+
+  bool contains(std::uint64_t key) const {
+    if (slots_.empty()) return false;
+    return const_cast<FlatU64Map*>(this)->probe(key).used;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Empties the map, keeping the table storage.
+  void clear() {
+    for (Slot& slot : slots_) slot.used = false;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::int64_t value = 0;
+    bool used = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// First slot holding `key`, or the empty slot where it would go.
+  Slot& probe(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return slots_[i];
+  }
+
+  void rehash(std::size_t new_size) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_size, Slot{});
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.used) put(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sjs::util

@@ -308,6 +308,27 @@ TEST(LintTest, AllocReportListsSuppressedSitesToo) {
   EXPECT_NE(r.output.find("audited_alloc"), std::string::npos) << r.output;
 }
 
+TEST(LintTest, AllocReportMaxGatesOnTotalSiteCount) {
+  // The fixture has at least one unaudited and one suppressed site, so
+  // --max=0 must trip the ratchet (suppressions count — they are debt, not
+  // absolution) while a generous budget passes.
+  const auto over = run_lint("--report=alloc --max=0 " +
+                             fixture_args(fx("src/sim/bad_hot_alloc.cpp")));
+  EXPECT_EQ(over.exit_code, 1);
+  const auto under = run_lint("--report=alloc --max=100 " +
+                              fixture_args(fx("src/sim/bad_hot_alloc.cpp")));
+  EXPECT_EQ(under.exit_code, 0) << under.output;
+}
+
+TEST(LintTest, AllocMaxWithoutReportIsUsageError) {
+  const auto r =
+      run_lint("--max=0 " + fixture_args(fx("src/sim/bad_hot_alloc.cpp")));
+  EXPECT_EQ(r.exit_code, 2);
+  const auto bad = run_lint("--report=alloc --max=nope " +
+                            fixture_args(fx("src/sim/bad_hot_alloc.cpp")));
+  EXPECT_EQ(bad.exit_code, 2);
+}
+
 TEST(LintTest, ChannelDisciplineFiresOnLeakyPathsOnly) {
   const auto r = run_lint(fixture_args(fx("src/conc/bad_reserve.cpp")));
   EXPECT_EQ(r.exit_code, 1);
@@ -363,6 +384,19 @@ TEST(LintTest, RealSourceTreeIsClean) {
   const auto r = run_lint(std::string("--root ") + SJS_SOURCE_ROOT + " " +
                           SJS_SOURCE_ROOT + "/src " + SJS_SOURCE_ROOT +
                           "/tools " + SJS_SOURCE_ROOT + "/bench");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// The zero-allocation ratchet on the real tree: every hot-path-reachable
+// allocation site has been converted to slab/pool access, moved to setup,
+// or routed through the audited util:: helpers — and no suppression hides
+// one. This is the static half of the guarantee; the runtime half is
+// hotpath_test's AllocProbe ratchet at 0.
+TEST(LintTest, RealSourceTreeHotPathIsAllocationFree) {
+  const auto r = run_lint(std::string("--report=alloc --max=0 --root ") +
+                          SJS_SOURCE_ROOT + " " + SJS_SOURCE_ROOT + "/src " +
+                          SJS_SOURCE_ROOT + "/tools " + SJS_SOURCE_ROOT +
+                          "/bench");
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 

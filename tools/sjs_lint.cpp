@@ -81,7 +81,7 @@ void usage() {
       stderr,
       "usage: sjs_lint [--root <dir>] [--format=plain|github] [--list-rules]\n"
       "                [--cache=<file>] [--explain=<rule>] [--report=alloc]\n"
-      "                [paths...]\n"
+      "                [--max=<n>] [paths...]\n"
       "  Lints .cpp/.hpp files (default: <root>/src). Paths may be files or\n"
       "  directories; suppression paths in diagnostics are relative to\n"
       "  --root.\n"
@@ -89,7 +89,10 @@ void usage() {
       "                    on content hashes; safe under any edit)\n"
       "  --explain=<rule>  print the call chain behind each <rule> finding\n"
       "  --report=alloc    print the full allocation-in-hot-path work-list\n"
-      "                    (audited suppressions included) and exit 0\n");
+      "                    (audited suppressions included) and exit 0\n"
+      "  --max=<n>         with --report=alloc: exit 1 when the work-list\n"
+      "                    exceeds n sites (the ratchet gate; --max=0 means\n"
+      "                    the hot path must be allocation-free)\n");
 }
 
 }  // namespace
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
   std::string format = "plain";
   std::string explain;
   bool report_alloc = false;
+  long max_alloc = -1;  // <0: report only, no gate
   if (const char* env = std::getenv("GITHUB_ACTIONS");
       env != nullptr && std::strcmp(env, "true") == 0) {
     format = "github";
@@ -152,6 +156,15 @@ int main(int argc, char** argv) {
       report_alloc = true;
       continue;
     }
+    if (arg.rfind("--max=", 0) == 0) {
+      char* end = nullptr;
+      max_alloc = std::strtol(arg.c_str() + 6, &end, 10);
+      if (end == nullptr || *end != '\0' || max_alloc < 0) {
+        std::fprintf(stderr, "sjs_lint: --max needs a non-negative integer\n");
+        return 2;
+      }
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "sjs_lint: unknown option '%s'\n", arg.c_str());
       usage();
@@ -180,7 +193,19 @@ int main(int argc, char** argv) {
                      result.alloc_report.begin(), result.alloc_report.end(),
                      [](const auto& e) { return e.suppressed; })),
                  result.files_analyzed);
+    if (max_alloc >= 0 &&
+        result.alloc_report.size() > static_cast<std::size_t>(max_alloc)) {
+      std::fprintf(stderr,
+                   "sjs_lint: allocation ratchet exceeded: %zu site(s) > "
+                   "--max=%ld\n",
+                   result.alloc_report.size(), max_alloc);
+      return 1;
+    }
     return 0;
+  }
+  if (max_alloc >= 0) {
+    std::fprintf(stderr, "sjs_lint: --max requires --report=alloc\n");
+    return 2;
   }
 
   for (const Diagnostic& d : result.diags) {

@@ -143,6 +143,10 @@ int main(int argc, char** argv) {
                     static_cast<double>(result.timer_slab_peak));
     shard.set_gauge(sjs::obs::kGaugeTimerSlabSlots,
                     static_cast<double>(result.timer_slab_slots));
+    shard.set_gauge(sjs::obs::kGaugeJobSlabPeak,
+                    static_cast<double>(result.job_slab_peak));
+    shard.set_gauge(sjs::obs::kGaugeJobSlabSlots,
+                    static_cast<double>(result.job_slab_slots));
     shard.set_gauge(sjs::obs::kGaugeEventHeapPeak,
                     static_cast<double>(result.event_heap_peak));
     shard.set_gauge(sjs::obs::kGaugeEventHeapDeadPeak,
