@@ -13,6 +13,10 @@
 #include <vector>
 
 #include "capacity/capacity_process.hpp"
+#include "capacity/scenario.hpp"
+#include "cluster/dispatcher.hpp"
+#include "cluster/fleet.hpp"
+#include "cluster/rental.hpp"
 #include "conc/channel.hpp"
 #include "lint/analyzer.hpp"
 #include "jobs/workload_gen.hpp"
@@ -181,6 +185,84 @@ BENCHMARK(BM_FullSimulationReuse)
     ->Args({1, 1000})
     ->Args({2, 1000})
     ->Args({4, 1000});
+
+void BM_MultiEngineDispatch(benchmark::State& state) {
+  // One full fleet run per iteration: arg(0) heterogeneous machines under
+  // the elastic threshold controller, constant serving paths, a fixed seeded
+  // workload sized for the fleet's admission floor. This is the per-run cost
+  // of sjs_sim --cluster and of each Monte-Carlo repetition in the cluster
+  // MC tables — dispatcher interrupts (accrue / re-rent / re-place) are the
+  // hot path on top of the MultiEngine event loop.
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const sjs::cluster::Fleet fleet = sjs::cluster::Fleet::heterogeneous(machines);
+  sjs::gen::JobGenParams params;
+  params.lambda = 10.0;
+  params.horizon = 60.0;
+  params.c_lo = fleet.admission_c_lo();
+  sjs::Rng rng(5);
+  std::vector<sjs::Job> jobs = sjs::gen::generate_jobs(params, rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<sjs::JobId>(i);
+  }
+  const auto paths = fleet.constant_paths();
+
+  std::uint64_t dispatches = 0;
+  for (auto _ : state) {
+    sjs::cluster::Dispatcher dispatcher(
+        fleet, sjs::cluster::DispatcherConfig{},
+        sjs::cluster::make_rental_controller("threshold"));
+    const auto result = sjs::cluster::run_cluster(jobs, paths, dispatcher);
+    dispatches += result.dispatches;
+    benchmark::DoNotOptimize(result.rental_cost);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["dispatches/s"] = benchmark::Counter(
+      static_cast<double>(dispatches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MultiEngineDispatch)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ClusterScenario(benchmark::State& state) {
+  // Scenario-path sampling plus the fleet run it feeds: each iteration draws
+  // a fresh correlated fleet of capacity paths (arg(0) selects the scenario
+  // kind in declaration order) for 6 machines and runs the same seeded
+  // workload through the elastic dispatcher. Measures what one cluster MC
+  // repetition costs when the paths are volatile instead of constant —
+  // sampling is re-done per iteration exactly as mc::run_cluster_mc re-draws
+  // per run.
+  const auto kind = static_cast<sjs::cap::ScenarioKind>(state.range(0));
+  const sjs::cluster::Fleet fleet = sjs::cluster::Fleet::heterogeneous(6);
+  sjs::cluster::ScenarioConfig scenario;
+  scenario.kind = kind;
+  state.SetLabel(sjs::cap::scenario_name(kind));
+
+  sjs::gen::JobGenParams params;
+  params.lambda = 10.0;
+  params.horizon = 60.0;
+  params.c_lo = fleet.admission_c_lo();
+  sjs::Rng job_rng(5);
+  std::vector<sjs::Job> jobs = sjs::gen::generate_jobs(params, job_rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<sjs::JobId>(i);
+  }
+
+  std::uint64_t completed = 0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    sjs::Rng path_rng(11, run++);
+    auto paths = fleet.sample_paths(scenario, params.horizon, path_rng);
+    sjs::cluster::Dispatcher dispatcher(
+        fleet, sjs::cluster::DispatcherConfig{},
+        sjs::cluster::make_rental_controller("threshold"));
+    const auto result =
+        sjs::cluster::run_cluster(jobs, std::move(paths), dispatcher);
+    completed += result.completed_count;
+    benchmark::DoNotOptimize(result.rental_cost);
+  }
+  state.counters["completed/s"] = benchmark::Counter(
+      static_cast<double>(completed), benchmark::Counter::kIsRate);
+}
+// Args: 0=steady, 1=diurnal, 2=flash-crowd, 3=outage (labels set at runtime).
+BENCHMARK(BM_ClusterScenario)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_LiveSteadyState(benchmark::State& state) {
   // The sjs_serve steady state without sockets: one warmed live-mode

@@ -10,9 +10,10 @@
 #   4. replaying it through sjs_sim reproduces the live outcomes
 #      byte-identically (diff of outcomes.csv).
 #
-# The gate runs twice: once against the single-threaded server and once
-# against the sharded plane (--shards=4, sjs_load --connections=4), where
-# step 3/4 apply to EVERY per-shard bundle <journal>/shard<k> independently.
+# The gate runs three times: against the single-threaded server, against the
+# sharded plane (--shards=4, sjs_load --connections=4, where step 3/4 apply
+# to EVERY per-shard bundle <journal>/shard<k> independently), and against
+# the fleet plane (--cluster=4, replayed via sjs_sim --cluster-bundle).
 #
 # Usage: scripts/serve_smoke.sh   (BUILD_DIR overrides ./build)
 set -euo pipefail
@@ -46,6 +47,23 @@ replay_bundle() {
     --outcomes-csv="$WORK/replay_$tag.csv" > "$WORK/replay_$tag.log"
   diff "$bundle/outcomes.csv" "$WORK/replay_$tag.csv" || {
     echo "FAIL($tag): replay outcomes differ from the live session" >&2
+    exit 1
+  }
+  echo "replay bit-exact: $tag"
+}
+
+# replay_cluster_bundle <bundle_dir> <tag>: same contract for a cluster
+# journal — complete, parseable, byte-exact through sjs_sim --cluster-bundle.
+replay_cluster_bundle() {
+  local bundle="$1" tag="$2"
+  for f in fleet.csv server0.csv server3.csv band.csv meta.csv jobs.csv \
+           outcomes.csv; do
+    [ -s "$bundle/$f" ] || { echo "FAIL($tag): bundle missing $f" >&2; exit 1; }
+  done
+  "$SIM" --cluster-bundle="$bundle" \
+    --outcomes-csv="$WORK/replay_$tag.csv" > "$WORK/replay_$tag.log"
+  diff "$bundle/outcomes.csv" "$WORK/replay_$tag.csv" || {
+    echo "FAIL($tag): cluster replay outcomes differ from the live session" >&2
     exit 1
   }
   echo "replay bit-exact: $tag"
@@ -117,4 +135,12 @@ for k in 0 1 2 3; do
     echo "FAIL: no drain summary for shard $k" >&2; exit 1; }
 done
 
-echo "PASS: clean SIGTERM drains ($SINGLE_COMPLETED single / $COMPLETED sharded completed), all replays bit-exact"
+SHARDED_COMPLETED="$COMPLETED"
+
+# --- Phase 3: elastic fleet (--cluster=4) ----------------------------------
+smoke_phase cluster "$WORK/journalc" --cluster=4 --
+replay_cluster_bundle "$WORK/journalc" cluster
+grep -q "^drained: cluster of 4" "$WORK/server_cluster.log" || {
+  echo "FAIL: no cluster drain summary" >&2; exit 1; }
+
+echo "PASS: clean SIGTERM drains ($SINGLE_COMPLETED single / $SHARDED_COMPLETED sharded / $COMPLETED cluster completed), all replays bit-exact"

@@ -1,0 +1,254 @@
+#include "capacity/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fp.hpp"
+#include "util/logging.hpp"
+
+namespace sjs::cap {
+
+const char* scenario_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kSteady:
+      return "steady";
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kFlashCrowd:
+      return "flash-crowd";
+    case ScenarioKind::kCorrelatedOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
+bool parse_scenario(const std::string& text, ScenarioKind* out) {
+  for (ScenarioKind kind : all_scenarios()) {
+    if (text == scenario_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ScenarioKind> all_scenarios() {
+  return {ScenarioKind::kSteady, ScenarioKind::kDiurnal,
+          ScenarioKind::kFlashCrowd, ScenarioKind::kCorrelatedOutage};
+}
+
+CapacityProfile sample_diurnal_ctmc(const TwoStateMarkovParams& base,
+                                    const DiurnalParams& params,
+                                    double horizon, Rng& rng) {
+  SJS_CHECK(base.c_lo > 0.0 && base.c_hi >= base.c_lo);
+  SJS_CHECK(base.mean_sojourn_lo > 0.0 && base.mean_sojourn_hi > 0.0);
+  SJS_CHECK(params.period > 0.0);
+  SJS_CHECK(params.amp_fraction >= 0.0 && params.amp_fraction <= 1.0);
+  SJS_CHECK(params.samples_per_period >= 2);
+  SJS_CHECK(horizon > 0.0);
+
+  // CTMC switch epochs, same draw sequence as sample_two_state_markov.
+  std::vector<double> sw_times;
+  std::vector<char> sw_high;
+  bool high = rng.bernoulli(base.p_start_hi);
+  double t = 0.0;
+  while (t < horizon) {
+    sw_times.push_back(t);
+    sw_high.push_back(high ? 1 : 0);
+    t += rng.exponential_mean(high ? base.mean_sojourn_hi
+                                   : base.mean_sojourn_lo);
+    high = !high;
+  }
+
+  const double band = base.c_hi - base.c_lo;
+  const double dt =
+      params.period / static_cast<double>(params.samples_per_period);
+  const auto modulated = [&](double at) {
+    const double m =
+        1.0 - params.amp_fraction *
+                  (0.5 - 0.5 * std::sin(2.0 * M_PI * at / params.period +
+                                        params.phase));
+    return std::clamp(base.c_lo + band * m, base.c_lo, base.c_hi);
+  };
+
+  std::vector<double> times;
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < sw_times.size(); ++i) {
+    const double seg_start = sw_times[i];
+    const double seg_end =
+        i + 1 < sw_times.size() ? sw_times[i + 1] : horizon;
+    if (!sw_high[i]) {
+      times.push_back(seg_start);
+      rates.push_back(base.c_lo);
+      continue;
+    }
+    // High state: subdivide on the absolute grid k·dt so the sinusoid is
+    // sampled at deterministic breakpoints independent of the CTMC path.
+    double cursor = seg_start;
+    while (cursor < seg_end) {
+      // When cursor sits on a grid point, cursor/dt can round just below the
+      // integer, making (floor+1)·dt land back on cursor — force progress to
+      // the next grid line or the loop degenerates into zero-length segments.
+      double next_grid = (std::floor(cursor / dt) + 1.0) * dt;
+      if (next_grid <= cursor) next_grid += dt;
+      const double stop = std::min(next_grid, seg_end);
+      times.push_back(cursor);
+      rates.push_back(modulated(cursor + 0.5 * (stop - cursor)));
+      cursor = stop;
+    }
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+CapacityProfile scale_profile(const CapacityProfile& base,
+                              const std::vector<double>& factor_times,
+                              const std::vector<double>& factors) {
+  SJS_CHECK(!factor_times.empty() && factor_times.size() == factors.size());
+  SJS_CHECK_MSG(fp::is_zero(factor_times.front()),
+                "factor path must start at 0");
+  for (double f : factors) SJS_CHECK_MSG(f > 0.0, "factors must stay positive");
+
+  // Merged, deduplicated breakpoints of the base path and the factor path.
+  std::vector<double> times;
+  times.reserve(base.breakpoints().size() + factor_times.size());
+  std::merge(base.breakpoints().begin(), base.breakpoints().end(),
+             factor_times.begin(), factor_times.end(),
+             std::back_inserter(times));
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::vector<double> rates;
+  rates.reserve(times.size());
+  std::size_t fi = 0;
+  for (double bp : times) {
+    while (fi + 1 < factor_times.size() && factor_times[fi + 1] <= bp) ++fi;
+    rates.push_back(base.rate(bp) * factors[fi]);
+  }
+  return CapacityProfile(std::move(times), std::move(rates));
+}
+
+namespace {
+
+/// Collapse-then-staircase factor path: 1 before the epoch, `floor` during
+/// the collapse, then `steps` equal risers back to 1 over recovery_duration
+/// (0 steps or 0 duration snaps straight back).
+void build_collapse_factors(double epoch, double floor, double collapse_dur,
+                            double recovery_dur, std::size_t steps,
+                            std::vector<double>* times,
+                            std::vector<double>* factors) {
+  times->assign(1, 0.0);
+  factors->assign(1, 1.0);
+  times->push_back(epoch);
+  factors->push_back(floor);
+  const double recover_start = epoch + collapse_dur;
+  if (steps == 0 || recovery_dur <= 0.0) {
+    times->push_back(recover_start);
+    factors->push_back(1.0);
+    return;
+  }
+  const double riser = recovery_dur / static_cast<double>(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    times->push_back(recover_start + riser * static_cast<double>(s));
+    factors->push_back(floor + (1.0 - floor) *
+                                   (static_cast<double>(s) + 1.0) /
+                                   static_cast<double>(steps));
+  }
+}
+
+}  // namespace
+
+std::vector<CapacityProfile> sample_flash_crowd_fleet(
+    const std::vector<TwoStateMarkovParams>& base,
+    const FlashCrowdParams& params, double horizon, Rng& rng,
+    FleetEventInfo* info) {
+  SJS_CHECK_MSG(!base.empty(), "flash crowd needs at least one server");
+  SJS_CHECK(params.collapse_fraction > 0.0 && params.collapse_fraction <= 1.0);
+  SJS_CHECK(params.epoch_fraction_lo >= 0.0 &&
+            params.epoch_fraction_hi >= params.epoch_fraction_lo &&
+            params.epoch_fraction_hi < 1.0);
+  SJS_CHECK(params.collapse_duration > 0.0);
+  SJS_CHECK(horizon > 0.0);
+
+  // Shared epoch first, then per-server base paths in server order — the
+  // fixed draw sequence that makes (seed, run) reproduce the fleet exactly.
+  const double epoch =
+      rng.uniform(params.epoch_fraction_lo, params.epoch_fraction_hi) *
+      horizon;
+  std::vector<double> factor_times;
+  std::vector<double> factors;
+  build_collapse_factors(epoch, params.collapse_fraction,
+                         params.collapse_duration, params.recovery_duration,
+                         params.recovery_steps, &factor_times, &factors);
+
+  std::vector<CapacityProfile> fleet;
+  fleet.reserve(base.size());
+  for (const TwoStateMarkovParams& b : base) {
+    fleet.push_back(
+        scale_profile(sample_two_state_markov(b, horizon, rng), factor_times,
+                      factors));
+  }
+  if (info) {
+    info->event_time = epoch;
+    info->event_end = epoch + params.collapse_duration +
+                      (params.recovery_steps == 0 ? 0.0
+                                                  : params.recovery_duration);
+    info->affected.resize(base.size());
+    for (std::size_t s = 0; s < base.size(); ++s) info->affected[s] = s;
+  }
+  return fleet;
+}
+
+std::vector<CapacityProfile> sample_correlated_outage_fleet(
+    const std::vector<TwoStateMarkovParams>& base,
+    const CorrelatedOutageParams& params, double horizon, Rng& rng,
+    FleetEventInfo* info) {
+  SJS_CHECK_MSG(!base.empty(), "outage needs at least one server");
+  SJS_CHECK_MSG(params.failures <= base.size(),
+                "cannot fail " << params.failures << " of " << base.size());
+  SJS_CHECK(params.floor_fraction > 0.0 && params.floor_fraction <= 1.0);
+  SJS_CHECK(params.epoch_fraction_lo >= 0.0 &&
+            params.epoch_fraction_hi >= params.epoch_fraction_lo &&
+            params.epoch_fraction_hi < 1.0);
+  SJS_CHECK(params.outage_duration > 0.0);
+  SJS_CHECK(horizon > 0.0);
+
+  // Draw order: shared epoch, then the failing subset (partial Fisher-Yates),
+  // then per-server base paths in server order.
+  const double epoch =
+      rng.uniform(params.epoch_fraction_lo, params.epoch_fraction_hi) *
+      horizon;
+  std::vector<std::size_t> indices(base.size());
+  for (std::size_t s = 0; s < base.size(); ++s) indices[s] = s;
+  for (std::size_t s = 0; s < params.failures; ++s) {
+    const std::size_t pick =
+        s + static_cast<std::size_t>(rng.below(indices.size() - s));
+    std::swap(indices[s], indices[pick]);
+  }
+  std::vector<char> down(base.size(), 0);
+  for (std::size_t s = 0; s < params.failures; ++s) down[indices[s]] = 1;
+
+  const std::vector<double> factor_times = {0.0, epoch,
+                                            epoch + params.outage_duration};
+  const std::vector<double> factors = {1.0, params.floor_fraction, 1.0};
+
+  std::vector<CapacityProfile> fleet;
+  fleet.reserve(base.size());
+  for (std::size_t s = 0; s < base.size(); ++s) {
+    CapacityProfile path = sample_two_state_markov(base[s], horizon, rng);
+    if (down[s]) {
+      fleet.push_back(scale_profile(path, factor_times, factors));
+    } else {
+      fleet.push_back(std::move(path));
+    }
+  }
+  if (info) {
+    info->event_time = epoch;
+    info->event_end = epoch + params.outage_duration;
+    info->affected.clear();
+    for (std::size_t s = 0; s < base.size(); ++s) {
+      if (down[s]) info->affected.push_back(s);
+    }
+  }
+  return fleet;
+}
+
+}  // namespace sjs::cap

@@ -1,0 +1,119 @@
+// Fleet-scale capacity scenarios — correlated sample paths for a cluster of
+// servers, beyond the independent single-server processes in
+// capacity_process.hpp.
+//
+// Three scenario families motivated by real cloud fleets:
+//
+//   diurnal           — a two-state CTMC whose *high-state* rate is modulated
+//                       by a slow sinusoid (the day/night cycle of primary
+//                       load: secondary capacity peaks off-hours).
+//   flash-crowd       — every server's capacity collapses together at one
+//                       shared epoch (a primary-traffic spike eats the spare
+//                       capacity fleet-wide), then recovers in a staircase.
+//   correlated-outage — exactly k of the K servers drop to a small positive
+//                       floor at one shared epoch (a rack/AZ failure), the
+//                       rest are untouched.
+//
+// All randomness flows through the caller's Rng, and the draw order is fixed
+// (shared epoch first, then affected-server choice, then per-server base
+// paths in server order), so a (seed, run) pair reproduces the exact fleet
+// bit-for-bit — the same determinism seam every other generator uses.
+//
+// Rates never reach zero: collapse/outage floors are fractions of each
+// server's own c_lo, preserving the CapacityProfile invariant (rate > 0) and
+// the paper's c_lo > 0 assumption.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_process.hpp"
+#include "capacity/capacity_profile.hpp"
+#include "util/rng.hpp"
+
+namespace sjs::cap {
+
+enum class ScenarioKind {
+  kSteady = 0,           ///< independent two-state CTMC per server
+  kDiurnal = 1,          ///< sinusoid-modulated CTMC per server
+  kFlashCrowd = 2,       ///< correlated fleet-wide collapse + recovery
+  kCorrelatedOutage = 3  ///< k-of-K servers drop together
+};
+
+/// Stable scenario label ("steady", "diurnal", "flash-crowd", "outage").
+const char* scenario_name(ScenarioKind kind);
+
+/// Parses a scenario label; returns false on an unknown name.
+bool parse_scenario(const std::string& text, ScenarioKind* out);
+
+/// All scenario kinds in declaration order (for lineups and tables).
+std::vector<ScenarioKind> all_scenarios();
+
+// --- diurnal ---------------------------------------------------------------
+
+struct DiurnalParams {
+  double period = 200.0;        ///< length of one "day" in sim time
+  double amp_fraction = 0.6;    ///< high-state trough depth as band fraction
+  double phase = 0.0;           ///< radians
+  std::size_t samples_per_period = 24;
+};
+
+/// Two-state CTMC whose high-state rate is c_lo + (c_hi-c_lo)·m(t) with
+/// m(t) = 1 - amp_fraction·(0.5 - 0.5·sin(2πt/period + phase)) — the high
+/// state swings between (1-amp_fraction)·band and the full band over one
+/// period. Low state stays at c_lo. Breakpoints are the union of CTMC switch
+/// epochs and the absolute sinusoid grid (multiples of period/samples).
+CapacityProfile sample_diurnal_ctmc(const TwoStateMarkovParams& base,
+                                    const DiurnalParams& params,
+                                    double horizon, Rng& rng);
+
+// --- correlated fleet events -----------------------------------------------
+
+/// What a correlated scenario actually did — exposed for tests and tables.
+struct FleetEventInfo {
+  double event_time = -1.0;            ///< shared epoch (collapse/outage start)
+  double event_end = -1.0;             ///< full-capacity restoration instant
+  std::vector<std::size_t> affected;   ///< server indices hit (sorted)
+};
+
+struct FlashCrowdParams {
+  double epoch_fraction_lo = 0.2;   ///< epoch ~ U[lo,hi]·horizon
+  double epoch_fraction_hi = 0.5;
+  double collapse_fraction = 0.25;  ///< rate multiplier during the collapse
+  double collapse_duration = 20.0;
+  double recovery_duration = 30.0;  ///< staircase back to 1.0
+  std::size_t recovery_steps = 4;
+};
+
+/// Independent two-state CTMC per server (base[s] gives server s's band),
+/// all multiplied by one shared collapse/recovery factor path.
+std::vector<CapacityProfile> sample_flash_crowd_fleet(
+    const std::vector<TwoStateMarkovParams>& base,
+    const FlashCrowdParams& params, double horizon, Rng& rng,
+    FleetEventInfo* info = nullptr);
+
+struct CorrelatedOutageParams {
+  std::size_t failures = 1;        ///< k servers drop together
+  double epoch_fraction_lo = 0.25; ///< epoch ~ U[lo,hi]·horizon
+  double epoch_fraction_hi = 0.75;
+  double outage_duration = 25.0;
+  double floor_fraction = 0.1;     ///< rate multiplier during the outage
+};
+
+/// Independent two-state CTMC per server; exactly `failures` servers (chosen
+/// uniformly without replacement) are multiplied by floor_fraction on
+/// [epoch, epoch + outage_duration).
+std::vector<CapacityProfile> sample_correlated_outage_fleet(
+    const std::vector<TwoStateMarkovParams>& base,
+    const CorrelatedOutageParams& params, double horizon, Rng& rng,
+    FleetEventInfo* info = nullptr);
+
+/// Multiplies a base profile by a piecewise-constant factor path (factor
+/// times must start at 0 and be strictly increasing; factors > 0). Exposed
+/// for tests; the scenario generators build on it.
+CapacityProfile scale_profile(const CapacityProfile& base,
+                              const std::vector<double>& factor_times,
+                              const std::vector<double>& factors);
+
+}  // namespace sjs::cap

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/vec.hpp"
 
 namespace sjs::cloud {
 
@@ -161,10 +164,73 @@ void MultiEngine::stop(JobId id) {
   if (server != kNoServer) idle(server);
 }
 
+void MultiEngine::process_event(const Event& event) {
+  now_ = std::max(now_, event.time);
+  advance_all(now_);
+  in_callback_ = true;
+  switch (event.type) {
+    case EventType::kCompletion: {
+      if (event.server == kNoServer || event.epoch != epochs_[event.server] ||
+          running_[event.server] != event.job) {
+        break;  // stale
+      }
+      const auto idx = static_cast<std::size_t>(event.job);
+      SJS_CHECK_MSG(remaining_[idx] <
+                        1e-6 * std::max(1.0, job(event.job).workload),
+                    "completion with work left");
+      remaining_[idx] = 0.0;
+      outcomes_[idx] = sim::JobOutcome::kCompleted;
+      result_.completion_times[idx] = now_;
+      halt_server(event.server);
+      result_.completed_value += job(event.job).value;
+      ++result_.completed_count;
+      trace(obs::TraceKind::kComplete, event.job, event.server,
+            job(event.job).value);
+      scheduler_->on_complete(*this, event.job, event.server);
+      break;
+    }
+    case EventType::kExpiry: {
+      const auto idx = static_cast<std::size_t>(event.job);
+      if (outcomes_[idx] != sim::JobOutcome::kPending) break;
+      outcomes_[idx] = sim::JobOutcome::kExpired;
+      ++result_.expired_count;
+      const std::size_t server = placement_[idx];
+      if (server != kNoServer) halt_server(server);
+      trace(obs::TraceKind::kExpire, event.job, server, remaining_[idx],
+            server != kNoServer ? 1.0 : 0.0);
+      scheduler_->on_expire(*this, event.job, server);
+      break;
+    }
+    case EventType::kRelease: {
+      released_[static_cast<std::size_t>(event.job)] = true;
+      const Job& j = job(event.job);
+      trace(obs::TraceKind::kRelease, event.job, kNoServer, j.workload,
+            j.deadline);
+      scheduler_->on_release(*this, event.job);
+      break;
+    }
+  }
+  in_callback_ = false;
+}
+
+void MultiEngine::harvest() {
+  result_.outcomes = outcomes_;
+  result_.executed_work.resize(jobs_->size());
+  for (std::size_t i = 0; i < jobs_->size(); ++i) {
+    result_.executed_work[i] = (*jobs_)[i].workload - remaining_[i];
+  }
+  trace(obs::TraceKind::kRunEnd, kNoJob, kNoServer, result_.completed_value,
+        result_.generated_value);
+  if (sink_) sink_->flush();
+}
+
 MultiSimResult MultiEngine::run_to_completion() {
+  SJS_CHECK_MSG(!live_, "run_to_completion during a live session");
   result_ = MultiSimResult{};
   result_.scheduler_name = scheduler_->name();
   result_.busy_time_per_server.assign(servers_.size(), 0.0);
+  result_.completion_times.assign(jobs_->size(),
+                                  std::numeric_limits<double>::quiet_NaN());
   for (const Job& j : *jobs_) {
     result_.generated_value += j.value;
     push_event(j.release, EventType::kRelease, j.id, kNoServer, 0);
@@ -182,63 +248,142 @@ MultiSimResult MultiEngine::run_to_completion() {
   while (!queue_.empty()) {
     const Event event = queue_.top();
     queue_.pop();
-    now_ = std::max(now_, event.time);
-    advance_all(now_);
-    in_callback_ = true;
-    switch (event.type) {
-      case EventType::kCompletion: {
-        if (event.server == kNoServer ||
-            event.epoch != epochs_[event.server] ||
-            running_[event.server] != event.job) {
-          break;  // stale
-        }
-        const auto idx = static_cast<std::size_t>(event.job);
-        SJS_CHECK_MSG(remaining_[idx] <
-                          1e-6 * std::max(1.0, job(event.job).workload),
-                      "completion with work left");
-        remaining_[idx] = 0.0;
-        outcomes_[idx] = sim::JobOutcome::kCompleted;
-        halt_server(event.server);
-        result_.completed_value += job(event.job).value;
-        ++result_.completed_count;
-        trace(obs::TraceKind::kComplete, event.job, event.server,
-              job(event.job).value);
-        scheduler_->on_complete(*this, event.job, event.server);
-        break;
-      }
-      case EventType::kExpiry: {
-        const auto idx = static_cast<std::size_t>(event.job);
-        if (outcomes_[idx] != sim::JobOutcome::kPending) break;
-        outcomes_[idx] = sim::JobOutcome::kExpired;
-        ++result_.expired_count;
-        const std::size_t server = placement_[idx];
-        if (server != kNoServer) halt_server(server);
-        trace(obs::TraceKind::kExpire, event.job, server, remaining_[idx],
-              server != kNoServer ? 1.0 : 0.0);
-        scheduler_->on_expire(*this, event.job, server);
-        break;
-      }
-      case EventType::kRelease: {
-        released_[static_cast<std::size_t>(event.job)] = true;
-        const Job& j = job(event.job);
-        trace(obs::TraceKind::kRelease, event.job, kNoServer, j.workload,
-              j.deadline);
-        scheduler_->on_release(*this, event.job);
-        break;
-      }
-    }
-    in_callback_ = false;
+    process_event(event);
   }
 
-  result_.outcomes = outcomes_;
-  result_.executed_work.resize(jobs_->size());
-  for (std::size_t i = 0; i < jobs_->size(); ++i) {
-    result_.executed_work[i] = (*jobs_)[i].workload - remaining_[i];
-  }
-  trace(obs::TraceKind::kRunEnd, kNoJob, kNoServer, result_.completed_value,
-        result_.generated_value);
-  if (sink_) sink_->flush();
+  harvest();
   return result_;
+}
+
+// --- Live mode (real-time admission serving) --------------------------------
+
+void MultiEngine::begin_live() {
+  SJS_CHECK_MSG(!live_ && !in_callback_, "begin_live: already live");
+  live_ = true;
+  result_ = MultiSimResult{};
+  result_.scheduler_name = scheduler_->name();
+  result_.busy_time_per_server.assign(servers_.size(), 0.0);
+  result_.completion_times.assign(jobs_->size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+  // A live session normally starts empty, but admit any pre-loaded jobs so a
+  // warm-started fleet behaves like the equivalent replay.
+  for (const Job& j : *jobs_) {
+    result_.generated_value += j.value;
+    push_event(j.release, EventType::kRelease, j.id, kNoServer, 0);
+    push_event(j.deadline, EventType::kExpiry, j.id, kNoServer, 0);
+  }
+  trace(obs::TraceKind::kRunStart, kNoJob, kNoServer,
+        static_cast<double>(jobs_->size()),
+        static_cast<double>(servers_.size()));
+  in_callback_ = true;
+  scheduler_->on_start(*this);
+  in_callback_ = false;
+}
+
+void MultiEngine::reserve_live(std::size_t max_in_flight) {
+  placement_.reserve(max_in_flight);
+  remaining_.reserve(max_in_flight);
+  outcomes_.reserve(max_in_flight);
+  released_.reserve(max_in_flight);
+  result_.completion_times.reserve(max_in_flight);
+}
+
+void MultiEngine::admit_live(JobId id) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "admit_live outside live mode");
+  SJS_CHECK_MSG(static_cast<std::size_t>(id) == placement_.size(),
+                "admit_live out of order: job " << id << ", expected "
+                    << placement_.size());
+  SJS_CHECK_MSG(static_cast<std::size_t>(id) < jobs_->size(),
+                "admit_live before the job was appended");
+  const Job& j = job(id);
+  SJS_CHECK_MSG(j.id == id, "job id out of sync with its position");
+  SJS_CHECK_MSG(j.release >= now_ - 1e-12,
+                "admit_live in the past: release " << j.release << " < now "
+                    << now_);
+  // Dense append: live ids stay == admission order, exactly as the replayed
+  // Instance canonical form requires. Release-then-expiry push order per job
+  // matches run_to_completion's loop, so relative seq order within every
+  // (time, type) class — the only thing the tie-break reads — is identical.
+  util::append(placement_, kNoServer);
+  util::append(remaining_, j.workload);
+  util::append(outcomes_, sim::JobOutcome::kPending);
+  released_.push_back(false);
+  result_.generated_value += j.value;
+  util::append(result_.completion_times,
+               std::numeric_limits<double>::quiet_NaN());
+  push_event(j.release, EventType::kRelease, id, kNoServer, 0);
+  push_event(j.deadline, EventType::kExpiry, id, kNoServer, 0);
+}
+
+bool MultiEngine::cancel_live(JobId id) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "cancel_live outside live mode");
+  if (!is_live(id)) return false;
+  // Deliver an ordinary expiry interrupt at the current instant; the job's
+  // original expiry event stays queued and later pops as a no-op.
+  advance_all(now_);
+  process_event(Event{now_, EventType::kExpiry, next_seq_++, id, kNoServer, 0});
+  return true;
+}
+
+void MultiEngine::advance_to(double t) {
+  SJS_CHECK_MSG(live_ && !in_callback_, "advance_to outside live mode");
+  SJS_CHECK_MSG(t >= now_ - 1e-12,
+                "advance_to moving backwards: " << t << " < " << now_);
+  while (!queue_.empty() && queue_.top().time < t) {
+    const Event event = queue_.top();
+    queue_.pop();
+    process_event(event);
+  }
+  now_ = std::max(now_, t);
+  // last_advance_ deliberately stays at the last processed event: execution
+  // integrals must be subdivided at event times only, exactly as replay
+  // subdivides them, or remaining workloads drift by ulps.
+}
+
+double MultiEngine::next_event_time() const {
+  if (queue_.empty()) return std::numeric_limits<double>::infinity();
+  return queue_.top().time;
+}
+
+const MultiSimResult& MultiEngine::finish_live() {
+  SJS_CHECK_MSG(live_ && !in_callback_, "finish_live outside live mode");
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    process_event(event);
+  }
+  harvest();
+  live_ = false;
+  return result_;
+}
+
+sim::JobOutcome MultiEngine::outcome(JobId id) const {
+  SJS_CHECK(id >= 0 && static_cast<std::size_t>(id) < outcomes_.size());
+  return outcomes_[static_cast<std::size_t>(id)];
+}
+
+void save_multi_outcomes_csv(const MultiSimResult& result,
+                             const std::vector<Job>& jobs,
+                             const std::string& path) {
+  CsvWriter w(path);
+  w.write_row({"id", "outcome", "completion", "value_collected"});
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const char* outcome = "pending";
+    double collected = 0.0;
+    std::string completion;
+    if (result.outcomes[i] == sim::JobOutcome::kCompleted) {
+      outcome = "completed";
+      collected = i < jobs.size() ? jobs[i].value : 0.0;
+      if (i < result.completion_times.size() &&
+          !std::isnan(result.completion_times[i])) {
+        completion = format_double(result.completion_times[i]);
+      }
+    } else if (result.outcomes[i] == sim::JobOutcome::kExpired) {
+      outcome = "expired";
+    }
+    w.write_row({std::to_string(i), outcome, completion,
+                 format_double(collected)});
+  }
 }
 
 }  // namespace sjs::cloud

@@ -59,12 +59,28 @@ struct MultiSimResult {
   std::uint64_t migrations = 0;  ///< dispatches onto a different server
   std::vector<sim::JobOutcome> outcomes;
   std::vector<double> executed_work;
+  std::vector<double> completion_times;  ///< NaN while pending/expired
   std::vector<double> busy_time_per_server;
+
+  // Fleet-rental accounting (filled by cluster::Dispatcher-driven runs;
+  // zero for plain MultiEngine runs).
+  double rental_cost = 0.0;          ///< integral of cost_rate over rented time
+  double rented_machine_time = 0.0;  ///< integral of rented-machine count
+  std::uint64_t rent_events = 0;
+  std::uint64_t release_events = 0;
+  std::uint64_t rented_peak = 0;  ///< max machines rented at once
 
   double value_fraction() const {
     return generated_value > 0.0 ? completed_value / generated_value : 0.0;
   }
 };
+
+/// Writes the per-job outcome table in the exact byte format of
+/// sim::save_outcomes_csv ("id,outcome,completion,value_collected", %.17g) so
+/// a live cluster session and its replay can be diffed byte-for-byte.
+void save_multi_outcomes_csv(const MultiSimResult& result,
+                             const std::vector<Job>& jobs,
+                             const std::string& path);
 
 class MultiEngine {
  public:
@@ -76,6 +92,34 @@ class MultiEngine {
               GlobalScheduler& scheduler);
 
   MultiSimResult run_to_completion();
+
+  // --- live mode (real-time admission serving; mirrors sim::Engine) ---
+  /// Enters live mode: no pre-loaded events beyond jobs already present in
+  /// the backing vector (a warm-started fleet behaves like its replay).
+  void begin_live();
+  /// Pre-sizes per-job tables for a bounded-in-flight session.
+  void reserve_live(std::size_t max_in_flight);
+  /// Registers the job at `id` (must already be appended to the backing jobs
+  /// vector, dense id == position, release >= now). Pushes its release and
+  /// expiry events exactly as replay does, so relative event order — and
+  /// therefore every outcome byte — matches the replayed session.
+  void admit_live(JobId id);
+  /// Force-expires a live job at the current instant. Subdivides the running
+  /// job's execution integral at now(), so cancel-bearing sessions are
+  /// excluded from the bit-exact replay guarantee (same caveat as
+  /// sim::Engine::cancel_live).
+  bool cancel_live(JobId id);
+  /// Processes every event strictly before t, then moves the clock to t.
+  /// Execution integrals are subdivided at event times only, exactly as
+  /// replay subdivides them, or remaining workloads drift by ulps.
+  void advance_to(double t);
+  /// Time of the earliest pending event, or +inf when idle.
+  double next_event_time() const;
+  /// Drains all pending events and harvests the result.
+  const MultiSimResult& finish_live();
+  bool live_mode() const { return live_; }
+  /// Outcome of an admitted job (pending/completed/expired).
+  sim::JobOutcome outcome(JobId id) const;
 
   /// Attaches a trace sink (src/obs/); events carry the server index in
   /// TraceEvent::server and migrations are recorded as kMigrate. Same
@@ -146,6 +190,10 @@ class MultiEngine {
   /// Bookkeeping stop of the job on `server` (no callback).
   void halt_server(std::size_t server);
   void schedule_completion(std::size_t server);
+  /// Pops and dispatches one event (shared by replay and live mode).
+  void process_event(const Event& event);
+  /// Copies outcome tables into result_ and closes the trace stream.
+  void harvest();
 
   const std::vector<Job>* jobs_;
   std::vector<cap::CapacityProfile> servers_;
@@ -163,6 +211,7 @@ class MultiEngine {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::uint64_t next_seq_ = 0;
   bool in_callback_ = false;
+  bool live_ = false;
   obs::TraceSink* sink_ = nullptr;
   MultiSimResult result_;
 };

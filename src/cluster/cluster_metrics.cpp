@@ -1,0 +1,33 @@
+#include "cluster/cluster_metrics.hpp"
+
+#include <algorithm>
+
+namespace sjs::cluster {
+
+void publish_cluster_metrics(const cloud::MultiSimResult& result, double span,
+                             obs::MetricsRegistry::Shard& shard) {
+  shard.count(obs::kCounterClusterDispatches,
+              static_cast<double>(result.dispatches));
+  shard.count(obs::kCounterClusterPreemptions,
+              static_cast<double>(result.preemptions));
+  shard.count(obs::kCounterClusterMigrations,
+              static_cast<double>(result.migrations));
+  shard.count(obs::kCounterClusterRentEvents,
+              static_cast<double>(result.rent_events));
+  shard.count(obs::kCounterClusterReleaseEvents,
+              static_cast<double>(result.release_events));
+  shard.count(obs::kCounterClusterCostAccrued, result.rental_cost);
+  shard.set_gauge(obs::kGaugeClusterRentedMachines,
+                  static_cast<double>(result.rented_peak));
+  shard.set_gauge(obs::kGaugeClusterRentedMachineTime,
+                  result.rented_machine_time);
+  if (span > 0.0) {
+    for (std::size_t k = 0; k < result.busy_time_per_server.size(); ++k) {
+      shard.set_gauge(obs::cluster_util_gauge(k),
+                      std::clamp(result.busy_time_per_server[k] / span, 0.0,
+                                 1.0));
+    }
+  }
+}
+
+}  // namespace sjs::cluster

@@ -1,0 +1,17 @@
+// Publishes a cluster run's MultiSimResult into the obs metrics surface:
+// placement/rental counters plus per-server utilisation gauges
+// (cluster.util.server<k> = busy time / session span).
+#pragma once
+
+#include "cloud/multi_engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace sjs::cluster {
+
+/// `span` is the session's virtual duration (last event time, or the horizon
+/// for MC runs); utilisation gauges divide busy time by it. A non-positive
+/// span publishes the counters only.
+void publish_cluster_metrics(const cloud::MultiSimResult& result, double span,
+                             obs::MetricsRegistry::Shard& shard);
+
+}  // namespace sjs::cluster

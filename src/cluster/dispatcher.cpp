@@ -1,0 +1,180 @@
+#include "cluster/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace sjs::cluster {
+
+Dispatcher::Dispatcher(const Fleet& fleet, const DispatcherConfig& config,
+                       std::unique_ptr<RentalController> rental)
+    : fleet_(&fleet), config_(config), rental_(std::move(rental)) {
+  SJS_CHECK_MSG(fleet.size() > 0, "dispatcher needs a non-empty fleet");
+  SJS_CHECK_MSG(config_.min_rented >= 1, "min_rented must be at least 1");
+  SJS_CHECK_MSG(config_.min_rented <= fleet.size(),
+                "min_rented exceeds the fleet");
+  rented_.assign(fleet.size(), 0);
+  chosen_.assign(fleet.size(), kNoJob);
+  available_.assign(fleet.size(), 0);
+}
+
+std::string Dispatcher::name() const {
+  std::string out = config_.key == cloud::GlobalKey::kDeadline
+                        ? "Cluster-EDF"
+                        : "Cluster-HVDF";
+  out += '/';
+  out += rental_ ? rental_->name() : "static";
+  return out;
+}
+
+double Dispatcher::priority(const cloud::MultiEngine& engine,
+                            JobId job) const {
+  const Job& j = engine.job(job);
+  // Lower is better; negate density so higher density sorts first.
+  return config_.key == cloud::GlobalKey::kDeadline ? j.deadline
+                                                    : -j.value_density();
+}
+
+void Dispatcher::accrue(double t) {
+  const double dt = t - last_accrual_;
+  if (dt > 0.0) {
+    cost_ += rented_cost_rate_ * dt;
+    rented_time_ += static_cast<double>(rented_count_) * dt;
+    last_accrual_ = t;
+  }
+}
+
+void Dispatcher::settle(double t) { accrue(t); }
+
+void Dispatcher::apply_accounting(cloud::MultiSimResult* result) const {
+  result->rental_cost = cost_;
+  result->rented_machine_time = rented_time_;
+  result->rent_events = rent_events_;
+  result->release_events = release_events_;
+  result->rented_peak = rented_peak_;
+}
+
+void Dispatcher::apply_rental(cloud::MultiEngine& engine) {
+  const std::size_t fleet_size = fleet_->size();
+  std::size_t target = rented_count_;
+  if (rental_) {
+    target = rental_->target_machines(
+        FleetLoad{engine.now(), live_.size(), rented_count_, fleet_size});
+  } else {
+    target = fleet_size;
+  }
+  target = std::clamp(target, config_.min_rented, fleet_size);
+  // Budget exhausted: pin the fleet to its floor. Enforcement is at
+  // interrupt granularity (cost is accrued before this check), so the final
+  // interval may overshoot by one accrual.
+  if (config_.budget > 0.0 && cost_ >= config_.budget) {
+    target = config_.min_rented;
+  }
+
+  while (rented_count_ < target) {
+    std::size_t s = 0;
+    while (rented_[s]) ++s;
+    rented_[s] = 1;
+    ++rented_count_;
+    rented_cost_rate_ += fleet_->spec(s).cost_rate;
+    ++rent_events_;
+  }
+  while (rented_count_ > target) {
+    std::size_t s = fleet_size;
+    while (s > 0 && !rented_[s - 1]) --s;
+    --s;
+    // Evict whatever runs there; the job stays live and re-queues in place().
+    if (engine.running_on(s) != kNoJob) engine.idle(s);
+    rented_[s] = 0;
+    --rented_count_;
+    rented_cost_rate_ -= fleet_->spec(s).cost_rate;
+    ++release_events_;
+  }
+  rented_peak_ = std::max(rented_peak_,
+                          static_cast<std::uint64_t>(rented_count_));
+}
+
+void Dispatcher::place(cloud::MultiEngine& engine) {
+  const std::size_t fleet_size = fleet_->size();
+
+  // Top-R live jobs by priority, R = rented machines.
+  std::size_t n = 0;
+  for (const auto& [prio, job] : live_) {
+    if (n == rented_count_) break;
+    chosen_[n++] = job;
+  }
+
+  // Assign in priority order: each winner takes the fastest still-available
+  // rented machine, staying put when its current machine ties the maximum
+  // (no gratuitous migration among equal machines).
+  for (std::size_t s = 0; s < fleet_size; ++s) available_[s] = rented_[s];
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobId job = chosen_[i];
+    std::size_t best = cloud::kNoServer;
+    for (std::size_t s = 0; s < fleet_size; ++s) {
+      if (!available_[s]) continue;
+      if (best == cloud::kNoServer ||
+          engine.server_rate(s) > engine.server_rate(best)) {
+        best = s;
+      }
+    }
+    const std::size_t current = engine.server_of(job);
+    std::size_t target = best;
+    if (current != cloud::kNoServer && available_[current] &&
+        engine.server_rate(current) >= engine.server_rate(best)) {
+      target = current;
+    }
+    available_[target] = 0;
+    if (current != target) engine.run_on(target, job);
+  }
+  // Any remaining rented machine still executing a non-winner goes idle.
+  for (std::size_t s = 0; s < fleet_size; ++s) {
+    if (available_[s] && engine.running_on(s) != kNoJob) {
+      engine.idle(s);
+    }
+  }
+}
+
+void Dispatcher::handle_interrupt(cloud::MultiEngine& engine) {
+  accrue(engine.now());
+  apply_rental(engine);
+  place(engine);
+}
+
+void Dispatcher::on_start(cloud::MultiEngine& engine) {
+  SJS_CHECK_MSG(engine.server_count() == fleet_->size(),
+                "engine has " << engine.server_count() << " servers, fleet "
+                              << fleet_->size());
+  handle_interrupt(engine);
+}
+
+void Dispatcher::on_release(cloud::MultiEngine& engine, JobId job) {
+  live_.emplace(priority(engine, job), job);
+  handle_interrupt(engine);
+}
+
+void Dispatcher::on_complete(cloud::MultiEngine& engine, JobId job,
+                             std::size_t /*server*/) {
+  live_.erase({priority(engine, job), job});
+  handle_interrupt(engine);
+}
+
+void Dispatcher::on_expire(cloud::MultiEngine& engine, JobId job,
+                           std::size_t /*server*/) {
+  live_.erase({priority(engine, job), job});
+  handle_interrupt(engine);
+}
+
+cloud::MultiSimResult run_cluster(const std::vector<Job>& jobs,
+                                  std::vector<cap::CapacityProfile> paths,
+                                  Dispatcher& dispatcher,
+                                  obs::TraceSink* sink) {
+  cloud::MultiEngine engine(jobs, std::move(paths), dispatcher);
+  if (sink) engine.attach_trace(sink);
+  cloud::MultiSimResult result = engine.run_to_completion();
+  dispatcher.settle(engine.now());
+  dispatcher.apply_accounting(&result);
+  return result;
+}
+
+}  // namespace sjs::cluster

@@ -1,0 +1,110 @@
+// Fleet model — a heterogeneous set of rentable machines.
+//
+// Each machine is described by a ServerSpec: a base capacity band
+// [c_lo, c_hi] (the paper's C(c_lo, c_hi) class per machine), a speed-class
+// multiplier applied to the whole band (the busy-time-on-heterogeneous-
+// machines setting of arXiv 2402.11109), and a rental cost rate — cost
+// accrues at cost_rate per unit of virtual time while the machine is rented
+// (the cost-efficient-machines model of arXiv 1609.01184).
+//
+// A Fleet is an ordered list of specs; order is load-bearing: the dispatcher
+// rents lowest-index-first and releases highest-index-first, so presets put
+// the machines worth holding longest at the front.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_profile.hpp"
+#include "capacity/capacity_process.hpp"
+#include "capacity/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/vec.hpp"
+
+namespace sjs::cluster {
+
+struct ServerSpec {
+  double c_lo = 1.0;      ///< base band floor (before speed scaling)
+  double c_hi = 35.0;     ///< base band ceiling
+  double speed = 1.0;     ///< speed-class multiplier on the whole band
+  double cost_rate = 1.0; ///< rental cost per unit virtual time while rented
+
+  /// Effective band after speed scaling.
+  double lo() const { return c_lo * speed; }
+  double hi() const { return c_hi * speed; }
+};
+
+/// Preset speed classes: cost grows slightly superlinearly with speed, so an
+/// elastic policy has a real decision to make.
+ServerSpec small_spec();     ///< speed 0.5, cost 0.45
+ServerSpec standard_spec();  ///< speed 1.0, cost 1.0
+ServerSpec large_spec();     ///< speed 2.0, cost 2.2
+
+/// How a fleet's capacity paths are drawn for simulation runs.
+struct ScenarioConfig {
+  cap::ScenarioKind kind = cap::ScenarioKind::kSteady;
+  // Two-state CTMC base shared by every scenario (band comes per server
+  // from its spec).
+  double mean_sojourn_lo = 6.0;
+  double mean_sojourn_hi = 14.0;
+  double p_start_hi = 0.7;
+  cap::DiurnalParams diurnal;
+  cap::FlashCrowdParams flash;
+  cap::CorrelatedOutageParams outage;
+};
+
+class Fleet {
+ public:
+  Fleet() = default;
+
+  /// Configuration-time wiring; add() is never called after a run starts
+  /// (growth routes through util::append for the hot-path alloc gate, which
+  /// cannot tell this `add` from TeeSink::add by name).
+  void add(const ServerSpec& spec) { util::append(specs_, spec); }
+
+  /// k identical machines.
+  static Fleet uniform(std::size_t k, const ServerSpec& spec);
+  /// k machines cycling large / standard / small (fastest first, so the
+  /// lowest-rented configuration keeps the strongest machine).
+  static Fleet heterogeneous(std::size_t k);
+
+  std::size_t size() const { return specs_.size(); }
+  const ServerSpec& spec(std::size_t k) const { return specs_[k]; }
+  const std::vector<ServerSpec>& specs() const { return specs_; }
+
+  /// Admission floor for Thm. 3(3) rejection: the strongest per-machine
+  /// c_lo — a job needs only one machine, so it is hopeless only if even the
+  /// best guaranteed floor cannot finish it in its window.
+  double admission_c_lo() const;
+  /// Largest effective ceiling across machines.
+  double max_hi() const;
+  /// Total cost rate of the whole fleet (budget sizing).
+  double total_cost_rate() const;
+
+  /// Serving paths: constant capacity at each machine's effective ceiling
+  /// (the live server's analogue of the single-server constant-rate mode).
+  std::vector<cap::CapacityProfile> constant_paths() const;
+
+  /// Per-server CTMC base params with each machine's effective band.
+  std::vector<cap::TwoStateMarkovParams> ctmc_bases(
+      const ScenarioConfig& config) const;
+
+  /// Draws one fleet of capacity paths for the configured scenario. Draw
+  /// order is fixed (see capacity/scenario.hpp), so (seed, run) pins the
+  /// whole fleet. `info` reports the correlated event when the scenario has
+  /// one.
+  std::vector<cap::CapacityProfile> sample_paths(
+      const ScenarioConfig& config, double horizon, Rng& rng,
+      cap::FleetEventInfo* info = nullptr) const;
+
+ private:
+  std::vector<ServerSpec> specs_;
+};
+
+/// fleet.csv round-trip ("server,c_lo,c_hi,speed,cost_rate", %.17g) — the
+/// cluster journal's fleet description, replayed bit-exactly.
+void save_fleet_csv(const Fleet& fleet, const std::string& path);
+Fleet load_fleet_csv(const std::string& path);
+
+}  // namespace sjs::cluster

@@ -1,0 +1,57 @@
+#include "cluster/rental.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace sjs::cluster {
+
+ThresholdRentalController::ThresholdRentalController(double rent_above,
+                                                     double release_below)
+    : rent_above_(rent_above), release_below_(release_below) {
+  SJS_CHECK(rent_above > 0.0 && release_below >= 0.0);
+  SJS_CHECK_MSG(release_below < rent_above,
+                "hysteresis band is inverted: release "
+                    << release_below << " >= rent " << rent_above);
+}
+
+std::size_t ThresholdRentalController::target_machines(const FleetLoad& load) {
+  if (load.rented == 0) return load.live_jobs > 0 ? 1 : 0;
+  const double per = static_cast<double>(load.live_jobs) /
+                     static_cast<double>(load.rented);
+  if (per > rent_above_) return load.rented + 1;
+  if (per < release_below_) return load.rented - 1;
+  return load.rented;
+}
+
+LoadTrackingRentalController::LoadTrackingRentalController(
+    double alpha, double jobs_per_machine)
+    : alpha_(alpha), jobs_per_machine_(jobs_per_machine) {
+  SJS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  SJS_CHECK(jobs_per_machine > 0.0);
+}
+
+std::size_t LoadTrackingRentalController::target_machines(
+    const FleetLoad& load) {
+  const double jobs = static_cast<double>(load.live_jobs);
+  ewma_ = primed_ ? alpha_ * jobs + (1.0 - alpha_) * ewma_ : jobs;
+  primed_ = true;
+  return static_cast<std::size_t>(std::ceil(ewma_ / jobs_per_machine_));
+}
+
+std::unique_ptr<RentalController> make_rental_controller(
+    const std::string& name) {
+  if (name == "threshold") {
+    return std::make_unique<ThresholdRentalController>();
+  }
+  if (name == "load") {
+    return std::make_unique<LoadTrackingRentalController>();
+  }
+  if (name == "static" || name.empty()) {
+    return nullptr;
+  }
+  throw std::runtime_error("unknown rental controller: " + name);
+}
+
+}  // namespace sjs::cluster

@@ -1,0 +1,76 @@
+// Elastic machine-rental policies — how many machines the dispatcher should
+// hold rented, decided online from observable load only.
+//
+// The controller sees a FleetLoad snapshot at every engine interrupt and
+// answers with a desired rented-machine count; the dispatcher clamps the
+// answer to [min_rented, fleet_size], applies the cost budget, and performs
+// the actual rent/release transitions (lowest-index rents first,
+// highest-index releases first — fleet order encodes machine preference).
+//
+// Controllers are deterministic state machines driven purely by the interrupt
+// sequence, so a replayed session reproduces every rental decision exactly.
+// Hot-path discipline: target_machines() runs inside scheduler callbacks and
+// must not allocate.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace sjs::cluster {
+
+/// Online-observable load snapshot at one engine interrupt.
+struct FleetLoad {
+  double now = 0.0;
+  std::size_t live_jobs = 0;   ///< released, neither completed nor expired
+  std::size_t rented = 0;      ///< machines currently rented
+  std::size_t fleet_size = 0;  ///< machines available to rent
+};
+
+class RentalController {
+ public:
+  virtual ~RentalController() = default;
+  /// Desired rented count for this load; called at every interrupt.
+  virtual std::size_t target_machines(const FleetLoad& load) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Hysteresis on instantaneous jobs-per-machine: rent one more machine when
+/// the ratio exceeds rent_above, release one when it falls below
+/// release_below. The dead band between the two prevents rent/release
+/// flapping on every completion.
+class ThresholdRentalController final : public RentalController {
+ public:
+  explicit ThresholdRentalController(double rent_above = 2.0,
+                                     double release_below = 0.75);
+  std::size_t target_machines(const FleetLoad& load) override;
+  std::string name() const override { return "threshold"; }
+
+ private:
+  double rent_above_;
+  double release_below_;
+};
+
+/// Exponentially-weighted moving average of the live-job count, sized to
+/// jobs_per_machine: smooth tracking instead of hysteresis, so the fleet
+/// follows sustained load shifts and ignores single-job noise.
+class LoadTrackingRentalController final : public RentalController {
+ public:
+  explicit LoadTrackingRentalController(double alpha = 0.3,
+                                        double jobs_per_machine = 1.5);
+  std::size_t target_machines(const FleetLoad& load) override;
+  std::string name() const override { return "load"; }
+
+ private:
+  double alpha_;
+  double jobs_per_machine_;
+  double ewma_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Factory: "threshold", "load", or "static" (nullptr — the dispatcher keeps
+/// the whole fleet rented). Throws on an unknown name.
+std::unique_ptr<RentalController> make_rental_controller(
+    const std::string& name);
+
+}  // namespace sjs::cluster

@@ -1,0 +1,70 @@
+// Monte-Carlo driver for the cluster plane: seeded fleets of capacity paths
+// (capacity/scenario.hpp) under a cluster::Dispatcher on cloud::MultiEngine.
+//
+// Same determinism contract as run_monte_carlo: run r of master seed S draws
+// the same job stream and the same fleet sample paths via Rng(S, r)
+// regardless of thread count, every run writes only its own result slot, and
+// per-run digests land in run-indexed slots so the combined digest is a
+// thread-count-independent determinism check (the cluster digest gate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/global_sched.hpp"
+#include "cluster/dispatcher.hpp"
+#include "cluster/fleet.hpp"
+#include "jobs/workload_gen.hpp"
+#include "obs/metrics.hpp"
+#include "stats/summary.hpp"
+
+namespace sjs::mc {
+
+struct ClusterMcConfig {
+  /// Arrival shape. Set jobs.c_lo to fleet.admission_c_lo() so relative
+  /// deadlines are sized to the strongest machine's floor (the fleet's
+  /// admission bound).
+  gen::JobGenParams jobs;
+  cluster::Fleet fleet = cluster::Fleet::heterogeneous(4);
+  cluster::ScenarioConfig scenario;
+  cloud::GlobalKey key = cloud::GlobalKey::kDeadline;
+  std::string rental = "threshold";  ///< "static" | "threshold" | "load"
+  double budget = 0.0;               ///< <= 0: unlimited
+  std::size_t min_rented = 1;
+  std::size_t runs = 32;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  bool compute_digests = false;
+  /// Optional metrics sink (cluster.* counters and gauges per run). Not
+  /// owned; snapshot only after run_cluster_mc returns.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct ClusterAggregate {
+  std::string scheduler_name;  ///< dispatcher name, e.g. "Cluster-EDF/threshold"
+  std::string scenario;        ///< scenario label
+  std::vector<double> value_fractions;  ///< per-run captured value fraction
+  Summary fraction_summary;
+  double mean_completed = 0.0;
+  double mean_expired = 0.0;
+  double mean_dispatches = 0.0;
+  double mean_preemptions = 0.0;
+  double mean_migrations = 0.0;
+  double mean_rent_events = 0.0;
+  double mean_release_events = 0.0;
+  double mean_rented_peak = 0.0;
+  double mean_cost = 0.0;
+  double mean_rented_machine_time = 0.0;
+  /// Mean per-server utilisation (busy time / horizon), fleet order.
+  std::vector<double> mean_util_per_server;
+  std::vector<std::uint64_t> run_digests;  ///< only when compute_digests
+  std::uint64_t combined_digest = 0;
+};
+
+/// Runs `config.runs` seeded (jobs, fleet-paths) instances through a fresh
+/// dispatcher each (rental controllers are stateful).
+ClusterAggregate run_cluster_mc(const ClusterMcConfig& config);
+
+}  // namespace sjs::mc

@@ -146,6 +146,32 @@ inline constexpr const char* kGaugeTimerBucketPeak =
 inline constexpr const char* kGaugeQueuePeak = "sched.queue.peak";
 inline constexpr const char* kGaugeQueueSlots = "sched.queue.slots";
 
+// Cluster plane (cluster::Dispatcher over cloud::MultiEngine). Counters
+// accumulate across runs: placement churn (dispatches / preemptions /
+// migrations), fleet elasticity (rent / release events), and the rental-cost
+// integral. Gauges merge by maximum: rented_machines is the rented-fleet
+// high-water mark; per-server utilisation gauges are built by
+// cluster_util_gauge(k) as "cluster.util.server<k>" — busy time over session
+// span, per machine.
+inline constexpr const char* kCounterClusterDispatches = "cluster.dispatches";
+inline constexpr const char* kCounterClusterPreemptions =
+    "cluster.preemptions";
+inline constexpr const char* kCounterClusterMigrations = "cluster.migrations";
+inline constexpr const char* kCounterClusterRentEvents = "cluster.rent_events";
+inline constexpr const char* kCounterClusterReleaseEvents =
+    "cluster.release_events";
+inline constexpr const char* kCounterClusterCostAccrued =
+    "cluster.cost_accrued";
+inline constexpr const char* kGaugeClusterRentedMachines =
+    "cluster.rented_machines";
+inline constexpr const char* kGaugeClusterRentedMachineTime =
+    "cluster.rented_machine_time";
+
+/// Per-server utilisation gauge name, "cluster.util.server<k>".
+inline std::string cluster_util_gauge(std::size_t server) {
+  return "cluster.util.server" + std::to_string(server);
+}
+
 /// Bridges a trace stream into a metrics shard: per-kind event counters
 /// ("trace.release", "trace.dispatch", ...) plus derived distributions —
 /// "job.response_time" (completion - release) and "job.slack_at_completion"

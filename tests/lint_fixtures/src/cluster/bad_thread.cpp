@@ -1,0 +1,17 @@
+// Fixture: raw-concurrency — src/cluster/ sits inside the single-threaded
+// serving plane, so raw primitives are flagged there exactly as in
+// src/serve/; the suppressed member stays silent.
+#include <atomic>
+#include <mutex>
+
+namespace sjs::cluster {
+
+struct BadFleetPlane {
+  void settle() { std::lock_guard<std::mutex> lock(mu_); }
+
+  std::mutex mu_;
+  // sjs-lint: allow(raw-concurrency): fixture proves suppression works
+  std::atomic<int> suppressed_{0};
+};
+
+}  // namespace sjs::cluster

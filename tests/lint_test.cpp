@@ -157,6 +157,14 @@ TEST(LintTest, RawConcurrencyCoversSchedDirectory) {
   EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 2) << r.output;
 }
 
+TEST(LintTest, RawConcurrencyCoversClusterDirectory) {
+  const auto r = run_lint(fixture_args(fx("src/cluster/bad_thread.cpp")));
+  EXPECT_EQ(r.exit_code, 1);
+  // lock_guard + mutex (same line) + mutex member; the suppressed atomic
+  // stays silent.
+  EXPECT_EQ(count_findings(r.output, "raw-concurrency"), 3) << r.output;
+}
+
 TEST(LintTest, RawConcurrencyIgnoresConcDirectory) {
   // conc/ is where the primitives are supposed to live — no findings there.
   const auto r = run_lint(fixture_args(fx("src/conc/good_channel.cpp")));

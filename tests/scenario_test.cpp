@@ -1,0 +1,238 @@
+// Tests for the fleet capacity scenarios (src/capacity/scenario.hpp) and the
+// cluster fleet model's path sampling (src/cluster/fleet.hpp): fixed-seed
+// goldens (the deterministic-RNG seam pins every sampled path bit-for-bit),
+// CTMC stationarity of the diurnal base chain, exact-k correlated outages,
+// and the scale_profile building block.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "capacity/scenario.hpp"
+#include "cluster/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sjs::Rng;
+using sjs::cap::CapacityProfile;
+using sjs::cap::FleetEventInfo;
+using sjs::cap::ScenarioKind;
+using sjs::cap::TwoStateMarkovParams;
+
+TwoStateMarkovParams paper_base() {
+  TwoStateMarkovParams base;
+  base.c_lo = 1.0;
+  base.c_hi = 35.0;
+  base.mean_sojourn_lo = 6.0;
+  base.mean_sojourn_hi = 14.0;
+  base.p_start_hi = 0.7;
+  return base;
+}
+
+/// A degenerate CTMC pinned at a constant rate: both states collapse to
+/// `rate`, so correlated-event factor paths are exactly visible.
+TwoStateMarkovParams constant_base(double rate) {
+  TwoStateMarkovParams base;
+  base.c_lo = rate;
+  base.c_hi = rate;
+  return base;
+}
+
+TEST(ScenarioTest, NamesRoundTrip) {
+  for (const ScenarioKind kind : sjs::cap::all_scenarios()) {
+    ScenarioKind parsed{};
+    ASSERT_TRUE(sjs::cap::parse_scenario(sjs::cap::scenario_name(kind),
+                                         &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  ScenarioKind ignored{};
+  EXPECT_FALSE(sjs::cap::parse_scenario("full-moon", &ignored));
+  EXPECT_EQ(sjs::cap::all_scenarios().size(), 4u);
+}
+
+TEST(ScenarioTest, DiurnalFixedSeedGolden) {
+  // The deterministic RNG seam makes the sampled path a stable artifact:
+  // these values only change if the draw order or the modulation arithmetic
+  // changes, which is exactly what this golden is guarding.
+  Rng rng(123, 0);
+  const CapacityProfile p =
+      sjs::cap::sample_diurnal_ctmc(paper_base(), sjs::cap::DiurnalParams{},
+                                    100.0, rng);
+  ASSERT_EQ(p.breakpoints().size(), 17u);
+  EXPECT_DOUBLE_EQ(p.breakpoints()[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.rates()[0], 25.855133175232634);
+  EXPECT_DOUBLE_EQ(p.breakpoints()[1], 6.5972787228618097);
+  EXPECT_DOUBLE_EQ(p.rates()[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.breakpoints()[2], 9.3228450054797811);
+  EXPECT_DOUBLE_EQ(p.rates()[2], 28.849366186229805);
+  EXPECT_DOUBLE_EQ(p.rate(50.0), 34.912737586012867);
+}
+
+TEST(ScenarioTest, DiurnalStaysInsideBandAndActuallyModulates) {
+  const TwoStateMarkovParams base = paper_base();
+  Rng rng(99, 5);
+  const CapacityProfile p =
+      sjs::cap::sample_diurnal_ctmc(base, sjs::cap::DiurnalParams{}, 400.0,
+                                    rng);
+  std::size_t distinct_high = 0;
+  for (const double r : p.rates()) {
+    EXPECT_GE(r, base.c_lo);
+    EXPECT_LE(r, base.c_hi);
+    if (r > base.c_lo && r < base.c_hi) ++distinct_high;
+  }
+  // The sinusoid grid subdivides high sojourns, so strictly interior rates
+  // must appear — a plain two-state chain would only ever emit the extremes.
+  EXPECT_GT(distinct_high, 4u);
+}
+
+TEST(ScenarioTest, DiurnalHighStateStationaryFraction) {
+  // The modulation never touches *when* the chain is high, only how high:
+  // the time-weighted fraction of rates above c_lo must match the CTMC's
+  // stationary high-state probability hi/(lo+hi) = 14/20 = 0.7.
+  const TwoStateMarkovParams base = paper_base();
+  const double horizon = 40000.0;
+  double high_time = 0.0;
+  Rng rng(2024, 0);
+  const CapacityProfile p = sjs::cap::sample_diurnal_ctmc(
+      base, sjs::cap::DiurnalParams{}, horizon, rng);
+  const auto& times = p.breakpoints();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double end = i + 1 < times.size() ? times[i + 1] : horizon;
+    if (end <= times[i]) continue;
+    if (p.rates()[i] > base.c_lo) high_time += end - times[i];
+  }
+  EXPECT_NEAR(high_time / horizon, 0.7, 0.05);
+}
+
+TEST(ScenarioTest, ScaleProfileMergesBreakpointsAndMultiplies) {
+  const CapacityProfile base = sjs::cap::square_wave(2.0, 8.0, 5.0, 5.0, 30.0);
+  const CapacityProfile scaled =
+      sjs::cap::scale_profile(base, {0.0, 7.5, 12.0}, {1.0, 0.5, 2.0});
+  // Sample on both sides of every breakpoint of both operands.
+  for (const double t : {0.0, 4.9, 5.1, 7.4, 7.6, 9.9, 10.1, 11.9, 12.1,
+                         14.9, 15.1, 29.0}) {
+    double factor = 1.0;
+    if (t >= 12.0) {
+      factor = 2.0;
+    } else if (t >= 7.5) {
+      factor = 0.5;
+    }
+    EXPECT_DOUBLE_EQ(scaled.rate(t), base.rate(t) * factor) << "t=" << t;
+  }
+}
+
+TEST(ScenarioTest, FlashCrowdCollapsesAndRecoversTheWholeFleet) {
+  const double horizon = 200.0;
+  const std::vector<TwoStateMarkovParams> bases(3, constant_base(10.0));
+  sjs::cap::FlashCrowdParams params;
+  Rng rng(31, 2);
+  FleetEventInfo info;
+  const auto paths =
+      sjs::cap::sample_flash_crowd_fleet(bases, params, horizon, rng, &info);
+  ASSERT_EQ(paths.size(), 3u);
+  // Shared epoch inside the configured window; everyone is affected.
+  EXPECT_GE(info.event_time, params.epoch_fraction_lo * horizon);
+  EXPECT_LE(info.event_time, params.epoch_fraction_hi * horizon);
+  EXPECT_DOUBLE_EQ(info.event_end, info.event_time +
+                                       params.collapse_duration +
+                                       params.recovery_duration);
+  EXPECT_EQ(info.affected.size(), 3u);
+  for (const auto& p : paths) {
+    // Before the epoch and after full recovery: the untouched base rate.
+    EXPECT_DOUBLE_EQ(p.rate(info.event_time * 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(p.rate(info.event_end + 1.0), 10.0);
+    // During the collapse: the shared factor, exactly.
+    EXPECT_DOUBLE_EQ(p.rate(info.event_time + 1.0),
+                     10.0 * params.collapse_fraction);
+    // The staircase recovers monotonically and never hits zero.
+    double prev = 0.0;
+    for (std::size_t s = 0; s < params.recovery_steps; ++s) {
+      const double t = info.event_time + params.collapse_duration +
+                       (static_cast<double>(s) + 0.5) *
+                           params.recovery_duration /
+                           static_cast<double>(params.recovery_steps);
+      const double r = p.rate(t);
+      EXPECT_GT(r, prev);
+      EXPECT_LE(r, 10.0);
+      prev = r;
+    }
+    EXPECT_GT(p.min_rate(), 0.0);
+  }
+}
+
+TEST(ScenarioTest, OutageHitsExactlyKServers) {
+  const double horizon = 200.0;
+  const std::vector<TwoStateMarkovParams> bases(6, constant_base(10.0));
+  sjs::cap::CorrelatedOutageParams params;
+  params.failures = 2;
+  std::set<std::vector<std::size_t>> seen_subsets;
+  for (std::uint64_t run = 0; run < 20; ++run) {
+    Rng rng(55, run);
+    FleetEventInfo info;
+    const auto paths = sjs::cap::sample_correlated_outage_fleet(
+        bases, params, horizon, rng, &info);
+    ASSERT_EQ(paths.size(), 6u);
+    ASSERT_EQ(info.affected.size(), 2u) << "run " << run;
+    EXPECT_TRUE(std::is_sorted(info.affected.begin(), info.affected.end()));
+    EXPECT_NE(info.affected[0], info.affected[1]);
+    EXPECT_LT(info.affected[1], 6u);
+    seen_subsets.insert(info.affected);
+    for (std::size_t s = 0; s < paths.size(); ++s) {
+      const bool hit = std::find(info.affected.begin(), info.affected.end(),
+                                 s) != info.affected.end();
+      const double during = paths[s].rate(info.event_time + 1.0);
+      const double before = paths[s].rate(info.event_time * 0.5);
+      const double after = paths[s].rate(info.event_end + 1.0);
+      EXPECT_DOUBLE_EQ(before, 10.0);
+      EXPECT_DOUBLE_EQ(after, 10.0);
+      if (hit) {
+        EXPECT_DOUBLE_EQ(during, 10.0 * params.floor_fraction);
+      } else {
+        EXPECT_DOUBLE_EQ(during, 10.0);
+      }
+    }
+  }
+  // The failing subset is drawn, not fixed: different seeds hit different
+  // machine pairs.
+  EXPECT_GT(seen_subsets.size(), 1u);
+}
+
+TEST(ScenarioTest, OutageFixedSeedGolden) {
+  sjs::cluster::Fleet fleet = sjs::cluster::Fleet::heterogeneous(6);
+  sjs::cluster::ScenarioConfig config;
+  config.kind = ScenarioKind::kCorrelatedOutage;
+  config.outage.failures = 2;
+  Rng rng(7, 3);
+  FleetEventInfo info;
+  const auto paths = fleet.sample_paths(config, 200.0, rng, &info);
+  ASSERT_EQ(paths.size(), 6u);
+  EXPECT_DOUBLE_EQ(info.event_time, 60.847729048369089);
+  EXPECT_DOUBLE_EQ(info.event_end, 85.847729048369089);
+  ASSERT_EQ(info.affected.size(), 2u);
+  EXPECT_EQ(info.affected[0], 0u);
+  EXPECT_EQ(info.affected[1], 3u);
+}
+
+TEST(ScenarioTest, SameSeedSameFleetAcrossAllScenarios) {
+  sjs::cluster::Fleet fleet = sjs::cluster::Fleet::heterogeneous(4);
+  for (const ScenarioKind kind : sjs::cap::all_scenarios()) {
+    sjs::cluster::ScenarioConfig config;
+    config.kind = kind;
+    Rng rng_a(42, 7);
+    Rng rng_b(42, 7);
+    const auto a = fleet.sample_paths(config, 150.0, rng_a);
+    const auto b = fleet.sample_paths(config, 150.0, rng_b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      ASSERT_EQ(a[s].breakpoints(), b[s].breakpoints())
+          << sjs::cap::scenario_name(kind) << " server " << s;
+      ASSERT_EQ(a[s].rates(), b[s].rates())
+          << sjs::cap::scenario_name(kind) << " server " << s;
+      EXPECT_GT(a[s].min_rate(), 0.0);
+    }
+  }
+}
+
+}  // namespace

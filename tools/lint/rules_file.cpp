@@ -223,7 +223,8 @@ void check_float_type(const SourceFile& file, std::vector<Diagnostic>& diags) {
 namespace {
 const std::set<std::string> kModuleDirs = {
     "util",  "stats",   "capacity", "jobs", "obs",   "sim",  "sched",
-    "offline", "theory", "mc",      "cloud", "serve", "conc", "lint"};
+    "offline", "theory", "mc",      "cloud", "serve", "conc", "lint",
+    "cluster"};
 }  // namespace
 
 void check_include_hygiene(const SourceFile& file,
@@ -290,13 +291,16 @@ void check_header_guard(const SourceFile& file,
 
 // The sharded admission plane's thread-safety argument is structural: every
 // cross-thread interaction flows through conc::Channel / conc::ShardSet
-// (src/conc/), so serve/ and sched/ code can be audited as single-threaded.
-// A raw primitive smuggled into either layer silently reopens the data-race
-// surface the TSan CI job is meant to have closed — it must either move
-// behind conc/ or carry an audited suppression.
+// (src/conc/), so serve/, sched/, and cluster/ code can be audited as
+// single-threaded. A raw primitive smuggled into any of these layers
+// silently reopens the data-race surface the TSan CI job is meant to have
+// closed — it must either move behind conc/ or carry an audited suppression.
 void check_raw_concurrency(const SourceFile& file,
                            std::vector<Diagnostic>& diags) {
-  if (!path_in(file.rel, "serve") && !path_in(file.rel, "sched")) return;
+  if (!path_in(file.rel, "serve") && !path_in(file.rel, "sched") &&
+      !path_in(file.rel, "cluster")) {
+    return;
+  }
   static const std::regex prim_re(
       R"(\bstd\s*::\s*(thread|jthread|mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|atomic(?:_flag|_ref)?|lock_guard|unique_lock|scoped_lock|shared_lock|counting_semaphore|binary_semaphore|latch|barrier|future|promise|async)\b)");
   for (std::size_t i = 0; i < file.code.size(); ++i) {
@@ -306,7 +310,8 @@ void check_raw_concurrency(const SourceFile& file,
       report(file, i + 1, static_cast<std::size_t>(it->position()) + 1,
              "raw-concurrency",
              "std::" + (*it)[1].str() +
-                 " in src/serve//src/sched/: cross-thread traffic must flow "
+                 " in src/serve//src/sched//src/cluster/: cross-thread "
+                 "traffic must flow "
                  "through conc::Channel / conc::ShardSet (src/conc/) or "
                  "util/thread_pool so the layer stays auditable "
                  "single-threaded",

@@ -179,9 +179,8 @@ void check_alloc_in_hot_path(const Analysis& a, std::vector<Diagnostic>& diags,
         return edge_suppressed(a, g.edges[e], "alloc-in-hot-path");
       });
 
-  static const std::set<std::string> kReportedModules = {"sim", "sched",
-                                                         "serve", "conc",
-                                                         "obs"};
+  static const std::set<std::string> kReportedModules = {
+      "sim", "sched", "serve", "conc", "obs", "cluster"};
   for (std::size_t n = 0; n < g.nodes.size(); ++n) {
     if (!r.reached[n]) continue;
     const FunctionDef& fn = *g.nodes[n].def;

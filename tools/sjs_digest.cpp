@@ -19,9 +19,17 @@
 // Thread-count independence is asserted internally (the campaign is run once
 // per entry of --threads and the digests must agree), so a single output file
 // also certifies the determinism contract.
+// --cluster switches to the fleet gate instead: every capacity scenario ×
+// both global schedulers on the heterogeneous 4-machine fleet under the
+// threshold rental policy, one line per cell:
+//
+//   cluster scenario=steady scheduler=Cluster-EDF/threshold runs=32 digest=...
+//
+// CI diffs that output against tests/cluster_digest_baseline.txt.
 #include <cstdio>
 #include <cstdlib>
 
+#include "mc/cluster_mc.hpp"
 #include "mc/monte_carlo.hpp"
 #include "sched/factory.hpp"
 #include "util/cli.hpp"
@@ -49,6 +57,10 @@ int main(int argc, char** argv) {
   flags.add_int("seed", 42, "master seed");
   flags.add_double_list("threads", {1.0, 4.0},
                         "thread counts; digests must agree across all");
+  flags.add_bool("cluster", false,
+                 "gate the cluster plane (scenario × global-scheduler cells) "
+                 "instead of the single-server lineup");
+  flags.add_int("cluster-runs", 32, "Monte-Carlo runs per cluster cell");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -61,6 +73,46 @@ int main(int argc, char** argv) {
   const auto& thread_counts = flags.get_double_list("threads");
   SJS_CHECK_MSG(thread_counts.size() >= 2,
                 "digest gate needs at least two thread counts");
+
+  if (flags.get_bool("cluster")) {
+    sjs::mc::ClusterMcConfig config;
+    config.fleet = sjs::cluster::Fleet::heterogeneous(4);
+    config.jobs.c_lo = config.fleet.admission_c_lo();
+    config.runs = static_cast<std::size_t>(flags.get_int("cluster-runs"));
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    config.compute_digests = true;
+    for (const auto kind : sjs::cap::all_scenarios()) {
+      config.scenario.kind = kind;
+      for (const auto key : {sjs::cloud::GlobalKey::kDeadline,
+                             sjs::cloud::GlobalKey::kValueDensity}) {
+        config.key = key;
+        std::vector<sjs::mc::ClusterAggregate> outcomes;
+        for (double threads : thread_counts) {
+          config.threads = static_cast<std::size_t>(threads);
+          outcomes.push_back(sjs::mc::run_cluster_mc(config));
+        }
+        for (std::size_t t = 1; t < outcomes.size(); ++t) {
+          if (outcomes[t].combined_digest != outcomes[0].combined_digest) {
+            std::fprintf(stderr,
+                         "FATAL: cluster digest for %s/%s diverges between "
+                         "%zu and %zu threads — determinism contract broken\n",
+                         outcomes[0].scenario.c_str(),
+                         outcomes[0].scheduler_name.c_str(),
+                         static_cast<std::size_t>(thread_counts[0]),
+                         static_cast<std::size_t>(thread_counts[t]));
+            return 2;
+          }
+        }
+        std::printf("cluster scenario=%s scheduler=%s runs=%zu "
+                    "digest=%016llx\n",
+                    outcomes[0].scenario.c_str(),
+                    outcomes[0].scheduler_name.c_str(), config.runs,
+                    static_cast<unsigned long long>(
+                        outcomes[0].combined_digest));
+      }
+    }
+    return 0;
+  }
 
   for (double lambda : flags.get_double_list("lambda")) {
     sjs::mc::McConfig config;

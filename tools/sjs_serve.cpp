@@ -10,12 +10,21 @@
 //             [--c-lo=1] [--c-hi=1] [--accel=1] [--max-in-flight=1024]
 //             [--no-admission-check] [--trace-ring=4096] [--metrics]
 //             [--shards=1] [--channel-capacity=1024]
+//             [--cluster=0] [--cluster-key=deadline] [--rental=threshold]
+//             [--budget=0] [--min-rented=1]
 //
 // --shards=N with N >= 2 runs the sharded admission plane (an acceptor
 // thread + N engine shards behind bounded channels, docs/serving.md): jobs
 // route by splitmix64 over their dense global ticket, each shard journals
 // its own replayable bundle to <journal>/shard<k>, and --max-in-flight
 // applies per shard. N = 1 keeps the classic single-threaded server.
+//
+// --cluster=K with K >= 1 serves against an elastic heterogeneous fleet of
+// K machines (docs/cluster.md): a live cloud::MultiEngine scheduled by
+// cluster::Dispatcher (global EDF or HVDF over the rented machines, rental
+// policy from --rental, optional --budget cap). The journal is a cluster
+// bundle replayable with `sjs_sim --cluster-bundle=DIR`. Exclusive with
+// --shards >= 2; --scheduler and --c-lo/--c-hi are ignored in cluster mode.
 //
 // The capacity profile is constant at c-hi for the session (a live service
 // observes its own rate; the declared band is what the algorithms consume).
@@ -25,6 +34,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "cluster/cluster_server.hpp"
 #include "obs/metrics.hpp"
 #include "sched/factory.hpp"
 #include "serve/clock.hpp"
@@ -66,6 +76,15 @@ int main(int argc, char** argv) {
                 "engine shards (>= 2 enables the sharded admission plane)");
   flags.add_int("channel-capacity", 1024,
                 "per-shard request channel slots (sharded plane only)");
+  flags.add_int("cluster", 0,
+                "fleet size (>= 1 serves an elastic heterogeneous cluster)");
+  flags.add_string("cluster-key", "deadline",
+                   "cluster placement key: deadline | density");
+  flags.add_string("rental", "threshold",
+                   "cluster rental policy: static | threshold | load");
+  flags.add_double("budget", 0.0,
+                   "total cluster rental budget (<= 0 = unlimited)");
+  flags.add_int("min-rented", 1, "machines the cluster never releases below");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -90,6 +109,117 @@ int main(int argc, char** argv) {
       !flags.require_at_least("trace-ring", 0)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 1;
+  }
+
+  const long cluster_k = flags.get_int("cluster");
+  if (cluster_k < 0) {
+    std::fprintf(stderr, "--cluster must be >= 0\n");
+    return 1;
+  }
+  if (cluster_k > 0) {
+    if (flags.get_int("shards") >= 2) {
+      std::fprintf(stderr, "--cluster and --shards >= 2 are exclusive\n");
+      return 1;
+    }
+    const std::string key_name = flags.get_string("cluster-key");
+    if (key_name != "deadline" && key_name != "density") {
+      std::fprintf(stderr, "unknown --cluster-key \"%s\" (deadline|density)\n",
+                   key_name.c_str());
+      return 1;
+    }
+    sjs::cluster::ClusterServerConfig config;
+    config.fleet =
+        sjs::cluster::Fleet::heterogeneous(static_cast<std::size_t>(cluster_k));
+    config.key = key_name == "deadline" ? sjs::cloud::GlobalKey::kDeadline
+                                        : sjs::cloud::GlobalKey::kValueDensity;
+    config.rental = flags.get_string("rental");
+    config.budget = flags.get_double("budget");
+    const long min_rented = flags.get_int("min-rented");
+    if (min_rented < 1 || min_rented > cluster_k) {
+      std::fprintf(stderr, "--min-rented must be in [1, --cluster]\n");
+      return 1;
+    }
+    config.min_rented = static_cast<std::size_t>(min_rented);
+    config.port = static_cast<int>(flags.get_int("port"));
+    config.journal_dir = flags.get_string("journal");
+    config.accel = flags.get_double("accel");
+    config.max_in_flight =
+        static_cast<std::uint64_t>(flags.get_int("max-in-flight"));
+    config.admission_check = !flags.get_bool("no-admission-check");
+    config.trace_ring = static_cast<std::size_t>(flags.get_int("trace-ring"));
+    try {
+      // Validate the rental policy name before binding the port.
+      sjs::cluster::make_rental_controller(config.rental);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+
+    sjs::obs::MetricsRegistry registry;
+    sjs::serve::SystemClock clock;
+    if (::pipe(g_signal_pipe) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    for (int fd : g_signal_pipe) {
+      const int fl = ::fcntl(fd, F_GETFL, 0);
+      if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    }
+    struct sigaction sa {};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    sjs::cluster::ClusterServer server(config, clock, &registry);
+    int port = 0;
+    try {
+      port = server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to start: %s\n", e.what());
+      return 1;
+    }
+    server.watch_shutdown_fd(g_signal_pipe[0]);
+    std::printf("LISTENING %d\n", port);
+    std::fflush(stdout);
+
+    server.run();
+
+    const auto& result = server.result();
+    std::printf("drained: cluster of %zu (%s): %llu completed, %llu expired, "
+                "value %.3f/%.3f, rental cost %.3f, peak %llu machines, "
+                "%llu migrations\n",
+                server.fleet().size(), result.scheduler_name.c_str(),
+                static_cast<unsigned long long>(result.completed_count),
+                static_cast<unsigned long long>(result.expired_count),
+                result.completed_value, result.generated_value,
+                result.rental_cost,
+                static_cast<unsigned long long>(result.rented_peak),
+                static_cast<unsigned long long>(result.migrations));
+    bool cluster_journal_failed = false;
+    if (!server.journal_error().empty()) {
+      std::fprintf(stderr, "journal failure: %s\n",
+                   server.journal_error().c_str());
+      cluster_journal_failed = true;
+    }
+    const auto stats = server.stats();
+    std::printf("server: %llu submitted, %llu accepted, %llu rejected, "
+                "%llu shed, %llu completed, %llu expired, %llu cancelled\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.cancelled));
+    if (!config.journal_dir.empty()) {
+      std::printf("journal: %s (replay with sjs_sim --cluster-bundle=%s "
+                  "--outcomes-csv=...)\n",
+                  config.journal_dir.c_str(), config.journal_dir.c_str());
+    }
+    if (flags.get_bool("metrics")) {
+      std::printf("\nmetrics:\n%s", registry.render().c_str());
+    }
+    return cluster_journal_failed ? 1 : 0;
   }
 
   const auto lineup = sjs::sched::full_lineup(c_lo, c_hi);

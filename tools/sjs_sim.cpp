@@ -11,13 +11,29 @@
 //           [--trace-csv=out.csv] [--outcomes-csv=out.csv]
 //           [--trace=FILE --trace-format=jsonl|chrome]
 //           [--metrics] [--check-invariants] [--list-schedulers]
+//   sjs_sim --cluster-bundle=DIR [--outcomes-csv=out.csv]
+//   sjs_sim --cluster=K [--rental=threshold] [--budget=0] [--min-rented=1]
+//           [--cluster-runs=32] [--cluster-lambda=6] [--seed=42]
 //
 // A serving journal (sjs_serve --journal=DIR) is itself a bundle: replaying
 // it here with the journalled scheduler reproduces the live session's
 // outcomes bit-exactly (docs/serving.md).
+//
+// --cluster-bundle replays a cluster journal (sjs_serve --cluster=K
+// --journal=DIR, docs/cluster.md): the fleet, dispatcher configuration, and
+// admitted stream are rebuilt from the bundle and the outcomes reproduce the
+// live session byte-for-byte (cancel-free sessions).
+//
+// --cluster=K runs the fleet Monte-Carlo tables instead: every capacity
+// scenario (steady / diurnal / flash-crowd / outage) × both global
+// schedulers on a heterogeneous K-machine fleet, reporting captured value,
+// rental cost, rented peak, and migrations per cell.
 #include <cstdio>
 
+#include "cluster/cluster_journal.hpp"
+#include "cluster/dispatcher.hpp"
 #include "jobs/bundle.hpp"
+#include "mc/cluster_mc.hpp"
 #include "obs/digest.hpp"
 #include "obs/exporters.hpp"
 #include "obs/invariants.hpp"
@@ -29,6 +45,118 @@
 #include "sim/gantt.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+
+namespace {
+
+/// Replays a cluster journal bundle bit-exactly (docs/cluster.md).
+int run_cluster_replay(const std::string& dir, const std::string& outcomes_csv) {
+  sjs::cluster::ClusterBundle bundle;
+  try {
+    bundle = sjs::cluster::load_cluster_bundle(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load cluster bundle: %s\n", e.what());
+    return 1;
+  }
+  sjs::cluster::DispatcherConfig dc;
+  std::string rental = "static";
+  try {
+    const auto& meta = bundle.meta;
+    if (meta.count("sched_key")) {
+      dc.key = meta.at("sched_key") == "density"
+                   ? sjs::cloud::GlobalKey::kValueDensity
+                   : sjs::cloud::GlobalKey::kDeadline;
+    }
+    if (meta.count("rental")) rental = meta.at("rental");
+    if (meta.count("budget")) dc.budget = std::stod(meta.at("budget"));
+    if (meta.count("min_rented")) {
+      dc.min_rented = static_cast<std::size_t>(std::stoul(meta.at("min_rented")));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "malformed cluster bundle meta: %s\n", e.what());
+    return 1;
+  }
+  std::printf("cluster bundle: %zu jobs, fleet of %zu, band [%g, %g], "
+              "key=%s rental=%s budget=%g min_rented=%zu\n",
+              bundle.jobs.size(), bundle.fleet.size(),
+              bundle.fleet.admission_c_lo(), bundle.fleet.max_hi(),
+              dc.key == sjs::cloud::GlobalKey::kDeadline ? "deadline"
+                                                         : "density",
+              rental.c_str(), dc.budget, dc.min_rented);
+  if (!bundle.cancels.empty()) {
+    std::printf("note: %zu cancels in the bundle — cancel-bearing sessions "
+                "are outside the bit-exact replay guarantee\n",
+                bundle.cancels.size());
+  }
+  sjs::cluster::Dispatcher dispatcher(
+      bundle.fleet, dc, sjs::cluster::make_rental_controller(rental));
+  const sjs::cloud::MultiSimResult result = sjs::cluster::run_cluster(
+      bundle.jobs, std::move(bundle.paths), dispatcher);
+  std::printf("\n%s: %llu completed, %llu expired, value %.3f/%.3f, "
+              "rental cost %.3f, peak %llu machines, %llu migrations\n",
+              result.scheduler_name.c_str(),
+              static_cast<unsigned long long>(result.completed_count),
+              static_cast<unsigned long long>(result.expired_count),
+              result.completed_value, result.generated_value,
+              result.rental_cost,
+              static_cast<unsigned long long>(result.rented_peak),
+              static_cast<unsigned long long>(result.migrations));
+  if (!outcomes_csv.empty()) {
+    sjs::cloud::save_multi_outcomes_csv(result, bundle.jobs, outcomes_csv);
+    std::printf("outcomes written to %s\n", outcomes_csv.c_str());
+  }
+  return 0;
+}
+
+/// Fleet Monte-Carlo tables: scenarios × global schedulers.
+int run_cluster_tables(std::size_t fleet_size, const std::string& rental,
+                       double budget, std::size_t min_rented, std::size_t runs,
+                       double lambda, std::uint64_t seed) {
+  sjs::mc::ClusterMcConfig config;
+  config.fleet = sjs::cluster::Fleet::heterogeneous(fleet_size);
+  config.jobs.lambda = lambda;
+  config.jobs.horizon = 400.0 / lambda;
+  config.jobs.c_lo = config.fleet.admission_c_lo();
+  config.rental = rental;
+  config.budget = budget;
+  config.min_rented = min_rented;
+  config.runs = runs;
+  config.seed = seed;
+  std::printf("cluster MC: heterogeneous fleet of %zu, %zu runs/cell, "
+              "lambda=%g, seed=%llu, rental=%s\n\n",
+              fleet_size, runs, lambda,
+              static_cast<unsigned long long>(seed), rental.c_str());
+  std::printf("%-12s %-24s %9s %7s %9s %6s %6s %6s\n", "scenario",
+              "scheduler", "value%", "±ci95", "cost", "peak", "migr",
+              "expire");
+  for (const auto kind : sjs::cap::all_scenarios()) {
+    config.scenario.kind = kind;
+    for (const auto key : {sjs::cloud::GlobalKey::kDeadline,
+                           sjs::cloud::GlobalKey::kValueDensity}) {
+      config.key = key;
+      const sjs::mc::ClusterAggregate agg = sjs::mc::run_cluster_mc(config);
+      const double half =
+          (agg.fraction_summary.ci95_hi - agg.fraction_summary.ci95_lo) / 2.0;
+      std::printf("%-12s %-24s %8.2f%% %7.2f %9.2f %6.1f %6.1f %6.1f\n",
+                  agg.scenario.c_str(), agg.scheduler_name.c_str(),
+                  100.0 * agg.fraction_summary.mean, 100.0 * half,
+                  agg.mean_cost, agg.mean_rented_peak, agg.mean_migrations,
+                  agg.mean_expired);
+    }
+  }
+  std::printf("\nper-server utilisation (steady scenario, %s):\n",
+              rental.c_str());
+  config.scenario.kind = sjs::cap::ScenarioKind::kSteady;
+  config.key = sjs::cloud::GlobalKey::kDeadline;
+  const sjs::mc::ClusterAggregate agg = sjs::mc::run_cluster_mc(config);
+  for (std::size_t s = 0; s < agg.mean_util_per_server.size(); ++s) {
+    std::printf("  server%zu (speed %.1f, cost %.2f): %.1f%%\n", s,
+                config.fleet.spec(s).speed, config.fleet.spec(s).cost_rate,
+                100.0 * agg.mean_util_per_server[s]);
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   sjs::CliFlags flags;
@@ -52,6 +180,17 @@ int main(int argc, char** argv) {
   flags.add_bool("check-invariants", false,
                  "verify conservation laws online against the event stream");
   flags.add_bool("list-schedulers", false, "print scheduler names and exit");
+  flags.add_string("cluster-bundle", "",
+                   "replay a cluster journal (sjs_serve --cluster) bit-exactly");
+  flags.add_int("cluster", 0,
+                "fleet size for the cluster Monte-Carlo tables (0 = off)");
+  flags.add_string("rental", "threshold",
+                   "cluster rental policy: static | threshold | load");
+  flags.add_double("budget", 0.0, "cluster rental budget (<= 0 = unlimited)");
+  flags.add_int("min-rented", 1, "cluster minimum rented machines");
+  flags.add_int("cluster-runs", 32, "Monte-Carlo runs per cluster cell");
+  flags.add_double("cluster-lambda", 6.0, "cluster table arrival rate");
+  flags.add_int("seed", 42, "cluster Monte-Carlo master seed");
   if (!flags.parse(argc, argv)) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -65,6 +204,31 @@ int main(int argc, char** argv) {
       std::printf("%s\n", f.name.c_str());
     }
     return 0;
+  }
+  if (!flags.get_string("cluster-bundle").empty()) {
+    return run_cluster_replay(flags.get_string("cluster-bundle"),
+                              flags.get_string("outcomes-csv"));
+  }
+  if (flags.get_int("cluster") > 0) {
+    const long min_rented = flags.get_int("min-rented");
+    const long runs = flags.get_int("cluster-runs");
+    const double lambda = flags.get_double("cluster-lambda");
+    if (min_rented < 1 || min_rented > flags.get_int("cluster") ||
+        runs < 1 || !(lambda > 0.0)) {
+      std::fprintf(stderr, "need 1 <= min-rented <= cluster, cluster-runs "
+                   ">= 1, cluster-lambda > 0\n");
+      return 1;
+    }
+    try {
+      return run_cluster_tables(
+          static_cast<std::size_t>(flags.get_int("cluster")),
+          flags.get_string("rental"), flags.get_double("budget"),
+          static_cast<std::size_t>(min_rented), static_cast<std::size_t>(runs),
+          lambda, static_cast<std::uint64_t>(flags.get_int("seed")));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
   if (flags.get_string("bundle").empty()) {
     std::fprintf(stderr, "--bundle is required (try --help)\n");
